@@ -1,0 +1,256 @@
+(* hydra — command-line front end for the regeneration pipeline.
+
+   A spec file (see Cc_parser) declares the schema, the cardinality
+   constraints harvested from the client's annotated query plans, and
+   optionally queries. The CLI turns specs into database summaries,
+   summaries into materialized CSV data, and validates volumetric
+   similarity, mirroring the vendor-site flow of Fig. 2. *)
+
+open Cmdliner
+
+let read_spec path =
+  try Ok (Hydra_workload.Cc_parser.parse_file path) with
+  | Hydra_workload.Cc_parser.Parse_error m ->
+      Error (Printf.sprintf "parse error in %s: %s" path m)
+  | Hydra_rel.Schema.Schema_error m ->
+      Error (Printf.sprintf "schema error in %s: %s" path m)
+  | Sys_error m -> Error m
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline ("hydra: " ^ m);
+      exit 1
+
+(* uniform rendering of domain errors raised below the command layer *)
+let protecting f x =
+  let die m =
+    prerr_endline ("hydra: " ^ m);
+    exit 1
+  in
+  try f x with
+  | Hydra_rel.Schema.Schema_error m -> die ("schema: " ^ m)
+  | Hydra_core.Summary.Summary_error m -> die ("summary: " ^ m)
+  | Hydra_core.Preprocess.Preprocess_error m -> die ("preprocess: " ^ m)
+  | Hydra_core.Formulate.Formulation_error m -> die ("formulation: " ^ m)
+  | Hydra_core.Align.Align_error m -> die ("alignment: " ^ m)
+  | Hydra_workload.Cc_parser.Parse_error m -> die ("parse: " ^ m)
+  | Invalid_argument m -> die m
+  | Sys_error m -> die m
+
+let spec_arg =
+  let doc = "Spec file with table and cc declarations." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc)
+
+let summary_pos_arg =
+  let doc = "Database summary file produced by $(b,hydra summary)." in
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"SUMMARY" ~doc)
+
+(* ---- summary ---- *)
+
+let summary_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "db.summary"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output summary file.")
+  in
+  let run spec_path out =
+    let spec = or_die (read_spec spec_path) in
+    let t0 = Unix.gettimeofday () in
+    match
+      Hydra_core.Pipeline.regenerate spec.Hydra_workload.Cc_parser.schema
+        spec.Hydra_workload.Cc_parser.ccs
+    with
+    | result ->
+        let summary = result.Hydra_core.Pipeline.summary in
+        Hydra_core.Summary.save out summary;
+        Printf.printf "summary: %d rows covering %d tuples -> %s (%.2fs)\n"
+          (Hydra_core.Summary.summary_rows summary)
+          (Hydra_core.Summary.total_rows summary)
+          out
+          (Unix.gettimeofday () -. t0);
+        List.iter
+          (fun (v : Hydra_core.Pipeline.view_stats) ->
+            Printf.printf "  view %-20s %6d LP vars %5d constraints %.2fs\n"
+              v.Hydra_core.Pipeline.rel v.Hydra_core.Pipeline.num_lp_vars
+              v.Hydra_core.Pipeline.num_lp_constraints
+              v.Hydra_core.Pipeline.solve_seconds)
+          result.Hydra_core.Pipeline.views;
+        List.iter
+          (fun (r, n) ->
+            if n > 0 then
+              Printf.printf "  +%d integrity-repair tuples in %s\n" n r)
+          summary.Hydra_core.Summary.extra_tuples
+    | exception Hydra_core.Preprocess.Preprocess_error m ->
+        or_die (Error ("preprocess: " ^ m))
+    | exception Hydra_core.Formulate.Formulation_error m ->
+        or_die (Error ("formulation: " ^ m))
+  in
+  let doc = "Build a database summary from a schema + CC spec." in
+  Cmd.v (Cmd.info "summary" ~doc)
+    Term.(const (fun a b -> protecting (run a) b) $ spec_arg $ out)
+
+(* ---- materialize ---- *)
+
+let materialize_cmd =
+  let dir =
+    Arg.(
+      value & opt string "."
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory for CSVs.")
+  in
+  let run spec_path summary_path dir =
+    let spec = or_die (read_spec spec_path) in
+    let summary =
+      Hydra_core.Summary.load summary_path spec.Hydra_workload.Cc_parser.schema
+    in
+    let t0 = Unix.gettimeofday () in
+    let db = Hydra_core.Tuple_gen.materialize summary in
+    List.iter
+      (fun rname ->
+        match Hydra_engine.Database.source db rname with
+        | Hydra_engine.Database.Stored table ->
+            let path = Filename.concat dir (rname ^ ".csv") in
+            Hydra_rel.Csv.write_table path table;
+            Printf.printf "%s: %d rows -> %s\n" rname
+              (Hydra_rel.Table.length table)
+              path
+        | Hydra_engine.Database.Generated _ -> ())
+      (Hydra_engine.Database.relation_names db);
+    Printf.printf "materialized in %.2fs\n" (Unix.gettimeofday () -. t0)
+  in
+  let doc = "Materialize a summary into CSV relations." in
+  Cmd.v
+    (Cmd.info "materialize" ~doc)
+    Term.(
+      const (fun a b c -> protecting (run a b) c)
+      $ spec_arg $ summary_pos_arg $ dir)
+
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let dynamic =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:
+            "Execute against the dynamic tuple generator instead of \
+             materialized tables.")
+  in
+  let run spec_path summary_path dynamic =
+    let spec = or_die (read_spec spec_path) in
+    let summary =
+      Hydra_core.Summary.load summary_path spec.Hydra_workload.Cc_parser.schema
+    in
+    let db =
+      if dynamic then Hydra_core.Tuple_gen.dynamic summary
+      else Hydra_core.Tuple_gen.materialize summary
+    in
+    let v = Hydra_core.Validate.check db spec.Hydra_workload.Cc_parser.ccs in
+    Format.printf "%a@." Hydra_core.Validate.pp v;
+    List.iter
+      (fun (r : Hydra_core.Validate.cc_report) ->
+        if r.Hydra_core.Validate.rel_error <> 0.0 then
+          Format.printf "  %+.2f%%  %a (got %d)@."
+            (100.0 *. r.Hydra_core.Validate.rel_error)
+            Hydra_workload.Cc.pp r.Hydra_core.Validate.cc
+            r.Hydra_core.Validate.actual)
+      (Hydra_core.Validate.worst v 10);
+    if v.Hydra_core.Validate.max_abs_error > 0.5 then exit 2
+  in
+  let doc = "Check volumetric similarity of a summary against its CCs." in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(
+      const (fun a b c -> protecting (run a b) c)
+      $ spec_arg $ summary_pos_arg $ dynamic)
+
+(* ---- extract (the client-site flow of Fig. 2) ---- *)
+
+let extract_cmd =
+  let data_dir =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "data" ] ~docv:"DIR"
+          ~doc:"Directory with one <relation>.csv per declared table.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the CC spec here instead of stdout.")
+  in
+  let run spec_path data_dir out =
+    let spec = or_die (read_spec spec_path) in
+    if spec.Hydra_workload.Cc_parser.queries = [] then
+      or_die (Error "extract: the spec declares no queries");
+    let schema = spec.Hydra_workload.Cc_parser.schema in
+    (* client database from CSVs *)
+    let db = Hydra_engine.Database.create schema in
+    List.iter
+      (fun (r : Hydra_rel.Schema.relation) ->
+        let path =
+          Filename.concat data_dir (r.Hydra_rel.Schema.rname ^ ".csv")
+        in
+        Hydra_engine.Database.bind_table db
+          (Hydra_rel.Csv.read_table path r.Hydra_rel.Schema.rname))
+      (Hydra_rel.Schema.relations schema);
+    (* execute the workload: AQPs -> CCs, plus size CCs for unscanned
+       relations so the spec is self-contained *)
+    let wl =
+      Hydra_workload.Workload.create spec.Hydra_workload.Cc_parser.queries
+    in
+    let ccs = Hydra_workload.Workload.extract_ccs db wl in
+    let sizes =
+      List.map
+        (fun (r : Hydra_rel.Schema.relation) ->
+          let rname = r.Hydra_rel.Schema.rname in
+          (rname, Hydra_engine.Database.nrows db rname))
+        (Hydra_rel.Schema.relations schema)
+    in
+    let ccs = Hydra_core.Pipeline.complete_size_ccs schema ccs sizes in
+    let text = Hydra_workload.Cc_parser.emit schema ccs in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc text);
+        Printf.printf "extracted %d CCs from %d queries -> %s\n"
+          (List.length ccs)
+          (List.length spec.Hydra_workload.Cc_parser.queries)
+          path
+    | None -> print_string text)
+  in
+  let doc =
+    "Run the spec's queries against CSV data and emit the cardinality \
+     constraints (the client-site flow)."
+  in
+  Cmd.v (Cmd.info "extract" ~doc)
+    Term.(
+      const (fun a b c -> protecting (run a b) c)
+      $ spec_arg $ data_dir $ out)
+
+(* ---- inspect ---- *)
+
+let inspect_cmd =
+  let run spec_path summary_path =
+    let spec = or_die (read_spec spec_path) in
+    let summary =
+      Hydra_core.Summary.load summary_path spec.Hydra_workload.Cc_parser.schema
+    in
+    Format.printf "%a" Hydra_core.Summary.pp summary
+  in
+  let doc = "Print the relation summaries contained in a summary file." in
+  Cmd.v (Cmd.info "inspect" ~doc)
+    Term.(const (fun a b -> protecting (run a) b) $ spec_arg $ summary_pos_arg)
+
+let main =
+  let doc = "workload-dependent database regeneration (HYDRA, EDBT 2018)" in
+  Cmd.group
+    (Cmd.info "hydra" ~version:"1.0.0" ~doc)
+    [ summary_cmd; extract_cmd; materialize_cmd; validate_cmd; inspect_cmd ]
+
+let () = exit (Cmd.eval main)

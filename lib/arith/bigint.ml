@@ -1,0 +1,413 @@
+(* Arbitrary-precision integers with a native fast path.
+
+   Values that fit comfortably in a native [int] are represented as [S n]
+   and handled with machine arithmetic plus overflow guards; only when a
+   computation might exceed the safe range does it fall back to the
+   sign-magnitude limb representation [B _] in base 2^30 (no leading zero
+   limb; [sign = 0] exactly when [mag] is empty). The fast path matters:
+   simplex pivots perform millions of rational operations whose operands
+   are almost always tiny. Base 2^30 keeps every intermediate limb
+   product below 2^62, safe for the 63-bit native [int]. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type big = { sign : int; mag : int array }
+type t = S of int | B of big
+
+let zero = S 0
+
+(* ---- magnitude helpers (arrays of limbs, non-negative) ---- *)
+
+let normalize_mag mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let t = top (n - 1) in
+  if t = n - 1 then mag else Array.sub mag 0 (t + 1)
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* requires [cmp_mag a b >= 0] *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let t = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- t land base_mask;
+        carry := t lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+let mul_small_mag a d =
+  (* [a * d] for [0 <= d < base] *)
+  let la = Array.length a in
+  if la = 0 || d = 0 then [||]
+  else begin
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let t = (a.(i) * d) + !carry in
+      r.(i) <- t land base_mask;
+      carry := t lsr base_bits
+    done;
+    r.(la) <- !carry;
+    r
+  end
+
+let divmod_small_mag a d =
+  (* quotient magnitude and integer remainder of [a / d] for [0 < d < base] *)
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* compare [rem] with [bq] shifted left by [pos] limbs *)
+let cmp_shifted rem bq pos =
+  let lr = Array.length rem and lq = Array.length bq in
+  let hi = (if lr > lq + pos then lr else lq + pos) - 1 in
+  let rec go i =
+    if i < 0 then 0
+    else
+      let dr = if i < lr then rem.(i) else 0 in
+      let dq = if i >= pos && i - pos < lq then bq.(i - pos) else 0 in
+      if dr <> dq then compare dr dq else go (i - 1)
+  in
+  go hi
+
+(* in-place [rem := rem - (bq << pos)]; requires the result non-negative *)
+let sub_shifted_inplace rem bq pos =
+  let lq = Array.length bq in
+  let borrow = ref 0 in
+  for i = pos to Array.length rem - 1 do
+    let dq = if i - pos < lq then bq.(i - pos) else 0 in
+    if dq = 0 && !borrow = 0 then ()
+    else begin
+      let s = rem.(i) - dq - !borrow in
+      if s < 0 then begin
+        rem.(i) <- s + base;
+        borrow := 1
+      end
+      else begin
+        rem.(i) <- s;
+        borrow := 0
+      end
+    end
+  done
+
+(* long division of magnitudes: per quotient limb, binary-search the largest
+   digit q with (b * q) << pos <= rem.  O(limbs^2 * 30), simple and exact;
+   operand sizes in this codebase stay small (a handful of limbs). *)
+let divmod_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if lb = 0 then raise Division_by_zero;
+  if cmp_mag a b < 0 then ([||], Array.copy a)
+  else begin
+    let q = Array.make (la - lb + 1) 0 in
+    let rem = Array.copy a in
+    for pos = la - lb downto 0 do
+      let lo = ref 0 and hi = ref base_mask in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if cmp_shifted rem (mul_small_mag b mid) pos >= 0 then lo := mid
+        else hi := mid - 1
+      done;
+      if !lo > 0 then begin
+        q.(pos) <- !lo;
+        sub_shifted_inplace rem (mul_small_mag b !lo) pos
+      end
+    done;
+    (q, rem)
+  end
+
+(* ---- representation changes ---- *)
+
+(* limbs of |n| without computing [abs n] (min_int-safe) *)
+let mag_of_int n =
+  let rec limbs n acc =
+    if n = 0 then List.rev acc
+    else limbs (n / base) (Stdlib.abs (n mod base) :: acc)
+  in
+  Array.of_list (limbs n [])
+
+let big_of_int n =
+  { sign = (if n > 0 then 1 else if n < 0 then -1 else 0); mag = mag_of_int n }
+
+(* magnitude -> native int when it fits in 62 bits *)
+let small_of_mag sign mag =
+  let l = Array.length mag in
+  if l = 0 then Some 0
+  else if l > 3 then None
+  else if l = 3 && mag.(2) >= 1 lsl 2 then None
+  else begin
+    let v = ref 0 in
+    for i = l - 1 downto 0 do
+      v := (!v lsl base_bits) lor mag.(i)
+    done;
+    Some (if sign < 0 then - !v else !v)
+  end
+
+let make sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero
+  else
+    match small_of_mag sign mag with
+    | Some n -> S n
+    | None -> B { sign; mag }
+
+let of_int n = S n
+
+let to_big = function S n -> big_of_int n | B b -> b
+
+(* native-int overflow guards: the fast path only accepts operands whose
+   results provably stay within 62 bits *)
+let small_limit = 1 lsl 61 (* |v| below this is always safe to add *)
+let mul_limit = 1 lsl 30 (* |a|,|b| below this multiply safely *)
+
+let one = S 1
+let minus_one = S (-1)
+
+let sign = function
+  | S n -> compare n 0
+  | B b -> b.sign
+
+let is_zero = function S 0 -> true | _ -> false
+
+let neg = function
+  | S n when n <> Stdlib.min_int -> S (-n)
+  | S n -> make 1 (mag_of_int n) (* -min_int overflows natively *)
+  | B b -> B { b with sign = -b.sign }
+
+let abs x = if sign x < 0 then neg x else x
+
+let compare a b =
+  match (a, b) with
+  | S x, S y -> Stdlib.compare x y
+  | _ ->
+      let a = to_big a and b = to_big b in
+      if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+      else if a.sign >= 0 then cmp_mag a.mag b.mag
+      else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | S n -> n land max_int
+  | B b -> (
+      (* the only B value equal to some S value is min_int (its magnitude
+         is exactly 2^62); hash it like its S twin so equal values hash
+         equally *)
+      match small_of_mag b.sign b.mag with
+      | Some n -> n land max_int
+      | None ->
+          if
+            b.sign < 0
+            && Array.length b.mag = 3
+            && b.mag.(2) = 4 && b.mag.(1) = 0 && b.mag.(0) = 0
+          then Stdlib.min_int land max_int
+          else
+            Array.fold_left
+              (fun h d -> (h * 1000003) lxor d)
+              (b.sign + 2) b.mag)
+
+let big_add a b =
+  if a.sign = 0 then make b.sign b.mag
+  else if b.sign = 0 then make a.sign a.mag
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+
+(* guards must reject min_int explicitly: [Stdlib.abs min_int] is min_int
+   itself (negative), so an abs-based bound would wrongly admit it *)
+let small x = x > -small_limit && x < small_limit
+let small_factor x = x > -mul_limit && x < mul_limit
+
+let add a b =
+  match (a, b) with
+  | S x, S y when small x && small y -> S (x + y)
+  | _ -> big_add (to_big a) (to_big b)
+
+let sub a b =
+  match (a, b) with
+  | S x, S y when small x && small y -> S (x - y)
+  | _ -> big_add (to_big a) (to_big (neg b))
+
+let mul a b =
+  match (a, b) with
+  | S x, S y when small_factor x && small_factor y -> S (x * y)
+  | _ ->
+      let a = to_big a and b = to_big b in
+      if a.sign = 0 || b.sign = 0 then zero
+      else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let divmod a b =
+  match (a, b) with
+  | _, S 0 -> raise Division_by_zero
+  | S x, S y when x <> Stdlib.min_int || y <> -1 -> (S (x / y), S (x mod y))
+  | _ ->
+      let a = to_big a and b = to_big b in
+      if b.sign = 0 then raise Division_by_zero;
+      let q, r = divmod_mag a.mag b.mag in
+      (make (a.sign * b.sign) q, make a.sign r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let gcd a b =
+  match (a, b) with
+  | S x, S y when x > Stdlib.min_int && y > Stdlib.min_int ->
+      let rec go a b = if b = 0 then a else go b (a mod b) in
+      S (go (Stdlib.abs x) (Stdlib.abs y))
+  | _ ->
+      let rec go a b = if is_zero b then a else go b (rem a b) in
+      go (abs a) (abs b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_int = function
+  | S n -> Some n
+  | B b -> (
+      (* B values exceed 62 bits by construction except possibly min_int *)
+      match small_of_mag b.sign b.mag with
+      | Some n -> Some n
+      | None ->
+          if
+            b.sign < 0
+            && Array.length b.mag = 3
+            && b.mag.(2) = 4 && b.mag.(1) = 0 && b.mag.(0) = 0
+          then Some Stdlib.min_int
+          else None)
+
+let to_int_exn x =
+  match to_int x with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: value out of native int range"
+
+let to_float = function
+  | S n -> float_of_int n
+  | B b ->
+      let f = ref 0.0 in
+      for i = Array.length b.mag - 1 downto 0 do
+        f := (!f *. float_of_int base) +. float_of_int b.mag.(i)
+      done;
+      if b.sign < 0 then -. !f else !f
+
+let chunk = 1_000_000_000 (* 10^9 < 2^30 *)
+
+let to_string = function
+  | S n -> string_of_int n
+  | B b ->
+      let buf = Buffer.create 32 in
+      let rec go mag acc =
+        if Array.length (normalize_mag mag) = 0 then acc
+        else
+          let q, r = divmod_small_mag mag chunk in
+          go (normalize_mag q) (r :: acc)
+      in
+      (match go b.mag [] with
+      | [] -> "0"
+      | first :: rest ->
+          if b.sign < 0 then Buffer.add_char buf '-';
+          Buffer.add_string buf (string_of_int first);
+          List.iter
+            (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c))
+            rest;
+          Buffer.contents buf)
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sgn, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref [||] in
+  let i = ref start in
+  while !i < n do
+    let j = Stdlib.min n (!i + 9) in
+    let width = j - !i in
+    let v = ref 0 in
+    for k = !i to j - 1 do
+      match s.[k] with
+      | '0' .. '9' -> v := (!v * 10) + (Char.code s.[k] - Char.code '0')
+      | _ -> invalid_arg "Bigint.of_string: invalid character"
+    done;
+    let pow10 = int_of_float (10.0 ** float_of_int width) in
+    acc := add_mag (mul_small_mag !acc pow10) [| !v |];
+    i := j
+  done;
+  make sgn (normalize_mag !acc)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+let succ x = add x one
+let pred x = sub x one
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let ( = ) = equal

@@ -1,0 +1,71 @@
+(** Arbitrary-precision signed integers.
+
+    This is the numeric substrate for the exact simplex solver used in place
+    of Z3 (see DESIGN.md): cardinality constraints reach 10^18 and pivot
+    arithmetic must be exact, so machine integers do not suffice.
+
+    Values are immutable. The representation is sign + magnitude in base
+    2^30, with no leading zero limbs. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int option
+(** [to_int x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit in a native [int]. *)
+
+val of_string : string -> t
+(** Parses an optional sign followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [q] truncated toward zero
+    and [sign r = sign a] (or [r = 0]); i.e. C-style division.
+    @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Greatest common divisor of the absolute values; [gcd 0 0 = 0]. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+
+val succ : t -> t
+val pred : t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool

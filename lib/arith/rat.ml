@@ -1,0 +1,80 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+let num x = x.num
+let den x = x.den
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b =
+  make
+    (Bigint.sub (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+let neg a = { a with num = Bigint.neg a.num }
+let abs a = { a with num = Bigint.abs a.num }
+let inv a = make a.den a.num
+let sign a = Bigint.sign a.num
+let is_zero a = Bigint.is_zero a.num
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_integer a = Bigint.equal a.den Bigint.one
+
+let floor a =
+  let q, r = Bigint.divmod a.num a.den in
+  if Bigint.is_zero r || Bigint.sign a.num >= 0 then q else Bigint.pred q
+
+let ceil a =
+  let q, r = Bigint.divmod a.num a.den in
+  if Bigint.is_zero r || Bigint.sign a.num <= 0 then q else Bigint.succ q
+
+let round_nearest a =
+  (* floor (a + 1/2) *)
+  let num2 = Bigint.add (Bigint.mul a.num (Bigint.of_int 2)) a.den in
+  let den2 = Bigint.mul a.den (Bigint.of_int 2) in
+  floor (make num2 den2)
+
+let to_float a = Bigint.to_float a.num /. Bigint.to_float a.den
+
+let to_string a =
+  if is_integer a then Bigint.to_string a.num
+  else Bigint.to_string a.num ^ "/" ^ Bigint.to_string a.den
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let ( = ) = equal

@@ -1,0 +1,56 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is positive and the
+    numerator and denominator are coprime. This is the coefficient field of
+    the simplex solver. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] normalizes the fraction.
+    @raise Division_by_zero when [den] is zero. *)
+
+val zero : t
+val one : t
+val minus_one : t
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+val of_ints : int -> int -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+val round_nearest : t -> Bigint.t
+(** Nearest integer, ties toward even numerators' floor (half-up). *)
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool

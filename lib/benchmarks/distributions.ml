@@ -1,0 +1,75 @@
+(* Deterministic random-value machinery for the synthetic benchmark
+   environments. Everything is seeded so client databases and workloads
+   are reproducible across runs (the PDGF/Myriad trick of regenerating
+   identical sequences from PRNG determinism). *)
+
+type rng = { mutable state : int }
+
+let rng seed = { state = (seed * 2) + 1 }
+
+let next t =
+  (* splitmix-style mixing within OCaml's 63-bit ints *)
+  t.state <- t.state + 0x1E3779B97F4A7C15;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+let below t n = if n <= 1 then 0 else next t mod n
+
+(* uniform over [lo, hi) *)
+let uniform t lo hi = lo + below t (hi - lo)
+
+let float t = float_of_int (next t land 0xFFFFFFFF) /. 4294967296.0
+
+let bool t p = float t < p
+
+let choice t arr = arr.(below t (Array.length arr))
+
+let choice_list t l = List.nth l (below t (List.length l))
+
+(* Zipf-distributed rank in [0, n): precomputes the cumulative mass.
+   Used for skewed fact-table foreign keys and attribute values. *)
+type zipf = { cum : float array }
+
+let zipf ~n ~theta =
+  let cum = Array.make (n + 1) 0.0 in
+  for i = 1 to n do
+    cum.(i) <- cum.(i - 1) +. (1.0 /. (float_of_int i ** theta))
+  done;
+  { cum }
+
+(* memoized zipf constructor: generators ask for the same (n, theta)
+   pairs millions of times *)
+let zipf_cache : (int * float, zipf) Hashtbl.t = Hashtbl.create 32
+
+let zipf_cached ~n ~theta =
+  match Hashtbl.find_opt zipf_cache (n, theta) with
+  | Some z -> z
+  | None ->
+      let z = zipf ~n ~theta in
+      Hashtbl.add zipf_cache (n, theta) z;
+      z
+
+let zipf_draw z t =
+  let total = z.cum.(Array.length z.cum - 1) in
+  let x = float t *. total in
+  let lo = ref 0 and hi = ref (Array.length z.cum - 2) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cum.(mid + 1) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* pick [k] distinct elements of [l] *)
+let sample_distinct t k l =
+  let arr = Array.of_list l in
+  let n = Array.length arr in
+  let k = min k n in
+  for i = 0 to k - 1 do
+    let j = i + below t (n - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list (Array.sub arr 0 k)

@@ -1,0 +1,42 @@
+(** Deterministic random-value machinery for the synthetic benchmark
+    environments. Everything is seeded so client databases and workloads
+    are reproducible across runs — the PDGF/Myriad trick of regenerating
+    identical sequences from PRNG determinism. *)
+
+type rng
+
+val rng : int -> rng
+(** A splitmix-style generator seeded deterministically. *)
+
+val next : rng -> int
+(** Next non-negative pseudo-random int. *)
+
+val below : rng -> int -> int
+(** Uniform over [0, n); 0 when [n <= 1]. *)
+
+val uniform : rng -> int -> int -> int
+(** Uniform over [lo, hi). *)
+
+val float : rng -> float
+(** Uniform over [0, 1). *)
+
+val bool : rng -> float -> bool
+(** True with the given probability. *)
+
+val choice : rng -> 'a array -> 'a
+val choice_list : rng -> 'a list -> 'a
+
+type zipf
+
+val zipf : n:int -> theta:float -> zipf
+(** Zipf distribution over ranks [0, n) with skew [theta]; precomputes the
+    cumulative mass. *)
+
+val zipf_cached : n:int -> theta:float -> zipf
+(** Memoized {!zipf}: generators request the same distributions
+    repeatedly. *)
+
+val zipf_draw : zipf -> rng -> int
+
+val sample_distinct : rng -> int -> 'a list -> 'a list
+(** [sample_distinct rg k l] picks [min k (length l)] distinct elements. *)

@@ -1,0 +1,331 @@
+(* JOB-like benchmark environment (Sec. 7.6): a schematically different
+   database from the TPC-DS-style snowflake — the IMDB schema's star of
+   satellite tables (cast_info, movie_info, movie_companies, ...) around
+   title, each satellite with its own small dimensions. Table-size ratios
+   follow the real IMDB dataset (cast_info ~14x title, etc.); values are
+   synthetic and skewed. The generated workload has 260 queries, each a
+   PK-FK star join rooted at one satellite, with 1-2-attribute filters —
+   the join-heavy / filter-light opposite of WLc. *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_workload
+
+type attr_spec = {
+  an : string;
+  lo : int;
+  hi : int;
+  pool : int list;
+  theta : float;
+}
+
+type table_spec = {
+  tn : string;
+  tfks : (string * string) list;
+  tattrs : attr_spec list;
+  size : int -> int;
+}
+
+let a ?(theta = 0.0) an lo hi pool = { an; lo; hi; pool; theta }
+let fixed n _sf = n
+let scaled per_sf floor sf = max floor (per_sf * sf / 100)
+
+let specs =
+  [
+    {
+      tn = "kind_type";
+      tfks = [];
+      tattrs = [ a "kt_kind" 0 7 [ 2; 4 ] ];
+      size = fixed 7;
+    };
+    {
+      tn = "info_type";
+      tfks = [];
+      tattrs = [ a "it_info" 0 113 [ 20; 40; 60; 80; 100 ] ];
+      size = fixed 113;
+    };
+    {
+      tn = "company_type";
+      tfks = [];
+      tattrs = [ a "ct_kind" 0 4 [ 1; 2; 3 ] ];
+      size = fixed 4;
+    };
+    {
+      tn = "role_type";
+      tfks = [];
+      tattrs = [ a "rt_role" 0 12 [ 3; 6; 9 ] ];
+      size = fixed 12;
+    };
+    {
+      tn = "link_type";
+      tfks = [];
+      tattrs = [ a "lt_link" 0 18 [ 6; 12 ] ];
+      size = fixed 18;
+    };
+    {
+      tn = "keyword";
+      tfks = [];
+      tattrs = [ a ~theta:0.6 "k_len" 1 30 [ 5; 10; 15; 20 ] ];
+      size = scaled 450 60;
+    };
+    {
+      tn = "company_name";
+      tfks = [];
+      tattrs =
+        [
+          a ~theta:0.7 "cn_country" 0 120 [ 20; 40; 60; 80; 100 ];
+          a "cn_name_len" 1 40 [ 10; 20; 30 ];
+        ];
+      size = scaled 250 40;
+    };
+    {
+      tn = "name";
+      tfks = [];
+      tattrs =
+        [
+          a "n_gender" 0 3 [ 1; 2 ];
+          a "n_birth" 1880 2005 [ 1920; 1940; 1960; 1980 ];
+        ];
+      size = scaled 4000 400;
+    };
+    {
+      tn = "char_name";
+      tfks = [];
+      tattrs = [ a "chn_len" 1 40 [ 10; 20; 30 ] ];
+      size = scaled 3000 300;
+    };
+    {
+      tn = "title";
+      tfks = [ ("t_kind_fk", "kind_type") ];
+      tattrs =
+        [
+          a ~theta:0.4 "t_year" 1880 2020 [ 1950; 1980; 1990; 2000; 2005; 2010 ];
+          a "t_rating" 0 101 [ 25; 50; 60; 70; 80; 90 ];
+          a ~theta:0.5 "t_runtime" 0 300 [ 60; 90; 120; 180 ];
+        ];
+      size = scaled 2500 300;
+    };
+    {
+      tn = "aka_title";
+      tfks = [ ("at_title_fk", "title") ];
+      tattrs = [ a "at_year" 1880 2020 [ 1950; 1980; 2000 ] ];
+      size = scaled 360 40;
+    };
+    {
+      tn = "movie_companies";
+      tfks =
+        [
+          ("mc_title_fk", "title");
+          ("mc_company_fk", "company_name");
+          ("mc_ct_fk", "company_type");
+        ];
+      tattrs = [ a "mc_note" 0 5 [ 1; 2; 3 ] ];
+      size = scaled 2600 260;
+    };
+    {
+      tn = "movie_info";
+      tfks = [ ("mi_title_fk", "title"); ("mi_it_fk", "info_type") ];
+      tattrs = [ a ~theta:0.5 "mi_val" 0 1000 [ 200; 400; 600; 800 ] ];
+      size = scaled 1500 200;
+    };
+    {
+      tn = "movie_info_idx";
+      tfks = [ ("mii_title_fk", "title"); ("mii_it_fk", "info_type") ];
+      tattrs = [ a "mii_val" 0 1000 [ 250; 500; 750 ] ];
+      size = scaled 1380 150;
+    };
+    {
+      tn = "movie_keyword";
+      tfks = [ ("mk_title_fk", "title"); ("mk_keyword_fk", "keyword") ];
+      tattrs = [ a "mk_weight" 0 10 [ 3; 6 ] ];
+      size = scaled 4500 450;
+    };
+    {
+      tn = "cast_info";
+      tfks =
+        [
+          ("ci_title_fk", "title");
+          ("ci_name_fk", "name");
+          ("ci_role_fk", "role_type");
+          ("ci_char_fk", "char_name");
+        ];
+      tattrs = [ a ~theta:0.8 "ci_order" 0 50 [ 5; 10; 20; 30 ] ];
+      size = scaled 14000 1000;
+    };
+    {
+      tn = "person_info";
+      tfks = [ ("pi_name_fk", "name"); ("pi_it_fk", "info_type") ];
+      tattrs = [ a "pi_val" 0 100 [ 25; 50; 75 ] ];
+      size = scaled 1100 120;
+    };
+    {
+      tn = "aka_name";
+      tfks = [ ("an_name_fk", "name") ];
+      tattrs = [ a "an_len" 1 30 [ 10; 20 ] ];
+      size = scaled 350 40;
+    };
+    {
+      tn = "complete_cast";
+      tfks = [ ("cc_title_fk", "title") ];
+      tattrs = [ a "cc_status" 0 4 [ 1; 2 ]; a "cc_subject" 0 2 [ 1 ] ];
+      size = scaled 50 10;
+    };
+    {
+      tn = "movie_link";
+      tfks = [ ("ml_title_fk", "title"); ("ml_lt_fk", "link_type") ];
+      tattrs = [ a "ml_order" 0 20 [ 5; 10; 15 ] ];
+      size = scaled 30 8;
+    };
+  ]
+
+let schema =
+  Schema.create
+    (List.map
+       (fun s ->
+         {
+           Schema.rname = s.tn;
+           pk = s.tn ^ "_pk";
+           fks = s.tfks;
+           attrs =
+             List.map
+               (fun at ->
+                 { Schema.aname = at.an; dom_lo = at.lo; dom_hi = at.hi })
+               s.tattrs;
+         })
+       specs)
+
+let spec_of rname = List.find (fun s -> s.tn = rname) specs
+let sizes ~sf = List.map (fun s -> (s.tn, s.size sf)) specs
+
+let generate ?(seed = 17) ~sf () =
+  let open Distributions in
+  let db = Database.create schema in
+  let zipf_for n theta = zipf_cached ~n ~theta in
+  List.iter
+    (fun s ->
+      let n = s.size sf in
+      let r = Schema.find schema s.tn in
+      let t = Table.create s.tn (Schema.columns r) in
+      let rg = rng (seed + Hashtbl.hash s.tn) in
+      for row = 1 to n do
+        let fk_vals =
+          List.map
+            (fun (_, target) ->
+              let tsize = (spec_of target).size sf in
+              (* popular titles/names attract most references *)
+              if target = "title" || target = "name" then
+                1 + zipf_draw (zipf_for tsize 0.6) rg
+              else 1 + below rg tsize)
+            s.tfks
+        in
+        let attr_vals =
+          List.map
+            (fun at ->
+              if at.theta > 0.0 then
+                at.lo + zipf_draw (zipf_for (at.hi - at.lo) at.theta) rg
+              else uniform rg at.lo at.hi)
+            s.tattrs
+        in
+        Table.add_row t (Array.of_list ((row :: fk_vals) @ attr_vals))
+      done;
+      Database.bind_table db t)
+    specs;
+  db
+
+(* ---- workload: 260 star-join queries rooted at a satellite table ---- *)
+
+let q rname aname = Schema.qualify rname aname
+
+let range_atom rg rname (at : attr_spec) =
+  let open Distributions in
+  let bounds = Array.of_list ((at.lo :: at.pool) @ [ at.hi ]) in
+  let n = Array.length bounds in
+  let i = below rg (n - 1) in
+  let j = i + 1 + below rg (min 2 (n - 1 - i)) in
+  Predicate.atom (q rname at.an) (Interval.make bounds.(i) bounds.(j))
+
+let filter_pred rg rname ~max_attrs =
+  let open Distributions in
+  let s = spec_of rname in
+  let k = 1 + below rg max_attrs in
+  let attrs = sample_distinct rg k s.tattrs in
+  List.fold_left
+    (fun acc at -> Predicate.conj acc (range_atom rg rname at))
+    Predicate.true_ attrs
+
+(* per-table pools of reusable single-column filter templates: JOB's 113
+   queries are a small set of hand-written predicates instantiated with a
+   few parameter choices, so bounds repeat heavily across queries *)
+let template_pool rg =
+  let tbl = Hashtbl.create 24 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace tbl s.tn
+        (Array.init 3 (fun _ -> filter_pred rg s.tn ~max_attrs:1)))
+    specs;
+  tbl
+
+let pooled_filter rg pool rname : Predicate.t =
+  Distributions.choice rg (Hashtbl.find pool rname)
+
+let satellites =
+  [
+    ("cast_info", 30);
+    ("movie_info", 25);
+    ("movie_companies", 20);
+    ("movie_keyword", 15);
+    ("movie_info_idx", 10);
+    ("person_info", 8);
+    ("complete_cast", 5);
+    ("aka_name", 4);
+    ("aka_title", 4);
+    ("movie_link", 3);
+  ]
+
+let weighted_satellite rg =
+  let open Distributions in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 satellites in
+  let x = below rg total in
+  let rec pick acc = function
+    | [ (f, _) ] -> f
+    | (f, w) :: rest -> if x < acc + w then f else pick (acc + w) rest
+    | [] -> assert false
+  in
+  pick 0 satellites
+
+let star_query rg pool ~qname =
+  let open Distributions in
+  let root = weighted_satellite rg in
+  let s = spec_of root in
+  let targets = List.map snd s.tfks in
+  let ndims = 1 + below rg (min 3 (List.length targets)) in
+  let dims = sample_distinct rg ndims targets in
+  (* JOB queries routinely constrain the movie's kind via title *)
+  let dims =
+    if List.mem "title" dims && bool rg 0.3 then dims @ [ "kind_type" ]
+    else dims
+  in
+  let with_filter rname prob =
+    if bool rg prob then Some (pooled_filter rg pool rname) else None
+  in
+  let parts =
+    (root, with_filter root 0.4)
+    :: List.map (fun d -> (d, with_filter d 0.8)) dims
+  in
+  let parts =
+    if List.for_all (fun (_, p) -> p = None) parts then
+      match parts with
+      | (f, _) :: rest -> (f, Some (pooled_filter rg pool f)) :: rest
+      | [] -> parts
+    else parts
+  in
+  { Workload.qname; plan = Workload.left_deep_plan schema parts }
+
+let workload ?(seed = 31) () =
+  let rg = Distributions.rng seed in
+  let pool = template_pool rg in
+  let queries = ref [] in
+  for i = 1 to 260 do
+    queries := star_query rg pool ~qname:(Printf.sprintf "job%d" i) :: !queries
+  done;
+  Workload.create (List.rev !queries)

@@ -1,0 +1,20 @@
+(** JOB-like benchmark environment (paper Sec. 7.6) — a schematically
+    different database from the TPC-DS-style snowflake: the IMDB schema's
+    star of satellite tables (cast_info, movie_info, movie_companies, ...)
+    around title, each satellite with its own small dimensions.
+
+    Table-size ratios follow the real IMDB dataset (cast_info ~14x title);
+    values are synthetic and skewed. The workload has 260 star-join
+    queries rooted at a satellite, with single-column filters drawn from
+    reusable template pools — the join-heavy / filter-light opposite of
+    WLc. *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_workload
+
+val schema : Schema.t
+val sizes : sf:int -> (string * int) list
+val generate : ?seed:int -> sf:int -> unit -> Database.t
+val workload : ?seed:int -> unit -> Workload.t
+(** 260 queries. *)

@@ -1,0 +1,560 @@
+(* TPC-DS-like benchmark environment (substitute for the paper's 100 GB
+   TPC-DS instance; see DESIGN.md): a 24-relation snowflake schema whose
+   referential graph is a DAG (facts -> dims, customer -> address /
+   demographics, household_demographics -> income_band), a deterministic
+   scale-factor-driven data generator with skewed fact columns, and two
+   generated query workloads:
+
+   - WLc: 131 queries in the spirit of the paper's complex workload —
+     multi-way PK-FK joins, multi-attribute conjunctive filters, a few
+     DNF (OR) filters, and "kitchen-sink" item queries whose many
+     co-occurring attributes blow the grid partitioning up;
+   - WLs: a simplified workload on which DataSynth's grid LP stays small
+     enough to solve.
+
+   Scale factors are abstract: sf = 100 plays the role of the paper's
+   100 GB database, with table-size ratios taken from the paper's Fig. 15
+   (store_sales 288M rows at 100 GB becomes 288 * sf here, etc.). *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_workload
+
+type attr_spec = {
+  an : string;
+  lo : int;
+  hi : int;
+  pool : int list;  (* interior filter boundaries the workload draws from *)
+  theta : float;  (* zipf skew of generated data; 0.0 = uniform *)
+}
+
+type table_spec = {
+  tn : string;
+  tfks : (string * string) list;
+  tattrs : attr_spec list;
+  size : int -> int;  (* scale factor -> row count *)
+}
+
+let a ?(theta = 0.0) an lo hi pool = { an; lo; hi; pool; theta }
+
+let fixed n _sf = n
+let scaled per_sf floor sf = max floor (per_sf * sf / 100)
+
+(* ---- table specifications (dimensions first: topological order) ---- *)
+
+let specs =
+  [
+    (* leaf dimensions *)
+    {
+      tn = "date_dim";
+      tfks = [];
+      tattrs =
+        [
+          a "d_year" 1998 2004 [ 2000; 2001; 2002 ];
+          a "d_moy" 1 13 [ 3; 6; 9; 12 ];
+          a "d_dom" 1 29 [ 7; 14; 21 ];
+        ];
+      size = fixed 1096;
+    };
+    {
+      tn = "item";
+      tfks = [];
+      tattrs =
+        [
+          a "i_category" 0 10 [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+          a "i_class" 0 50 [ 5; 10; 15; 20; 25; 30; 35; 40; 45 ];
+          a ~theta:0.5 "i_brand" 0 100 [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ];
+          a ~theta:0.8 "i_price" 0 1000
+            [ 50; 100; 150; 200; 300; 400; 500; 700; 900 ];
+          a "i_manager" 0 40 [ 5; 10; 15; 20; 25; 30; 35 ];
+          a "i_color" 0 30 [ 5; 10; 15; 20; 25 ];
+          a "i_size" 0 7 [ 1; 2; 3; 4; 5; 6 ];
+          a "i_units" 0 20 [ 4; 8; 12; 16 ];
+          a "i_container" 0 10 [ 2; 4; 6; 8 ];
+          a "i_wholesale" 0 100 [ 20; 40; 60; 80 ];
+        ];
+      size = scaled 300 60;
+    };
+    {
+      tn = "customer_address";
+      tfks = [];
+      tattrs =
+        [
+          a "ca_state" 0 51 [ 10; 20; 30; 40 ];
+          a "ca_gmt" 0 25 [ 5; 10; 15; 20 ];
+          a "ca_street_type" 0 20 [ 5; 10; 15 ];
+        ];
+      size = scaled 1000 100;
+    };
+    {
+      tn = "customer_demographics";
+      tfks = [];
+      tattrs =
+        [
+          a "cd_gender" 0 2 [ 1 ];
+          a "cd_dep" 0 10 [ 2; 4; 6; 8 ];
+          a "cd_purchase" 0 20 [ 5; 10; 15 ];
+        ];
+      size = fixed 1920;
+    };
+    {
+      tn = "income_band";
+      tfks = [];
+      tattrs =
+        [ a "ib_lo" 0 100 [ 25; 50; 75 ]; a "ib_hi" 100 200 [ 125; 150; 175 ] ];
+      size = fixed 20;
+    };
+    {
+      tn = "household_demographics";
+      tfks = [ ("hd_ib_fk", "income_band") ];
+      tattrs =
+        [
+          a "hd_dep" 0 10 [ 2; 4; 6; 8 ];
+          a "hd_vehicle" 0 5 [ 1; 2; 3; 4 ];
+        ];
+      size = fixed 720;
+    };
+    {
+      tn = "store";
+      tfks = [];
+      tattrs =
+        [
+          a "s_floor" 0 10 [ 3; 6; 9 ];
+          a "s_market" 0 20 [ 5; 10; 15 ];
+          a "s_divid" 0 5 [ 1; 2; 3 ];
+        ];
+      size = scaled 40 6;
+    };
+    {
+      tn = "warehouse";
+      tfks = [];
+      tattrs =
+        [ a "w_sqft" 0 100 [ 25; 50; 75 ]; a "w_country" 0 5 [ 1; 2; 3 ] ];
+      size = scaled 15 5;
+    };
+    {
+      tn = "promotion";
+      tfks = [];
+      tattrs =
+        [
+          a "p_channel" 0 3 [ 1; 2 ];
+          a "p_cost" 0 1000 [ 200; 400; 600; 800 ];
+        ];
+      size = scaled 60 20;
+    };
+    {
+      tn = "call_center";
+      tfks = [];
+      tattrs =
+        [ a "cc_class" 0 3 [ 1; 2 ]; a "cc_emp" 0 100 [ 25; 50; 75 ] ];
+      size = fixed 6;
+    };
+    {
+      tn = "web_site";
+      tfks = [];
+      tattrs =
+        [ a "web_mkt" 0 10 [ 3; 6; 9 ]; a "web_tax" 0 20 [ 5; 10; 15 ] ];
+      size = fixed 12;
+    };
+    {
+      tn = "web_page";
+      tfks = [];
+      tattrs =
+        [ a "wp_type" 0 8 [ 2; 4; 6 ]; a "wp_links" 0 30 [ 10; 20 ] ];
+      size = scaled 80 20;
+    };
+    {
+      tn = "ship_mode";
+      tfks = [];
+      tattrs = [ a "sm_type" 0 6 [ 2; 4 ]; a "sm_code" 0 4 [ 1; 2; 3 ] ];
+      size = fixed 20;
+    };
+    {
+      tn = "reason";
+      tfks = [];
+      tattrs = [ a "r_code" 0 36 [ 9; 18; 27 ] ];
+      size = fixed 36;
+    };
+    {
+      tn = "time_dim";
+      tfks = [];
+      tattrs = [ a "t_hour" 0 24 [ 6; 12; 18 ]; a "t_am" 0 2 [ 1 ] ];
+      size = fixed 288;
+    };
+    (* mid-level dimension *)
+    {
+      tn = "customer";
+      tfks =
+        [
+          ("c_addr_fk", "customer_address");
+          ("c_cd_fk", "customer_demographics");
+          ("c_hd_fk", "household_demographics");
+        ];
+      tattrs =
+        [
+          a "c_birth_year" 1920 1993 [ 1945; 1960; 1975 ];
+          a "c_preferred" 0 2 [ 1 ];
+        ];
+      size = scaled 2000 200;
+    };
+    (* facts *)
+    {
+      tn = "store_sales";
+      tfks =
+        [
+          ("ss_date_fk", "date_dim");
+          ("ss_item_fk", "item");
+          ("ss_cust_fk", "customer");
+          ("ss_store_fk", "store");
+          ("ss_promo_fk", "promotion");
+        ];
+      tattrs =
+        [
+          a ~theta:0.6 "ss_quantity" 1 101 [ 20; 40; 60; 80 ];
+          a ~theta:0.8 "ss_price" 0 200 [ 50; 100; 150 ];
+          a "ss_discount" 0 100 [ 25; 50; 75 ];
+        ];
+      size = scaled 28800 2000;
+    };
+    {
+      tn = "store_returns";
+      tfks =
+        [
+          ("sr_date_fk", "date_dim");
+          ("sr_item_fk", "item");
+          ("sr_cust_fk", "customer");
+          ("sr_store_fk", "store");
+          ("sr_reason_fk", "reason");
+        ];
+      tattrs =
+        [
+          a "sr_quantity" 1 51 [ 10; 20; 30; 40 ];
+          a ~theta:0.7 "sr_amt" 0 10000 [ 2500; 5000; 7500 ];
+        ];
+      size = scaled 2900 300;
+    };
+    {
+      tn = "catalog_sales";
+      tfks =
+        [
+          ("cs_date_fk", "date_dim");
+          ("cs_item_fk", "item");
+          ("cs_cust_fk", "customer");
+          ("cs_cc_fk", "call_center");
+          ("cs_sm_fk", "ship_mode");
+          ("cs_wh_fk", "warehouse");
+          ("cs_promo_fk", "promotion");
+        ];
+      tattrs =
+        [
+          a ~theta:0.6 "cs_quantity" 1 101 [ 20; 40; 60; 80 ];
+          a ~theta:0.8 "cs_price" 0 300 [ 75; 150; 225 ];
+          a "cs_profit" 0 20000 [ 5000; 10000; 15000 ];
+        ];
+      size = scaled 14400 1200;
+    };
+    {
+      tn = "catalog_returns";
+      tfks =
+        [
+          ("cr_date_fk", "date_dim");
+          ("cr_item_fk", "item");
+          ("cr_cust_fk", "customer");
+          ("cr_cc_fk", "call_center");
+          ("cr_reason_fk", "reason");
+        ];
+      tattrs =
+        [
+          a "cr_quantity" 1 51 [ 10; 20; 30; 40 ];
+          a "cr_amt" 0 10000 [ 2500; 5000; 7500 ];
+        ];
+      size = scaled 1440 150;
+    };
+    {
+      tn = "web_sales";
+      tfks =
+        [
+          ("ws_date_fk", "date_dim");
+          ("ws_item_fk", "item");
+          ("ws_cust_fk", "customer");
+          ("ws_site_fk", "web_site");
+          ("ws_page_fk", "web_page");
+          ("ws_wh_fk", "warehouse");
+          ("ws_sm_fk", "ship_mode");
+        ];
+      tattrs =
+        [
+          a ~theta:0.6 "ws_quantity" 1 101 [ 20; 40; 60; 80 ];
+          a ~theta:0.8 "ws_price" 0 300 [ 75; 150; 225 ];
+          a "ws_profit" 0 20000 [ 5000; 10000; 15000 ];
+        ];
+      size = scaled 7200 700;
+    };
+    {
+      tn = "web_returns";
+      tfks =
+        [
+          ("wr_date_fk", "date_dim");
+          ("wr_item_fk", "item");
+          ("wr_cust_fk", "customer");
+          ("wr_page_fk", "web_page");
+          ("wr_reason_fk", "reason");
+        ];
+      tattrs =
+        [
+          a "wr_quantity" 1 51 [ 10; 20; 30; 40 ];
+          a "wr_amt" 0 10000 [ 2500; 5000; 7500 ];
+        ];
+      size = scaled 720 80;
+    };
+    {
+      tn = "inventory";
+      tfks =
+        [
+          ("inv_date_fk", "date_dim");
+          ("inv_item_fk", "item");
+          ("inv_wh_fk", "warehouse");
+        ];
+      tattrs = [ a ~theta:0.4 "inv_qoh" 0 1000 [ 250; 500; 750 ] ];
+      size = scaled 39900 3000;
+    };
+  ]
+
+let schema =
+  Schema.create
+    (List.map
+       (fun s ->
+         {
+           Schema.rname = s.tn;
+           pk = s.tn ^ "_pk";
+           fks = s.tfks;
+           attrs =
+             List.map
+               (fun at -> { Schema.aname = at.an; dom_lo = at.lo; dom_hi = at.hi })
+               s.tattrs;
+         })
+       specs)
+
+let spec_of rname = List.find (fun s -> s.tn = rname) specs
+let sizes ~sf = List.map (fun s -> (s.tn, s.size sf)) specs
+
+(* the five biggest relations of Fig. 15 *)
+let big_five =
+  [ "store_returns"; "web_sales"; "inventory"; "catalog_sales"; "store_sales" ]
+
+(* ---- client data generation ---- *)
+
+let generate ?(seed = 11) ~sf () =
+  let open Distributions in
+  let db = Database.create schema in
+  let zipf_for n theta = zipf_cached ~n ~theta in
+  List.iter
+    (fun s ->
+      let n = s.size sf in
+      let r = Schema.find schema s.tn in
+      let cols = Schema.columns r in
+      let t = Table.create s.tn cols in
+      let rg = rng (seed + Hashtbl.hash s.tn) in
+      for row = 1 to n do
+        let fk_vals =
+          List.map
+            (fun (_, target) ->
+              let tsize = (spec_of target).size sf in
+              (* skew fact->item/customer references; uniform elsewhere *)
+              if target = "item" || target = "customer" then
+                1 + zipf_draw (zipf_for tsize 0.5) rg
+              else 1 + below rg tsize)
+            s.tfks
+        in
+        let attr_vals =
+          List.map
+            (fun at ->
+              if at.theta > 0.0 then
+                at.lo + zipf_draw (zipf_for (at.hi - at.lo) at.theta) rg
+              else uniform rg at.lo at.hi)
+            s.tattrs
+        in
+        Table.add_row t (Array.of_list ((row :: fk_vals) @ attr_vals))
+      done;
+      Database.bind_table db t)
+    specs;
+  db
+
+(* ---- workload generation ---- *)
+
+let q rname aname = Schema.qualify rname aname
+
+(* a random range predicate on one attribute, bounds drawn from its pool *)
+let range_atom rg rname (at : attr_spec) =
+  let open Distributions in
+  let bounds = Array.of_list ((at.lo :: at.pool) @ [ at.hi ]) in
+  let n = Array.length bounds in
+  let i = below rg (n - 1) in
+  let j = i + 1 + below rg (min 2 (n - 1 - i)) in
+  Predicate.atom (q rname at.an) (Interval.make bounds.(i) bounds.(j))
+
+(* Predicate templates: real customized workloads reuse a fixed set of
+   parameterized filters across queries, and those filters touch a
+   recurring handful of columns per table (TPC-DS predicates hit the same
+   date/item/demographic columns again and again). Each table therefore
+   exposes a small template pool drawn over a fixed "filterable" attribute
+   prefix. The resulting constraint cliques nest instead of crosscutting,
+   which keeps HYDRA's regions and separators small on fact views — while
+   grid partitioning still blows up combinatorially. *)
+let filterable rname ~max_attrs =
+  let s = spec_of rname in
+  List.filteri (fun i _ -> i < max_attrs) s.tattrs
+
+let make_templates rg rname ~count ~max_attrs =
+  let s = spec_of rname in
+  let attrs_avail = filterable rname ~max_attrs in
+  List.init count (fun _ ->
+      let open Distributions in
+      (* fact-table filters in decision-support queries are almost always
+         single-column (quantity or price bands) *)
+      let k = if s.tfks <> [] then 1 else 1 + below rg (List.length attrs_avail) in
+      let attrs = sample_distinct rg k attrs_avail in
+      List.fold_left
+        (fun acc at -> Predicate.conj acc (range_atom rg rname at))
+        Predicate.true_ attrs)
+
+let template_pool rg ?(variants = 1) ~max_attrs () =
+  let tbl = Hashtbl.create 24 in
+  List.iter
+    (fun s ->
+      let count = variants * (if s.tfks = [] then 3 else 2) in
+      Hashtbl.replace tbl s.tn
+        (Array.of_list (make_templates rg s.tn ~count ~max_attrs)))
+    specs;
+  tbl
+
+let filter_pred rg pool rname =
+  Distributions.choice rg (Hashtbl.find pool rname)
+
+let or_pred rg pool rname =
+  let templates : Predicate.t array = Hashtbl.find pool rname in
+  let p1 = Distributions.choice rg templates in
+  let p2 = Distributions.choice rg templates in
+  if Predicate.equal p1 p2 then p1 else Predicate.disj p1 p2
+
+let facts =
+  [
+    ("store_sales", 30);
+    ("catalog_sales", 25);
+    ("web_sales", 20);
+    ("inventory", 10);
+    ("store_returns", 10);
+    ("catalog_returns", 8);
+    ("web_returns", 7);
+  ]
+
+let weighted_fact rg =
+  let open Distributions in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 facts in
+  let x = below rg total in
+  let rec pick acc = function
+    | [ (f, _) ] -> f
+    | (f, w) :: rest -> if x < acc + w then f else pick (acc + w) rest
+    | [] -> assert false
+  in
+  pick 0 facts
+
+(* one join query: fact + 1..3 dims, filters pushed onto scans *)
+let join_query rg pool ~qname ~max_dims ~filter_prob ?(fact_prob = 0.4) () =
+  let open Distributions in
+  let fact = weighted_fact rg in
+  let s = spec_of fact in
+  let targets = List.map snd s.tfks in
+  let ndims = 1 + below rg max_dims in
+  let dims = sample_distinct rg ndims targets in
+  (* occasionally snowflake out from customer *)
+  let dims =
+    if List.mem "customer" dims && bool rg 0.4 then
+      dims
+      @ [
+          choice_list rg
+            [ "customer_address"; "customer_demographics"; "household_demographics" ];
+        ]
+    else dims
+  in
+  let with_filter rname ~prob =
+    if bool rg prob then Some (filter_pred rg pool rname) else None
+  in
+  let parts =
+    (fact, with_filter fact ~prob:fact_prob)
+    :: List.map (fun d -> (d, with_filter d ~prob:filter_prob)) dims
+  in
+  (* guarantee at least one filter so the query constrains something *)
+  let parts =
+    if List.for_all (fun (_, p) -> p = None) parts then
+      match parts with
+      | (f, _) :: rest -> (f, Some (filter_pred rg pool f)) :: rest
+      | [] -> parts
+    else parts
+  in
+  { Workload.qname; plan = Workload.left_deep_plan schema parts }
+
+(* kitchen-sink item query: many co-occurring attributes (drives the grid
+   partitioning blow-up on the item view, Fig. 12). All sink templates
+   range over the same 8-attribute prefix — one parameterized report query
+   with different parameter choices — so the item view-graph collapses to
+   a single wide clique instead of several crosscutting ones. *)
+let item_sink_templates rg =
+  let attrs_avail = filterable "item" ~max_attrs:8 in
+  Array.init 6 (fun _ ->
+      List.fold_left
+        (fun acc at -> Predicate.conj acc (range_atom rg "item" at))
+        Predicate.true_ attrs_avail)
+
+let or_query rg pool ~qname =
+  let open Distributions in
+  let fact = weighted_fact rg in
+  let s = spec_of fact in
+  let dim = choice_list rg (List.map snd s.tfks) in
+  let parts = [ (fact, None); (dim, Some (or_pred rg pool dim)) ] in
+  { Workload.qname; plan = Workload.left_deep_plan schema parts }
+
+(* WLc: the complex 131-query workload *)
+let workload_complex ?(seed = 23) () =
+  let rg = Distributions.rng seed in
+  let pool = template_pool rg ~max_attrs:2 () in
+  let sinks = item_sink_templates rg in
+  let queries = ref [] in
+  for i = 1 to 6 do
+    let pred = sinks.((i - 1) mod Array.length sinks) in
+    queries :=
+      {
+        Workload.qname = Printf.sprintf "item_sink_%d" i;
+        plan = Plan.Filter (pred, Plan.Scan "item");
+      }
+      :: !queries
+  done;
+  for i = 1 to 10 do
+    queries := or_query rg pool ~qname:(Printf.sprintf "or_%d" i) :: !queries
+  done;
+  for i = 1 to 115 do
+    queries :=
+      join_query rg pool
+        ~qname:(Printf.sprintf "q%d" i)
+        ~max_dims:2 ~filter_prob:0.75 ()
+      :: !queries
+  done;
+  Workload.create (List.rev !queries)
+
+(* WLs: the simplified workload DataSynth can handle — single-attribute
+   filter templates and at most two joined dimensions *)
+let workload_simple ?(seed = 29) () =
+  let rg = Distributions.rng seed in
+  (* WLs keeps queries narrow but uses more filter variants per table:
+     DataSynth's grid grows with the number of distinct constants, while
+     the narrow cliques keep it just within its solver's reach *)
+  let pool = template_pool rg ~variants:1 ~max_attrs:2 () in
+  let queries = ref [] in
+  for i = 1 to 60 do
+    queries :=
+      join_query rg pool
+        ~qname:(Printf.sprintf "s%d" i)
+        ~max_dims:2 ~filter_prob:0.7 ()
+      :: !queries
+  done;
+  Workload.create (List.rev !queries)

@@ -1,0 +1,38 @@
+(** TPC-DS-like benchmark environment — the substitute for the paper's
+    100 GB TPC-DS instance (see DESIGN.md).
+
+    A 23-relation snowflake schema with a DAG referential graph (facts ->
+    dimensions, customer -> address/demographics, household_demographics
+    -> income_band), a deterministic scale-factor-driven data generator
+    with skewed fact columns, and two generated workloads:
+
+    - {!workload_complex} (WLc): 131 queries with multi-way PK-FK joins,
+      template-reused conjunctive filters, DNF (OR) filters, and wide
+      "kitchen-sink" item queries that blow grid partitioning up;
+    - {!workload_simple} (WLs): a narrower workload DataSynth's grid LP
+      survives.
+
+    Scale factors are abstract: [sf = 100] plays the role of the paper's
+    100 GB database, with table-size ratios from the paper's Fig. 15
+    (store_sales 288M rows at 100 GB becomes [288 * sf] here). *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_workload
+
+val schema : Schema.t
+
+val sizes : sf:int -> (string * int) list
+(** Row count per relation at a scale factor. *)
+
+val big_five : string list
+(** The five biggest relations of the paper's Fig. 15. *)
+
+val generate : ?seed:int -> sf:int -> unit -> Database.t
+(** Deterministic synthetic "client" warehouse. *)
+
+val workload_complex : ?seed:int -> unit -> Workload.t
+(** WLc: 131 queries. *)
+
+val workload_simple : ?seed:int -> unit -> Workload.t
+(** WLs: 60 narrower queries. *)

@@ -1,0 +1,123 @@
+(* CODD substrate ([8], [25]): "dataless" capture of database metadata.
+   HYDRA uses CODD for two things (Sec. 3, Sec. 7.4): shipping catalog
+   metadata from client to vendor so the vendor engine picks the same
+   plans (metadata matching), and simulating arbitrary-scale databases by
+   scaling the captured metadata. *)
+
+open Hydra_rel
+open Hydra_engine
+
+type column_stats = {
+  col : string;
+  min_v : int;
+  max_v : int;
+  n_distinct : int;
+  histogram : int array;  (* equi-width bucket counts *)
+}
+
+type relation_stats = {
+  rel : string;
+  row_count : int;
+  columns : column_stats list;
+}
+
+type t = { stats : relation_stats list }
+
+let histogram_buckets = 16
+
+let capture_column db rname cname =
+  let n = Database.nrows db rname in
+  let rd = Database.reader db rname cname in
+  if n = 0 then
+    { col = cname; min_v = 0; max_v = 0; n_distinct = 0; histogram = [||] }
+  else begin
+    let min_v = ref (rd 0) and max_v = ref (rd 0) in
+    for i = 1 to n - 1 do
+      let v = rd i in
+      if v < !min_v then min_v := v;
+      if v > !max_v then max_v := v
+    done;
+    let distinct = Hashtbl.create 1024 in
+    let histogram = Array.make histogram_buckets 0 in
+    let span = !max_v - !min_v + 1 in
+    for i = 0 to n - 1 do
+      let v = rd i in
+      if Hashtbl.length distinct < 100_000 then Hashtbl.replace distinct v ();
+      (* float math: (v - min) * buckets overflows for ranges wider than
+         max_int / buckets (e.g. hash-like surrogate ids) *)
+      let b =
+        int_of_float
+          (float_of_int (v - !min_v)
+          *. float_of_int histogram_buckets
+          /. float_of_int span)
+      in
+      let b = if b >= histogram_buckets then histogram_buckets - 1 else b in
+      let b = if b < 0 then 0 else b in
+      histogram.(b) <- histogram.(b) + 1
+    done;
+    {
+      col = cname;
+      min_v = !min_v;
+      max_v = !max_v;
+      n_distinct = Hashtbl.length distinct;
+      histogram;
+    }
+  end
+
+let capture db =
+  let schema = Database.schema db in
+  let stats =
+    List.map
+      (fun r ->
+        let rname = r.Schema.rname in
+        {
+          rel = rname;
+          row_count = Database.nrows db rname;
+          columns = List.map (capture_column db rname) (Schema.columns r);
+        })
+      (Schema.relations schema)
+  in
+  { stats }
+
+let relation t rname =
+  match List.find_opt (fun s -> s.rel = rname) t.stats with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Metadata: no stats for %S" rname)
+
+let row_count t rname = (relation t rname).row_count
+
+(* metadata matching: do two catalogs describe volumetrically equivalent
+   databases (same row counts and value ranges)? *)
+type mismatch = { what : string; expected : string; got : string }
+
+let match_against ~reference t =
+  let issues = ref [] in
+  List.iter
+    (fun ref_rel ->
+      match List.find_opt (fun s -> s.rel = ref_rel.rel) t.stats with
+      | None ->
+          issues :=
+            { what = "relation " ^ ref_rel.rel; expected = "present"; got = "missing" }
+            :: !issues
+      | Some got_rel ->
+          if got_rel.row_count <> ref_rel.row_count then
+            issues :=
+              {
+                what = "rowcount " ^ ref_rel.rel;
+                expected = string_of_int ref_rel.row_count;
+                got = string_of_int got_rel.row_count;
+              }
+              :: !issues)
+    reference.stats;
+  List.rev !issues
+
+let pp fmt t =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%s: %d rows@." s.rel s.row_count;
+      List.iter
+        (fun c ->
+          Format.fprintf fmt "  %s: [%d,%d] ndv=%d@." c.col c.min_v c.max_v
+            c.n_distinct)
+        s.columns)
+    t.stats

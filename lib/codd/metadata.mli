@@ -1,0 +1,39 @@
+(** CODD substrate ([8], [25] in the paper): "dataless" capture of
+    database metadata. HYDRA relies on CODD for metadata matching (so the
+    vendor engine picks the client's plans) and, via {!Scaling}, for
+    simulating databases of arbitrary size (Sec. 7.4). *)
+
+open Hydra_engine
+
+type column_stats = {
+  col : string;
+  min_v : int;
+  max_v : int;
+  n_distinct : int;
+  histogram : int array;  (** equi-width bucket counts *)
+}
+
+type relation_stats = {
+  rel : string;
+  row_count : int;
+  columns : column_stats list;
+}
+
+type t = { stats : relation_stats list }
+
+val histogram_buckets : int
+
+val capture : Database.t -> t
+(** Scan every bound relation and collect row counts, per-column ranges,
+    distinct counts, and equi-width histograms. *)
+
+val relation : t -> string -> relation_stats
+val row_count : t -> string -> int
+
+type mismatch = { what : string; expected : string; got : string }
+
+val match_against : reference:t -> t -> mismatch list
+(** Metadata matching: volumetric discrepancies (missing relations, row
+    count differences) between a catalog and a reference catalog. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(* Metadata scaling: simulate a database of arbitrary size (Sec. 7.4).
+   The exabyte experiment runs the workload plans at a small scale and
+   multiplies every intermediate row count by the scale factor; the
+   resulting AQPs/CCs describe a database that never exists on disk. *)
+
+type t = { factor : float }
+
+let create ~factor =
+  if factor <= 0.0 then invalid_arg "Scaling.create: factor must be positive";
+  { factor }
+
+let scale_count t n =
+  let scaled = float_of_int n *. t.factor in
+  (* saturate at max_int rather than wrap; exabyte counts fit in 63 bits *)
+  if scaled >= float_of_int max_int then max_int
+  else int_of_float scaled
+
+let scale_metadata t (md : Metadata.t) =
+  {
+    Metadata.stats =
+      List.map
+        (fun (s : Metadata.relation_stats) ->
+          {
+            s with
+            Metadata.row_count = scale_count t s.Metadata.row_count;
+            columns =
+              List.map
+                (fun (c : Metadata.column_stats) ->
+                  {
+                    c with
+                    Metadata.histogram =
+                      Array.map (scale_count t) c.Metadata.histogram;
+                  })
+                s.Metadata.columns;
+          })
+        md.Metadata.stats;
+  }
+
+let scale_ccs t ccs =
+  List.map
+    (fun (cc : Hydra_workload.Cc.t) ->
+      { cc with Hydra_workload.Cc.card = scale_count t cc.Hydra_workload.Cc.card })
+    ccs

@@ -1,0 +1,15 @@
+(** Metadata scaling: simulate a database of arbitrary size (Sec. 7.4).
+    The exabyte experiment runs the workload plans at a small scale and
+    multiplies every intermediate row count by the scale factor; the
+    resulting CCs describe a database that never exists on disk. *)
+
+type t
+
+val create : factor:float -> t
+(** @raise Invalid_argument on a non-positive factor. *)
+
+val scale_count : t -> int -> int
+(** Scales a row count, saturating at [max_int] rather than overflowing. *)
+
+val scale_metadata : t -> Metadata.t -> Metadata.t
+val scale_ccs : t -> Hydra_workload.Cc.t list -> Hydra_workload.Cc.t list

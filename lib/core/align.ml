@@ -1,0 +1,100 @@
+(* Deterministic align-and-merge of sub-view solutions (Sec. 5.1, Fig. 8).
+
+   Replaces DataSynth's sampling: sub-view solutions are sorted on their
+   common attributes, rows are split until corresponding rows carry equal
+   NumTuples, and the aligned rows are combined by a position-based join.
+   The consistency constraints added during LP formulation guarantee the
+   group totals match, so the procedure is exact. *)
+
+open Hydra_rel
+
+exception Align_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Align_error s)) fmt
+
+let common_attrs (a : Solution.t) (b : Solution.t) =
+  Array.to_list a.Solution.attrs
+  |> List.filter (fun x -> Array.exists (fun y -> y = x) b.Solution.attrs)
+
+let key_of sol dims (row : Solution.row) =
+  List.map
+    (fun d ->
+      ignore sol;
+      let iv = row.Solution.box.(d) in
+      (iv.Interval.lo, iv.Interval.hi))
+    dims
+
+(* Align two solutions on their common attributes: returns the two row
+   lists reordered and split so they pair up positionally with equal
+   counts ("Solution Sorting" + "Row Splitting" of Sec. 5.1.2). *)
+let align (a : Solution.t) (b : Solution.t) =
+  let common = common_attrs a b in
+  let dims_a = List.map (Solution.dim_of a) common in
+  let dims_b = List.map (Solution.dim_of b) common in
+  let sort sol dims =
+    List.stable_sort
+      (fun r1 r2 -> compare (key_of sol dims r1) (key_of sol dims r2))
+      sol.Solution.rows
+  in
+  let rows_a = sort a dims_a and rows_b = sort b dims_b in
+  (* walk both sorted lists, splitting rows so counts match pairwise *)
+  let rec walk ra rb acc_a acc_b =
+    match (ra, rb) with
+    | [], [] -> (List.rev acc_a, List.rev acc_b)
+    | [], r :: _ | r :: _, [] ->
+        ignore r;
+        err "alignment failed: group totals differ (inconsistent marginals)"
+    | r1 :: rest_a, r2 :: rest_b ->
+        let k1 = key_of a dims_a r1 and k2 = key_of b dims_b r2 in
+        if k1 <> k2 then
+          err "alignment failed: mismatched keys on common attributes {%s}"
+            (String.concat "," common);
+        let c1 = r1.Solution.count and c2 = r2.Solution.count in
+        let m = min c1 c2 in
+        let take (r : Solution.row) = { r with Solution.count = m } in
+        let rest_a =
+          if c1 > m then { r1 with Solution.count = c1 - m } :: rest_a
+          else rest_a
+        in
+        let rest_b =
+          if c2 > m then { r2 with Solution.count = c2 - m } :: rest_b
+          else rest_b
+        in
+        walk rest_a rest_b (take r1 :: acc_a) (take r2 :: acc_b)
+  in
+  let aligned_a, aligned_b = walk rows_a rows_b [] [] in
+  ( { a with Solution.rows = aligned_a },
+    { b with Solution.rows = aligned_b },
+    common )
+
+(* Position-based join of two aligned solutions (Sec. 5.1.3): combine
+   physically corresponding rows, representing common attributes once. *)
+let merge_aligned (a : Solution.t) (b : Solution.t) common =
+  let extra_attrs =
+    Array.to_list b.Solution.attrs
+    |> List.filter (fun x -> not (List.mem x common))
+  in
+  let attrs = Array.append a.Solution.attrs (Array.of_list extra_attrs) in
+  let extra_dims = List.map (Solution.dim_of b) extra_attrs in
+  let rows =
+    List.map2
+      (fun (ra : Solution.row) (rb : Solution.row) ->
+        if ra.Solution.count <> rb.Solution.count then
+          err "merge: aligned rows disagree on NumTuples";
+        let box =
+          Array.append ra.Solution.box
+            (Array.of_list (List.map (fun d -> rb.Solution.box.(d)) extra_dims))
+        in
+        { Solution.box; count = ra.Solution.count })
+      a.Solution.rows b.Solution.rows
+  in
+  { Solution.attrs; rows }
+
+let merge_pair a b =
+  let a', b', common = align a b in
+  merge_aligned a' b' common
+
+(* Algorithm 3: fold the ordered sub-view solutions into the view solution *)
+let merge_all = function
+  | [] -> err "view with no sub-view solutions"
+  | first :: rest -> List.fold_left merge_pair first rest

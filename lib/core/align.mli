@@ -1,0 +1,27 @@
+(** Deterministic align-and-merge of sub-view solutions (Sec. 5.1,
+    Fig. 8) — the replacement for DataSynth's sampling.
+
+    Sub-view solutions are sorted on their common attributes, rows are
+    split until corresponding rows carry equal NumTuples, and the aligned
+    rows are combined by a position-based join. The consistency
+    constraints added during LP formulation guarantee the group totals
+    match, so the procedure is exact: no time/space overheads of sampling
+    and no probabilistic errors (the two benefits called out in Sec. 5.1.3). *)
+
+exception Align_error of string
+
+val align : Solution.t -> Solution.t -> Solution.t * Solution.t * string list
+(** [align a b] returns both solutions with rows reordered and split so
+    they pair positionally with equal counts, plus the common attribute
+    list. @raise Align_error when marginals along the common attributes
+    disagree (an LP-consistency violation). *)
+
+val merge_aligned : Solution.t -> Solution.t -> string list -> Solution.t
+(** Position-based join of two aligned solutions, representing common
+    attributes once (Sec. 5.1.3). *)
+
+val merge_pair : Solution.t -> Solution.t -> Solution.t
+
+val merge_all : Solution.t list -> Solution.t
+(** Algorithm 3: fold the clique-tree-ordered sub-view solutions into the
+    view solution. @raise Align_error on an empty list. *)

@@ -1,0 +1,79 @@
+(* Axis-aligned boxes over a fixed attribute ordering: the geometric
+   currency of both partitioning strategies. A box assigns one interval per
+   dimension; a region (partition block) is a disjoint union of boxes. *)
+
+open Hydra_rel
+
+type t = Interval.t array
+
+let full_domain domains : t = Array.copy domains
+let is_empty (b : t) = Array.exists Interval.is_empty b
+
+let inter (a : t) (b : t) : t option =
+  let r = Array.map2 Interval.inter a b in
+  if is_empty r then None else Some r
+
+let contains (b : t) point = Array.for_all2 Interval.contains b point
+
+(* the canonical representative of a box: its low corner (Sec. 5.2 uses
+   left boundaries to instantiate tuples) *)
+let low_corner (b : t) = Array.map (fun iv -> iv.Interval.lo) b
+
+let equal (a : t) (b : t) = Array.for_all2 Interval.equal a b
+
+(* split a box along dimension [dim] by interval [iv]: the part inside
+   [iv] (at most one box) and the parts outside (at most two). *)
+let split_dim (b : t) dim iv =
+  let cur = b.(dim) in
+  let inside_iv = Interval.inter cur iv in
+  let inside =
+    if Interval.is_empty inside_iv then None
+    else begin
+      let nb = Array.copy b in
+      nb.(dim) <- inside_iv;
+      Some nb
+    end
+  in
+  let outside =
+    if Interval.is_empty inside_iv then [ b ]
+    else begin
+      let below = Interval.make cur.Interval.lo inside_iv.Interval.lo in
+      let above = Interval.make inside_iv.Interval.hi cur.Interval.hi in
+      List.filter_map
+        (fun part ->
+          if Interval.is_empty part then None
+          else begin
+            let nb = Array.copy b in
+            nb.(dim) <- part;
+            Some nb
+          end)
+        [ below; above ]
+    end
+  in
+  (inside, outside)
+
+(* refine a box along dimension [dim] at the given sorted cut points so
+   that no resulting box crosses a cut (Sec. 4 consistency refinement) *)
+let cut_dim (b : t) dim cuts =
+  let iv = b.(dim) in
+  let inner =
+    List.filter (fun p -> iv.Interval.lo < p && p < iv.Interval.hi) cuts
+  in
+  let bounds = (iv.Interval.lo :: inner) @ [ iv.Interval.hi ] in
+  let rec pieces = function
+    | lo :: (hi :: _ as rest) ->
+        let nb = Array.copy b in
+        nb.(dim) <- Interval.make lo hi;
+        nb :: pieces rest
+    | _ -> []
+  in
+  pieces bounds
+
+let pp fmt (b : t) =
+  Format.pp_print_string fmt "(";
+  Array.iteri
+    (fun i iv ->
+      if i > 0 then Format.pp_print_string fmt " x ";
+      Interval.pp fmt iv)
+    b;
+  Format.pp_print_string fmt ")"

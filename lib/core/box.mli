@@ -1,0 +1,32 @@
+(** Axis-aligned boxes over a fixed attribute ordering: the geometric
+    currency of both partitioning strategies. A box assigns one interval
+    per dimension; a region (partition block) is a disjoint union of
+    boxes. *)
+
+open Hydra_rel
+
+type t = Interval.t array
+
+val full_domain : Interval.t array -> t
+val is_empty : t -> bool
+
+val inter : t -> t -> t option
+(** [None] when the boxes are disjoint. *)
+
+val contains : t -> int array -> bool
+
+val low_corner : t -> int array
+(** The canonical representative point: the low corner, where Sec. 5.2
+    instantiates every region's tuples. *)
+
+val equal : t -> t -> bool
+
+val split_dim : t -> int -> Interval.t -> t option * t list
+(** [split_dim b dim iv] is (the part of [b] inside [iv] along [dim],
+    the at-most-two parts outside). *)
+
+val cut_dim : t -> int -> int list -> t list
+(** Refine along [dim] at the given sorted cut points so no piece crosses
+    a cut (the consistency-constraint refinement of Sec. 4). *)
+
+val pp : Format.formatter -> t -> unit

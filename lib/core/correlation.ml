@@ -1,0 +1,181 @@
+(* Value-distribution refinement — the paper's second future-work item
+   (Sec. 9): "leverage additional summary information (such as value-based
+   correlations) that the client might be willing to provide for achieving
+   stronger fidelity with the original database".
+
+   The client can ship CODD column histograms alongside the CCs. By
+   default HYDRA concentrates each region's tuples at one corner, which
+   satisfies every CC but gives the regenerated columns a spiky value
+   distribution. This refinement spreads each view-solution row's count
+   across sub-boxes in proportion to the client's histogram mass inside
+   the row's box — per attribute, one dimension at a time. Sub-boxes stay
+   inside the row's region, so every tuple-count CC remains exact; the
+   price, as with all cross-view value changes, is a (bounded,
+   scale-independent) increase in integrity-repair additions. *)
+
+open Hydra_rel
+
+(* client histogram of one attribute, as (bucket interval, weight) *)
+type column_hist = { ch_attr : string; ch_buckets : (Interval.t * float) list }
+
+(* histogram of a qualified view attribute from CODD metadata: the stats
+   of the owning relation's column *)
+let of_metadata (md : Hydra_codd.Metadata.t) qattr =
+  let rname, aname = Schema.split_qualified qattr in
+  let stats = Hydra_codd.Metadata.relation md rname in
+  let col =
+    List.find_opt
+      (fun (c : Hydra_codd.Metadata.column_stats) ->
+        c.Hydra_codd.Metadata.col = aname)
+      stats.Hydra_codd.Metadata.columns
+  in
+  match col with
+  | None -> None
+  | Some c when Array.length c.Hydra_codd.Metadata.histogram = 0 -> None
+  | Some c ->
+      let nb = Array.length c.Hydra_codd.Metadata.histogram in
+      let lo = c.Hydra_codd.Metadata.min_v in
+      let span = c.Hydra_codd.Metadata.max_v - lo + 1 in
+      let buckets =
+        List.init nb (fun i ->
+            let b_lo = lo + (i * span / nb) in
+            let b_hi = lo + ((i + 1) * span / nb) in
+            ( Interval.make b_lo (max b_hi (b_lo + 1)),
+              float_of_int c.Hydra_codd.Metadata.histogram.(i) ))
+        |> List.filter (fun (iv, _) -> not (Interval.is_empty iv))
+      in
+      Some { ch_attr = qattr; ch_buckets = buckets }
+
+(* apportion [count] tuples over weights using largest remainders *)
+let apportion count weights =
+  let total = List.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then List.map (fun _ -> 0) weights
+  else begin
+    let raw = List.map (fun w -> float_of_int count *. w /. total) weights in
+    let floors = List.map int_of_float raw in
+    let assigned = List.fold_left ( + ) 0 floors in
+    let remainders =
+      List.mapi (fun i r -> (r -. Float.of_int (List.nth floors i), i)) raw
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    let extra = count - assigned in
+    let bump = Array.of_list floors in
+    List.iteri
+      (fun rank (_, i) -> if rank < extra then bump.(i) <- bump.(i) + 1)
+      remainders;
+    Array.to_list bump
+  end
+
+(* split one solution row along [dim] into the histogram buckets that
+   intersect its box, weighted by bucket mass *)
+let spread_row (hist : column_hist) dim (row : Solution.row) =
+  let box_iv = row.Solution.box.(dim) in
+  let pieces =
+    List.filter_map
+      (fun (b_iv, w) ->
+        let inter = Interval.inter box_iv b_iv in
+        if Interval.is_empty inter then None else Some (inter, w))
+      hist.ch_buckets
+  in
+  match pieces with
+  | [] | [ _ ] -> [ row ]
+  | _ when List.for_all (fun (_, w) -> w <= 0.0) pieces ->
+      (* the client histogram has no mass inside this box (the LP placed
+         tuples where the client had none): leave the row at its corner
+         rather than losing its count *)
+      [ row ]
+  | _ ->
+      let counts = apportion row.Solution.count (List.map snd pieces) in
+      List.map2
+        (fun (iv, _) c ->
+          let box = Array.copy row.Solution.box in
+          box.(dim) <- iv;
+          { Solution.box = box; count = c })
+        pieces counts
+      |> List.filter (fun (r : Solution.row) -> r.Solution.count > 0)
+
+(* Spread a merged view solution along every histogrammed attribute the
+   view OWNS. Purely geometric: sub-boxes are subsets of the original
+   boxes, so region labels — hence CC satisfaction — are untouched.
+   Borrowed attribute copies are deliberately left at their corners:
+   spreading them independently in each borrowing view would desynchronize
+   the views' value combinations and balloon integrity repair. *)
+let refine ~owner (hists : column_hist list) (sol : Solution.t) =
+  List.fold_left
+    (fun (sol : Solution.t) hist ->
+      if fst (Schema.split_qualified hist.ch_attr) <> owner then sol
+      else
+        match
+          Array.to_seq sol.Solution.attrs
+          |> Seq.mapi (fun i a -> (i, a))
+          |> Seq.find (fun (_, a) -> a = hist.ch_attr)
+        with
+        | None -> sol
+        | Some (dim, _) ->
+            {
+              sol with
+              Solution.rows =
+                List.concat_map (spread_row hist dim) sol.Solution.rows;
+            })
+    sol hists
+
+(* first Wasserstein-style distance between the value distribution of a
+   database column and a reference histogram, normalized to [0, 1] by the
+   domain span; the fidelity metric reported by the correlation bench *)
+let histogram_distance db rname aname (hist : column_hist) =
+  let n = Hydra_engine.Database.nrows db rname in
+  if n = 0 then 0.0
+  else begin
+    let rd = Hydra_engine.Database.reader db rname aname in
+    let lo =
+      List.fold_left
+        (fun acc ((iv : Interval.t), _) -> min acc iv.Interval.lo)
+        max_int hist.ch_buckets
+    in
+    let hi =
+      List.fold_left
+        (fun acc ((iv : Interval.t), _) -> max acc iv.Interval.hi)
+        min_int hist.ch_buckets
+    in
+    let span = max 1 (hi - lo) in
+    (* cumulative distributions over the bucket boundaries *)
+    let bounds =
+      List.concat_map
+        (fun ((iv : Interval.t), _) -> [ iv.Interval.lo; iv.Interval.hi ])
+        hist.ch_buckets
+      |> List.sort_uniq compare
+    in
+    let total_ref =
+      List.fold_left (fun acc (_, w) -> acc +. w) 0.0 hist.ch_buckets
+    in
+    let ref_cdf p =
+      if total_ref <= 0.0 then 0.0
+      else
+        List.fold_left
+          (fun acc ((iv : Interval.t), w) ->
+            if iv.Interval.hi <= p then acc +. w
+            else if iv.Interval.lo >= p then acc
+            else
+              acc
+              +. (w
+                 *. float_of_int (p - iv.Interval.lo)
+                 /. float_of_int (Interval.width iv)))
+          0.0 hist.ch_buckets
+        /. total_ref
+    in
+    let data_cdf p =
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        if rd i < p then incr c
+      done;
+      float_of_int !c /. float_of_int n
+    in
+    (* integrate |F_data - F_ref| over the bucket grid *)
+    let rec go acc = function
+      | a :: (b :: _ as rest) ->
+          let d = Float.abs (data_cdf a -. ref_cdf a) in
+          go (acc +. (d *. float_of_int (b - a))) rest
+      | _ -> acc
+    in
+    go 0.0 bounds /. float_of_int span
+  end

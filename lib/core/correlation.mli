@@ -1,0 +1,34 @@
+(** Value-distribution refinement — the paper's second future-work item
+    (Sec. 9): clients willing to share CODD column histograms get
+    regenerated data whose value distributions track the original, not
+    just its operator cardinalities.
+
+    Each merged view-solution row is split along histogrammed attributes
+    into sub-boxes carrying counts proportional to the client's histogram
+    mass. Sub-boxes are subsets of the original region, so every
+    tuple-count CC stays exact; the cost is a bounded increase in
+    integrity-repair additions (value placements coincide across views
+    less often than corners do). *)
+
+open Hydra_rel
+
+type column_hist = { ch_attr : string; ch_buckets : (Interval.t * float) list }
+(** Reference distribution of one qualified attribute. *)
+
+val of_metadata : Hydra_codd.Metadata.t -> string -> column_hist option
+(** Histogram of a qualified attribute from captured CODD metadata; [None]
+    when the column has no histogram. *)
+
+val apportion : int -> float list -> int list
+(** Largest-remainder apportionment of a count over weights; sums to the
+    count (all zeros when the weights vanish). *)
+
+val refine : owner:string -> column_hist list -> Solution.t -> Solution.t
+(** Spread a merged view solution along every histogrammed attribute the
+    view owns (borrowed copies stay at corners so views remain
+    synchronized). [owner] is the view's relation name. *)
+
+val histogram_distance :
+  Hydra_engine.Database.t -> string -> string -> column_hist -> float
+(** Normalized earth-mover distance between a database column's value
+    distribution and the reference histogram (0 = identical). *)

@@ -1,0 +1,282 @@
+(* LP formulation for one view (Sec. 4): one variable per region of each
+   sub-view's optimal partition, one equality per applicable CC, plus
+   consistency constraints equating the marginal distributions of
+   sub-views along shared attributes.
+
+   Consistency is enforced along the clique-tree edges only: by the
+   running intersection property, the merge procedure (Sec. 5.1) compares
+   each sub-view with the already-merged solution exactly on its separator
+   with its tree parent, so parent/child marginal equality on separators
+   is sufficient — and refining partitions only along separator attributes
+   avoids the combinatorial region blow-up that refining along every
+   shared attribute would cause on wide fact views. *)
+
+open Hydra_rel
+open Hydra_lp
+
+type subview_problem = {
+  sp_node : Viewgraph.tree_node;
+  sp_attrs : string array;
+  sp_domains : Interval.t array;
+  sp_ccs : (Predicate.t * int) list;  (* applicable CCs, total-size first *)
+  sp_partition : Region.t;
+  sp_var_base : int;
+}
+
+type view_result = {
+  view : Preprocess.view;
+  problems : subview_problem list;
+  solutions : Solution.t list;  (* in merge (clique-tree DFS) order *)
+  lp_vars : int;
+  lp_constraints : int;
+}
+
+exception Formulation_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Formulation_error s)) fmt
+
+let subview_domains (view : Preprocess.view) attrs =
+  Array.map
+    (fun a ->
+      match List.assoc_opt a view.Preprocess.domains with
+      | Some iv -> iv
+      | None -> err "sub-view attribute %s has no domain" a)
+    attrs
+
+(* CCs whose predicate attributes all lie inside the sub-view's scope;
+   the total-size CC (TRUE predicate) is in scope of every sub-view *)
+let applicable_ccs (view : Preprocess.view) attrs =
+  let scope = Array.to_list attrs in
+  (Predicate.true_, view.Preprocess.total)
+  :: List.filter_map
+       (fun (vc : Preprocess.view_cc) ->
+         if
+           List.for_all
+             (fun a -> List.mem a scope)
+             (Predicate.attrs vc.Preprocess.pred)
+         then Some (vc.Preprocess.pred, vc.Preprocess.card)
+         else None)
+       view.Preprocess.view_ccs
+
+(* grouping-CC predicates in scope of the sub-view: they shape the region
+   partition (so rows can be classified against them) but carry no LP
+   count constraint — label positions beyond [sp_ccs] belong to them *)
+let applicable_group_preds (view : Preprocess.view) attrs =
+  let scope = Array.to_list attrs in
+  List.filter_map
+    (fun (gc : Preprocess.group_cc) ->
+      if
+        List.for_all (fun a -> List.mem a scope)
+          (Predicate.attrs gc.Preprocess.g_pred)
+        && List.for_all (fun a -> List.mem a scope) gc.Preprocess.g_attrs
+        && not (Predicate.equal gc.Preprocess.g_pred Predicate.true_)
+      then Some gc.Preprocess.g_pred
+      else None)
+    view.Preprocess.group_ccs
+
+let build_problems (view : Preprocess.view) =
+  List.map
+    (fun (node : Viewgraph.tree_node) ->
+      let sp_attrs = Array.of_list node.Viewgraph.clique in
+      let sp_domains = subview_domains view sp_attrs in
+      let sp_ccs = applicable_ccs view sp_attrs in
+      let preds =
+        Array.of_list
+          (List.map fst sp_ccs @ applicable_group_preds view sp_attrs)
+      in
+      let sp_partition =
+        Region.optimal_partition ~attrs:sp_attrs ~domains:sp_domains preds
+      in
+      { sp_node = node; sp_attrs; sp_domains; sp_ccs; sp_partition;
+        sp_var_base = 0 })
+    view.Preprocess.subviews
+
+let dim_of p a =
+  let rec go i =
+    if i >= Array.length p.sp_attrs then
+      err "sub-view lacks attribute %s" a
+    else if p.sp_attrs.(i) = a then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Consistency refinement: every partition is refined along the attributes
+   of the tree-edge separators incident to it, at the union of all
+   partitions' boundaries along that attribute (a global per-attribute cut
+   set, so projection keys coincide across sub-views). *)
+let refine_shared problems =
+  let probs = Array.of_list problems in
+  (* incident separator attributes per problem *)
+  let incident = Array.map (fun _ -> []) probs in
+  Array.iteri
+    (fun i p ->
+      match p.sp_node.Viewgraph.parent with
+      | Some parent ->
+          let sep = p.sp_node.Viewgraph.separator in
+          incident.(i) <- sep @ incident.(i);
+          incident.(parent) <- sep @ incident.(parent)
+      | None -> ())
+    probs;
+  (* global cut set per attribute needing alignment *)
+  let cut_attrs =
+    Array.to_list incident |> List.concat |> List.sort_uniq compare
+  in
+  let cuts = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace cuts a []) cut_attrs;
+  Array.iter
+    (fun p ->
+      Array.iteri
+        (fun dim a ->
+          if Hashtbl.mem cuts a then begin
+            let pts = Hashtbl.find cuts a in
+            let pts =
+              Array.fold_left
+                (fun acc (r : Region.region) ->
+                  List.fold_left
+                    (fun acc (b : Box.t) ->
+                      b.(dim).Interval.lo :: b.(dim).Interval.hi :: acc)
+                    acc r.Region.boxes)
+                pts p.sp_partition.Region.regions
+            in
+            Hashtbl.replace cuts a pts
+          end)
+        p.sp_attrs)
+    probs;
+  Array.mapi
+    (fun i p ->
+      let attrs_to_refine = List.sort_uniq compare incident.(i) in
+      let partition =
+        List.fold_left
+          (fun part a ->
+            Region.refine_along part (dim_of p a)
+              (List.sort_uniq compare (Hashtbl.find cuts a)))
+          p.sp_partition attrs_to_refine
+      in
+      { p with sp_partition = partition })
+    probs
+  |> Array.to_list
+
+(* projection key of a region along the given attrs: after refinement every
+   box of the region occupies the same atomic interval along each separator
+   attribute, so the first box is authoritative *)
+let projection_key p (r : Region.region) shared_attrs =
+  let box = List.hd r.Region.boxes in
+  List.map
+    (fun a ->
+      let dim = dim_of p a in
+      (box.(dim).Interval.lo, box.(dim).Interval.hi))
+    shared_attrs
+
+let add_cc_constraints lp p =
+  List.iteri
+    (fun j (_, card) ->
+      let vars = ref [] in
+      Array.iteri
+        (fun i (r : Region.region) ->
+          if r.Region.label.(j) then vars := (p.sp_var_base + i) :: !vars)
+        p.sp_partition.Region.regions;
+      Lp.add_eq_count lp !vars card)
+    p.sp_ccs
+
+let add_consistency_constraints lp child parent =
+  let shared = child.sp_node.Viewgraph.separator in
+  if shared <> [] then begin
+    let collect p =
+      let tbl = Hashtbl.create 32 in
+      Array.iteri
+        (fun i (r : Region.region) ->
+          let key = projection_key p r shared in
+          let cur = try Hashtbl.find tbl key with Not_found -> [] in
+          Hashtbl.replace tbl key ((p.sp_var_base + i) :: cur))
+        p.sp_partition.Region.regions;
+      tbl
+    in
+    let t1 = collect child and t2 = collect parent in
+    let keys = Hashtbl.create 32 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t1;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t2;
+    Hashtbl.iter
+      (fun key () ->
+        let v1 = try Hashtbl.find t1 key with Not_found -> [] in
+        let v2 = try Hashtbl.find t2 key with Not_found -> [] in
+        let terms =
+          List.map (fun v -> (v, Hydra_arith.Rat.one)) v1
+          @ List.map (fun v -> (v, Hydra_arith.Rat.minus_one)) v2
+        in
+        if terms <> [] then Lp.add_eq lp terms Hydra_arith.Rat.zero)
+      keys
+  end
+
+let solve_view ?(max_nodes = 2000) (view : Preprocess.view) =
+  if view.Preprocess.subviews = [] then
+    (* attribute-less view: the solution is a single empty row carrying the
+       relation's total cardinality *)
+    {
+      view;
+      problems = [];
+      solutions =
+        [
+          {
+            Solution.attrs = [||];
+            rows = [ { Solution.box = [||]; count = view.Preprocess.total } ];
+          };
+        ];
+      lp_vars = 0;
+      lp_constraints = 0;
+    }
+  else begin
+    let problems = build_problems view |> refine_shared in
+    let lp = Lp.create () in
+    let problems =
+      List.map
+        (fun p ->
+          let base = Lp.add_vars lp (Region.num_regions p.sp_partition) in
+          { p with sp_var_base = base })
+        problems
+    in
+    List.iter (add_cc_constraints lp) problems;
+    let probs = Array.of_list problems in
+    Array.iter
+      (fun p ->
+        match p.sp_node.Viewgraph.parent with
+        | Some parent -> add_consistency_constraints lp p probs.(parent)
+        | None -> ())
+      probs;
+    let counts =
+      match Int_feasible.solve ~max_nodes lp with
+      | Int_feasible.Solution x ->
+          Array.map
+            (fun v ->
+              match Hydra_arith.Bigint.to_int v with
+              | Some n -> n
+              | None -> err "tuple count exceeds native int range")
+            x
+      | Int_feasible.Infeasible ->
+          err "infeasible cardinality constraints for view %s"
+            view.Preprocess.vrel
+      | Int_feasible.Gave_up ->
+          err "integer search budget exhausted for view %s"
+            view.Preprocess.vrel
+    in
+    let solutions =
+      List.map
+        (fun p ->
+          let rows = ref [] in
+          Array.iteri
+            (fun i (r : Region.region) ->
+              let c = counts.(p.sp_var_base + i) in
+              if c > 0 then
+                rows :=
+                  { Solution.box = List.hd r.Region.boxes; count = c } :: !rows)
+            p.sp_partition.Region.regions;
+          { Solution.attrs = p.sp_attrs; rows = List.rev !rows })
+        problems
+    in
+    {
+      view;
+      problems;
+      solutions;
+      lp_vars = Lp.num_vars lp;
+      lp_constraints = Lp.num_constraints lp;
+    }
+  end

@@ -1,0 +1,46 @@
+(** LP formulation for one view (Sec. 4): one variable per region of each
+    sub-view's optimal partition, one equality per applicable CC, plus
+    consistency constraints equating sub-view marginals along shared
+    attributes.
+
+    Consistency is enforced along clique-tree edges only: by the running
+    intersection property, the merge procedure (Sec. 5.1) compares each
+    sub-view with the already-merged solution exactly on its separator
+    with its tree parent, so parent/child marginal equality on separators
+    suffices — and refining partitions only along separator attributes
+    avoids a combinatorial region blow-up on wide fact views. *)
+
+open Hydra_rel
+
+type subview_problem = {
+  sp_node : Viewgraph.tree_node;
+  sp_attrs : string array;
+  sp_domains : Interval.t array;
+  sp_ccs : (Predicate.t * int) list;  (** applicable CCs, total-size first *)
+  sp_partition : Region.t;
+  sp_var_base : int;  (** first LP variable of this sub-view *)
+}
+
+type view_result = {
+  view : Preprocess.view;
+  problems : subview_problem list;
+  solutions : Solution.t list;  (** in merge (clique-tree DFS) order *)
+  lp_vars : int;
+  lp_constraints : int;
+}
+
+exception Formulation_error of string
+
+val build_problems : Preprocess.view -> subview_problem list
+(** Partition each sub-view's domain (no refinement yet). *)
+
+val refine_shared : subview_problem list -> subview_problem list
+(** Consistency refinement: every partition is refined along the
+    attributes of its incident tree-edge separators, at the union of all
+    partitions' boundaries along each such attribute (a global cut set,
+    so projection keys coincide across sub-views). *)
+
+val solve_view : ?max_nodes:int -> Preprocess.view -> view_result
+(** Full formulation and integer solve for one view.
+    @raise Formulation_error on infeasibility or search-budget
+    exhaustion. *)

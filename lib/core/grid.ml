@@ -1,0 +1,111 @@
+(* Grid partitioning: the DataSynth baseline strategy (Sec. 3.2).
+   Each attribute's domain is intervalized at every constant appearing in
+   the CCs; the sub-view domain becomes the full cartesian grid of those
+   intervals, one LP variable per cell. With n attributes and l intervals
+   each, that is l^n cells — the blow-up HYDRA's region partitioning
+   avoids. The cell count is computed without materializing the grid, so
+   the "LP too large, solver crashes" regime of the paper (Fig. 12/13) can
+   be detected and reported faithfully. *)
+
+open Hydra_rel
+open Hydra_arith
+
+exception Too_large of Bigint.t
+(** Raised when asked to materialize a grid beyond the cell budget —
+    modelling the LP-solver crash DataSynth suffers on WLc. *)
+
+(* interval boundaries induced on [attr] by the constraint atoms *)
+let boundaries domains attrs (constraints : Predicate.t array) dim =
+  let dom = domains.(dim) in
+  let pts = ref [ dom.Interval.lo; dom.Interval.hi ] in
+  Array.iter
+    (fun pred ->
+      List.iter
+        (fun conjunct ->
+          List.iter
+            (fun (a, (iv : Interval.t)) ->
+              if a = attrs.(dim) then begin
+                if Interval.contains dom iv.Interval.lo then
+                  pts := iv.Interval.lo :: !pts;
+                if Interval.contains dom iv.Interval.hi then
+                  pts := iv.Interval.hi :: !pts
+              end)
+            conjunct)
+        pred)
+    constraints;
+  List.sort_uniq compare !pts
+
+let intervals_of_boundaries pts =
+  let rec go = function
+    | lo :: (hi :: _ as rest) -> Interval.make lo hi :: go rest
+    | _ -> []
+  in
+  go pts
+
+(* per-dimension intervalization *)
+let intervalize ~attrs ~domains constraints =
+  Array.mapi
+    (fun dim _ ->
+      intervals_of_boundaries (boundaries domains attrs constraints dim))
+    attrs
+
+(* number of grid cells = number of DataSynth LP variables, exact *)
+let cell_count ~attrs ~domains constraints =
+  let per_dim = intervalize ~attrs ~domains constraints in
+  Array.fold_left
+    (fun acc ivs -> Bigint.mul acc (Bigint.of_int (List.length ivs)))
+    Bigint.one per_dim
+
+type t = {
+  attrs : string array;
+  domains : Interval.t array;
+  per_dim : Interval.t list array;
+  cells : Box.t array;  (* row-major enumeration of the grid *)
+}
+
+let materialize ?(max_cells = 200_000) ~attrs ~domains constraints =
+  let count = cell_count ~attrs ~domains constraints in
+  (match Bigint.to_int count with
+  | Some n when n <= max_cells -> ()
+  | _ -> raise (Too_large count));
+  let per_dim = intervalize ~attrs ~domains constraints in
+  let dims = Array.map (fun ivs -> Array.of_list ivs) per_dim in
+  let n = Array.length attrs in
+  let total = Bigint.to_int_exn count in
+  let cells =
+    Array.init total (fun idx ->
+        let box = Array.make n Interval.empty in
+        let rem = ref idx in
+        for d = n - 1 downto 0 do
+          let l = Array.length dims.(d) in
+          box.(d) <- dims.(d).(!rem mod l);
+          rem := !rem / l
+        done;
+        box)
+  in
+  { attrs; domains; per_dim; cells }
+
+let num_cells t = Array.length t.cells
+
+(* does a cell satisfy a DNF predicate? cells never straddle a constraint
+   boundary, so testing the low corner suffices *)
+let cell_satisfies t (pred : Predicate.t) cell =
+  let point = Box.low_corner cell in
+  let lookup a =
+    let rec find i =
+      if i >= Array.length t.attrs then
+        invalid_arg ("Grid: unknown attribute " ^ a)
+      else if t.attrs.(i) = a then point.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  Predicate.eval lookup pred
+
+(* indices of cells satisfying the predicate *)
+let cells_satisfying t pred =
+  let acc = ref [] in
+  Array.iteri
+    (fun i cell -> if cell_satisfies t pred cell then acc := i :: !acc)
+    t.cells;
+  List.rev !acc

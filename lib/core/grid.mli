@@ -1,0 +1,43 @@
+(** Grid partitioning: the DataSynth baseline strategy (Sec. 3.2).
+
+    Each attribute's domain is intervalized at every constant appearing in
+    the CCs and the sub-view becomes the full cartesian grid of those
+    intervals, one LP variable per cell — l^n cells for n attributes. The
+    cell count is computed exactly without materializing the grid, so the
+    "LP too large, solver crashes" regime of the paper (Figs. 12/13) can
+    be detected and reported faithfully. *)
+
+open Hydra_rel
+open Hydra_arith
+
+exception Too_large of Bigint.t
+(** Raised by {!materialize} when the grid exceeds the cell budget —
+    modelling the solver crash DataSynth suffers on complex workloads. *)
+
+val cell_count :
+  attrs:string array -> domains:Interval.t array -> Predicate.t array ->
+  Bigint.t
+(** Exact number of grid cells (= DataSynth LP variables), computed from
+    interval counts only. *)
+
+type t = {
+  attrs : string array;
+  domains : Interval.t array;
+  per_dim : Interval.t list array;  (** intervalization per dimension *)
+  cells : Box.t array;  (** row-major enumeration of the grid *)
+}
+
+val materialize :
+  ?max_cells:int ->
+  attrs:string array -> domains:Interval.t array -> Predicate.t array -> t
+(** Enumerate the grid. @raise Too_large beyond [max_cells] (default
+    200_000). *)
+
+val num_cells : t -> int
+
+val cell_satisfies : t -> Predicate.t -> Box.t -> bool
+(** Cells never straddle a constraint boundary, so testing the low corner
+    suffices. *)
+
+val cells_satisfying : t -> Predicate.t -> int list
+(** Indices of the cells inside a predicate — one CC's LP constraint. *)

@@ -1,0 +1,131 @@
+(* Grouping-operator support (the paper's Sec. 9 future-work item).
+
+   A grouping CC |delta_A(sigma_p(...))| = k fixes the number of DISTINCT
+   A-combinations among the rows satisfying p. Tuple-count LPs cannot
+   express distinct counts, so the constraint is enforced after the LP on
+   the merged view solution by VALUE SPREADING: rows satisfying p are
+   split into sub-boxes whose instantiation points carry fresh
+   A-combinations until k distinct combinations exist.
+
+   Spreading is sound with respect to every tuple-count CC because the
+   grouping predicates participated in region partitioning: a row's box
+   never straddles p, and sub-boxes stay inside the row's region, so
+   every tuple keeps its constraint label. When a row's boxes cannot
+   offer enough fresh combinations (or the solution already has more than
+   k), the residual is reported rather than silently ignored. *)
+
+open Hydra_rel
+
+type residual = {
+  r_view : string;
+  r_attrs : string list;
+  r_target : int;
+  r_achieved : int;
+}
+
+let eval_at attrs point (pred : Predicate.t) =
+  let lookup a =
+    let rec go i =
+      if i >= Array.length attrs then
+        invalid_arg ("Grouping: unknown attribute " ^ a)
+      else if attrs.(i) = a then point.(i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  Predicate.eval lookup pred
+
+let key_of policy dims (box : Box.t) =
+  let point = Summary.instantiate_point policy box in
+  List.map (fun d -> point.(d)) dims
+
+(* Peel one unit slab off the low side of [row] along [dim]: the slice
+   [lo, lo+1) carries [slice_count] tuples and (under the low-corner rule)
+   the row's original combination; the remainder [lo+1, hi) keeps the rest
+   and acquires a fresh corner. *)
+let peel_once (row : Solution.row) dim slice_count =
+  let iv = row.Solution.box.(dim) in
+  let slice_box = Array.copy row.Solution.box in
+  slice_box.(dim) <- Interval.make iv.Interval.lo (iv.Interval.lo + 1);
+  let rest_box = Array.copy row.Solution.box in
+  rest_box.(dim) <- Interval.make (iv.Interval.lo + 1) iv.Interval.hi;
+  ( { Solution.box = slice_box; count = slice_count },
+    { Solution.box = rest_box; count = row.Solution.count - slice_count } )
+
+(* enforce one grouping CC on the view solution *)
+let enforce policy (sol : Solution.t) (gc : Preprocess.group_cc) =
+  let dims = List.map (Solution.dim_of sol) gc.Preprocess.g_attrs in
+  let satisfies (row : Solution.row) =
+    eval_at sol.Solution.attrs
+      (Summary.instantiate_point policy row.Solution.box)
+      gc.Preprocess.g_pred
+  in
+  let keys = Hashtbl.create 32 in
+  List.iter
+    (fun row ->
+      if satisfies row then
+        Hashtbl.replace keys (key_of policy dims row.Solution.box) ())
+    sol.Solution.rows;
+  let need () = gc.Preprocess.g_card - Hashtbl.length keys in
+  if need () <= 0 then (sol, Hashtbl.length keys)
+  else begin
+    (* Peel unit slabs off the low side of each fat satisfying row: every
+       peel leaves a remainder with a fresh corner (one new combination)
+       while the slice keeps an existing one, so tuple counts and region
+       membership — hence every tuple-count CC — are untouched. *)
+    let rec peel (row : Solution.row) acc =
+      if need () <= 0 || row.Solution.count < 2 then List.rev (row :: acc)
+      else
+        match
+          List.find_opt
+            (fun d -> Interval.width row.Solution.box.(d) >= 2)
+            dims
+        with
+        | None -> List.rev (row :: acc)
+        | Some dim ->
+            (* spread counts evenly over the combinations still needed *)
+            let slice_count =
+              max 1 (row.Solution.count / (need () + 1))
+            in
+            let slice, rest = peel_once row dim slice_count in
+            let rest_key = key_of policy dims rest.Solution.box in
+            if not (Hashtbl.mem keys rest_key) then
+              Hashtbl.replace keys rest_key ();
+            peel rest (slice :: acc)
+    in
+    let rows =
+      List.concat_map
+        (fun row ->
+          if need () > 0 && satisfies row then peel row [] else [ row ])
+        sol.Solution.rows
+    in
+    (* recount from the final rows: under `Midpoint` peeling may also move
+       existing combinations, so the incremental tally is only a bound *)
+    let achieved = Hashtbl.create 32 in
+    List.iter
+      (fun row ->
+        if satisfies row then
+          Hashtbl.replace achieved (key_of policy dims row.Solution.box) ())
+      rows;
+    ({ sol with Solution.rows = rows }, Hashtbl.length achieved)
+  end
+
+(* enforce every grouping CC of the view; returns the refined solution and
+   the residuals for constraints that could not be met exactly *)
+let refine ?(policy = `Low_corner) (view : Preprocess.view) (sol : Solution.t) =
+  List.fold_left
+    (fun (sol, residuals) (gc : Preprocess.group_cc) ->
+      let sol, achieved = enforce policy sol gc in
+      let residuals =
+        if achieved <> gc.Preprocess.g_card then
+          {
+            r_view = view.Preprocess.vrel;
+            r_attrs = gc.Preprocess.g_attrs;
+            r_target = gc.Preprocess.g_card;
+            r_achieved = achieved;
+          }
+          :: residuals
+        else residuals
+      in
+      (sol, residuals))
+    (sol, []) view.Preprocess.group_ccs

@@ -1,0 +1,30 @@
+(** Grouping-operator support — the paper's future-work item (Sec. 9),
+    implemented here as a post-LP refinement.
+
+    A grouping CC [|delta_A(sigma_p(...))| = k] fixes the number of
+    DISTINCT A-combinations among rows satisfying [p]. Tuple-count LPs
+    cannot express distinct counts, so after the LP the merged view
+    solution is refined by {e value spreading}: rows satisfying [p] are
+    split into sub-boxes whose instantiation points carry fresh
+    combinations until [k] distinct ones exist. Sub-boxes stay inside
+    their row's region (grouping predicates participate in partitioning),
+    so every tuple-count CC remains satisfied exactly. *)
+
+open Hydra_rel
+
+type residual = {
+  r_view : string;
+  r_attrs : string list;
+  r_target : int;  (** requested distinct count *)
+  r_achieved : int;  (** distinct count actually realized *)
+}
+
+val eval_at : string array -> int array -> Predicate.t -> bool
+
+val refine :
+  ?policy:Summary.instantiation ->
+  Preprocess.view -> Solution.t -> Solution.t * residual list
+(** Enforce every grouping CC of the view on its merged solution.
+    Constraints that cannot be met exactly (box capacity exhausted, or
+    already more distinct combinations than requested) are reported as
+    residuals rather than silently dropped. *)

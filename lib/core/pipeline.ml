@@ -1,0 +1,104 @@
+(* End-to-end HYDRA pipeline (Fig. 2, vendor site): schema + CCs in,
+   database summary out, with per-view diagnostics for the experiments. *)
+
+open Hydra_rel
+open Hydra_workload
+
+type view_stats = {
+  rel : string;
+  num_subviews : int;
+  num_lp_vars : int;
+  num_lp_constraints : int;
+  solve_seconds : float;
+}
+
+type result = {
+  summary : Summary.t;
+  views : view_stats list;
+  group_residuals : Grouping.residual list;
+      (* grouping CCs that value spreading could not meet exactly *)
+  total_seconds : float;
+}
+
+(* Add missing size CCs from a fallback table (metadata row counts): every
+   relation needs a |R| = k constraint, but the workload may never scan
+   some relations. *)
+let complete_size_ccs schema ccs fallback_sizes =
+  let has_size rname =
+    List.exists
+      (fun (cc : Cc.t) ->
+        cc.Cc.relations = [ rname ]
+        && cc.Cc.group_by = []
+        && Predicate.equal cc.Cc.predicate Predicate.true_)
+      ccs
+  in
+  let extra =
+    List.filter_map
+      (fun r ->
+        let rname = r.Schema.rname in
+        if has_size rname then None
+        else
+          match List.assoc_opt rname fallback_sizes with
+          | Some n -> Some (Cc.size_cc rname n)
+          | None -> None)
+      (Schema.relations schema)
+  in
+  ccs @ extra
+
+let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
+    ?(histograms = []) schema ccs =
+  let t0 = Unix.gettimeofday () in
+  let ccs = complete_size_ccs schema ccs sizes in
+  let views = Preprocess.run schema ccs in
+  let results =
+    List.map
+      (fun view ->
+        let t = Unix.gettimeofday () in
+        let r = Formulate.solve_view ~max_nodes view in
+        let dt = Unix.gettimeofday () -. t in
+        (r, dt))
+      views
+  in
+  let residuals = ref [] in
+  let view_solutions =
+    List.map
+      (fun ((r : Formulate.view_result), _) ->
+        let merged = Align.merge_all r.Formulate.solutions in
+        (* enforce grouping (distinct-count) CCs by value spreading *)
+        let merged, res =
+          Grouping.refine ~policy r.Formulate.view merged
+        in
+        residuals := res @ !residuals;
+        (* optional client histograms: spread values inside regions to
+           track the original distributions (future-work extension) *)
+        let merged =
+          if histograms = [] then merged
+          else
+            Correlation.refine
+              ~owner:r.Formulate.view.Preprocess.vrel histograms merged
+        in
+        (r.Formulate.view.Preprocess.vrel, merged))
+      results
+  in
+  let summary = Summary.of_view_solutions ~policy schema view_solutions in
+  let stats =
+    List.map
+      (fun ((r : Formulate.view_result), dt) ->
+        {
+          rel = r.Formulate.view.Preprocess.vrel;
+          num_subviews = List.length r.Formulate.problems;
+          num_lp_vars = r.Formulate.lp_vars;
+          num_lp_constraints = r.Formulate.lp_constraints;
+          solve_seconds = dt;
+        })
+      results
+  in
+  {
+    summary;
+    views = stats;
+    group_residuals = !residuals;
+    total_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let total_lp_vars result =
+  List.fold_left (fun acc v -> acc + v.num_lp_vars) 0 result.views

@@ -1,0 +1,43 @@
+(** End-to-end vendor-site pipeline (Fig. 2): schema + CCs in, database
+    summary out, with per-view diagnostics for the benchmark harness. *)
+
+open Hydra_rel
+open Hydra_workload
+
+type view_stats = {
+  rel : string;
+  num_subviews : int;
+  num_lp_vars : int;  (** region variables after refinement (Fig. 12) *)
+  num_lp_constraints : int;
+  solve_seconds : float;
+}
+
+type result = {
+  summary : Summary.t;
+  views : view_stats list;
+  group_residuals : Grouping.residual list;
+      (** grouping (distinct-count) CCs that value spreading could not
+          meet exactly; empty when all grouping CCs are satisfied *)
+  total_seconds : float;
+}
+
+val complete_size_ccs :
+  Schema.t -> Cc.t list -> (string * int) list -> Cc.t list
+(** Append [|R| = n] constraints from the fallback size table (metadata
+    row counts) for relations the workload never scans. *)
+
+val regenerate :
+  ?sizes:(string * int) list ->
+  ?max_nodes:int ->
+  ?policy:Summary.instantiation ->
+  ?histograms:Correlation.column_hist list ->
+  Schema.t -> Cc.t list -> result
+(** Preprocess, formulate and solve every view, align-and-merge, build the
+    summary. [sizes] supplies fallback relation sizes; [max_nodes] bounds
+    the integer search per view; [policy] selects the instantiation rule
+    (Sec. 5.2); [histograms] are optional client value distributions to
+    track inside regions (the value-correlation extension).
+    @raise Preprocess.Preprocess_error / Formulate.Formulation_error on
+    unsatisfiable or incomplete inputs. *)
+
+val total_lp_vars : result -> int

@@ -1,0 +1,159 @@
+(* Preprocessor (Sec. 3.2, sourced from DataSynth): turn relations + CCs
+   into per-view problems.
+
+   Each relation R gets a view consisting of R's own non-key attributes
+   plus the non-key attributes of every relation it references directly or
+   transitively. A CC over a join group is rewritten as a selection CC on
+   the view of the group's root relation (the member that reaches all
+   others through referential constraints). Each view is then decomposed
+   into sub-views — the maximal cliques of its chordalized view-graph. *)
+
+open Hydra_rel
+open Hydra_workload
+
+type view_cc = { pred : Predicate.t; card : int }
+
+type group_cc = { g_pred : Predicate.t; g_attrs : string list; g_card : int }
+
+type view = {
+  vrel : string;  (* owning relation *)
+  vattrs : string list;  (* qualified names, own attributes first *)
+  domains : (string * Interval.t) list;
+  view_ccs : view_cc list;  (* tuple-count CCs; includes the total-size CC *)
+  group_ccs : group_cc list;
+      (* distinct-count (grouping) CCs: their predicates shape the region
+         partition, but they are enforced post-LP by value spreading *)
+  total : int;  (* |R| *)
+  subviews : Viewgraph.tree_node list;
+      (* clique-tree DFS preorder: parents precede children, and each
+         node's separator is its intersection with everything before it *)
+}
+
+exception Preprocess_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Preprocess_error s)) fmt
+
+let view_attrs schema rname =
+  let own r =
+    List.map
+      (fun a -> Schema.qualify r.Schema.rname a.Schema.aname)
+      r.Schema.attrs
+  in
+  let r = Schema.find schema rname in
+  own r
+  @ List.concat_map
+      (fun dep -> own (Schema.find schema dep))
+      (Schema.transitive_references schema rname)
+
+let attr_domains schema attrs =
+  List.map
+    (fun q ->
+      let lo, hi = Schema.attr_domain schema q in
+      (q, Interval.make lo hi))
+    attrs
+
+(* restriction of a DNF predicate to a scope: atoms on attributes outside
+   the scope are dropped, yielding a weaker predicate *)
+let restrict_predicate scope (pred : Predicate.t) : Predicate.t =
+  List.map (List.filter (fun (a, _) -> List.mem a scope)) pred
+  |> Predicate.of_conjuncts
+
+(* rewrite each CC onto its root view; returns cc lists per relation *)
+let route_ccs schema (ccs : Cc.t list) =
+  let routed = Hashtbl.create 16 in
+  let add rname cc =
+    let cur = try Hashtbl.find routed rname with Not_found -> [] in
+    Hashtbl.replace routed rname (cc :: cur)
+  in
+  List.iter
+    (fun (cc : Cc.t) ->
+      let root = Cc.root_relation schema cc in
+      add root cc;
+      (* A grouping CC over a join also induces a grouping requirement on
+         the view that owns the grouped attributes: that view must offer at
+         least as many distinct combinations, in matching positions, or
+         integrity repair would have to invent them. Derivable only when
+         every grouped attribute belongs to a single non-root relation. *)
+      if cc.Cc.group_by <> [] then begin
+        let owners =
+          List.map (fun a -> fst (Schema.split_qualified a)) cc.Cc.group_by
+          |> List.sort_uniq compare
+        in
+        match owners with
+        | [ owner ] when owner <> root ->
+            let scope = view_attrs schema owner in
+            add owner
+              (Cc.make ~group_by:cc.Cc.group_by [ owner ]
+                 (restrict_predicate scope cc.Cc.predicate)
+                 cc.Cc.card)
+        | _ -> ()
+      end)
+    ccs;
+  fun rname -> List.rev (try Hashtbl.find routed rname with Not_found -> [])
+
+let build_view schema route rname =
+  let vattrs = view_attrs schema rname in
+  let domains = attr_domains schema vattrs in
+  let domain_of q =
+    match List.assoc_opt q domains with
+    | Some iv -> (iv.Interval.lo, iv.Interval.hi)
+    | None -> err "CC attribute %s outside view of %s" q rname
+  in
+  let raw = route rname in
+  (* separate the total-size CC; clamp predicates into attribute domains so
+     region boxes have finite corners *)
+  let total =
+    match
+      List.find_opt
+        (fun (cc : Cc.t) ->
+          cc.Cc.relations = [ rname ]
+          && cc.Cc.group_by = []
+          && Predicate.equal cc.Cc.predicate Predicate.true_)
+        raw
+    with
+    | Some cc -> cc.Cc.card
+    | None -> err "no size CC (|%s| = k) in workload" rname
+  in
+  let counts, grouped =
+    List.partition (fun (cc : Cc.t) -> cc.Cc.group_by = []) raw
+  in
+  let view_ccs =
+    List.filter_map
+      (fun (cc : Cc.t) ->
+        let pred = Predicate.clamp domain_of cc.Cc.predicate in
+        if Predicate.equal pred Predicate.true_ then None
+          (* size CCs handled via [total]; duplicate totals collapse *)
+        else Some { pred; card = cc.Cc.card })
+      counts
+  in
+  let group_ccs =
+    List.map
+      (fun (cc : Cc.t) ->
+        List.iter
+          (fun a -> ignore (domain_of a))
+          cc.Cc.group_by;
+        {
+          g_pred = Predicate.clamp domain_of cc.Cc.predicate;
+          g_attrs = cc.Cc.group_by;
+          g_card = cc.Cc.card;
+        })
+      grouped
+  in
+  (* view-graph decomposition into ordered sub-views; grouping predicates
+     and attributes participate so region boxes align with them *)
+  let cc_attr_sets =
+    (List.map (fun vc -> Predicate.attrs vc.pred) view_ccs
+    @ List.map
+        (fun gc -> List.sort_uniq compare (Predicate.attrs gc.g_pred @ gc.g_attrs))
+        group_ccs)
+    |> List.filter (fun l -> l <> [])
+  in
+  let subviews = Viewgraph.decompose vattrs cc_attr_sets in
+  { vrel = rname; vattrs; domains; view_ccs; group_ccs; total; subviews }
+
+(* Full preprocessing: one view per relation, built in topological order of
+   the referential dependency DAG (dependencies first), which is also the
+   order the summary generator wants for consistency repair. *)
+let run schema (ccs : Cc.t list) =
+  let route = route_ccs schema ccs in
+  List.map (build_view schema route) (Schema.topo_order schema)

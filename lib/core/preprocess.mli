@@ -1,0 +1,42 @@
+(** Preprocessor (Sec. 3.2, sourced from DataSynth): relations + CCs in,
+    per-view problems out.
+
+    Each relation R gets a view of R's own non-key attributes plus the
+    non-key attributes of every relation it references (transitively). A
+    CC over a join group is rewritten as a selection on the view of the
+    group's root relation. Each view is decomposed into sub-views — the
+    maximal cliques of its chordalized view-graph — arranged as a clique
+    tree. *)
+
+open Hydra_rel
+open Hydra_workload
+
+type view_cc = { pred : Predicate.t; card : int }
+
+type group_cc = { g_pred : Predicate.t; g_attrs : string list; g_card : int }
+(** A distinct-count constraint |delta_{g_attrs}(sigma_{g_pred}(...))| =
+    g_card, rewritten onto this view. *)
+
+type view = {
+  vrel : string;  (** owning relation *)
+  vattrs : string list;  (** qualified names, own attributes first *)
+  domains : (string * Interval.t) list;
+  view_ccs : view_cc list;  (** tuple-count CCs, clamped to finite domains *)
+  group_ccs : group_cc list;
+      (** grouping CCs: shape the partition, enforced post-LP by value
+          spreading (see {!Grouping}) *)
+  total : int;  (** the relation's size constraint |R| *)
+  subviews : Viewgraph.tree_node list;
+      (** clique-tree DFS preorder: parents precede children *)
+}
+
+exception Preprocess_error of string
+
+val view_attrs : Schema.t -> string -> string list
+val attr_domains : Schema.t -> string list -> (string * Interval.t) list
+
+val run : Schema.t -> Cc.t list -> view list
+(** Views for all relations, in topological (dependencies-first) order —
+    the order the summary generator consumes.
+    @raise Preprocess_error when a relation lacks a size CC or a CC
+    references attributes outside its root view. *)

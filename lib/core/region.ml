@@ -1,0 +1,331 @@
+(* Region partitioning (Sec. 4): HYDRA's core contribution. Given the
+   DNF cardinality-constraint predicates applicable to a sub-view, derive
+   the optimal partition of the sub-view's domain — the quotient of the
+   data universe by the "satisfies the same constraints" equivalence
+   (Lemma 4.3) — and assign one LP variable per equivalence class.
+
+   The implementation follows Algorithms 1 and 2 but maintains the
+   quotient incrementally, which is essential for the 8-10 dimensional
+   sub-views of complex workloads:
+
+   - each block carries a signature bit per (deduplicated) sub-constraint
+     recording whether the block still satisfies the sub-constraint's
+     prefix C^i_1 (Def. 4.5); once a prefix fails it can never recover,
+     so such sub-constraints never split the block again;
+   - after every dimension, blocks with identical signatures are merged
+     (they are indistinguishable by every current and future restriction),
+     keeping the block count close to the final region count instead of
+     the intermediate grid-like blow-up;
+   - within a block, boxes adjacent along the dimension just processed
+     are coalesced to bound geometric fragmentation.
+
+   The final coarsening of Algorithm 1 then merges blocks whose DNF-level
+   labels (an OR over their conjuncts' signatures) coincide. *)
+
+open Hydra_rel
+
+type region = {
+  boxes : Box.t list;  (* disjoint; their union is the region *)
+  label : bool array;  (* label.(j): region satisfies constraint j *)
+}
+
+type t = {
+  attrs : string array;  (* dimension ordering *)
+  domains : Interval.t array;
+  regions : region array;
+}
+
+(* a working block: disjoint boxes + per-conjunct prefix signature *)
+type block = { bxs : Box.t list; sig_ : Bytes.t }
+
+let conjunct_restriction attrs (conjunct : Predicate.conjunct) dim =
+  match List.assoc_opt attrs.(dim) conjunct with
+  | Some iv -> iv
+  | None -> Interval.full
+
+(* coalesce boxes that differ only along [dim] and are contiguous there *)
+let coalesce_boxes dim boxes =
+  match boxes with
+  | [] | [ _ ] -> boxes
+  | _ ->
+      let key (b : Box.t) =
+        Array.to_list
+          (Array.mapi
+             (fun d (iv : Interval.t) ->
+               if d = dim then (0, 0) else (iv.Interval.lo, iv.Interval.hi))
+             b)
+      in
+      let groups = Hashtbl.create 16 in
+      List.iter
+        (fun b ->
+          let k = key b in
+          Hashtbl.replace groups k
+            (b :: (try Hashtbl.find groups k with Not_found -> [])))
+        boxes;
+      Hashtbl.fold
+        (fun _ bs acc ->
+          let sorted =
+            List.sort
+              (fun (a : Box.t) (b : Box.t) ->
+                compare a.(dim).Interval.lo b.(dim).Interval.lo)
+              bs
+          in
+          let rec merge = function
+            | [] -> []
+            | [ b ] -> [ b ]
+            | (b1 : Box.t) :: (b2 : Box.t) :: rest ->
+                if b1.(dim).Interval.hi = b2.(dim).Interval.lo then begin
+                  let nb = Array.copy b1 in
+                  nb.(dim) <-
+                    Interval.make b1.(dim).Interval.lo b2.(dim).Interval.hi;
+                  merge (nb :: rest)
+                end
+                else b1 :: merge (b2 :: rest)
+          in
+          merge sorted @ acc)
+        groups []
+
+(* split the boxes of a block by interval [iv] along [dim] *)
+let split_boxes boxes dim iv =
+  List.fold_left
+    (fun (ins, outs) box ->
+      let inside, outside = Box.split_dim box dim iv in
+      let ins = match inside with Some b -> b :: ins | None -> ins in
+      (ins, outside @ outs))
+    ([], []) boxes
+
+let merge_by_signature blocks =
+  let tbl = Hashtbl.create (List.length blocks) in
+  let order = ref [] in
+  List.iter
+    (fun b ->
+      let k = Bytes.to_string b.sig_ in
+      match Hashtbl.find_opt tbl k with
+      | Some prev -> Hashtbl.replace tbl k { prev with bxs = b.bxs @ prev.bxs }
+      | None ->
+          Hashtbl.add tbl k b;
+          order := k :: !order)
+    blocks;
+  List.rev_map (fun k -> Hashtbl.find tbl k) !order
+
+let optimal_partition ~attrs ~domains (constraints : Predicate.t array) =
+  Array.iter
+    (fun (iv : Interval.t) ->
+      if
+        Interval.is_empty iv
+        || iv.Interval.lo = min_int
+        || iv.Interval.hi = max_int
+      then invalid_arg "Region.optimal_partition: domains must be finite")
+    domains;
+  let n = Array.length attrs in
+  (* deduplicate sub-constraints; remember which constraints own each *)
+  let conj_tbl = Hashtbl.create 32 in
+  let conjuncts = ref [] and nconj = ref 0 in
+  let owners = ref [] in
+  Array.iteri
+    (fun ci pred ->
+      List.iter
+        (fun conjunct ->
+          let key = List.sort compare conjunct in
+          let id =
+            match Hashtbl.find_opt conj_tbl key with
+            | Some id -> id
+            | None ->
+                let id = !nconj in
+                Hashtbl.add conj_tbl key id;
+                conjuncts := conjunct :: !conjuncts;
+                incr nconj;
+                id
+          in
+          owners := (ci, id) :: !owners)
+        pred)
+    constraints;
+  let conjuncts = Array.of_list (List.rev !conjuncts) in
+  let nc = Array.length conjuncts in
+  (* signature bytes: '1' = prefix still satisfied *)
+  let initial =
+    { bxs = [ Box.full_domain domains ]; sig_ = Bytes.make nc '1' }
+  in
+  let blocks = ref [ initial ] in
+  for dim = 0 to n - 1 do
+    for c = 0 to nc - 1 do
+      let iv = conjunct_restriction attrs conjuncts.(c) dim in
+      if not (Interval.equal iv Interval.full) then begin
+        blocks :=
+          List.concat_map
+            (fun b ->
+              if Bytes.get b.sig_ c = '0' then [ b ]
+              else begin
+                let ins, outs = split_boxes b.bxs dim iv in
+                match (ins, outs) with
+                | [], _ ->
+                    (* block entirely outside: prefix fails *)
+                    let s = Bytes.copy b.sig_ in
+                    Bytes.set s c '0';
+                    [ { b with sig_ = s } ]
+                | _, [] -> [ b ] (* entirely inside: prefix holds *)
+                | _ ->
+                    let s_out = Bytes.copy b.sig_ in
+                    Bytes.set s_out c '0';
+                    [ { bxs = ins; sig_ = b.sig_ }; { bxs = outs; sig_ = s_out } ]
+              end)
+            !blocks
+      end
+    done;
+    blocks :=
+      merge_by_signature !blocks
+      |> List.map (fun b -> { b with bxs = coalesce_boxes dim b.bxs })
+  done;
+  (* Algorithm 1 coarsening: label = per-DNF-constraint OR of conjunct
+     signatures, then merge blocks with identical labels *)
+  let owners = !owners in
+  let label_of b =
+    let lbl = Array.make (Array.length constraints) false in
+    List.iter
+      (fun (ci, id) -> if Bytes.get b.sig_ id = '1' then lbl.(ci) <- true)
+      owners;
+    lbl
+  in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun b ->
+      let lbl = label_of b in
+      let key =
+        String.init (Array.length lbl) (fun j -> if lbl.(j) then '1' else '0')
+      in
+      match Hashtbl.find_opt tbl key with
+      | Some (boxes, l) -> Hashtbl.replace tbl key (b.bxs @ boxes, l)
+      | None ->
+          Hashtbl.add tbl key (b.bxs, lbl);
+          order := key :: !order)
+    !blocks;
+  let regions =
+    List.rev_map
+      (fun key ->
+        let boxes, label = Hashtbl.find tbl key in
+        { boxes; label })
+      !order
+    |> Array.of_list
+  in
+  { attrs; domains; regions }
+
+let num_regions t = Array.length t.regions
+
+(* refine every region's boxes along [dim] at the given cut points, then
+   split regions so that each resulting sub-region occupies exactly one
+   atomic slab along [dim] (consistency-constraint refinement, Sec. 4) *)
+let refine_along t dim cuts =
+  let cuts = List.sort_uniq compare cuts in
+  let regions =
+    Array.to_list t.regions
+    |> List.concat_map (fun r ->
+           let boxes =
+             List.concat_map (fun b -> Box.cut_dim b dim cuts) r.boxes
+           in
+           (* group by the atomic interval occupied along [dim] *)
+           let groups = Hashtbl.create 8 in
+           let order = ref [] in
+           List.iter
+             (fun (b : Box.t) ->
+               let key = (b.(dim).Interval.lo, b.(dim).Interval.hi) in
+               match Hashtbl.find_opt groups key with
+               | Some bs -> Hashtbl.replace groups key (b :: bs)
+               | None ->
+                   Hashtbl.add groups key [ b ];
+                   order := key :: !order)
+             boxes;
+           List.rev_map
+             (fun key -> { boxes = Hashtbl.find groups key; label = r.label })
+             !order)
+  in
+  { t with regions = Array.of_list regions }
+
+(* ---- helpers for tests and diagnostics ---- *)
+
+let eval_predicate attrs (pred : Predicate.t) point =
+  let lookup a =
+    let rec find i =
+      if i >= Array.length attrs then
+        invalid_arg ("Region: unknown attribute " ^ a)
+      else if attrs.(i) = a then point.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  Predicate.eval lookup pred
+
+(* total point count of a region (small test domains only) *)
+let region_volume r =
+  List.fold_left
+    (fun acc (b : Box.t) ->
+      acc + Array.fold_left (fun v iv -> v * Interval.width iv) 1 b)
+    0 r.boxes
+
+let is_partition t =
+  let all_boxes =
+    Array.to_list t.regions |> List.concat_map (fun r -> r.boxes)
+  in
+  let rec disjoint = function
+    | [] -> true
+    | b :: rest ->
+        List.for_all (fun b' -> Box.inter b b' = None) rest && disjoint rest
+  in
+  let total_volume =
+    List.fold_left
+      (fun acc b ->
+        acc + Array.fold_left (fun v iv -> v * Interval.width iv) 1 b)
+      0 all_boxes
+  in
+  let domain_volume =
+    Array.fold_left (fun v iv -> v * Interval.width iv) 1 t.domains
+  in
+  disjoint all_boxes && total_volume = domain_volume
+
+let labels_distinct t =
+  let keys =
+    Array.to_list t.regions
+    |> List.map (fun r ->
+           String.init (Array.length r.label) (fun j ->
+               if r.label.(j) then '1' else '0'))
+  in
+  List.length (List.sort_uniq compare keys) = List.length keys
+
+(* every sampled point of every box satisfies exactly the labelled
+   constraints *)
+let label_homogeneous t (constraints : Predicate.t array) =
+  Array.for_all
+    (fun r ->
+      List.for_all
+        (fun box ->
+          let corners =
+            [
+              Box.low_corner box;
+              Array.map
+                (fun (iv : Interval.t) ->
+                  iv.Interval.lo + ((iv.Interval.hi - 1 - iv.Interval.lo) / 2))
+                box;
+              Array.map (fun (iv : Interval.t) -> iv.Interval.hi - 1) box;
+            ]
+          in
+          List.for_all
+            (fun pt ->
+              Array.for_all2
+                (fun pred expected -> eval_predicate t.attrs pred pt = expected)
+                constraints r.label)
+            corners)
+        r.boxes)
+    t.regions
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>partition over (%s), %d regions@,"
+    (String.concat ", " (Array.to_list t.attrs))
+    (Array.length t.regions);
+  Array.iteri
+    (fun i r ->
+      Format.fprintf fmt "  region %d: %d boxes, label=%s@," i
+        (List.length r.boxes)
+        (String.init (Array.length r.label) (fun j ->
+             if r.label.(j) then '1' else '0')))
+    t.regions;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,58 @@
+(** Region partitioning (Sec. 4): HYDRA's core contribution.
+
+    Given the DNF cardinality-constraint predicates applicable to a
+    sub-view, derive the {e optimal partition} of the sub-view's domain —
+    the quotient of the data universe by the "satisfies exactly the same
+    constraints" equivalence (Lemma 4.3) — and assign one LP variable per
+    equivalence class. This is the construction that replaces the
+    exponential grid of DataSynth with a handful of regions (Fig. 3).
+
+    The implementation realizes Algorithms 1 and 2 incrementally: blocks
+    carry per-sub-constraint prefix signatures (a failed prefix C^i_1 can
+    never recover, so such sub-constraints stop splitting the block), and
+    blocks with identical signatures are merged after every dimension,
+    keeping the intermediate block count near the final region count. *)
+
+open Hydra_rel
+
+type region = {
+  boxes : Box.t list;  (** disjoint boxes whose union is the region *)
+  label : bool array;  (** [label.(j)]: region satisfies constraint [j] *)
+}
+
+type t = {
+  attrs : string array;  (** dimension ordering *)
+  domains : Interval.t array;
+  regions : region array;
+}
+
+val optimal_partition :
+  attrs:string array -> domains:Interval.t array -> Predicate.t array -> t
+(** Algorithms 1 + 2. Domains must be finite (clamp predicates first).
+    @raise Invalid_argument on empty or unbounded domains. *)
+
+val num_regions : t -> int
+
+val refine_along : t -> int -> int list -> t
+(** [refine_along t dim cuts] cuts every region's boxes at the given
+    points along [dim], then splits regions so each resulting sub-region
+    occupies exactly one atomic slab along [dim] — the consistency
+    refinement of Sec. 4 ("Consistency Constraints"). Labels are
+    inherited. *)
+
+val eval_predicate : string array -> Predicate.t -> int array -> bool
+
+(** {2 Invariant checks (used by the test suite; small domains only)} *)
+
+val region_volume : region -> int
+val is_partition : t -> bool
+(** Boxes pairwise disjoint and covering the whole domain (by volume). *)
+
+val labels_distinct : t -> bool
+(** Optimality: no two regions share a label vector. *)
+
+val label_homogeneous : t -> Predicate.t array -> bool
+(** Validity: sampled points of every box satisfy exactly the labelled
+    constraints. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(* Solved tuple-count assignments, the interchange format between the LP
+   stage and the summary generator. A row pairs a representative box with
+   the number of tuples the LP placed in the underlying region. *)
+
+type row = { box : Box.t; count : int }
+type t = { attrs : string array; rows : row list }
+
+let total t = List.fold_left (fun acc r -> acc + r.count) 0 t.rows
+
+let dim_of t attr =
+  let n = Array.length t.attrs in
+  let rec go i =
+    if i >= n then invalid_arg ("Solution: unknown attribute " ^ attr)
+    else if t.attrs.(i) = attr then i
+    else go (i + 1)
+  in
+  go 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>solution over (%s):@,"
+    (String.concat ", " (Array.to_list t.attrs));
+  List.iter
+    (fun r -> Format.fprintf fmt "  %a -> %d@," Box.pp r.box r.count)
+    t.rows;
+  Format.fprintf fmt "@]"

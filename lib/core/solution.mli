@@ -1,0 +1,15 @@
+(** Solved tuple-count assignments: the interchange format between the LP
+    stage and the summary generator. A row pairs a region's representative
+    box with the number of tuples the LP placed in that region. *)
+
+type row = { box : Box.t; count : int }
+type t = { attrs : string array; rows : row list }
+
+val total : t -> int
+(** Sum of all row counts. *)
+
+val dim_of : t -> string -> int
+(** Dimension index of an attribute.
+    @raise Invalid_argument for unknown attributes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+(** Database summary generator (Sec. 5): instantiate view solutions,
+    repair referential integrity across views, extract per-relation
+    summaries.
+
+    The summary is the paper's headline artifact: a set of
+    (value-combination, NumTuples) rows per relation whose size depends
+    only on the workload, never on the data scale, and from which
+    databases of arbitrary size regenerate statically or dynamically. *)
+
+open Hydra_rel
+
+type view_summary = {
+  vs_rel : string;
+  vs_attrs : string array;  (** qualified attribute names *)
+  mutable vs_rows : (int array * int) list;  (** instantiated values, count *)
+}
+
+type relation_summary = {
+  rs_rel : string;
+  rs_cols : string array;  (** fk columns then own non-key attributes *)
+  rs_rows : (int array * int) array;  (** column values, NumTuples *)
+  rs_total : int;  (** total tuple count including repair additions *)
+}
+
+type t = {
+  schema : Schema.t;
+  views : view_summary list;
+  relations : relation_summary list;
+  extra_tuples : (string * int) list;
+      (** integrity-repair additions per relation — the quantity of
+          Fig. 11; bounded by summary size, independent of data scale *)
+}
+
+exception Summary_error of string
+
+type instantiation = [ `Low_corner | `Midpoint ]
+(** Where a region's cardinality is placed inside its representative box.
+    The paper uses [`Low_corner] (Sec. 5.2), arguing it minimizes
+    integrity-repair additions; [`Midpoint] exists for the ablation
+    benchmark quantifying that claim. *)
+
+val instantiate_point : instantiation -> Box.t -> int array
+(** The concrete point a region's tuples are placed at. *)
+
+val instantiate_view : ?policy:instantiation -> string -> Solution.t -> view_summary
+
+val repair_integrity :
+  Schema.t -> (string * view_summary) list -> (string * int) list
+(** Walk relations dependents-first and append every missing borrowed
+    value combination to its target view with NumTuples = 1 (Sec. 5.3).
+    Returns additions per relation. Mutates the view summaries. *)
+
+val extract_relation :
+  Schema.t -> (string * view_summary) list -> string -> relation_summary
+(** Sec. 5.4: per row, foreign keys become the pk of the first tuple of
+    the matching row-group in the target view (cumulative NumTuples + 1). *)
+
+val of_view_solutions :
+  ?policy:instantiation -> Schema.t -> (string * Solution.t) list -> t
+(** The full Sec. 5 sequence over all views (in topological order). *)
+
+val relation : t -> string -> relation_summary
+val total_rows : t -> int
+(** Tuples the summary describes (the regenerated database size). *)
+
+val summary_rows : t -> int
+(** Rows in the summary itself (the artifact's size). *)
+
+val save : string -> t -> unit
+(** Text serialization — the artifact shipped between sites. *)
+
+val load : string -> Schema.t -> t
+(** Inverse of {!save}; [views] and [extra_tuples] are not persisted. *)
+
+val pp : Format.formatter -> t -> unit

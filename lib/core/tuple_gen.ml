@@ -1,0 +1,146 @@
+(* Tuple generator (Sec. 6): turn relation summaries into data, either
+   eagerly (static materialization) or lazily (the `datagen` dynamic scan:
+   tuple r of relation R has pk = r and its remaining columns copied from
+   the summary row-group whose cumulative NumTuples range covers r). *)
+
+open Hydra_rel
+open Hydra_engine
+
+(* cumulative boundaries: starts.(g) = first 0-based row index of group g *)
+let group_starts (rs : Summary.relation_summary) =
+  let n = Array.length rs.Summary.rs_rows in
+  let starts = Array.make (n + 1) 0 in
+  for g = 0 to n - 1 do
+    starts.(g + 1) <- starts.(g) + snd rs.Summary.rs_rows.(g)
+  done;
+  starts
+
+(* ---- static materialization ---- *)
+
+let materialize_relation schema (rs : Summary.relation_summary) =
+  let r = Schema.find schema rs.Summary.rs_rel in
+  let total = rs.Summary.rs_total in
+  let pk_col = Array.init total (fun i -> i + 1) in
+  let ncols = Array.length rs.Summary.rs_cols in
+  let value_cols = Array.init ncols (fun _ -> Array.make total 0) in
+  let pos = ref 0 in
+  Array.iter
+    (fun (values, count) ->
+      for c = 0 to ncols - 1 do
+        Array.fill value_cols.(c) !pos count values.(c)
+      done;
+      pos := !pos + count)
+    rs.Summary.rs_rows;
+  Table.of_columns rs.Summary.rs_rel (Schema.columns r)
+    (pk_col :: Array.to_list value_cols)
+
+let materialize (summary : Summary.t) =
+  let db = Database.create summary.Summary.schema in
+  List.iter
+    (fun rs -> Database.bind_table db (materialize_relation summary.Summary.schema rs))
+    summary.Summary.relations;
+  db
+
+(* ---- dynamic generation ---- *)
+
+(* Column accessor over the summary: sequential scans advance a per-closure
+   cursor; random access falls back to binary search over the cumulative
+   boundaries. *)
+let generated_relation schema (rs : Summary.relation_summary) =
+  let r = Schema.find schema rs.Summary.rs_rel in
+  let starts = group_starts rs in
+  let ngroups = Array.length rs.Summary.rs_rows in
+  let find_group cursor row =
+    let g = !cursor in
+    if g < ngroups && starts.(g) <= row && row < starts.(g + 1) then g
+    else if g + 1 < ngroups && starts.(g + 1) <= row && row < starts.(g + 2)
+    then begin
+      cursor := g + 1;
+      g + 1
+    end
+    else begin
+      (* binary search: greatest g with starts.(g) <= row *)
+      let lo = ref 0 and hi = ref (ngroups - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if starts.(mid) <= row then lo := mid else hi := mid - 1
+      done;
+      cursor := !lo;
+      !lo
+    end
+  in
+  let col_of_name =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun i c -> Hashtbl.replace tbl c i) rs.Summary.rs_cols;
+    tbl
+  in
+  let gen_col cname =
+    if cname = r.Schema.pk then fun row -> row + 1
+    else
+      match Hashtbl.find_opt col_of_name cname with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "datagen %s: unknown column %S" rs.Summary.rs_rel cname)
+      | Some ci ->
+          let cursor = ref 0 in
+          fun row ->
+            let g = find_group cursor row in
+            fst rs.Summary.rs_rows.(g) |> fun values -> values.(ci)
+  in
+  { Database.gen_rows = rs.Summary.rs_total; gen_col }
+
+let dynamic (summary : Summary.t) =
+  let db = Database.create summary.Summary.schema in
+  List.iter
+    (fun rs ->
+      Database.bind db rs.Summary.rs_rel
+        (Database.Generated (generated_relation summary.Summary.schema rs)))
+    summary.Summary.relations;
+  db
+
+(* Full-tuple supply, exactly the paper's Sec. 6 procedure: tuple r of
+   relation R is assembled as pk = r plus the value combination of the
+   summary row-group whose cumulative NumTuples range covers r. This is
+   the unit of work a tuple-at-a-time executor requests from the scan
+   operator, and the basis of the data-supply-time experiment (Fig. 15). *)
+let row_source (rs : Summary.relation_summary) =
+  let starts = group_starts rs in
+  let ngroups = Array.length rs.Summary.rs_rows in
+  let cursor = ref 0 in
+  let ncols = Array.length rs.Summary.rs_cols in
+  fun row ->
+    let g = !cursor in
+    let g =
+      if g < ngroups && starts.(g) <= row && row < starts.(g + 1) then g
+      else if g + 1 < ngroups && starts.(g + 1) <= row && row < starts.(g + 2)
+      then begin
+        cursor := g + 1;
+        g + 1
+      end
+      else begin
+        let lo = ref 0 and hi = ref (ngroups - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if starts.(mid) <= row then lo := mid else hi := mid - 1
+        done;
+        cursor := !lo;
+        !lo
+      end
+    in
+    let values, _ = rs.Summary.rs_rows.(g) in
+    let tuple = Array.make (ncols + 1) (row + 1) in
+    Array.blit values 0 tuple 1 ncols;
+    tuple
+
+(* mixed binding: the `datagen` property can be toggled per relation *)
+let with_datagen (summary : Summary.t) ~dynamic_relations =
+  let db = Database.create summary.Summary.schema in
+  List.iter
+    (fun rs ->
+      if List.mem rs.Summary.rs_rel dynamic_relations then
+        Database.bind db rs.Summary.rs_rel
+          (Database.Generated (generated_relation summary.Summary.schema rs))
+      else
+        Database.bind_table db (materialize_relation summary.Summary.schema rs))
+    summary.Summary.relations;
+  db

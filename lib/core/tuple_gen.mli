@@ -1,0 +1,33 @@
+(** Tuple generator (Sec. 6): relation summaries to data.
+
+    Static materialization expands every summary row-group into stored
+    tables; dynamic generation binds relations to virtual sources that
+    assemble tuple [r] on demand (pk = r, remaining columns from the
+    row-group whose cumulative NumTuples range covers [r]) — the
+    [datagen] scan property added to the engine. *)
+
+open Hydra_rel
+open Hydra_engine
+
+val group_starts : Summary.relation_summary -> int array
+(** [group_starts rs].(g) is the first 0-based row index of group [g];
+    the final entry is the total row count. *)
+
+val materialize_relation : Schema.t -> Summary.relation_summary -> Table.t
+val materialize : Summary.t -> Database.t
+(** All relations as stored tables. *)
+
+val generated_relation : Schema.t -> Summary.relation_summary -> Database.generated
+(** Column accessors over the summary: sequential scans advance a cursor,
+    random access binary-searches the cumulative boundaries. *)
+
+val dynamic : Summary.t -> Database.t
+(** All relations generated on demand; nothing is materialized. *)
+
+val row_source : Summary.relation_summary -> int -> int array
+(** Full-tuple supply, exactly the Sec. 6 procedure — the unit of work a
+    tuple-at-a-time executor requests from the scan operator (Fig. 15). *)
+
+val with_datagen : Summary.t -> dynamic_relations:string list -> Database.t
+(** Mixed binding: the [datagen] property toggled per relation, as in the
+    PostgreSQL integration. *)

@@ -1,0 +1,82 @@
+(* Volumetric-similarity validation (Sec. 7.1): execute every CC's
+   expression against a regenerated database and report per-CC relative
+   errors plus the coverage curve of Figure 10. *)
+
+open Hydra_workload
+
+type cc_report = {
+  cc : Cc.t;
+  expected : int;
+  actual : int;
+  rel_error : float;  (* signed: negative when fewer rows than expected *)
+}
+
+type t = {
+  reports : cc_report list;
+  max_abs_error : float;
+  mean_abs_error : float;
+  exact_fraction : float;
+  negative_fraction : float;
+}
+
+let check db ccs =
+  let reports =
+    List.map
+      (fun (cc : Cc.t) ->
+        let actual = Cc.measure db cc in
+        (* zero-cardinality CCs use a +1 denominator so a handful of
+           integrity-repair tuples register as a bounded error *)
+        let rel_error =
+          float_of_int (actual - cc.Cc.card)
+          /. float_of_int (Stdlib.max 1 cc.Cc.card)
+        in
+        { cc; expected = cc.Cc.card; actual; rel_error })
+      ccs
+  in
+  let n = float_of_int (List.length reports) in
+  let abs_errors = List.map (fun r -> Float.abs r.rel_error) reports in
+  {
+    reports;
+    max_abs_error = List.fold_left Float.max 0.0 abs_errors;
+    mean_abs_error =
+      (if n = 0.0 then 0.0 else List.fold_left ( +. ) 0.0 abs_errors /. n);
+    exact_fraction =
+      (if n = 0.0 then 1.0
+       else
+         float_of_int (List.length (List.filter (fun e -> e = 0.0) abs_errors))
+         /. n);
+    negative_fraction =
+      (if n = 0.0 then 0.0
+       else
+         float_of_int
+           (List.length (List.filter (fun r -> r.rel_error < 0.0) reports))
+         /. n);
+  }
+
+(* fraction of CCs with |relative error| <= threshold, for a CDF plot *)
+let coverage_at t threshold =
+  let n = List.length t.reports in
+  if n = 0 then 1.0
+  else
+    float_of_int
+      (List.length
+         (List.filter (fun r -> Float.abs r.rel_error <= threshold) t.reports))
+    /. float_of_int n
+
+let coverage_curve t thresholds =
+  List.map (fun th -> (th, coverage_at t th)) thresholds
+
+let worst t k =
+  List.stable_sort
+    (fun a b -> compare (Float.abs b.rel_error) (Float.abs a.rel_error))
+    t.reports
+  |> List.filteri (fun i _ -> i < k)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "CCs: %d, exact: %.1f%%, mean |err|: %.3f%%, max |err|: %.3f%%, negative: %.1f%%"
+    (List.length t.reports)
+    (100.0 *. t.exact_fraction)
+    (100.0 *. t.mean_abs_error)
+    (100.0 *. t.max_abs_error)
+    (100.0 *. t.negative_fraction)

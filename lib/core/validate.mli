@@ -1,0 +1,35 @@
+(** Volumetric-similarity validation (Sec. 7.1): execute every CC's
+    expression against a regenerated database and report per-CC relative
+    errors plus the coverage curve of Fig. 10. *)
+
+open Hydra_workload
+
+type cc_report = {
+  cc : Cc.t;
+  expected : int;
+  actual : int;
+  rel_error : float;
+      (** signed; negative when fewer rows than expected. Zero-cardinality
+          CCs use a +1 denominator so repair tuples register as bounded
+          error. *)
+}
+
+type t = {
+  reports : cc_report list;
+  max_abs_error : float;
+  mean_abs_error : float;
+  exact_fraction : float;
+  negative_fraction : float;
+      (** the paper's Hydra produces no negative errors; DataSynth ~1/3 *)
+}
+
+val check : Hydra_engine.Database.t -> Cc.t list -> t
+
+val coverage_at : t -> float -> float
+(** Fraction of CCs with |relative error| <= threshold. *)
+
+val coverage_curve : t -> float list -> (float * float) list
+val worst : t -> int -> cc_report list
+(** The k CCs with the largest absolute error. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,293 @@
+(* View-graph machinery (Sec. 3.2): a view's attributes form the nodes;
+   two attributes are adjacent when they co-occur in some CC. The graph is
+   made chordal (elimination game with a min-fill heuristic), and the
+   maximal cliques of the chordal graph become the sub-views. The
+   sub-view merge order (Sec. 5.1.1) is the paper's greedy separator
+   condition, which the chordal structure guarantees can always be
+   extended. *)
+
+module SS = Set.Make (String)
+
+type t = {
+  nodes : string list;  (* stable order *)
+  adj : (string, SS.t) Hashtbl.t;
+}
+
+let create nodes =
+  let adj = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace adj n SS.empty) nodes;
+  { nodes; adj }
+
+let neighbors g n = try Hashtbl.find g.adj n with Not_found -> SS.empty
+
+let add_edge g a b =
+  if a <> b then begin
+    Hashtbl.replace g.adj a (SS.add b (neighbors g a));
+    Hashtbl.replace g.adj b (SS.add a (neighbors g b))
+  end
+
+let add_clique g attrs =
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter (fun b -> add_edge g a b) rest;
+        pairs rest
+  in
+  pairs attrs
+
+let of_ccs nodes (cc_attr_sets : string list list) =
+  let g = create nodes in
+  List.iter (add_clique g) cc_attr_sets;
+  g
+
+(* fill-in of eliminating [v]: pairs of neighbors not already adjacent *)
+let fill_count adj v =
+  let ns = SS.elements (Hashtbl.find adj v) in
+  let rec count = function
+    | [] -> 0
+    | a :: rest ->
+        List.fold_left
+          (fun acc b ->
+            if SS.mem b (Hashtbl.find adj a) then acc else acc + 1)
+          0 rest
+        + count rest
+  in
+  count ns
+
+(* Chordal completion by the elimination game: repeatedly eliminate a
+   min-fill vertex, adding the fill edges to a copy of the graph AND to
+   the output graph. Returns the chordal graph and the elimination order. *)
+let chordal_completion g =
+  let work = Hashtbl.create 16 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace work k v) g.adj;
+  let out = create g.nodes in
+  Hashtbl.iter (fun a ns -> SS.iter (fun b -> add_edge out a b) ns) g.adj;
+  let remaining = ref (SS.of_list g.nodes) in
+  let order = ref [] in
+  while not (SS.is_empty !remaining) do
+    (* min-fill vertex, ties by name for determinism *)
+    let v =
+      SS.fold
+        (fun v best ->
+          match best with
+          | None -> Some (v, fill_count work v)
+          | Some (_, bf) ->
+              let f = fill_count work v in
+              if f < bf then Some (v, f) else best)
+        !remaining None
+      |> Option.get |> fst
+    in
+    let ns = Hashtbl.find work v in
+    (* add fill edges among neighbors *)
+    SS.iter
+      (fun a ->
+        SS.iter
+          (fun b ->
+            if a < b && not (SS.mem b (Hashtbl.find work a)) then begin
+              Hashtbl.replace work a (SS.add b (Hashtbl.find work a));
+              Hashtbl.replace work b (SS.add a (Hashtbl.find work b));
+              add_edge out a b
+            end)
+          ns)
+      ns;
+    (* eliminate v *)
+    SS.iter (fun a -> Hashtbl.replace work a (SS.remove v (Hashtbl.find work a))) ns;
+    Hashtbl.remove work v;
+    remaining := SS.remove v !remaining;
+    order := v :: !order
+  done;
+  (out, List.rev !order)
+
+(* maximal cliques of a chordal graph from its elimination order:
+   candidate cliques are {v} + later neighbors; drop non-maximal ones *)
+let maximal_cliques chordal order =
+  let later = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace later v i) order;
+  let pos v = Hashtbl.find later v in
+  let candidates =
+    List.map
+      (fun v ->
+        let c =
+          SS.filter (fun u -> pos u > pos v) (neighbors chordal v)
+          |> SS.add v
+        in
+        c)
+      order
+  in
+  let maximal =
+    List.filter
+      (fun c ->
+        not
+          (List.exists
+             (fun c' -> (not (SS.equal c c')) && SS.subset c c')
+             candidates))
+      candidates
+  in
+  (* dedupe *)
+  List.fold_left
+    (fun acc c -> if List.exists (SS.equal c) acc then acc else c :: acc)
+    [] maximal
+  |> List.rev
+  |> List.map SS.elements
+
+(* is the graph chordal w.r.t. the given order (every vertex's later
+   neighborhood is a clique)? test-suite helper *)
+let is_perfect_elimination chordal order =
+  let posn = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace posn v i) order;
+  let pos v = Hashtbl.find posn v in
+  List.for_all
+    (fun v ->
+      let later = SS.filter (fun u -> pos u > pos v) (neighbors chordal v) in
+      SS.for_all
+        (fun a ->
+          SS.for_all
+            (fun b -> a = b || SS.mem b (neighbors chordal a))
+            later)
+        later)
+    order
+
+(* The paper's merge-order condition (Sec. 5.1.1): sub-view s may follow
+   the visited set S if removing the shared vertices disconnects s's
+   remaining vertices from S's remaining vertices in the view-graph. *)
+let separator_condition g visited_attrs s_attrs =
+  let s = SS.of_list s_attrs and visited = SS.of_list visited_attrs in
+  let common = SS.inter s visited in
+  let s_rest = SS.diff s common and v_rest = SS.diff visited common in
+  if SS.is_empty s_rest || SS.is_empty v_rest then true
+  else begin
+    (* BFS from s_rest avoiding common; must not reach v_rest *)
+    let seen = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    SS.iter
+      (fun v ->
+        Hashtbl.replace seen v ();
+        Queue.add v queue)
+      s_rest;
+    let reached = ref false in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      if SS.mem v v_rest then reached := true;
+      SS.iter
+        (fun u ->
+          if (not (SS.mem u common)) && not (Hashtbl.mem seen u) then begin
+            Hashtbl.replace seen u ();
+            Queue.add u queue
+          end)
+        (neighbors g v)
+    done;
+    not !reached
+  end
+
+(* Greedy sub-view ordering satisfying the separator condition. *)
+let order_subviews g (subviews : string list list) =
+  match subviews with
+  | [] -> []
+  | first :: _ ->
+      let rec go visited_attrs chosen remaining =
+        if remaining = [] then List.rev chosen
+        else begin
+          let pick =
+            match
+              List.find_opt
+                (fun s -> separator_condition g visited_attrs s)
+                remaining
+            with
+            | Some s -> s
+            | None ->
+                (* cannot occur for maximal cliques of a chordal graph; be
+                   defensive and fall back to max-overlap *)
+                List.fold_left
+                  (fun best s ->
+                    let overlap l =
+                      List.length
+                        (List.filter (fun a -> List.mem a visited_attrs) l)
+                    in
+                    if overlap s > overlap best then s else best)
+                  (List.hd remaining) remaining
+          in
+          go
+            (visited_attrs @ List.filter (fun a -> not (List.mem a visited_attrs)) pick)
+            (pick :: chosen)
+            (List.filter (fun s -> s != pick) remaining)
+        end
+      in
+      go first [ first ] (List.filter (fun s -> s != first) subviews)
+
+(* Clique tree: maximum-weight spanning tree over cliques with edge weight
+   |intersection|, returned as a DFS preorder with parent links. The
+   running intersection property of chordal clique trees guarantees that
+   each clique's intersection with all earlier cliques is exactly its
+   separator with its tree parent — the fact the align-and-merge order and
+   the consistency constraints rely on (Sec. 4/5.1). *)
+type tree_node = {
+  clique : string list;
+  parent : int option;  (* index into the returned list *)
+  separator : string list;  (* intersection with the parent clique *)
+}
+
+let clique_tree cliques =
+  match cliques with
+  | [] -> []
+  | _ ->
+      let cl = Array.of_list (List.map SS.of_list cliques) in
+      let n = Array.length cl in
+      let weight i j = SS.cardinal (SS.inter cl.(i) cl.(j)) in
+      (* Prim's algorithm for the maximum spanning tree (forest when the
+         view-graph is disconnected: zero-weight links still attach) *)
+      let in_tree = Array.make n false in
+      let parent = Array.make n None in
+      let best_w = Array.make n (-1) in
+      best_w.(0) <- 0;
+      for _ = 1 to n do
+        let pick = ref (-1) in
+        for i = 0 to n - 1 do
+          if (not in_tree.(i)) && (!pick < 0 || best_w.(i) > best_w.(!pick))
+          then pick := i
+        done;
+        let i = !pick in
+        in_tree.(i) <- true;
+        for j = 0 to n - 1 do
+          if (not in_tree.(j)) && weight i j > best_w.(j) then begin
+            best_w.(j) <- weight i j;
+            parent.(j) <- Some i
+          end
+        done
+      done;
+      (* DFS preorder so parents precede children; zero-weight links are
+         severed (disconnected components each become a root) *)
+      let children = Array.make n [] in
+      let roots = ref [] in
+      Array.iteri
+        (fun j p ->
+          match p with
+          | Some i when weight i j > 0 -> children.(i) <- j :: children.(i)
+          | _ -> roots := j :: !roots)
+        parent;
+      let out = ref [] and count = ref 0 in
+      let rec visit parent_info i =
+        let parent_pos, separator =
+          match parent_info with
+          | Some (p_pos, p_idx) ->
+              (Some p_pos, SS.elements (SS.inter cl.(i) cl.(p_idx)))
+          | None -> (None, [])
+        in
+        let my_pos = !count in
+        incr count;
+        out :=
+          { clique = SS.elements cl.(i); parent = parent_pos; separator }
+          :: !out;
+        List.iter (visit (Some (my_pos, i))) (List.rev children.(i))
+      in
+      List.iter (visit None) (List.rev !roots);
+      List.rev !out
+
+(* one-call decomposition: CC attribute sets -> clique-tree-ordered
+   sub-views with parent separators *)
+let decompose nodes cc_attr_sets =
+  let g = of_ccs nodes cc_attr_sets in
+  let chordal, elim = chordal_completion g in
+  let cliques = maximal_cliques chordal elim in
+  (* keep the greedy separator-condition order as a cross-check in tests *)
+  let _ = order_subviews in
+  clique_tree cliques

@@ -1,0 +1,51 @@
+(** View-graph machinery (Sec. 3.2): a view's attributes are the nodes and
+    two attributes are adjacent when they co-occur in a CC. The graph is
+    chordalized, its maximal cliques become the sub-views, and a clique
+    tree provides the merge order whose running intersection property the
+    align-and-merge procedure relies on (Sec. 5.1.1). *)
+
+type t
+
+val create : string list -> t
+val add_edge : t -> string -> string -> unit
+val add_clique : t -> string list -> unit
+
+val of_ccs : string list -> string list list -> t
+(** [of_ccs nodes cc_attr_sets] inserts one clique per CC attribute set. *)
+
+val neighbors : t -> string -> Set.Make(String).t
+
+val chordal_completion : t -> t * string list
+(** Elimination game with a min-fill heuristic; returns the chordal
+    supergraph and the elimination order. *)
+
+val maximal_cliques : t -> string list -> string list list
+(** Maximal cliques of a chordal graph given its elimination order. *)
+
+val is_perfect_elimination : t -> string list -> bool
+(** Does every vertex's later neighborhood form a clique? (test helper) *)
+
+val separator_condition : t -> string list -> string list -> bool
+(** The paper's greedy merge-order condition (Sec. 5.1.1): may sub-view
+    [s] follow the visited attribute set, i.e. does removing the shared
+    vertices disconnect the remainders? *)
+
+val order_subviews : t -> string list list -> string list list
+(** Greedy ordering satisfying {!separator_condition} (legacy interface;
+    {!clique_tree} supersedes it). *)
+
+type tree_node = {
+  clique : string list;  (** the sub-view's attributes, sorted *)
+  parent : int option;  (** index of the tree parent in the returned list *)
+  separator : string list;  (** intersection with the parent clique *)
+}
+
+val clique_tree : string list list -> tree_node list
+(** Maximum-weight spanning tree over the cliques (weight = intersection
+    size), in DFS preorder: parents precede children, and by the running
+    intersection property each node's intersection with all earlier
+    cliques equals its separator. *)
+
+val decompose : string list -> string list list -> tree_node list
+(** One call: CC attribute sets -> chordalization -> maximal cliques ->
+    clique tree. *)

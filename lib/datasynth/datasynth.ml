@@ -1,0 +1,469 @@
+(* DataSynth baseline ([6, 7]), reimplemented from its description in the
+   paper for the comparative experiments (Sec. 7):
+
+   - grid partitioning: each sub-view's domain is cut into the full
+     cartesian grid of constraint-boundary intervals, one LP variable per
+     cell (vs. HYDRA's regions);
+   - sampling-based instantiation: tuples are drawn from the LP solution
+     distribution sub-view by sub-view (P(A,B), then P(C|B), ...), which
+     introduces multinomial noise into the satisfied cardinalities;
+   - integrity repair and relation extraction are performed by passes over
+     the fully materialized view instances, not over summaries.
+
+   The LP-variable blow-up on complex workloads is detected exactly
+   (without materializing the grid) and surfaces as [Crash], mirroring the
+   solver crash reported in the paper (Fig. 13). *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_core
+open Hydra_arith
+
+exception Crash of string
+
+type result = {
+  db : Database.t;
+  lp_vars : int;
+  solve_seconds : float;
+  materialize_seconds : float;
+  extra_tuples : (string * int) list;
+}
+
+(* deterministic PRNG shared with the benchmark generators so runs are
+   reproducible *)
+module Rng = struct
+  let create seed = Hydra_benchmarks.Distributions.rng (seed lxor 0x9E3779B9)
+  let below = Hydra_benchmarks.Distributions.below
+  let float = Hydra_benchmarks.Distributions.float
+end
+
+(* grid for one sub-view; boundaries come from ALL of the view's CCs so
+   grids of different sub-views align on shared attributes *)
+let subview_grid ~max_cells (view : Preprocess.view) attrs =
+  let domains =
+    Array.map
+      (fun a -> List.assoc a view.Preprocess.domains)
+      attrs
+  in
+  let all_preds =
+    Array.of_list
+      (List.map (fun (vc : Preprocess.view_cc) -> vc.Preprocess.pred)
+         view.Preprocess.view_ccs)
+  in
+  match Grid.materialize ~max_cells ~attrs ~domains all_preds with
+  | grid -> grid
+  | exception Grid.Too_large n ->
+      raise
+        (Crash
+           (Printf.sprintf
+              "grid for view %s sub-view (%s) needs %s LP variables"
+              view.Preprocess.vrel
+              (String.concat "," (Array.to_list attrs))
+              (Bigint.to_string n)))
+
+(* exact grid LP variable count per view without materialization (Fig. 12) *)
+let view_variable_count (view : Preprocess.view) =
+  let all_preds =
+    Array.of_list
+      (List.map (fun (vc : Preprocess.view_cc) -> vc.Preprocess.pred)
+         view.Preprocess.view_ccs)
+  in
+  List.fold_left
+    (fun acc (node : Hydra_core.Viewgraph.tree_node) ->
+      let attrs = Array.of_list node.Hydra_core.Viewgraph.clique in
+      let domains =
+        Array.map (fun a -> List.assoc a view.Preprocess.domains) attrs
+      in
+      Bigint.add acc (Grid.cell_count ~attrs ~domains all_preds))
+    Bigint.zero view.Preprocess.subviews
+
+let variable_counts schema ccs =
+  let views = Preprocess.run schema ccs in
+  List.map (fun v -> (v.Preprocess.vrel, view_variable_count v)) views
+
+(* ---- per-view LP over grid cells ---- *)
+
+type subview_lp = {
+  sl_attrs : string array;
+  sl_grid : Grid.t;
+  sl_var_base : int;
+}
+
+let applicable (view : Preprocess.view) attrs =
+  let scope = Array.to_list attrs in
+  (Predicate.true_, view.Preprocess.total)
+  :: List.filter_map
+       (fun (vc : Preprocess.view_cc) ->
+         if
+           List.for_all
+             (fun a -> List.mem a scope)
+             (Predicate.attrs vc.Preprocess.pred)
+         then Some (vc.Preprocess.pred, vc.Preprocess.card)
+         else None)
+       view.Preprocess.view_ccs
+
+let solve_view_grid ~max_cells (view : Preprocess.view) =
+  let lp = Hydra_lp.Lp.create () in
+  let subs =
+    List.map
+      (fun (node : Hydra_core.Viewgraph.tree_node) ->
+        let attrs = Array.of_list node.Hydra_core.Viewgraph.clique in
+        let grid = subview_grid ~max_cells view attrs in
+        let base = Hydra_lp.Lp.add_vars lp (Grid.num_cells grid) in
+        { sl_attrs = attrs; sl_grid = grid; sl_var_base = base })
+      view.Preprocess.subviews
+  in
+  (* CC constraints on each sub-view *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (pred, card) ->
+          let cells = Grid.cells_satisfying s.sl_grid pred in
+          Hydra_lp.Lp.add_eq_count lp
+            (List.map (fun i -> s.sl_var_base + i) cells)
+            card)
+        (applicable view s.sl_attrs))
+    subs;
+  (* consistency across sub-views: equal marginals per shared projection *)
+  let project s shared =
+    let dims =
+      List.map
+        (fun a ->
+          let rec go i = if s.sl_attrs.(i) = a then i else go (i + 1) in
+          go 0)
+        shared
+    in
+    fun (cell : Box.t) ->
+      List.map
+        (fun d -> (cell.(d).Interval.lo, cell.(d).Interval.hi))
+        dims
+  in
+  let rec pairs = function
+    | [] -> ()
+    | s1 :: rest ->
+        List.iter
+          (fun s2 ->
+            let shared =
+              Array.to_list s1.sl_attrs
+              |> List.filter (fun a -> Array.mem a s2.sl_attrs)
+            in
+            if shared <> [] then begin
+              let collect s =
+                let tbl = Hashtbl.create 64 in
+                Array.iteri
+                  (fun i cell ->
+                    let key = project s shared cell in
+                    let cur =
+                      try Hashtbl.find tbl key with Not_found -> []
+                    in
+                    Hashtbl.replace tbl key ((s.sl_var_base + i) :: cur))
+                  s.sl_grid.Grid.cells;
+                tbl
+              in
+              let t1 = collect s1 and t2 = collect s2 in
+              let keys = Hashtbl.create 64 in
+              Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t1;
+              Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t2;
+              Hashtbl.iter
+                (fun key () ->
+                  let v1 = try Hashtbl.find t1 key with Not_found -> [] in
+                  let v2 = try Hashtbl.find t2 key with Not_found -> [] in
+                  let terms =
+                    List.map (fun v -> (v, Rat.one)) v1
+                    @ List.map (fun v -> (v, Rat.minus_one)) v2
+                  in
+                  Hydra_lp.Lp.add_eq lp terms Rat.zero)
+                keys
+            end)
+          rest;
+        pairs rest
+  in
+  pairs subs;
+  let solution =
+    match Hydra_lp.Simplex.solve lp with
+    | Hydra_lp.Simplex.Feasible x -> x
+    | Hydra_lp.Simplex.Infeasible ->
+        raise (Crash ("infeasible grid LP for view " ^ view.Preprocess.vrel))
+    | Hydra_lp.Simplex.Unbounded -> assert false
+  in
+  (subs, solution, Hydra_lp.Lp.num_vars lp)
+
+(* ---- sampling-based view instantiation (the [6] algorithm) ---- *)
+
+(* weighted sampler over (value array, weight) entries *)
+let make_sampler entries =
+  let entries = Array.of_list entries in
+  let cum = Array.make (Array.length entries + 1) 0.0 in
+  Array.iteri (fun i (_, w) -> cum.(i + 1) <- cum.(i) +. w) entries;
+  let total = cum.(Array.length entries) in
+  fun rng ->
+    if total <= 0.0 then fst entries.(0)
+    else begin
+      let x = Rng.float rng *. total in
+      let lo = ref 0 and hi = ref (Array.length entries - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cum.(mid + 1) <= x then lo := mid + 1 else hi := mid
+      done;
+      fst entries.(!lo)
+    end
+
+(* concrete value inside a sampled cell: DataSynth instantiates
+   probabilistically, which is precisely why its integrity-repair errors
+   are amplified (Sec. 7.1) — a sampled fact-view combination may use a
+   value the independently sampled dimension view never produced. HYDRA's
+   deterministic left-corner rule avoids this. *)
+let sample_value rng (ivl : Interval.t) =
+  if Interval.width ivl > 1 && Rng.below rng 4 = 0 then ivl.Interval.lo + 1
+  else ivl.Interval.lo
+
+let instantiate_view rng (view : Preprocess.view) subs solution =
+  let n = view.Preprocess.total in
+  (* weights per cell of each sub-view *)
+  let weights s =
+    Array.mapi
+      (fun i cell ->
+        (cell, Rat.to_float solution.(s.sl_var_base + i)))
+      s.sl_grid.Grid.cells
+    |> Array.to_list
+    |> List.filter (fun (_, w) -> w > 0.0)
+  in
+  match subs with
+  | [] ->
+      (* attribute-less view (pure link relation): n empty tuples *)
+      ([||], List.init n (fun _ -> [||]))
+  | first :: rest ->
+      (* first sub-view: joint sampler; later sub-views: conditional
+         samplers keyed by the shared-attribute projection *)
+      let first_sampler = make_sampler (weights first) in
+      (* attribute order of the instantiated view *)
+      let placed = ref (Array.to_list first.sl_attrs) in
+      let samplers =
+        List.map
+          (fun s ->
+            let shared =
+              Array.to_list s.sl_attrs
+              |> List.filter (fun a -> List.mem a !placed)
+            in
+            let dims =
+              List.map
+                (fun a ->
+                  let rec go i = if s.sl_attrs.(i) = a then i else go (i + 1) in
+                  go 0)
+                shared
+            in
+            let groups = Hashtbl.create 64 in
+            List.iter
+              (fun ((cell : Box.t), w) ->
+                let key =
+                  List.map
+                    (fun d -> (cell.(d).Interval.lo, cell.(d).Interval.hi))
+                    dims
+                in
+                let cur = try Hashtbl.find groups key with Not_found -> [] in
+                Hashtbl.replace groups key ((cell, w) :: cur))
+              (weights s);
+            let samplers = Hashtbl.create 64 in
+            Hashtbl.iter
+              (fun key entries ->
+                Hashtbl.replace samplers key (make_sampler entries))
+              groups;
+            placed :=
+              !placed
+              @ List.filter (fun a -> not (List.mem a !placed))
+                  (Array.to_list s.sl_attrs);
+            (s, shared, samplers))
+          rest
+      in
+      let all_attrs = Array.of_list !placed in
+      let attr_pos a =
+        let rec go i = if all_attrs.(i) = a then i else go (i + 1) in
+        go 0
+      in
+      let tuples = ref [] in
+      for _ = 1 to n do
+        let values = Array.make (Array.length all_attrs) 0 in
+        let assigned = Hashtbl.create 8 in
+        (* first sub-view: draw a cell, fix its attributes *)
+        let cell = first_sampler rng in
+        Array.iteri
+          (fun d a ->
+            values.(attr_pos a) <- sample_value rng cell.(d);
+            Hashtbl.replace assigned a cell.(d))
+          first.sl_attrs;
+        List.iter
+          (fun (s, shared, samplers) ->
+            let key =
+              List.map
+                (fun a ->
+                  let iv : Interval.t = Hashtbl.find assigned a in
+                  (iv.Interval.lo, iv.Interval.hi))
+                shared
+            in
+            match Hashtbl.find_opt samplers key with
+            | None ->
+                (* conditional group empty (possible under sampling noise):
+                   keep defaults at domain floor *)
+                Array.iteri
+                  (fun d a ->
+                    if not (Hashtbl.mem assigned a) then begin
+                      values.(attr_pos a) <- s.sl_grid.Grid.domains.(d).Interval.lo;
+                      Hashtbl.replace assigned a s.sl_grid.Grid.domains.(d)
+                    end)
+                  s.sl_attrs
+            | Some sampler ->
+                let cell = sampler rng in
+                Array.iteri
+                  (fun d a ->
+                    if not (Hashtbl.mem assigned a) then begin
+                      values.(attr_pos a) <- sample_value rng cell.(d);
+                      Hashtbl.replace assigned a cell.(d)
+                    end)
+                  s.sl_attrs)
+          samplers;
+        tuples := values :: !tuples
+      done;
+      (all_attrs, !tuples)
+
+(* ---- full pipeline: materialize views, repair integrity by passes over
+   the instances, extract relations ---- *)
+
+(* hash key for a value combination: a marshalled string hashes and
+   compares at C speed, unlike boxed int lists — the repair and
+   extraction passes touch every tuple of every materialized view *)
+let combo_key (t : int array) : string = Marshal.to_string t []
+
+let regenerate ?(seed = 7) ?(max_cells = 200_000) ?(sizes = []) schema ccs =
+  let rng = Rng.create seed in
+  let ccs = Pipeline.complete_size_ccs schema ccs sizes in
+  let views = Preprocess.run schema ccs in
+  let t0 = Unix.gettimeofday () in
+  let solved =
+    List.map
+      (fun view ->
+        let subs, solution, nvars = solve_view_grid ~max_cells view in
+        (view, subs, solution, nvars))
+      views
+  in
+  let solve_seconds = Unix.gettimeofday () -. t0 in
+  let lp_vars =
+    List.fold_left (fun acc (_, _, _, n) -> acc + n) 0 solved
+  in
+  let t1 = Unix.gettimeofday () in
+  (* materialize every view instance by sampling *)
+  let instances =
+    List.map
+      (fun (view, subs, solution, _) ->
+        let attrs, tuples = instantiate_view rng view subs solution in
+        (view.Preprocess.vrel, (attrs, ref tuples)))
+      solved
+  in
+  (* integrity repair: passes over full instances, dependents first *)
+  let extra = Hashtbl.create 8 in
+  let rev_topo = List.rev (Schema.topo_order schema) in
+  List.iter
+    (fun rname ->
+      let vi_attrs, vi_tuples = List.assoc rname instances in
+      let r = Schema.find schema rname in
+      List.iter
+        (fun (_, target) ->
+          let vj_attrs, vj_tuples = List.assoc target instances in
+          let proj =
+            Array.map
+              (fun a ->
+                let rec go i = if vi_attrs.(i) = a then i else go (i + 1) in
+                go 0)
+              vj_attrs
+          in
+          let present = Hashtbl.create 1024 in
+          List.iter
+            (fun t -> Hashtbl.replace present (combo_key t) ())
+            !vj_tuples;
+          let added = ref 0 in
+          List.iter
+            (fun t ->
+              let combo = Array.map (fun i -> t.(i)) proj in
+              let key = combo_key combo in
+              if not (Hashtbl.mem present key) then begin
+                Hashtbl.replace present key ();
+                vj_tuples := combo :: !vj_tuples;
+                incr added
+              end)
+            !vi_tuples;
+          if !added > 0 then
+            Hashtbl.replace extra target
+              (!added + try Hashtbl.find extra target with Not_found -> 0))
+        r.Schema.fks)
+    rev_topo;
+  (* extract relations: fk = 1-based index of the first matching tuple *)
+  let db = Database.create schema in
+  let indexes = Hashtbl.create 8 in
+  List.iter
+    (fun rname ->
+      let _, vj_tuples = List.assoc rname instances in
+      let idx = Hashtbl.create 1024 in
+      List.iteri
+        (fun i t ->
+          let key = combo_key t in
+          if not (Hashtbl.mem idx key) then Hashtbl.replace idx key (i + 1))
+        (List.rev !vj_tuples);
+      Hashtbl.replace indexes rname idx)
+    (Schema.topo_order schema);
+  List.iter
+    (fun rname ->
+      let vi_attrs, vi_tuples = List.assoc rname instances in
+      let r = Schema.find schema rname in
+      let tuples = List.rev !vi_tuples in
+      let cols = Schema.columns r in
+      let table = Table.create rname cols in
+      let fk_projs =
+        List.map
+          (fun (_, target) ->
+            let vj_attrs, _ = List.assoc target instances in
+            let proj =
+              Array.map
+                (fun a ->
+                  let rec go i = if vi_attrs.(i) = a then i else go (i + 1) in
+                  go 0)
+                vj_attrs
+            in
+            (proj, Hashtbl.find indexes target))
+          r.Schema.fks
+      in
+      let own_idx =
+        List.map
+          (fun a ->
+            let q = Schema.qualify rname a.Schema.aname in
+            let rec go i = if vi_attrs.(i) = q then i else go (i + 1) in
+            go 0)
+          r.Schema.attrs
+      in
+      List.iteri
+        (fun rowno t ->
+          let fk_vals =
+            List.map
+              (fun (proj, idx) ->
+                let combo = combo_key (Array.map (fun i -> t.(i)) proj) in
+                match Hashtbl.find_opt idx combo with
+                | Some p -> p
+                | None -> 1 (* unreachable after repair *))
+              fk_projs
+          in
+          let attr_vals = List.map (fun i -> t.(i)) own_idx in
+          Table.add_row table
+            (Array.of_list ((rowno + 1) :: (fk_vals @ attr_vals))))
+        tuples;
+      Database.bind_table db table)
+    (Schema.topo_order schema);
+  let materialize_seconds = Unix.gettimeofday () -. t1 in
+  {
+    db;
+    lp_vars;
+    solve_seconds;
+    materialize_seconds;
+    extra_tuples =
+      List.map
+        (fun rname ->
+          (rname, try Hashtbl.find extra rname with Not_found -> 0))
+        (Schema.topo_order schema);
+  }

@@ -1,0 +1,56 @@
+(** DataSynth baseline ([6, 7] in the paper), reimplemented from its
+    description for the comparative experiments of Sec. 7:
+
+    - {e grid partitioning}: every sub-view becomes the full cartesian
+      grid of constraint-boundary intervals, one LP variable per cell;
+    - {e sampling-based instantiation}: tuples are drawn sub-view by
+      sub-view from the LP solution distribution (P(A,B), then P(C|B)),
+      introducing multinomial noise and both positive and negative CC
+      errors;
+    - {e materialized passes}: integrity repair and relation extraction
+      operate on fully instantiated views, not summaries.
+
+    The LP-variable blow-up on complex workloads is detected exactly,
+    without materializing the grid, and surfaces as {!Crash} — the
+    solver-crash regime of Fig. 13. *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_core
+open Hydra_arith
+
+exception Crash of string
+
+type result = {
+  db : Database.t;  (** fully materialized synthetic database *)
+  lp_vars : int;
+  solve_seconds : float;
+  materialize_seconds : float;
+  extra_tuples : (string * int) list;  (** integrity-repair additions *)
+}
+
+val view_variable_count : Preprocess.view -> Bigint.t
+(** Exact grid LP size for one view, no materialization (Fig. 12). *)
+
+val variable_counts : Schema.t -> Hydra_workload.Cc.t list -> (string * Bigint.t) list
+
+type subview_lp = {
+  sl_attrs : string array;
+  sl_grid : Grid.t;
+  sl_var_base : int;  (** first LP variable of this sub-view's grid *)
+}
+
+val solve_view_grid :
+  max_cells:int -> Preprocess.view -> subview_lp list * Rat.t array * int
+(** Build and solve the grid LP of one view; returns the sub-view grids,
+    the (fractional) solution, and the variable count.
+    @raise Crash when a grid exceeds [max_cells] or the LP is infeasible. *)
+
+val regenerate :
+  ?seed:int ->
+  ?max_cells:int ->
+  ?sizes:(string * int) list ->
+  Schema.t -> Hydra_workload.Cc.t list -> result
+(** The full DataSynth pipeline: grid LPs, per-tuple sampling,
+    materialized integrity repair, relation extraction.
+    @raise Crash in the grid blow-up regime. *)

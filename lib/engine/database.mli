@@ -1,0 +1,36 @@
+(** A database instance: a schema plus one tuple source per relation.
+
+    A source is either a stored table or a virtual, generated-on-demand
+    source — the paper's [datagen] scan property (Sec. 6). When a relation
+    is bound to a generated source, the executor never touches stored
+    rows for it. *)
+
+open Hydra_rel
+
+type source =
+  | Stored of Table.t
+  | Generated of generated
+
+and generated = {
+  gen_rows : int;  (** virtual row count *)
+  gen_col : string -> int -> int;  (** column name -> row index -> value *)
+}
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val bind : t -> string -> source -> unit
+val bind_table : t -> Table.t -> unit
+
+val source : t -> string -> source
+(** @raise Invalid_argument when the relation is not bound. *)
+
+val nrows : t -> string -> int
+
+val reader : t -> string -> string -> int -> int
+(** [reader db rel col] is a row-index-to-value accessor closure; for
+    generated relations the closure may keep a scan cursor, so obtain a
+    fresh reader per traversal. *)
+
+val relation_names : t -> string list

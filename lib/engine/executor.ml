@@ -1,0 +1,174 @@
+(* Plan execution with per-operator output cardinalities.
+
+   Results are binding sets in struct-of-arrays form: for each relation in
+   scope, a parallel array of row indices. This keeps multi-way join
+   results compact and makes cardinality counting free. *)
+
+open Hydra_rel
+
+type rset = {
+  width : int;  (* number of result rows *)
+  bindings : (string * int array) list;  (* relation -> row ids *)
+}
+
+(* annotated operator tree: the paper's AQP (Sec. 2.1) *)
+type annotated = {
+  op : string;
+  card : int;
+  children : annotated list;
+}
+
+let empty_rset = { width = 0; bindings = [] }
+
+let binding rset rname =
+  match List.assoc_opt rname rset.bindings with
+  | Some rows -> rows
+  | None -> invalid_arg (Printf.sprintf "Executor: relation %S not in scope" rname)
+
+(* qualified-attribute lookup for a given result row *)
+let lookup_fn db rset =
+  (* pre-resolve readers per attribute on first use *)
+  let cache = Hashtbl.create 8 in
+  fun i qattr ->
+    let rd, rows =
+      match Hashtbl.find_opt cache qattr with
+      | Some v -> v
+      | None ->
+          let rname, aname = Schema.split_qualified qattr in
+          let v = (Database.reader db rname aname, binding rset rname) in
+          Hashtbl.add cache qattr v;
+          v
+    in
+    rd rows.(i)
+
+let filter_rset db rset pred =
+  let lookup = lookup_fn db rset in
+  let keep = ref [] in
+  let n = ref 0 in
+  for i = rset.width - 1 downto 0 do
+    if Predicate.eval (fun a -> lookup i a) pred then begin
+      keep := i :: !keep;
+      incr n
+    end
+  done;
+  let sel = Array.of_list !keep in
+  {
+    width = !n;
+    bindings =
+      List.map (fun (r, rows) -> (r, Array.map (fun i -> rows.(i)) sel)) rset.bindings;
+  }
+
+(* PK-FK hash join: probe side carries the fk, build side is the pk
+   relation's current binding set. Handles both N:1 (fact->dim) and 1:N
+   directions because the build side may contain duplicates of a pk value
+   only if the pk relation was already joined — with true PK-FK schemas the
+   build key is unique per base row. *)
+let join_rset db left right spec =
+  let fk_rel, fk_attr = Schema.split_qualified spec.Plan.fk_col in
+  let pk_name = (Schema.find (Database.schema db) spec.Plan.pk_rel).Schema.pk in
+  let pk_read = Database.reader db spec.Plan.pk_rel pk_name in
+  let right_rows = binding right spec.Plan.pk_rel in
+  (* build: pk value -> positions in the right rset *)
+  let build = Hashtbl.create (max 16 right.width) in
+  for j = 0 to right.width - 1 do
+    let v = pk_read right_rows.(j) in
+    Hashtbl.add build v j
+  done;
+  let fk_read = Database.reader db fk_rel fk_attr in
+  let left_rows = binding left fk_rel in
+  (* probe *)
+  let pairs = ref [] and n = ref 0 in
+  for i = left.width - 1 downto 0 do
+    let v = fk_read left_rows.(i) in
+    List.iter
+      (fun j ->
+        pairs := (i, j) :: !pairs;
+        incr n)
+      (Hashtbl.find_all build v)
+  done;
+  let pairs = Array.of_list !pairs in
+  let take_left rows = Array.map (fun (i, _) -> rows.(i)) pairs in
+  let take_right rows = Array.map (fun (_, j) -> rows.(j)) pairs in
+  {
+    width = !n;
+    bindings =
+      List.map (fun (r, rows) -> (r, take_left rows)) left.bindings
+      @ List.map (fun (r, rows) -> (r, take_right rows)) right.bindings;
+  }
+
+(* duplicate elimination: keep the first result row of each distinct value
+   combination of the grouping attributes *)
+let group_rset db rset attrs =
+  let lookup = lookup_fn db rset in
+  let seen = Hashtbl.create (max 16 rset.width) in
+  let keep = ref [] and n = ref 0 in
+  for i = 0 to rset.width - 1 do
+    let key = List.map (fun a -> lookup i a) attrs in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      keep := i :: !keep;
+      incr n
+    end
+  done;
+  let sel = Array.of_list (List.rev !keep) in
+  {
+    width = !n;
+    bindings =
+      List.map
+        (fun (r, rows) -> (r, Array.map (fun i -> rows.(i)) sel))
+        rset.bindings;
+  }
+
+let rec exec db plan =
+  match plan with
+  | Plan.Scan rname ->
+      let n = Database.nrows db rname in
+      let rset = { width = n; bindings = [ (rname, Array.init n Fun.id) ] } in
+      (rset, { op = "Scan(" ^ rname ^ ")"; card = n; children = [] })
+  | Plan.Filter (pred, child) ->
+      let child_rset, child_ann = exec db child in
+      let rset = filter_rset db child_rset pred in
+      ( rset,
+        {
+          op = Format.asprintf "Filter(%a)" Predicate.pp pred;
+          card = rset.width;
+          children = [ child_ann ];
+        } )
+  | Plan.Group_by (attrs, child) ->
+      let child_rset, child_ann = exec db child in
+      let rset = group_rset db child_rset attrs in
+      ( rset,
+        {
+          op = Printf.sprintf "GroupBy(%s)" (String.concat "," attrs);
+          card = rset.width;
+          children = [ child_ann ];
+        } )
+  | Plan.Join (l, r, spec) ->
+      let lres, lann = exec db l in
+      let rres, rann = exec db r in
+      let rset = join_rset db lres rres spec in
+      ( rset,
+        {
+          op = Printf.sprintf "Join(%s=%s.pk)" spec.Plan.fk_col spec.Plan.pk_rel;
+          card = rset.width;
+          children = [ lann; rann ];
+        } )
+
+let cardinality db plan = (snd (exec db plan)).card
+
+(* streaming aggregate over a base relation, bypassing rset materialization;
+   used by the data-supply-time experiment (Fig. 15) where the query is a
+   simple aggregate and the cost is dominated by tuple supply *)
+let aggregate_sum db rname cname =
+  let n = Database.nrows db rname in
+  let rd = Database.reader db rname cname in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + rd i
+  done;
+  !acc
+
+let rec pp_annotated fmt a =
+  Format.fprintf fmt "@[<v 2>%s [card=%d]" a.op a.card;
+  List.iter (fun c -> Format.fprintf fmt "@,%a" pp_annotated c) a.children;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,34 @@
+(** Plan execution with per-operator output cardinalities.
+
+    Executing a plan yields both a binding set (struct-of-arrays of row
+    indices per relation in scope) and an annotated operator tree carrying
+    each operator's output row count — the paper's AQP (Sec. 2.1), from
+    which cardinality constraints are harvested. *)
+
+
+type rset = {
+  width : int;  (** number of result rows *)
+  bindings : (string * int array) list;  (** relation -> row ids *)
+}
+
+type annotated = {
+  op : string;  (** operator description for display *)
+  card : int;  (** output cardinality of this operator *)
+  children : annotated list;
+}
+
+val empty_rset : rset
+val binding : rset -> string -> int array
+
+val exec : Database.t -> Plan.t -> rset * annotated
+(** Execute a plan; scans respect each relation's source (stored or
+    generated). *)
+
+val cardinality : Database.t -> Plan.t -> int
+(** Root output cardinality only. *)
+
+val aggregate_sum : Database.t -> string -> string -> int
+(** [aggregate_sum db rel col] streams the full relation and sums [col] —
+    the aggregate-query shape of the data-supply experiment (Fig. 15). *)
+
+val pp_annotated : Format.formatter -> annotated -> unit

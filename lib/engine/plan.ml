@@ -1,0 +1,40 @@
+(* Query execution plans. The workload class of the paper (Sec. 2.2):
+   selections with DNF filter predicates on non-key attributes, and PK-FK
+   equi-joins, composed into (typically left-deep) trees. *)
+
+open Hydra_rel
+
+type join_spec = {
+  fk_col : string;  (* qualified foreign-key column, e.g. "R.S_fk" *)
+  pk_rel : string;  (* target relation whose pk it references *)
+}
+
+type t =
+  | Scan of string
+  | Filter of Predicate.t * t
+  | Join of t * t * join_spec  (* fk side is the left input *)
+  | Group_by of string list * t
+      (* duplicate elimination on the qualified attributes: the cardinality
+         of a grouping operator's output (the paper's future-work item) *)
+
+let rec relations = function
+  | Scan r -> [ r ]
+  | Filter (_, p) -> relations p
+  | Join (l, r, _) -> relations l @ relations r
+  | Group_by (_, p) -> relations p
+
+let rec filters = function
+  | Scan _ -> []
+  | Filter (p, n) -> p :: filters n
+  | Join (l, r, _) -> filters l @ filters r
+  | Group_by (_, n) -> filters n
+
+let rec pp fmt = function
+  | Scan r -> Format.fprintf fmt "Scan(%s)" r
+  | Filter (p, n) -> Format.fprintf fmt "Filter(%a, %a)" Predicate.pp p pp n
+  | Join (l, r, j) ->
+      Format.fprintf fmt "Join(%a, %a, %s=%s.pk)" pp l pp r j.fk_col j.pk_rel
+  | Group_by (attrs, n) ->
+      Format.fprintf fmt "GroupBy(%s, %a)" (String.concat "," attrs) pp n
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,28 @@
+(** Query execution plans for the workload class of the paper (Sec. 2.2):
+    DNF filters on non-key attributes and PK-FK equi-joins, composed into
+    (typically left-deep) trees. *)
+
+open Hydra_rel
+
+type join_spec = {
+  fk_col : string;  (** qualified foreign-key column, e.g. ["R.S_fk"] *)
+  pk_rel : string;  (** relation whose primary key it references *)
+}
+
+type t =
+  | Scan of string
+  | Filter of Predicate.t * t
+  | Join of t * t * join_spec  (** the fk side is the left input *)
+  | Group_by of string list * t
+      (** duplicate elimination on the qualified attributes — the output
+          cardinality of a grouping operator (the paper's future-work
+          extension, supported here end to end) *)
+
+val relations : t -> string list
+(** Base relations scanned, in plan order (with duplicates if re-scanned). *)
+
+val filters : t -> Predicate.t list
+(** Every filter predicate in the tree. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,61 @@
+open Hydra_arith
+
+type status =
+  | Solution of Bigint.t array
+  | Infeasible
+  | Gave_up
+
+let check lp xi =
+  let x = Array.map Rat.of_bigint xi in
+  Array.for_all (fun v -> Bigint.sign v >= 0) xi && Lp.check lp x
+
+let fractional x =
+  (* index of the first non-integer coordinate, if any *)
+  let n = Array.length x in
+  let rec go i =
+    if i >= n then None
+    else if Rat.is_integer x.(i) then go (i + 1)
+    else Some i
+  in
+  go 0
+
+(* Clone [lp]'s variables and constraints, then add branching bounds
+   (var, `Le k) / (var, `Ge k). *)
+let with_bounds lp bounds =
+  let lp' = Lp.create () in
+  ignore (Lp.add_vars lp' (Lp.num_vars lp));
+  List.iter
+    (fun (c : Lp.constr) -> Lp.add_constraint lp' c.Lp.terms c.Lp.rel c.Lp.rhs)
+    (Lp.constraints lp);
+  List.iter
+    (fun (v, bound) ->
+      match bound with
+      | `Le k -> Lp.add_constraint lp' [ (v, Rat.one) ] Lp.Le (Rat.of_bigint k)
+      | `Ge k -> Lp.add_constraint lp' [ (v, Rat.one) ] Lp.Ge (Rat.of_bigint k))
+    bounds;
+  lp'
+
+let solve ?(max_nodes = 2000) lp =
+  let nodes = ref 0 in
+  let exception Out_of_budget in
+  (* DFS over branching decisions; bounds accumulate along the path *)
+  let rec branch bounds =
+    if !nodes >= max_nodes then raise Out_of_budget;
+    incr nodes;
+    let sub = if bounds = [] then lp else with_bounds lp bounds in
+    match Simplex.solve sub with
+    | Simplex.Infeasible -> None
+    | Simplex.Unbounded -> None (* cannot happen without an objective *)
+    | Simplex.Feasible x -> (
+        match fractional x with
+        | None -> Some (Array.map (fun v -> Rat.num v) x)
+        | Some i -> (
+            let f = Rat.floor x.(i) in
+            match branch ((i, `Le f) :: bounds) with
+            | Some s -> Some s
+            | None -> branch ((i, `Ge (Bigint.succ f)) :: bounds)))
+  in
+  match branch [] with
+  | Some s -> Solution s
+  | None -> Infeasible
+  | exception Out_of_budget -> Gave_up

@@ -1,0 +1,95 @@
+open Hydra_arith
+
+type relation = Eq | Le | Ge
+
+type constr = {
+  terms : (int * Rat.t) list;
+  rel : relation;
+  rhs : Rat.t;
+}
+
+type t = {
+  mutable nvars : int;
+  mutable names : string list;  (* reversed *)
+  mutable constrs : constr list;  (* reversed *)
+  mutable nconstrs : int;
+}
+
+let create () = { nvars = 0; names = []; constrs = []; nconstrs = 0 }
+
+let add_var lp ?name () =
+  let i = lp.nvars in
+  let name = match name with Some n -> n | None -> Printf.sprintf "x%d" i in
+  lp.nvars <- i + 1;
+  lp.names <- name :: lp.names;
+  i
+
+let add_vars lp n =
+  let first = lp.nvars in
+  for _ = 1 to n do
+    ignore (add_var lp ())
+  done;
+  first
+
+let num_vars lp = lp.nvars
+let num_constraints lp = lp.nconstrs
+
+let var_name lp i =
+  if i < 0 || i >= lp.nvars then invalid_arg "Lp.var_name";
+  List.nth lp.names (lp.nvars - 1 - i)
+
+let add_constraint lp terms rel rhs =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= lp.nvars then
+        invalid_arg
+          (Printf.sprintf "Lp.add_constraint: unknown variable %d" v))
+    terms;
+  lp.constrs <- { terms; rel; rhs } :: lp.constrs;
+  lp.nconstrs <- lp.nconstrs + 1
+
+let add_eq lp terms rhs = add_constraint lp terms Eq rhs
+
+let add_eq_count lp vars k =
+  add_eq lp (List.map (fun v -> (v, Rat.one)) vars) (Rat.of_int k)
+
+let constraints lp = List.rev lp.constrs
+
+let eval_terms terms x =
+  List.fold_left
+    (fun acc (v, c) -> Rat.add acc (Rat.mul c x.(v)))
+    Rat.zero terms
+
+let residual c x =
+  let lhs = eval_terms c.terms x in
+  match c.rel with
+  | Eq -> Rat.sub lhs c.rhs
+  | Le -> Rat.max Rat.zero (Rat.sub lhs c.rhs)
+  | Ge -> Rat.max Rat.zero (Rat.sub c.rhs lhs)
+
+let check lp x =
+  Array.length x = lp.nvars
+  && Array.for_all (fun v -> Rat.sign v >= 0) x
+  && List.for_all (fun c -> Rat.is_zero (residual c x)) (constraints lp)
+
+let residuals lp x = List.map (fun c -> residual c x) (constraints lp)
+
+let pp fmt lp =
+  Format.fprintf fmt "@[<v>LP with %d vars, %d constraints@," lp.nvars
+    lp.nconstrs;
+  let pp_rel fmt = function
+    | Eq -> Format.pp_print_string fmt "="
+    | Le -> Format.pp_print_string fmt "<="
+    | Ge -> Format.pp_print_string fmt ">="
+  in
+  List.iter
+    (fun c ->
+      List.iteri
+        (fun i (v, coef) ->
+          if i > 0 then Format.fprintf fmt " + ";
+          if Rat.equal coef Rat.one then Format.fprintf fmt "x%d" v
+          else Format.fprintf fmt "%a*x%d" Rat.pp coef v)
+        c.terms;
+      Format.fprintf fmt " %a %a@," pp_rel c.rel Rat.pp c.rhs)
+    (constraints lp);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,52 @@
+(** Linear-program model builder.
+
+    A problem is a set of non-negative variables and sparse linear
+    constraints with exact rational coefficients. HYDRA only needs
+    feasibility (any solution of the cardinality-constraint system), so
+    there is no objective beyond the phase-I artificial objective used
+    internally by the solver. *)
+
+open Hydra_arith
+
+type relation = Eq | Le | Ge
+
+type constr = {
+  terms : (int * Rat.t) list;  (** [(variable index, coefficient)] pairs *)
+  rel : relation;
+  rhs : Rat.t;
+}
+
+type t
+
+val create : unit -> t
+
+val add_var : t -> ?name:string -> unit -> int
+(** Registers a fresh non-negative variable and returns its index. *)
+
+val add_vars : t -> int -> int
+(** [add_vars lp n] registers [n] fresh variables, returning the index of
+    the first; the block is contiguous. *)
+
+val num_vars : t -> int
+val num_constraints : t -> int
+val var_name : t -> int -> string
+
+val add_constraint : t -> (int * Rat.t) list -> relation -> Rat.t -> unit
+(** @raise Invalid_argument when a term references an unknown variable. *)
+
+val add_eq : t -> (int * Rat.t) list -> Rat.t -> unit
+val add_eq_count : t -> int list -> int -> unit
+(** [add_eq_count lp vars k] adds [sum vars = k] with unit coefficients,
+    the shape of every cardinality constraint. *)
+
+val constraints : t -> constr list
+(** In insertion order. *)
+
+val check : t -> Rat.t array -> bool
+(** [check lp x] tells whether [x] satisfies every constraint and every
+    non-negativity bound exactly. *)
+
+val residuals : t -> Rat.t array -> Rat.t list
+(** Signed violation of each constraint under [x] (zero when satisfied). *)
+
+val pp : Format.formatter -> t -> unit

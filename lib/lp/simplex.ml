@@ -1,0 +1,342 @@
+open Hydra_arith
+
+type status =
+  | Feasible of Rat.t array
+  | Infeasible
+  | Unbounded
+
+type stats = { iterations : int; rows : int; cols : int }
+
+let stats = ref { iterations = 0; rows = 0; cols = 0 }
+let last_stats () = !stats
+
+(* Internal problem in computational form:
+     minimize c.x  s.t.  A x = b,  x >= 0,  b >= 0
+   Columns are stored sparsely; the basis inverse is dense (m x m). *)
+
+type tableau = {
+  m : int;  (* rows *)
+  n : int;  (* columns, incl. slacks and artificials *)
+  cols : (int * Rat.t) list array;  (* col -> (row, coef) list *)
+  b : Rat.t array;
+  art_first : int;  (* first artificial column index; n if none *)
+}
+
+let build_tableau lp =
+  let constrs = Array.of_list (Lp.constraints lp) in
+  let m = Array.length constrs in
+  let nstruct = Lp.num_vars lp in
+  (* normalize rows so rhs >= 0 *)
+  let rows =
+    Array.map
+      (fun (c : Lp.constr) ->
+        if Rat.sign c.Lp.rhs < 0 then
+          let terms = List.map (fun (v, k) -> (v, Rat.neg k)) c.Lp.terms in
+          let rel =
+            match c.Lp.rel with Lp.Eq -> Lp.Eq | Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le
+          in
+          (terms, rel, Rat.neg c.Lp.rhs)
+        else (c.Lp.terms, c.Lp.rel, c.Lp.rhs))
+      constrs
+  in
+  (* count slacks *)
+  let nslack =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Lp.Eq -> acc | _ -> acc + 1)
+      0 rows
+  in
+  let art_first = nstruct + nslack in
+  (* every row gets an artificial except Le rows, whose slack can start basic *)
+  let nart =
+    Array.fold_left
+      (fun acc (_, rel, _) -> if rel = Lp.Le then acc else acc + 1)
+      0 rows
+  in
+  let n = art_first + nart in
+  let cols = Array.make n [] in
+  let b = Array.make m Rat.zero in
+  let basis = Array.make m (-1) in
+  let slack = ref nstruct and art = ref art_first in
+  Array.iteri
+    (fun i (terms, rel, rhs) ->
+      b.(i) <- rhs;
+      (* accumulate duplicate variable mentions within a row *)
+      let tbl = Hashtbl.create (List.length terms) in
+      List.iter
+        (fun (v, k) ->
+          let prev = try Hashtbl.find tbl v with Not_found -> Rat.zero in
+          Hashtbl.replace tbl v (Rat.add prev k))
+        terms;
+      Hashtbl.iter
+        (fun v k ->
+          if not (Rat.is_zero k) then cols.(v) <- (i, k) :: cols.(v))
+        tbl;
+      (match rel with
+      | Lp.Le ->
+          cols.(!slack) <- [ (i, Rat.one) ];
+          basis.(i) <- !slack;
+          incr slack
+      | Lp.Ge ->
+          cols.(!slack) <- [ (i, Rat.minus_one) ];
+          incr slack
+      | Lp.Eq -> ());
+      match rel with
+      | Lp.Le -> ()
+      | Lp.Eq | Lp.Ge ->
+          cols.(!art) <- [ (i, Rat.one) ];
+          basis.(i) <- !art;
+          incr art)
+    rows;
+  ({ m; n; cols; b; art_first }, basis)
+
+(* y.A_j for a sparse column *)
+let dot_col y col =
+  List.fold_left (fun acc (i, k) -> Rat.add acc (Rat.mul y.(i) k)) Rat.zero col
+
+(* Binv . A_j *)
+let binv_col binv m col =
+  let d = Array.make m Rat.zero in
+  for i = 0 to m - 1 do
+    let row = binv.(i) in
+    d.(i) <- List.fold_left
+        (fun acc (r, k) -> Rat.add acc (Rat.mul row.(r) k))
+        Rat.zero col
+  done;
+  d
+
+(* One simplex run minimizing cost vector [c] (length n) from the given
+   basis state. [allowed j] filters columns that may enter. Mutates binv,
+   basis, xb. Returns `Optimal or `Unbounded.
+
+   Pricing is Dantzig's rule (most negative reduced cost) for speed; after
+   a run of consecutive degenerate pivots it falls back to Bland's rule,
+   whose anti-cycling guarantee restores termination. *)
+let optimize t binv basis xb c allowed iter_count =
+  let { m; n; cols; _ } = t in
+  let y = Array.make m Rat.zero in
+  let in_basis = Array.make n false in
+  Array.iter (fun j -> in_basis.(j) <- true) basis;
+  let degenerate_run = ref 0 in
+  let rr_start = ref 0 in
+  let bland_threshold =
+    match Sys.getenv_opt "HYDRA_SIMPLEX_BLAND" with
+    | Some "1" -> -1 (* always Bland *)
+    | _ -> 40
+  in
+  let rec loop () =
+    incr iter_count;
+    (* y = cB . Binv *)
+    for i = 0 to m - 1 do
+      y.(i) <- Rat.zero
+    done;
+    for k = 0 to m - 1 do
+      let cb = c.(basis.(k)) in
+      if not (Rat.is_zero cb) then
+        let row = binv.(k) in
+        for i = 0 to m - 1 do
+          if not (Rat.is_zero row.(i)) then
+            y.(i) <- Rat.add y.(i) (Rat.mul cb row.(i))
+        done
+    done;
+    let bland = !degenerate_run > bland_threshold in
+    let entering = ref (-1) in
+    (try
+       if bland then
+         (* Bland: lowest-index negative column (guarantees termination) *)
+         for j = 0 to n - 1 do
+           if (not in_basis.(j)) && allowed j then begin
+             let rc = Rat.sub c.(j) (dot_col y t.cols.(j)) in
+             if Rat.sign rc < 0 then begin
+               entering := j;
+               raise Exit
+             end
+           end
+         done
+       else
+         (* round-robin partial pricing: first negative column scanning
+            from just after the previous entering column; avoids both
+            Bland's stalling on low indices and Dantzig's full scans *)
+         for k = 0 to n - 1 do
+           let j = (!rr_start + k) mod n in
+           if (not in_basis.(j)) && allowed j then begin
+             let rc = Rat.sub c.(j) (dot_col y t.cols.(j)) in
+             if Rat.sign rc < 0 then begin
+               entering := j;
+               rr_start := j + 1;
+               raise Exit
+             end
+           end
+         done
+     with Exit -> ());
+    let entering = !entering in
+    if entering < 0 then `Optimal
+    else begin
+      let d = binv_col binv m cols.(entering) in
+      (* ratio test with Bland tie-break on smallest basis variable index *)
+      let leave = ref (-1) and best = ref Rat.zero in
+      for i = 0 to m - 1 do
+        if Rat.sign d.(i) > 0 then begin
+          let ratio = Rat.div xb.(i) d.(i) in
+          if
+            !leave < 0
+            || Rat.compare ratio !best < 0
+            || (Rat.compare ratio !best = 0 && basis.(i) < basis.(!leave))
+          then begin
+            leave := i;
+            best := ratio
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        let r = !leave in
+        let t_step = !best in
+        if Rat.is_zero t_step then incr degenerate_run
+        else degenerate_run := 0;
+        (* update xb *)
+        for i = 0 to m - 1 do
+          if i <> r then xb.(i) <- Rat.sub xb.(i) (Rat.mul t_step d.(i))
+        done;
+        xb.(r) <- t_step;
+        (* update Binv: scale pivot row, eliminate elsewhere *)
+        let inv_dr = Rat.inv d.(r) in
+        let prow = binv.(r) in
+        for kx = 0 to m - 1 do
+          prow.(kx) <- Rat.mul prow.(kx) inv_dr
+        done;
+        for i = 0 to m - 1 do
+          if i <> r && not (Rat.is_zero d.(i)) then begin
+            let row = binv.(i) in
+            let f = d.(i) in
+            for kx = 0 to m - 1 do
+              if not (Rat.is_zero prow.(kx)) then
+                row.(kx) <- Rat.sub row.(kx) (Rat.mul f prow.(kx))
+            done
+          end
+        done;
+        in_basis.(basis.(r)) <- false;
+        in_basis.(entering) <- true;
+        basis.(r) <- entering;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve ?objective lp =
+  let t, basis = build_tableau lp in
+  let { m; n; _ } = t in
+  let iter_count = ref 0 in
+  stats := { iterations = 0; rows = m; cols = n };
+  if m = 0 then
+    (* no constraints: the origin is feasible, and the problem is unbounded
+       exactly when some variable's accumulated net coefficient is
+       negative *)
+    match objective with
+    | Some obj ->
+        let net = Array.make (Lp.num_vars lp) Rat.zero in
+        List.iter
+          (fun (v, c) ->
+            if v < 0 || v >= Lp.num_vars lp then
+              invalid_arg "Simplex.solve: objective variable";
+            net.(v) <- Rat.add net.(v) c)
+          obj;
+        if Array.exists (fun c -> Rat.sign c < 0) net then Unbounded
+        else Feasible (Array.make (Lp.num_vars lp) Rat.zero)
+    | None -> Feasible (Array.make (Lp.num_vars lp) Rat.zero)
+  else begin
+    (* identity basis inverse; xb = b *)
+    let binv =
+      Array.init m (fun i ->
+          Array.init m (fun j -> if i = j then Rat.one else Rat.zero))
+    in
+    let xb = Array.copy t.b in
+    (* phase I: minimize the sum of artificials *)
+    let c1 = Array.make n Rat.zero in
+    for j = t.art_first to n - 1 do
+      c1.(j) <- Rat.one
+    done;
+    let phase1 = optimize t binv basis xb c1 (fun _ -> true) iter_count in
+    let result =
+      match phase1 with
+      | `Unbounded -> Infeasible (* cannot happen: phase I is bounded below *)
+      | `Optimal ->
+          let art_value = ref Rat.zero in
+          Array.iteri
+            (fun i bi ->
+              if bi >= t.art_first then art_value := Rat.add !art_value xb.(i))
+            basis;
+          if Rat.sign !art_value > 0 then Infeasible
+          else begin
+            (* Drive basic artificials (at zero level) out of the basis so
+               phase II can never raise them. A row where no structural or
+               slack column has a nonzero entry is linearly dependent; its
+               artificial then stays pinned at zero under any pivot and can
+               safely remain basic. *)
+            if objective <> None then
+              for r = 0 to m - 1 do
+                if basis.(r) >= t.art_first then begin
+                  let in_basis = Array.make n false in
+                  Array.iter (fun j -> in_basis.(j) <- true) basis;
+                  let j = ref 0 and found = ref (-1) in
+                  while !found < 0 && !j < t.art_first do
+                    if not in_basis.(!j) then begin
+                      let d = binv_col binv m t.cols.(!j) in
+                      if not (Rat.is_zero d.(r)) then found := !j
+                      else incr j
+                    end
+                    else incr j
+                  done;
+                  if !found >= 0 then begin
+                    let entering = !found in
+                    let d = binv_col binv m t.cols.(entering) in
+                    (* degenerate pivot: step is zero since xb.(r) = 0 *)
+                    let inv_dr = Rat.inv d.(r) in
+                    let prow = binv.(r) in
+                    for kx = 0 to m - 1 do
+                      prow.(kx) <- Rat.mul prow.(kx) inv_dr
+                    done;
+                    for i = 0 to m - 1 do
+                      if i <> r && not (Rat.is_zero d.(i)) then begin
+                        let row = binv.(i) in
+                        let f = d.(i) in
+                        for kx = 0 to m - 1 do
+                          if not (Rat.is_zero prow.(kx)) then
+                            row.(kx) <- Rat.sub row.(kx) (Rat.mul f prow.(kx))
+                        done
+                      end
+                    done;
+                    basis.(r) <- entering
+                  end
+                end
+              done;
+            let phase2 =
+              match objective with
+              | None -> `Optimal
+              | Some obj ->
+                  let c2 = Array.make n Rat.zero in
+                  List.iter
+                    (fun (v, k) ->
+                      if v < 0 || v >= Lp.num_vars lp then
+                        invalid_arg "Simplex.solve: objective variable";
+                      c2.(v) <- Rat.add c2.(v) k)
+                    obj;
+                  (* artificials stay out in phase II *)
+                  optimize t binv basis xb c2
+                    (fun j -> j < t.art_first)
+                    iter_count
+            in
+            match phase2 with
+            | `Unbounded -> Unbounded
+            | `Optimal ->
+                let x = Array.make (Lp.num_vars lp) Rat.zero in
+                Array.iteri
+                  (fun i bi ->
+                    if bi < Lp.num_vars lp then x.(bi) <- xb.(i))
+                  basis;
+                Feasible x
+          end
+    in
+    stats := { iterations = !iter_count; rows = m; cols = n };
+    result
+  end

@@ -1,0 +1,27 @@
+(** Exact two-phase revised simplex over rationals.
+
+    Stands in for the Z3 solver the paper uses: HYDRA only needs one
+    feasible point of the cardinality-constraint system, which phase I
+    delivers. Bland's rule guarantees termination; all arithmetic is exact
+    ({!Hydra_arith.Rat}), so a reported solution satisfies the constraints
+    with zero error. The implementation is a revised simplex with an
+    explicitly maintained basis inverse, keeping cost proportional to the
+    number of rows rather than the (possibly huge) number of columns. *)
+
+open Hydra_arith
+
+type status =
+  | Feasible of Rat.t array
+      (** A basic feasible solution; when an objective was supplied, an
+          optimal one. *)
+  | Infeasible
+  | Unbounded
+
+val solve : ?objective:(int * Rat.t) list -> Lp.t -> status
+(** [solve lp] finds a feasible point of [lp]; with [~objective] it
+    minimizes the given sparse linear objective over the feasible region. *)
+
+type stats = { iterations : int; rows : int; cols : int }
+
+val last_stats : unit -> stats
+(** Statistics of the most recent [solve] call (for the benchmark harness). *)

@@ -1,0 +1,44 @@
+(* Minimal CSV reader/writer for materialized tables. All cells are
+   integers, so no quoting is ever needed. *)
+
+let write_table path table =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," (Table.col_names table));
+      output_char oc '\n';
+      let ncols = Table.ncols table in
+      Table.iter_rows table (fun r ->
+          for c = 0 to ncols - 1 do
+            if c > 0 then output_char oc ',';
+            output_string oc (string_of_int (Table.get_pos table ~row:r ~pos:c))
+          done;
+          output_char oc '\n'))
+
+let read_table path name =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = String.trim (input_line ic) in
+      let cols = List.map String.trim (String.split_on_char ',' header) in
+      let t = Table.create name cols in
+      (try
+         while true do
+           (* tolerate CRLF endings and stray whitespace around cells *)
+           let line = String.trim (input_line ic) in
+           if String.length line > 0 then
+             line |> String.split_on_char ','
+             |> List.map (fun cell ->
+                    let cell = String.trim cell in
+                    match int_of_string_opt cell with
+                    | Some v -> v
+                    | None ->
+                        invalid_arg
+                          (Printf.sprintf "%s: non-integer cell %S" path cell))
+             |> Array.of_list
+             |> Table.add_row t
+         done
+       with End_of_file -> ());
+      t)

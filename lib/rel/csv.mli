@@ -1,0 +1,9 @@
+(** Minimal CSV I/O for materialized tables (all cells are integers, so no
+    quoting is needed). Used by the CLI's [materialize] command. *)
+
+val write_table : string -> Table.t -> unit
+(** [write_table path table] writes a header line of column names followed
+    by one comma-separated line per row. *)
+
+val read_table : string -> string -> Table.t
+(** [read_table path name] parses a file written by {!write_table}. *)

@@ -1,0 +1,44 @@
+(** Half-open integer intervals [lo, hi).
+
+    Intervals are the atoms of selection predicates, the sides of region
+    and grid boxes, and the currency of all partition refinement. The
+    empty interval is canonically [(0, 0)]. *)
+
+type t = { lo : int; hi : int }
+
+val empty : t
+
+val make : int -> int -> t
+(** [make lo hi] is the interval [lo, hi); empty inputs normalize to
+    {!empty}. *)
+
+val full : t
+(** The whole integer line ([min_int], [max_int] sentinels). *)
+
+val point : int -> t
+(** [point v] is the singleton interval [v, v+1). *)
+
+val is_empty : t -> bool
+val contains : t -> int -> bool
+val equal : t -> t -> bool
+
+val inter : t -> t -> t
+(** Set intersection. *)
+
+val overlaps : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b]: is [a] contained in [b]? The empty interval is a subset
+    of everything. *)
+
+val width : t -> int
+(** Number of integer points; 0 for the empty interval. Callers must
+    clamp unbounded intervals to a finite domain first. *)
+
+val split_at : t -> int -> t * t
+(** [split_at iv p] is the pair (part strictly below [p], part at or above
+    [p]). *)
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

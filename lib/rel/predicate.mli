@@ -1,0 +1,48 @@
+(** Selection predicates in disjunctive normal form (paper Sec. 4.1).
+
+    A predicate is a disjunction of conjuncts; each conjunct restricts a
+    set of attributes to intervals. Attributes are referenced by qualified
+    name (["relation.attr"]). Normal form invariants: conjuncts carry each
+    attribute at most once (sorted by name), and contradictory conjuncts
+    are dropped. [[ [] ]] (one empty conjunct) is TRUE; [[]] is FALSE. *)
+
+type conjunct = (string * Interval.t) list
+(** One sub-constraint: a conjunction of per-attribute range atoms. *)
+
+type t = conjunct list
+
+val true_ : t
+val false_ : t
+
+val of_conjuncts : (string * Interval.t) list list -> t
+(** Normalizes each conjunct (intersecting repeated attributes, dropping
+    contradictions). *)
+
+val atom : string -> Interval.t -> t
+(** [atom attr iv] is the single-range predicate [attr IN iv]. *)
+
+val disj : t -> t -> t
+val conj : t -> t -> t
+
+val restriction : conjunct -> string -> Interval.t
+(** The interval a conjunct allows on an attribute; {!Interval.full} when
+    the attribute is unconstrained (Def. 4.5's "true" restriction). *)
+
+val eval_conjunct : (string -> int) -> conjunct -> bool
+val eval : (string -> int) -> t -> bool
+(** [eval lookup p] evaluates [p] on the point described by [lookup]. *)
+
+val attrs : t -> string list
+(** Sorted, distinct attributes referenced by the predicate. *)
+
+val rename : (string -> string) -> t -> t
+(** Attribute substitution (view lifting, anonymization). *)
+
+val clamp : (string -> int * int) -> t -> t
+(** Intersect every atom with its attribute's domain so all interval
+    bounds become finite; conjuncts emptied by clamping are dropped. *)
+
+val compare_t : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,143 @@
+(* Relational schema with primary/foreign keys.
+
+   Matching the paper's setting (Sec. 2.2): all attribute domains are
+   numeric (the client-side Anonymizer maps other datatypes to numbers),
+   every join is PK-FK, and the referential dependency graph — an edge from
+   each relation to each relation it references — must be a DAG (Hydra
+   explicitly supports DAGs, not just trees; Sec. 5.3). *)
+
+type attr = {
+  aname : string;
+  dom_lo : int;  (* inclusive *)
+  dom_hi : int;  (* exclusive *)
+}
+
+type relation = {
+  rname : string;
+  pk : string;  (* primary key column name; values are row numbers 1..N *)
+  fks : (string * string) list;  (* (fk column name, target relation) *)
+  attrs : attr list;  (* non-key attributes *)
+}
+
+type t = { relations : relation list }
+
+exception Schema_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
+
+let qualify rname aname = rname ^ "." ^ aname
+
+let split_qualified q =
+  match String.index_opt q '.' with
+  | Some i ->
+      (String.sub q 0 i, String.sub q (i + 1) (String.length q - i - 1))
+  | None -> err "unqualified attribute name %S" q
+
+let find t rname =
+  match List.find_opt (fun r -> r.rname = rname) t.relations with
+  | Some r -> r
+  | None -> err "unknown relation %S" rname
+
+let mem t rname = List.exists (fun r -> r.rname = rname) t.relations
+
+let find_attr r aname =
+  match List.find_opt (fun a -> a.aname = aname) r.attrs with
+  | Some a -> a
+  | None -> err "relation %S has no non-key attribute %S" r.rname aname
+
+let attr_domain t qname =
+  let rname, aname = split_qualified qname in
+  let a = find_attr (find t rname) aname in
+  (a.dom_lo, a.dom_hi)
+
+(* columns in storage order: pk, fks, then non-key attributes *)
+let columns r =
+  (r.pk :: List.map fst r.fks) @ List.map (fun a -> a.aname) r.attrs
+
+let create relations =
+  let t = { relations } in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem seen r.rname then err "duplicate relation %S" r.rname;
+      Hashtbl.add seen r.rname ();
+      let cols = columns r in
+      let cseen = Hashtbl.create 16 in
+      List.iter
+        (fun c ->
+          if Hashtbl.mem cseen c then
+            err "duplicate column %S in relation %S" c r.rname;
+          Hashtbl.add cseen c ())
+        cols;
+      List.iter
+        (fun a ->
+          if a.dom_lo >= a.dom_hi then
+            err "empty domain for %s.%s" r.rname a.aname)
+        r.attrs)
+    relations;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (_, target) ->
+          if not (mem t target) then
+            err "relation %S references unknown relation %S" r.rname target)
+        r.fks)
+    relations;
+  t
+
+let relations t = t.relations
+
+(* direct references: relations that [rname] depends on *)
+let references t rname = List.map snd (find t rname).fks
+
+(* Topological order of the referential dependency DAG: every relation
+   appears after all relations it references. Raises on cycles. *)
+let topo_order t =
+  let temp = Hashtbl.create 16 and perm = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit rname =
+    if Hashtbl.mem perm rname then ()
+    else if Hashtbl.mem temp rname then
+      err "referential dependency cycle through %S" rname
+    else begin
+      Hashtbl.add temp rname ();
+      List.iter visit (references t rname);
+      Hashtbl.remove temp rname;
+      Hashtbl.add perm rname ();
+      order := rname :: !order
+    end
+  in
+  List.iter (fun r -> visit r.rname) t.relations;
+  List.rev !order
+
+(* all relations [rname] depends on, directly or transitively, without
+   duplicates, in dependency order (deepest first not guaranteed) *)
+let transitive_references t rname =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit n =
+    List.iter
+      (fun dep ->
+        if not (Hashtbl.mem seen dep) then begin
+          Hashtbl.add seen dep ();
+          visit dep;
+          acc := dep :: !acc
+        end)
+      (references t n)
+  in
+  visit rname;
+  List.rev !acc
+
+let is_dag t =
+  match topo_order t with _ -> true | exception Schema_error _ -> false
+
+let pp fmt t =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%s(%s PK" r.rname r.pk;
+      List.iter (fun (c, tgt) -> Format.fprintf fmt ", %s FK->%s" c tgt) r.fks;
+      List.iter
+        (fun a -> Format.fprintf fmt ", %s [%d,%d)" a.aname a.dom_lo a.dom_hi)
+        r.attrs;
+      Format.fprintf fmt ")@.")
+    t.relations

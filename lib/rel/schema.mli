@@ -1,0 +1,58 @@
+(** Relational schemas with primary/foreign keys.
+
+    Matching the paper's setting (Sec. 2.2): attribute domains are numeric
+    (the client-side anonymizer maps other datatypes to numbers), joins
+    are PK-FK, and the referential dependency graph must be a DAG — HYDRA
+    supports DAG-shaped dependencies, not just trees (Sec. 5.3). *)
+
+type attr = {
+  aname : string;
+  dom_lo : int;  (** inclusive lower bound of the value domain *)
+  dom_hi : int;  (** exclusive upper bound *)
+}
+
+type relation = {
+  rname : string;
+  pk : string;  (** primary-key column; values are row numbers 1..N *)
+  fks : (string * string) list;  (** (fk column, target relation) *)
+  attrs : attr list;  (** non-key attributes *)
+}
+
+type t
+
+exception Schema_error of string
+
+val create : relation list -> t
+(** Validates name uniqueness, non-empty domains, and foreign-key targets.
+    @raise Schema_error on any violation. *)
+
+val relations : t -> relation list
+val find : t -> string -> relation
+val mem : t -> string -> bool
+val find_attr : relation -> string -> attr
+
+val qualify : string -> string -> string
+(** [qualify rel attr] is ["rel.attr"]. *)
+
+val split_qualified : string -> string * string
+(** Inverse of {!qualify}. @raise Schema_error on unqualified input. *)
+
+val attr_domain : t -> string -> int * int
+(** Domain of a qualified attribute as [(lo, hi)]. *)
+
+val columns : relation -> string list
+(** Storage column order: pk, then fks, then non-key attributes. *)
+
+val references : t -> string -> string list
+(** Direct referential dependencies (fk targets). *)
+
+val transitive_references : t -> string -> string list
+(** All relations reachable through referential constraints, without
+    duplicates — the relations whose attributes a view borrows. *)
+
+val topo_order : t -> string list
+(** Relations ordered so every relation follows all relations it
+    references. @raise Schema_error on a dependency cycle. *)
+
+val is_dag : t -> bool
+val pp : Format.formatter -> t -> unit

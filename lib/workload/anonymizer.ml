@@ -1,0 +1,120 @@
+(* Client-side anonymization (Sec. 3.1): before schema, metadata and CCs
+   leave the client site, relation and attribute names are masked and
+   attribute values are mapped into a plain numeric space through an
+   invertible per-attribute affine map. The vendor works entirely in the
+   masked numeric space; the client can reverse the mapping on demand. *)
+
+open Hydra_rel
+
+type t = {
+  rel_map : (string * string) list;  (* original -> masked *)
+  attr_map : (string * string) list;  (* qualified original -> masked leaf *)
+  value_map : (string * (int * int)) list;
+      (* qualified original attr -> (scale, shift): v -> scale*v + shift *)
+}
+
+let masked_rel t rname =
+  match List.assoc_opt rname t.rel_map with
+  | Some m -> m
+  | None -> rname
+
+let masked_attr t qname =
+  match List.assoc_opt qname t.attr_map with
+  | Some m -> m
+  | None -> snd (Schema.split_qualified qname)
+
+let masked_qualified t qname =
+  let rname, _ = Schema.split_qualified qname in
+  Schema.qualify (masked_rel t rname) (masked_attr t qname)
+
+let value_fwd t qname v =
+  match List.assoc_opt qname t.value_map with
+  | Some (scale, shift) -> (scale * v) + shift
+  | None -> v
+
+let value_bwd t qname v =
+  match List.assoc_opt qname t.value_map with
+  | Some (scale, shift) -> (v - shift) / scale
+  | None -> v
+
+(* deterministic mask derived from a seed; scale stays positive so interval
+   predicates keep their orientation *)
+let create ?(seed = 42) schema =
+  let rng = ref (seed * 2654435761) in
+  let next () =
+    rng := (!rng * 0x5851F42D4C957F2D) + 0x14057B7EF767814F;
+    abs (!rng / 65536)
+  in
+  let rel_map =
+    List.mapi
+      (fun i r -> (r.Schema.rname, Printf.sprintf "T%d" (i + 1)))
+      (Schema.relations schema)
+  in
+  let attr_map, value_map =
+    List.fold_left
+      (fun (am, vm) r ->
+        let _, am, vm =
+          List.fold_left
+            (fun (i, am, vm) a ->
+              let q = Schema.qualify r.Schema.rname a.Schema.aname in
+              let masked = Printf.sprintf "c%d" (i + 1) in
+              let shift = next () mod 1000 in
+              ( i + 1,
+                (q, masked) :: am,
+                (q, (1, shift)) :: vm ))
+            (0, am, vm) r.Schema.attrs
+        in
+        (am, vm))
+      ([], [])
+      (Schema.relations schema)
+  in
+  { rel_map; attr_map; value_map }
+
+let anonymize_interval t qname (iv : Interval.t) =
+  if Interval.is_empty iv then iv
+  else
+    Interval.make
+      (if iv.Interval.lo = min_int then min_int else value_fwd t qname iv.Interval.lo)
+      (if iv.Interval.hi = max_int then max_int else value_fwd t qname iv.Interval.hi)
+
+let anonymize_predicate t (p : Predicate.t) : Predicate.t =
+  (* re-normalize: masking permutes names, which breaks the sorted-conjunct
+     invariant structural predicate equality relies on *)
+  List.map
+    (fun conjunct ->
+      List.map
+        (fun (q, iv) -> (masked_qualified t q, anonymize_interval t q iv))
+        conjunct)
+    p
+  |> Predicate.of_conjuncts
+
+let anonymize_schema t schema =
+  Schema.create
+    (List.map
+       (fun r ->
+         {
+           Schema.rname = masked_rel t r.Schema.rname;
+           pk = "pk";
+           fks =
+             List.mapi
+               (fun i (_, tgt) ->
+                 (Printf.sprintf "fk%d" (i + 1), masked_rel t tgt))
+               r.Schema.fks;
+           attrs =
+             List.map
+               (fun a ->
+                 let q = Schema.qualify r.Schema.rname a.Schema.aname in
+                 {
+                   Schema.aname = masked_attr t q;
+                   dom_lo = value_fwd t q a.Schema.dom_lo;
+                   dom_hi = value_fwd t q a.Schema.dom_hi;
+                 })
+               r.Schema.attrs;
+         })
+       (Schema.relations schema))
+
+let anonymize_cc t (cc : Cc.t) =
+  Cc.make
+    (List.map (masked_rel t) cc.Cc.relations)
+    (anonymize_predicate t cc.Cc.predicate)
+    cc.Cc.card

@@ -1,0 +1,30 @@
+(** Client-side anonymization (Sec. 3.1): before schema, metadata and CCs
+    leave the client site, relation and attribute names are masked and
+    attribute values pass through an invertible per-attribute affine map.
+    The vendor works entirely in the masked numeric space; the client can
+    reverse the mapping when inspecting results. *)
+
+open Hydra_rel
+
+type t
+
+val create : ?seed:int -> Schema.t -> t
+(** Deterministic mask derived from the seed. *)
+
+val masked_rel : t -> string -> string
+val masked_attr : t -> string -> string
+(** Masked leaf name of a qualified attribute. *)
+
+val masked_qualified : t -> string -> string
+(** Masked ["rel.attr"] form. *)
+
+val value_fwd : t -> string -> int -> int
+(** Client-to-vendor value mapping for a qualified attribute. *)
+
+val value_bwd : t -> string -> int -> int
+(** Inverse of {!value_fwd}. *)
+
+val anonymize_interval : t -> string -> Interval.t -> Interval.t
+val anonymize_predicate : t -> Predicate.t -> Predicate.t
+val anonymize_schema : t -> Schema.t -> Schema.t
+val anonymize_cc : t -> Cc.t -> Cc.t

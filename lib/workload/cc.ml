@@ -1,0 +1,105 @@
+(* Cardinality constraints (Sec. 2.2): the declarative interchange format
+   between the client's annotated query plans and the vendor-side
+   regenerator. A CC fixes the number of rows that satisfy a DNF predicate
+   over the join of a set of relations:
+
+     | sigma_pred (R1 |X| R2 |X| ... ) | = card
+
+   Predicates touch only non-key attributes and joins are PK-FK, per the
+   tractability assumptions shared with QAGen/DataSynth. *)
+
+open Hydra_rel
+
+type t = {
+  relations : string list;  (* sorted, unique *)
+  predicate : Predicate.t;
+  card : int;
+  group_by : string list;
+      (* grouping attributes: when non-empty, [card] counts DISTINCT value
+         combinations instead of rows (the paper's future-work operator) *)
+}
+
+let make ?(group_by = []) relations predicate card =
+  if card < 0 then invalid_arg "Cc.make: negative cardinality";
+  {
+    relations = List.sort_uniq compare relations;
+    predicate;
+    card;
+    group_by = List.sort_uniq compare group_by;
+  }
+
+let size_cc rname card = make [ rname ] Predicate.true_ card
+
+(* identity of the constrained expression, ignoring the count *)
+let same_expression a b =
+  a.relations = b.relations
+  && Predicate.equal a.predicate b.predicate
+  && a.group_by = b.group_by
+
+let dedup ccs =
+  List.fold_left
+    (fun acc cc ->
+      if List.exists (same_expression cc) acc then acc else cc :: acc)
+    [] ccs
+  |> List.rev
+
+(* The "root" of a CC's join group: the relation that reaches every other
+   member through referential constraints. The preprocessor rewrites the
+   join expression as a selection on this relation's view (Sec. 3.2). *)
+let root_relation schema cc =
+  let covers r =
+    let reach = r :: Schema.transitive_references schema r in
+    List.for_all (fun other -> List.mem other reach) cc.relations
+  in
+  match List.filter covers cc.relations with
+  | root :: _ -> root
+  | [] ->
+      raise
+        (Schema.Schema_error
+           (Printf.sprintf "no root relation covers join group {%s}"
+              (String.concat "," cc.relations)))
+
+(* verify a CC against a live database instance *)
+let measure db cc =
+  let schema = Hydra_engine.Database.schema db in
+  let root = root_relation schema cc in
+  let others = List.filter (fun r -> r <> root) cc.relations in
+  let joined =
+    try
+      Plan_build.left_deep schema
+        ((root, None) :: List.map (fun r -> (r, None)) others)
+    with Invalid_argument _ ->
+      raise
+        (Schema.Schema_error
+           (Printf.sprintf "CC join group {%s} is not PK-FK connected"
+              (String.concat "," cc.relations)))
+  in
+  let plan =
+    if Predicate.equal cc.predicate Predicate.true_ then joined
+    else Hydra_engine.Plan.Filter (cc.predicate, joined)
+  in
+  let plan =
+    if cc.group_by = [] then plan
+    else Hydra_engine.Plan.Group_by (cc.group_by, plan)
+  in
+  Hydra_engine.Executor.cardinality db plan
+
+(* relative error of a database instance w.r.t. the CC; zero-cardinality
+   CCs use a +1 denominator so repair tuples register as bounded error *)
+let relative_error db cc =
+  let actual = measure db cc in
+  float_of_int (abs (actual - cc.card)) /. float_of_int (max 1 cc.card)
+
+let pp fmt cc =
+  if cc.group_by = [] then
+    Format.fprintf fmt "|sigma(%a)(%s)| = %d" Predicate.pp cc.predicate
+      (String.concat " |X| " cc.relations)
+      cc.card
+  else
+    Format.fprintf fmt "|delta_{%s}(sigma(%a)(%s))| = %d"
+      (String.concat "," cc.group_by)
+      Predicate.pp cc.predicate
+      (String.concat " |X| " cc.relations)
+      cc.card
+
+let to_string cc = Format.asprintf "%a" pp cc

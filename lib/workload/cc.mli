@@ -1,0 +1,46 @@
+(** Cardinality constraints (Sec. 2.2): the declarative interchange format
+    between the client's annotated query plans and the vendor-side
+    regenerator. A CC fixes the number of rows satisfying a DNF predicate
+    over a PK-FK join of relations:
+
+    {v |sigma_pred(R1 |X| R2 |X| ...)| = card v} *)
+
+open Hydra_rel
+
+type t = {
+  relations : string list;  (** join group; sorted and duplicate-free *)
+  predicate : Predicate.t;  (** over qualified non-key attributes *)
+  card : int;
+  group_by : string list;
+      (** grouping attributes; when non-empty, [card] counts DISTINCT
+          value combinations instead of rows — the output cardinality of
+          a grouping operator (the paper's future-work extension) *)
+}
+
+val make : ?group_by:string list -> string list -> Predicate.t -> int -> t
+(** @raise Invalid_argument on a negative cardinality. *)
+
+val size_cc : string -> int -> t
+(** [size_cc r n] is the relation-size constraint [|r| = n]. *)
+
+val same_expression : t -> t -> bool
+(** Equality of the constrained expression, ignoring the count. *)
+
+val dedup : t list -> t list
+(** Keep the first CC of each distinct expression, preserving order. *)
+
+val root_relation : Schema.t -> t -> string
+(** The join-group member that reaches every other member through
+    referential constraints; the preprocessor rewrites the CC as a
+    selection on this relation's view (Sec. 3.2).
+    @raise Schema.Schema_error when no member covers the group. *)
+
+val measure : Hydra_engine.Database.t -> t -> int
+(** Execute the CC's expression against a database instance and return
+    the actual row count (builds a left-deep PK-FK join plan). *)
+
+val relative_error : Hydra_engine.Database.t -> t -> float
+(** |actual - expected| / max(1, expected). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

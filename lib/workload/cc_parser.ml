@@ -1,0 +1,452 @@
+(* Parser for the textual interchange format used by the CLI and examples:
+   schema declarations, cardinality constraints, and simple SPJ queries.
+
+     table S (A int [0,100), B int [0,50));
+     table R (S_fk -> S, T_fk -> T);
+     cc |R| = 80000;
+     cc |sigma(S.A in [20,60))(S)| = 400;
+     cc |sigma(S.A in [20,60) and T.C in [2,3))(R join S join T)| = 30000;
+     query q1: R join S join T where S.A in [20,60) and T.C >= 2;
+
+   Primary keys are implicit (named "<relation>_pk"); predicates are
+   boolean combinations of range atoms and are normalized to DNF. *)
+
+open Hydra_rel
+
+type spec = {
+  schema : Schema.t;
+  ccs : Cc.t list;
+  queries : Workload.query list;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---- lexer ---- *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN | RPAREN | LBRACKET
+  | COMMA | SEMI | PIPE | EQUALS | ARROW | COLON
+  | LT | LE | GT | GE
+  | EOF
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '(' then (push LPAREN; incr i)
+    else if c = ')' then (push RPAREN; incr i)
+    else if c = '[' then (push LBRACKET; incr i)
+    else if c = ',' then (push COMMA; incr i)
+    else if c = ';' then (push SEMI; incr i)
+    else if c = '|' then (push PIPE; incr i)
+    else if c = ':' then (push COLON; incr i)
+    else if c = '=' then (push EQUALS; incr i)
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '>' then (push ARROW; i := !i + 2)
+    else if c = '<' && !i + 1 < n && src.[!i + 1] = '=' then (push LE; i := !i + 2)
+    else if c = '>' && !i + 1 < n && src.[!i + 1] = '=' then (push GE; i := !i + 2)
+    else if c = '<' then (push LT; incr i)
+    else if c = '>' then (push GT; incr i)
+    else if c = '-' || ('0' <= c && c <= '9') then begin
+      let start = !i in
+      incr i;
+      while !i < n && '0' <= src.[!i] && src.[!i] <= '9' do incr i done;
+      let text = String.sub src start (!i - start) in
+      if text = "-" then fail "expected digits after '-' at offset %d" start;
+      push (INT (int_of_string text))
+    end
+    else if ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = src.[!i] in
+        ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+        || c = '_' || c = '.'
+      do
+        incr i
+      done;
+      push (IDENT (String.sub src start (!i - start)))
+    end
+    else fail "unexpected character %C at offset %d" c !i
+  done;
+  push EOF;
+  List.rev !toks
+
+(* ---- recursive-descent parser over a token stream ---- *)
+
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> EOF | t :: _ -> t
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s t what =
+  if peek s = t then advance s else fail "expected %s" what
+
+let ident s =
+  match peek s with
+  | IDENT id -> advance s; id
+  | _ -> fail "expected identifier"
+
+let int_lit s =
+  match peek s with
+  | INT v -> advance s; v
+  | _ -> fail "expected integer literal"
+
+(* predicate := conj { 'or' conj } ; conj := primary { 'and' primary }
+   primary := '(' predicate ')' | atom
+   atom := qname 'in' '[' int ',' int ')' | qname (< | <= | > | >= | =) int *)
+let rec parse_predicate s =
+  let d = parse_conj s in
+  match peek s with
+  | IDENT "or" ->
+      advance s;
+      Predicate.disj d (parse_predicate s)
+  | _ -> d
+
+and parse_conj s =
+  let p = parse_primary s in
+  match peek s with
+  | IDENT "and" ->
+      advance s;
+      Predicate.conj p (parse_conj s)
+  | _ -> p
+
+and parse_primary s =
+  match peek s with
+  | LPAREN ->
+      advance s;
+      let p = parse_predicate s in
+      expect s RPAREN ")";
+      p
+  | IDENT name ->
+      advance s;
+      (match peek s with
+      | IDENT "in" ->
+          advance s;
+          expect s LBRACKET "[";
+          let lo = int_lit s in
+          expect s COMMA ",";
+          let hi = int_lit s in
+          expect s RPAREN ")";
+          Predicate.atom name (Interval.make lo hi)
+      | LT ->
+          advance s;
+          Predicate.atom name (Interval.make min_int (int_lit s))
+      | LE ->
+          advance s;
+          (* saturate: v+1 would wrap at max_int, where <= is just TRUE
+             (attribute domains exclude max_int) *)
+          let v = int_lit s in
+          if v = max_int then Predicate.true_
+          else Predicate.atom name (Interval.make min_int (v + 1))
+      | GT ->
+          advance s;
+          let v = int_lit s in
+          if v = max_int then Predicate.false_
+          else Predicate.atom name (Interval.make (v + 1) max_int)
+      | GE ->
+          advance s;
+          Predicate.atom name (Interval.make (int_lit s) max_int)
+      | EQUALS ->
+          advance s;
+          let v = int_lit s in
+          if v = max_int then Predicate.false_
+          else Predicate.atom name (Interval.point v)
+      | _ -> fail "expected comparison after %s" name)
+  | _ -> fail "expected predicate atom"
+
+let parse_table s =
+  let rname = ident s in
+  expect s LPAREN "(";
+  let fks = ref [] and attrs = ref [] in
+  let rec decls () =
+    (match peek s with
+    | RPAREN -> ()
+    | _ ->
+        let col = ident s in
+        (match peek s with
+        | ARROW ->
+            advance s;
+            let target = ident s in
+            fks := (col, target) :: !fks
+        | IDENT "int" ->
+            advance s;
+            expect s LBRACKET "[";
+            let lo = int_lit s in
+            expect s COMMA ",";
+            let hi = int_lit s in
+            expect s RPAREN ")";
+            attrs := { Schema.aname = col; dom_lo = lo; dom_hi = hi } :: !attrs
+        | _ -> fail "expected '-> target' or 'int [lo,hi)' after column %s" col);
+        if peek s = COMMA then begin
+          advance s;
+          decls ()
+        end)
+  in
+  decls ();
+  expect s RPAREN ")";
+  expect s SEMI ";";
+  {
+    Schema.rname;
+    pk = rname ^ "_pk";
+    fks = List.rev !fks;
+    attrs = List.rev !attrs;
+  }
+
+let parse_join_list s =
+  let rec go acc =
+    let r = ident s in
+    match peek s with
+    | IDENT "join" ->
+        advance s;
+        go (r :: acc)
+    | _ -> List.rev (r :: acc)
+  in
+  go []
+
+let parse_sigma_or_rels s =
+  match peek s with
+  | IDENT "sigma" ->
+      advance s;
+      expect s LPAREN "(";
+      let p = parse_predicate s in
+      expect s RPAREN ")";
+      expect s LPAREN "(";
+      let rels = parse_join_list s in
+      expect s RPAREN ")";
+      (p, rels)
+  | _ ->
+      let rels = parse_join_list s in
+      (Predicate.true_, rels)
+
+let parse_cc schema s =
+  expect s PIPE "|";
+  (* optional grouping wrapper: delta(attr, ...)(sigma(...)(rels)) *)
+  let group_by, pred, rels =
+    match peek s with
+    | IDENT "delta" ->
+        advance s;
+        expect s LPAREN "(";
+        let rec attrs acc =
+          let a = ident s in
+          if peek s = COMMA then begin
+            advance s;
+            attrs (a :: acc)
+          end
+          else List.rev (a :: acc)
+        in
+        let group_by = attrs [] in
+        expect s RPAREN ")";
+        expect s LPAREN "(";
+        let pred, rels = parse_sigma_or_rels s in
+        expect s RPAREN ")";
+        (group_by, pred, rels)
+    | _ ->
+        let pred, rels = parse_sigma_or_rels s in
+        ([], pred, rels)
+  in
+  expect s PIPE "|";
+  expect s EQUALS "=";
+  let card = int_lit s in
+  expect s SEMI ";";
+  (* validate relation and attribute references against the schema *)
+  List.iter (fun r -> ignore (Schema.find schema r)) rels;
+  List.iter
+    (fun qattr -> ignore (Schema.attr_domain schema qattr))
+    (Predicate.attrs pred @ group_by);
+  Cc.make ~group_by rels pred card
+
+(* build the left-deep plan for a query: conjunctive predicates are split
+   per relation and pushed onto scans; DNF predicates apply on top *)
+let plan_of_query schema rels pred =
+  match pred with
+  | [ conjunct ] ->
+      (* group atoms by relation; each atom names a single attribute *)
+      let by_rel = Hashtbl.create 8 in
+      List.iter
+        (fun (q, iv) ->
+          let rname, _ = Schema.split_qualified q in
+          let cur = try Hashtbl.find by_rel rname with Not_found -> [] in
+          Hashtbl.replace by_rel rname ((q, iv) :: cur))
+        conjunct;
+      let parts =
+        List.map
+          (fun rel ->
+            match Hashtbl.find_opt by_rel rel with
+            | Some atoms -> (rel, Some (Predicate.of_conjuncts [ atoms ]))
+            | None -> (rel, None))
+          rels
+      in
+      Plan_build.left_deep schema parts
+  | p ->
+      let tree =
+        Plan_build.left_deep schema (List.map (fun r -> (r, None)) rels)
+      in
+      if Predicate.equal p Predicate.true_ then tree
+      else Hydra_engine.Plan.Filter (p, tree)
+
+let parse_query schema s =
+  let qname = ident s in
+  expect s COLON ":";
+  let rels = parse_join_list s in
+  let pred =
+    match peek s with
+    | IDENT "where" ->
+        advance s;
+        parse_predicate s
+    | _ -> Predicate.true_
+  in
+  (* optional trailing "group by a, b": duplicate elimination on top *)
+  let group_by =
+    match peek s with
+    | IDENT "group" ->
+        advance s;
+        (match peek s with
+        | IDENT "by" -> advance s
+        | _ -> fail "expected 'by' after 'group'");
+        let rec attrs acc =
+          let a = ident s in
+          if peek s = COMMA then begin
+            advance s;
+            attrs (a :: acc)
+          end
+          else List.rev (a :: acc)
+        in
+        attrs []
+    | _ -> []
+  in
+  expect s SEMI ";";
+  List.iter (fun a -> ignore (Schema.attr_domain schema a)) group_by;
+  List.iter
+    (fun a -> ignore (Schema.attr_domain schema a))
+    (Predicate.attrs pred);
+  List.iter (fun r -> ignore (Schema.find schema r)) rels;
+  let plan = plan_of_query schema rels pred in
+  let plan =
+    if group_by = [] then plan else Hydra_engine.Plan.Group_by (group_by, plan)
+  in
+  { Workload.qname; plan }
+
+let parse src =
+  let s = { toks = tokenize src } in
+  let tables = ref [] and ccs = ref [] and queries = ref [] in
+  let schema = ref None in
+  let get_schema () =
+    match !schema with
+    | Some sc -> sc
+    | None ->
+        let sc = Schema.create (List.rev !tables) in
+        schema := Some sc;
+        sc
+  in
+  let rec loop () =
+    match peek s with
+    | EOF -> ()
+    | IDENT "table" ->
+        advance s;
+        if !schema <> None then fail "table declarations must precede ccs/queries";
+        tables := parse_table s :: !tables;
+        loop ()
+    | IDENT "cc" ->
+        advance s;
+        let sc = get_schema () in
+        ccs := parse_cc sc s :: !ccs;
+        loop ()
+    | IDENT "query" ->
+        advance s;
+        let sc = get_schema () in
+        queries := parse_query sc s :: !queries;
+        loop ()
+    | _ -> fail "expected 'table', 'cc' or 'query'"
+  in
+  loop ();
+  {
+    schema = get_schema ();
+    ccs = List.rev !ccs;
+    queries = List.rev !queries;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ---- spec emission (the inverse of [parse] for schemas and CCs):
+   used by the client-site extraction tool to ship a CC spec ---- *)
+
+let emit_atom buf (a, (iv : Interval.t)) =
+  if iv.Interval.lo = min_int then
+    Buffer.add_string buf (Printf.sprintf "%s < %d" a iv.Interval.hi)
+  else if iv.Interval.hi = max_int then
+    Buffer.add_string buf (Printf.sprintf "%s >= %d" a iv.Interval.lo)
+  else
+    Buffer.add_string buf
+      (Printf.sprintf "%s in [%d,%d)" a iv.Interval.lo iv.Interval.hi)
+
+let emit_predicate buf (p : Predicate.t) =
+  List.iteri
+    (fun i conjunct ->
+      if i > 0 then Buffer.add_string buf " or ";
+      let wrap = List.length p > 1 && List.length conjunct > 1 in
+      if wrap then Buffer.add_char buf '(';
+      List.iteri
+        (fun j atom ->
+          if j > 0 then Buffer.add_string buf " and ";
+          emit_atom buf atom)
+        conjunct;
+      if wrap then Buffer.add_char buf ')')
+    p
+
+let emit_cc buf (cc : Cc.t) =
+  Buffer.add_string buf "cc |";
+  if cc.Cc.group_by <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "delta(%s)(" (String.concat ", " cc.Cc.group_by));
+  let joined = String.concat " join " cc.Cc.relations in
+  if Predicate.equal cc.Cc.predicate Predicate.true_ then
+    Buffer.add_string buf joined
+  else begin
+    Buffer.add_string buf "sigma(";
+    emit_predicate buf cc.Cc.predicate;
+    Buffer.add_string buf (")(" ^ joined ^ ")")
+  end;
+  if cc.Cc.group_by <> [] then Buffer.add_char buf ')';
+  Buffer.add_string buf (Printf.sprintf "| = %d;\n" cc.Cc.card)
+
+let emit_schema buf schema =
+  List.iter
+    (fun (r : Schema.relation) ->
+      Buffer.add_string buf (Printf.sprintf "table %s (" r.Schema.rname);
+      let decls =
+        List.map (fun (fk, tgt) -> Printf.sprintf "%s -> %s" fk tgt) r.Schema.fks
+        @ List.map
+            (fun (a : Schema.attr) ->
+              Printf.sprintf "%s int [%d,%d)" a.Schema.aname a.Schema.dom_lo
+                a.Schema.dom_hi)
+            r.Schema.attrs
+      in
+      Buffer.add_string buf (String.concat ", " decls);
+      Buffer.add_string buf ");\n")
+    (Schema.relations schema)
+
+(* full spec text: schema declarations followed by CC declarations. The
+   output parses back with [parse] (queries are not round-tripped). *)
+let emit schema ccs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# generated by hydra extract\n";
+  emit_schema buf schema;
+  Buffer.add_char buf '\n';
+  List.iter (emit_cc buf) ccs;
+  Buffer.contents buf

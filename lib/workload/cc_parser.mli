@@ -1,0 +1,41 @@
+(** Parser for the textual interchange format used by the CLI and the
+    examples: schema declarations, cardinality constraints, and simple
+    SPJ queries.
+
+    {v
+table S (A int [0,100), B int [0,50));
+table R (S_fk -> S, T_fk -> T);
+cc |R| = 80000;
+cc |sigma(S.A in [20,60))(S)| = 400;
+cc |sigma(S.A in [20,60) and T.C in [2,3))(R join S join T)| = 30000;
+cc |delta(S.A)(sigma(S.A in [20,60))(S))| = 12;
+query q1: R join S join T where S.A in [20,60) and T.C >= 2;
+    v}
+
+    [delta(attrs)(...)] declares a grouping (distinct-count) constraint.
+    Primary keys are implicit (named ["<relation>_pk"]); predicates accept
+    [in [lo,hi)], [<], [<=], [>], [>=], [=] atoms combined with [and]/[or]
+    and parentheses, and are normalized to DNF. [#] starts a comment.
+    Conjunctive query filters are pushed onto base-table scans. *)
+
+open Hydra_rel
+
+type spec = {
+  schema : Schema.t;
+  ccs : Cc.t list;
+  queries : Workload.query list;
+}
+
+exception Parse_error of string
+
+val parse : string -> spec
+(** @raise Parse_error on malformed input.
+    @raise Schema.Schema_error on references to undeclared relations or
+    attributes. *)
+
+val parse_file : string -> spec
+
+val emit : Schema.t -> Cc.t list -> string
+(** The inverse of {!parse} for schemas and CCs: a spec text that parses
+    back to the same schema and constraints. Used by the client-site
+    extraction tool ([hydra extract]) to ship a CC spec to the vendor. *)

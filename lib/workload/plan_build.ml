@@ -1,0 +1,72 @@
+(* Left-deep PK-FK join plan construction, shared by CC measurement, the
+   workload generators, and the spec parser (it used to live in three
+   drifting copies). Relations are joined starting from the first element;
+   at every step a remaining relation with a PK-FK link (in either
+   direction) to the already-joined set is attached, and each relation's
+   filter, when present, is pushed onto its scan. *)
+
+open Hydra_rel
+
+let left_deep schema (parts : (string * Predicate.t option) list) =
+  let scan (rname, pred) =
+    let base = Hydra_engine.Plan.Scan rname in
+    match pred with
+    | Some p when not (Predicate.equal p Predicate.true_) ->
+        Hydra_engine.Plan.Filter (p, base)
+    | _ -> base
+  in
+  match parts with
+  | [] -> invalid_arg "Plan_build.left_deep: no relations"
+  | first :: rest ->
+      let rec grow joined acc remaining =
+        if remaining = [] then acc
+        else begin
+          let link (rel, _) =
+            let holder =
+              List.find_map
+                (fun j ->
+                  List.find_opt (fun (_, tgt) -> tgt = rel)
+                    (Schema.find schema j).Schema.fks
+                  |> Option.map (fun (fk, _) -> `Holder (j, fk)))
+                joined
+            in
+            match holder with
+            | Some l -> Some l
+            | None ->
+                List.find_opt (fun (_, tgt) -> List.mem tgt joined)
+                  (Schema.find schema rel).Schema.fks
+                |> Option.map (fun (fk, tgt) -> `Self (fk, tgt))
+          in
+          match
+            List.find_map
+              (fun part -> Option.map (fun l -> (part, l)) (link part))
+              remaining
+          with
+          | None ->
+              invalid_arg "Plan_build.left_deep: join graph not connected"
+          | Some (((rel, _) as part), l) ->
+              let acc =
+                match l with
+                | `Holder (holder, fk) ->
+                    Hydra_engine.Plan.Join
+                      ( acc,
+                        scan part,
+                        {
+                          Hydra_engine.Plan.fk_col = Schema.qualify holder fk;
+                          pk_rel = rel;
+                        } )
+                | `Self (fk, tgt) ->
+                    Hydra_engine.Plan.Join
+                      ( scan part,
+                        acc,
+                        {
+                          Hydra_engine.Plan.fk_col = Schema.qualify rel fk;
+                          pk_rel = tgt;
+                        } )
+              in
+              grow (rel :: joined)
+                acc
+                (List.filter (fun (r, _) -> r <> rel) remaining)
+        end
+      in
+      grow [ fst first ] (scan first) rest

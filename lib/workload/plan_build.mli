@@ -1,0 +1,12 @@
+(** Left-deep PK-FK join plan construction, shared by CC measurement, the
+    workload generators, and the spec parser. *)
+
+open Hydra_rel
+
+val left_deep :
+  Schema.t -> (string * Predicate.t option) list -> Hydra_engine.Plan.t
+(** Join the relations left-deep starting from the first element, pushing
+    each relation's filter (if any) onto its scan; at every step a
+    relation PK-FK-linked (in either direction) to the already-joined set
+    is attached.
+    @raise Invalid_argument when empty or not PK-FK connected. *)

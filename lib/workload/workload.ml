@@ -1,0 +1,85 @@
+(* A query workload and the client-side extraction pipeline: execute each
+   query plan to obtain its annotated query plan (AQP), then convert the
+   AQPs into a deduplicated set of cardinality constraints. *)
+
+open Hydra_rel
+open Hydra_engine
+
+type query = { qname : string; plan : Plan.t }
+type t = { queries : query list }
+
+let create queries = { queries }
+let queries t = t.queries
+let num_queries t = List.length t.queries
+
+(* Convert one plan with its measured cardinalities into CCs: every
+   operator output edge contributes one constraint (Fig. 1d). The walk
+   carries the relation set and the conjunction of filter predicates seen
+   so far in the subtree. *)
+let rec ccs_of_node plan (ann : Executor.annotated) =
+  match plan with
+  | Plan.Scan r ->
+      let cc = Cc.make [ r ] Predicate.true_ ann.Executor.card in
+      ([ r ], Predicate.true_, [ cc ])
+  | Plan.Filter (p, child) ->
+      let child_ann =
+        match ann.Executor.children with [ c ] -> c | _ -> assert false
+      in
+      let rels, pred, acc = ccs_of_node child child_ann in
+      let pred = Predicate.conj pred p in
+      let cc = Cc.make rels pred ann.Executor.card in
+      (rels, pred, cc :: acc)
+  | Plan.Join (l, r, _) ->
+      let lann, rann =
+        match ann.Executor.children with
+        | [ a; b ] -> (a, b)
+        | _ -> assert false
+      in
+      let lrels, lpred, lacc = ccs_of_node l lann in
+      let rrels, rpred, racc = ccs_of_node r rann in
+      let rels = lrels @ rrels and pred = Predicate.conj lpred rpred in
+      let cc = Cc.make rels pred ann.Executor.card in
+      (rels, pred, cc :: (lacc @ racc))
+  | Plan.Group_by (attrs, child) ->
+      let child_ann =
+        match ann.Executor.children with [ c ] -> c | _ -> assert false
+      in
+      let rels, pred, acc = ccs_of_node child child_ann in
+      let cc = Cc.make ~group_by:attrs rels pred ann.Executor.card in
+      (rels, pred, cc :: acc)
+
+let ccs_of_query db q =
+  let _, ann = Executor.exec db q.plan in
+  let _, _, ccs = ccs_of_node q.plan ann in
+  List.rev ccs
+
+(* All CCs of the workload measured on [db], deduplicated across queries
+   (identical subexpressions appear in many queries). *)
+let extract_ccs db t =
+  List.concat_map (ccs_of_query db) t.queries |> Cc.dedup
+
+(* uniform scaling of constraint counts: the CODD-based procedure of
+   Sec. 7.4 (run plans at small scale, multiply intermediate counts) *)
+let scale_ccs factor ccs =
+  List.map
+    (fun (cc : Cc.t) ->
+      { cc with Cc.card = int_of_float (float_of_int cc.Cc.card *. factor) })
+    ccs
+
+(* left-deep plan construction shared with the parser and CC measurement *)
+let left_deep_plan = Plan_build.left_deep
+
+(* log10 histogram of CC cardinalities: Figures 9 and 16 *)
+let cardinality_histogram ccs =
+  let buckets = Array.make 12 0 in
+  List.iter
+    (fun (cc : Cc.t) ->
+      let b =
+        if cc.Cc.card <= 0 then 0
+        else
+          let l = int_of_float (Float.log10 (float_of_int cc.Cc.card)) in
+          min 11 (l + 1)
+      in
+      buckets.(b) <- buckets.(b) + 1)
+    ccs;
+  buckets

@@ -1,0 +1,35 @@
+(** Query workloads and the client-site extraction pipeline: execute each
+    plan to obtain its annotated query plan, convert every operator edge
+    into a cardinality constraint, and deduplicate across queries
+    (Fig. 1c -> Fig. 1d). *)
+
+open Hydra_rel
+open Hydra_engine
+
+type query = { qname : string; plan : Plan.t }
+type t
+
+val create : query list -> t
+val queries : t -> query list
+val num_queries : t -> int
+
+val ccs_of_query : Database.t -> query -> Cc.t list
+(** CCs of one query's AQP, one per operator output edge, in plan order. *)
+
+val extract_ccs : Database.t -> t -> Cc.t list
+(** All CCs of the workload measured on the given (client) database,
+    deduplicated across queries. *)
+
+val scale_ccs : float -> Cc.t list -> Cc.t list
+(** Multiply every cardinality by a factor — the CODD-based scaling
+    procedure of Sec. 7.4. *)
+
+val left_deep_plan : Schema.t -> (string * Predicate.t option) list -> Plan.t
+(** Build a left-deep join plan over the given relations (first element
+    first), pushing each relation's filter onto its scan; at every step a
+    relation PK-FK-linked to the already-joined set is attached.
+    @raise Invalid_argument when the join graph is not connected. *)
+
+val cardinality_histogram : Cc.t list -> int array
+(** log10 bucket counts of CC cardinalities (bucket 0 = zero, bucket i =
+    [10^(i-1), 10^i)); the shape plotted in Figures 9 and 16. *)

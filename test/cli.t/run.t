@@ -1,0 +1,80 @@
+The Figure 1 toy scenario through the CLI, end to end.
+
+  $ cat > toy.hydra <<'SPEC'
+  > table S (A int [0,100), B int [0,50));
+  > table T (C int [0,10));
+  > table R (S_fk -> S, T_fk -> T);
+  > cc |R| = 80000;
+  > cc |S| = 700;
+  > cc |T| = 1500;
+  > cc |sigma(S.A in [20,60))(S)| = 400;
+  > cc |sigma(T.C in [2,3))(T)| = 900;
+  > cc |sigma(S.A in [20,60))(R join S)| = 50000;
+  > cc |sigma(S.A in [20,60) and T.C in [2,3))(R join S join T)| = 30000;
+  > cc |delta(S.A)(sigma(S.A in [20,60))(S))| = 12;
+  > SPEC
+
+  $ hydra summary toy.hydra -o toy.summary | head -1 | sed 's/(.*s)/(_s)/'
+  summary: 18 rows covering 82200 tuples -> toy.summary (_s)
+
+  $ hydra validate toy.hydra toy.summary
+  CCs: 8, exact: 100.0%, mean |err|: 0.000%, max |err|: 0.000%, negative: 0.0%
+
+  $ hydra validate toy.hydra toy.summary --dynamic
+  CCs: 8, exact: 100.0%, mean |err|: 0.000%, max |err|: 0.000%, negative: 0.0%
+
+  $ hydra inspect toy.hydra toy.summary
+  S (A,B): 13 summary rows, 700 tuples
+  T (C): 2 summary rows, 1500 tuples
+  R (S_fk,T_fk): 3 summary rows, 80000 tuples
+
+  $ mkdir out && hydra materialize toy.hydra toy.summary -d out | grep -v materialized | sort
+  R: 80000 rows -> out/R.csv
+  S: 700 rows -> out/S.csv
+  T: 1500 rows -> out/T.csv
+
+  $ wc -l < out/S.csv
+  701
+
+The client-site flow: extract CCs from CSV data and queries, then
+regenerate from the extracted spec.
+
+  $ cat > client.hydra <<'SPEC'
+  > table S (A int [0,100), B int [0,50));
+  > table T (C int [0,10));
+  > table R (S_fk -> S, T_fk -> T);
+  > query q1: R join S join T where S.A in [20,60) and T.C in [2,3);
+  > query q2: S where S.A >= 20 group by S.A;
+  > SPEC
+
+  $ hydra extract client.hydra --data out -o ccs.hydra
+  extracted 9 CCs from 2 queries -> ccs.hydra
+
+  $ grep -c '^cc ' ccs.hydra
+  9
+
+  $ hydra summary ccs.hydra -o roundtrip.summary > /dev/null
+  $ hydra validate ccs.hydra roundtrip.summary
+  CCs: 9, exact: 100.0%, mean |err|: 0.000%, max |err|: 0.000%, negative: 0.0%
+
+Error handling: malformed input, unknown references, infeasibility.
+
+  $ printf 'table X (a int [0,10)\n' > bad.hydra
+  $ hydra summary bad.hydra
+  hydra: parse error in bad.hydra: expected )
+  [1]
+
+  $ printf 'table X (a int [0,10));\ncc |Y| = 5;\n' > bad2.hydra
+  $ hydra summary bad2.hydra
+  hydra: schema error in bad2.hydra: unknown relation "Y"
+  [1]
+
+  $ printf 'table X (a int [0,10));\ncc |X| = 5;\ncc |sigma(X.a in [0,5))(X)| = 50;\n' > infeasible.hydra
+  $ hydra summary infeasible.hydra
+  hydra: formulation: infeasible cardinality constraints for view X
+  [1]
+
+  $ printf 'table Q (z int [0,5));\ncc |Q| = 9;\n' > other.hydra
+  $ hydra validate other.hydra toy.summary
+  hydra: schema: unknown relation "S"
+  [1]

@@ -1,0 +1,257 @@
+(* Unit and property tests for Bigint and Rat. Bigint is validated against
+   native int arithmetic on small values and against known big-value
+   identities on large ones. *)
+
+open Hydra_arith
+
+let bi = Bigint.of_int
+let bstr = Bigint.to_string
+
+let check_bi msg expected actual =
+  Alcotest.(check string) msg expected (bstr actual)
+
+(* ---- Bigint unit tests ---- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "roundtrip %d" n)
+        (Some n)
+        (Bigint.to_int (bi n)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; max_int - 1; min_int + 1 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (bstr (Bigint.of_string s)))
+    [
+      "0";
+      "1";
+      "-1";
+      "123456789012345678901234567890";
+      "-987654321098765432109876543210";
+      "1000000000000000000";
+      "4611686018427387904" (* 2^62 *);
+    ]
+
+let test_add_sub_big () =
+  let a = Bigint.of_string "99999999999999999999999999" in
+  check_bi "a+1" "100000000000000000000000000" (Bigint.succ a);
+  check_bi "a-a" "0" (Bigint.sub a a);
+  check_bi "a+(-a)" "0" (Bigint.add a (Bigint.neg a));
+  let b = Bigint.of_string "123456789123456789" in
+  check_bi "a-b" "99999999876543210876543210" (Bigint.sub a b)
+
+let test_mul_big () =
+  let a = Bigint.of_string "123456789123456789" in
+  check_bi "a*a" "15241578780673678515622620750190521" (Bigint.mul a a);
+  check_bi "a*0" "0" (Bigint.mul a Bigint.zero);
+  check_bi "a*-1" "-123456789123456789" (Bigint.mul a Bigint.minus_one)
+
+let test_divmod_big () =
+  let a = Bigint.of_string "15241578780673678515622620750190522" in
+  let b = Bigint.of_string "123456789123456789" in
+  let q, r = Bigint.divmod a b in
+  check_bi "q" "123456789123456789" q;
+  check_bi "r" "1" r;
+  (* signs follow the C convention: trunc toward zero *)
+  let q, r = Bigint.divmod (bi (-7)) (bi 2) in
+  check_bi "-7/2 q" "-3" q;
+  check_bi "-7/2 r" "-1" r;
+  let q, r = Bigint.divmod (bi 7) (bi (-2)) in
+  check_bi "7/-2 q" "-3" q;
+  check_bi "7/-2 r" "1" r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod Bigint.one Bigint.zero))
+
+let test_gcd () =
+  check_bi "gcd 12 18" "6" (Bigint.gcd (bi 12) (bi 18));
+  check_bi "gcd 0 5" "5" (Bigint.gcd Bigint.zero (bi 5));
+  check_bi "gcd -12 18" "6" (Bigint.gcd (bi (-12)) (bi 18));
+  let a = Bigint.of_string "123456789123456789" in
+  check_bi "gcd a a" "123456789123456789" (Bigint.gcd a a)
+
+let test_min_int_edges () =
+  (* abs min_int is min_int itself: the fast-path guards must reject it *)
+  let mi = bi min_int in
+  check_bi "min_int + (-1)" "-4611686018427387905" (Bigint.add mi (bi (-1)));
+  check_bi "min_int - 1" "-4611686018427387905" (Bigint.sub mi Bigint.one);
+  check_bi "min_int * 2" "-9223372036854775808" (Bigint.mul mi (bi 2));
+  check_bi "neg min_int" "4611686018427387904" (Bigint.neg mi);
+  (* min_int has two reachable representations; they must compare and hash
+     equal *)
+  let via_mul = Bigint.mul (bi (1 lsl 31)) (bi (-(1 lsl 31))) in
+  Alcotest.(check bool) "representations equal" true (Bigint.equal mi via_mul);
+  Alcotest.(check int) "hashes equal" (Bigint.hash mi) (Bigint.hash via_mul)
+
+let test_compare () =
+  Alcotest.(check bool) "1 < 2" true Bigint.(bi 1 < bi 2);
+  Alcotest.(check bool) "-5 < 3" true Bigint.(bi (-5) < bi 3);
+  Alcotest.(check bool)
+    "big order" true
+    Bigint.(Bigint.of_string "99999999999999999999" > Bigint.of_string "9999999999999999999")
+
+(* ---- Bigint property tests against native ints ---- *)
+
+let small = QCheck.int_range (-100000) 100000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"bigint add = int add" ~count:500
+    (QCheck.pair small small) (fun (a, b) ->
+      Bigint.equal (Bigint.add (bi a) (bi b)) (bi (a + b)))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"bigint mul = int mul" ~count:500
+    (QCheck.pair small small) (fun (a, b) ->
+      Bigint.equal (Bigint.mul (bi a) (bi b)) (bi (a * b)))
+
+let prop_divmod_matches_int =
+  QCheck.Test.make ~name:"bigint divmod = int divmod" ~count:500
+    (QCheck.pair small small) (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = Bigint.divmod (bi a) (bi b) in
+      Bigint.equal q (bi (a / b)) && Bigint.equal r (bi (a mod b)))
+
+let big_gen =
+  (* random big integers via digit strings *)
+  let open QCheck.Gen in
+  let* neg = bool in
+  let* ndigits = int_range 1 40 in
+  let* first = int_range 1 9 in
+  let* rest = list_size (return (ndigits - 1)) (int_range 0 9) in
+  let s = String.concat "" (List.map string_of_int (first :: rest)) in
+  return (if neg then "-" ^ s else s)
+
+let big_arb = QCheck.make ~print:(fun s -> s) big_gen
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bigint of_string/to_string roundtrip" ~count:300
+    big_arb (fun s -> String.equal (bstr (Bigint.of_string s)) s)
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"bigint a = q*b + r, |r| < |b|" ~count:300
+    (QCheck.pair big_arb big_arb) (fun (sa, sb) ->
+      let a = Bigint.of_string sa and b = Bigint.of_string sb in
+      QCheck.assume (not (Bigint.is_zero b));
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+      && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a))
+
+let prop_mul_commutes_assoc =
+  QCheck.Test.make ~name:"bigint ring laws" ~count:200
+    (QCheck.triple big_arb big_arb big_arb) (fun (sa, sb, sc) ->
+      let a = Bigint.of_string sa
+      and b = Bigint.of_string sb
+      and c = Bigint.of_string sc in
+      Bigint.equal (Bigint.mul a b) (Bigint.mul b a)
+      && Bigint.equal
+           (Bigint.mul a (Bigint.mul b c))
+           (Bigint.mul (Bigint.mul a b) c)
+      && Bigint.equal
+           (Bigint.mul a (Bigint.add b c))
+           (Bigint.add (Bigint.mul a b) (Bigint.mul a c)))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:200
+    (QCheck.pair big_arb big_arb) (fun (sa, sb) ->
+      let a = Bigint.of_string sa and b = Bigint.of_string sb in
+      let g = Bigint.gcd a b in
+      QCheck.assume (not (Bigint.is_zero g));
+      Bigint.is_zero (Bigint.rem a g) && Bigint.is_zero (Bigint.rem b g))
+
+(* ---- Rat tests ---- *)
+
+let test_rat_normalization () =
+  let r = Rat.of_ints 6 4 in
+  Alcotest.(check string) "6/4 = 3/2" "3/2" (Rat.to_string r);
+  let r = Rat.of_ints 6 (-4) in
+  Alcotest.(check string) "6/-4 = -3/2" "-3/2" (Rat.to_string r);
+  let r = Rat.of_ints 0 7 in
+  Alcotest.(check string) "0/7 = 0" "0" (Rat.to_string r);
+  Alcotest.check_raises "0 denominator" Division_by_zero (fun () ->
+      ignore (Rat.of_ints 1 0))
+
+let test_rat_arith () =
+  let half = Rat.of_ints 1 2 and third = Rat.of_ints 1 3 in
+  Alcotest.(check string) "1/2+1/3" "5/6" (Rat.to_string (Rat.add half third));
+  Alcotest.(check string) "1/2-1/3" "1/6" (Rat.to_string (Rat.sub half third));
+  Alcotest.(check string) "1/2*1/3" "1/6" (Rat.to_string (Rat.mul half third));
+  Alcotest.(check string) "1/2 / 1/3" "3/2" (Rat.to_string (Rat.div half third))
+
+let test_rat_floor_ceil () =
+  let check name r f c =
+    Alcotest.(check string) (name ^ " floor") f (bstr (Rat.floor r));
+    Alcotest.(check string) (name ^ " ceil") c (bstr (Rat.ceil r))
+  in
+  check "7/2" (Rat.of_ints 7 2) "3" "4";
+  check "-7/2" (Rat.of_ints (-7) 2) "-4" "-3";
+  check "4/2" (Rat.of_ints 4 2) "2" "2";
+  Alcotest.(check string) "round 5/2" "3" (bstr (Rat.round_nearest (Rat.of_ints 5 2)));
+  Alcotest.(check string) "round 3/4" "1" (bstr (Rat.round_nearest (Rat.of_ints 3 4)));
+  Alcotest.(check string) "round 1/4" "0" (bstr (Rat.round_nearest (Rat.of_ints 1 4)))
+
+let rat_arb =
+  QCheck.map
+    (fun (n, d) -> Rat.of_ints n (if d = 0 then 1 else d))
+    (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range (-1000) 1000))
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat field laws" ~count:300
+    (QCheck.triple rat_arb rat_arb rat_arb) (fun (a, b, c) ->
+      Rat.equal (Rat.add a b) (Rat.add b a)
+      && Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c))
+      && Rat.equal (Rat.sub (Rat.add a b) b) a
+      && (Rat.is_zero b || Rat.equal (Rat.mul (Rat.div a b) b) a))
+
+let prop_rat_order =
+  QCheck.Test.make ~name:"rat order consistent with floats" ~count:300
+    (QCheck.pair rat_arb rat_arb) (fun (a, b) ->
+      let c = Rat.compare a b in
+      let fa = Rat.to_float a and fb = Rat.to_float b in
+      if c < 0 then fa < fb +. 1e-9
+      else if c > 0 then fa > fb -. 1e-9
+      else abs_float (fa -. fb) < 1e-9)
+
+let prop_rat_floor_bound =
+  QCheck.Test.make ~name:"floor r <= r < floor r + 1" ~count:300 rat_arb
+    (fun r ->
+      let f = Rat.of_bigint (Rat.floor r) in
+      Rat.compare f r <= 0 && Rat.compare r (Rat.add f Rat.one) < 0)
+
+let qsuite props = List.map QCheck_alcotest.to_alcotest props
+
+let suite =
+  [
+    ( "bigint",
+      [
+        Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
+        Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+        Alcotest.test_case "add/sub big" `Quick test_add_sub_big;
+        Alcotest.test_case "mul big" `Quick test_mul_big;
+        Alcotest.test_case "divmod big" `Quick test_divmod_big;
+        Alcotest.test_case "gcd" `Quick test_gcd;
+        Alcotest.test_case "min_int edge cases" `Quick test_min_int_edges;
+        Alcotest.test_case "compare" `Quick test_compare;
+      ]
+      @ qsuite
+          [
+            prop_add_matches_int;
+            prop_mul_matches_int;
+            prop_divmod_matches_int;
+            prop_string_roundtrip;
+            prop_divmod_identity;
+            prop_mul_commutes_assoc;
+            prop_gcd_divides;
+          ] );
+    ( "rat",
+      [
+        Alcotest.test_case "normalization" `Quick test_rat_normalization;
+        Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+        Alcotest.test_case "floor/ceil/round" `Quick test_rat_floor_ceil;
+      ]
+      @ qsuite [ prop_rat_field; prop_rat_order; prop_rat_floor_bound ] );
+  ]
+
+let () = Alcotest.run "hydra-arith" suite

@@ -1,0 +1,276 @@
+(* Tests for the benchmark environments (TPC-DS-like and JOB-like) and the
+   DataSynth baseline. These are the substrates of Section 7; the tests
+   pin down determinism, referential integrity of generated client data,
+   workload well-formedness, and the baseline's end-to-end behaviour. *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_workload
+
+module T = Hydra_benchmarks.Tpcds
+module J = Hydra_benchmarks.Job
+
+let small_sf = 20
+
+(* ---- schema sanity ---- *)
+
+let test_tpcds_schema () =
+  Alcotest.(check int) "23 relations" 23 (List.length (Schema.relations T.schema));
+  Alcotest.(check bool) "DAG" true (Schema.is_dag T.schema);
+  (* snowflake depth: store_sales reaches income_band through customer ->
+     household_demographics *)
+  let reach = Schema.transitive_references T.schema "store_sales" in
+  Alcotest.(check bool) "transitive snowflake" true (List.mem "income_band" reach);
+  Alcotest.(check bool) "customer in reach" true (List.mem "customer" reach)
+
+let test_job_schema () =
+  Alcotest.(check int) "20 relations" 20 (List.length (Schema.relations J.schema));
+  Alcotest.(check bool) "DAG" true (Schema.is_dag J.schema);
+  let reach = Schema.transitive_references J.schema "cast_info" in
+  Alcotest.(check bool) "cast_info -> kind_type via title" true
+    (List.mem "kind_type" reach)
+
+(* ---- data generation ---- *)
+
+let fk_integrity db schema =
+  List.for_all
+    (fun r ->
+      let rname = r.Schema.rname in
+      let n = Database.nrows db rname in
+      List.for_all
+        (fun (fk, target) ->
+          let rd = Database.reader db rname fk in
+          let tn = Database.nrows db target in
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            let v = rd i in
+            if v < 1 || v > tn then ok := false
+          done;
+          !ok)
+        r.Schema.fks)
+    (Schema.relations schema)
+
+let domain_integrity db schema =
+  List.for_all
+    (fun r ->
+      let rname = r.Schema.rname in
+      let n = Database.nrows db rname in
+      List.for_all
+        (fun a ->
+          let rd = Database.reader db rname a.Schema.aname in
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            let v = rd i in
+            if v < a.Schema.dom_lo || v >= a.Schema.dom_hi then ok := false
+          done;
+          !ok)
+        r.Schema.attrs)
+    (Schema.relations schema)
+
+let test_tpcds_generation () =
+  let db = T.generate ~sf:small_sf () in
+  List.iter
+    (fun (rname, expected) ->
+      Alcotest.(check int) ("size of " ^ rname) expected (Database.nrows db rname))
+    (T.sizes ~sf:small_sf);
+  Alcotest.(check bool) "fk integrity" true (fk_integrity db T.schema);
+  Alcotest.(check bool) "domain integrity" true (domain_integrity db T.schema);
+  (* determinism: same seed, same data *)
+  let db2 = T.generate ~sf:small_sf () in
+  let rd1 = Database.reader db "store_sales" "ss_price" in
+  let rd2 = Database.reader db2 "store_sales" "ss_price" in
+  for i = 0 to Database.nrows db "store_sales" - 1 do
+    if rd1 i <> rd2 i then Alcotest.failf "nondeterministic at row %d" i
+  done
+
+let test_job_generation () =
+  let db = J.generate ~sf:small_sf () in
+  Alcotest.(check bool) "fk integrity" true (fk_integrity db J.schema);
+  Alcotest.(check bool) "domain integrity" true (domain_integrity db J.schema);
+  (* the paper's Fig. 15 "five biggest relations" really are the biggest *)
+  let sizes = T.sizes ~sf:100 in
+  let min_big =
+    List.fold_left min max_int (List.map (fun r -> List.assoc r sizes) T.big_five)
+  in
+  Alcotest.(check bool) "big five are the five largest" true
+    (List.for_all
+       (fun (r, n) -> List.mem r T.big_five || n <= min_big)
+       sizes)
+
+(* ---- workloads ---- *)
+
+let test_wlc_shape () =
+  let wl = T.workload_complex () in
+  Alcotest.(check int) "131 queries" 131 (Workload.num_queries wl);
+  (* deterministic *)
+  let wl2 = T.workload_complex () in
+  List.iter2
+    (fun (a : Workload.query) (b : Workload.query) ->
+      Alcotest.(check string) "same name" a.Workload.qname b.Workload.qname;
+      Alcotest.(check string) "same plan"
+        (Hydra_engine.Plan.to_string a.Workload.plan)
+        (Hydra_engine.Plan.to_string b.Workload.plan))
+    (Workload.queries wl) (Workload.queries wl2);
+  (* kitchen-sink item queries exist and are wide *)
+  let sink =
+    List.find (fun (q : Workload.query) -> q.Workload.qname = "item_sink_1")
+      (Workload.queries wl)
+  in
+  (match sink.Workload.plan with
+  | Hydra_engine.Plan.Filter (p, Hydra_engine.Plan.Scan "item") ->
+      Alcotest.(check bool) "wide predicate" true
+        (List.length (Predicate.attrs p) >= 6)
+  | _ -> Alcotest.fail "sink should be a filtered item scan");
+  (* OR queries carry DNF predicates *)
+  let or_q =
+    List.find (fun (q : Workload.query) -> q.Workload.qname = "or_1")
+      (Workload.queries wl)
+  in
+  let has_disjunction =
+    List.exists (fun p -> List.length p > 1) (Hydra_engine.Plan.filters or_q.Workload.plan)
+  in
+  Alcotest.(check bool) "or query is DNF" true has_disjunction
+
+let test_job_workload_shape () =
+  let wl = J.workload () in
+  Alcotest.(check int) "260 queries" 260 (Workload.num_queries wl);
+  (* every query has at least one filter and only PK-FK joins *)
+  List.iter
+    (fun (q : Workload.query) ->
+      Alcotest.(check bool)
+        (q.Workload.qname ^ " has a filter")
+        true
+        (Hydra_engine.Plan.filters q.Workload.plan <> []))
+    (Workload.queries wl)
+
+let test_ccs_executable () =
+  (* every extracted CC can be re-measured and matches its card *)
+  let db = T.generate ~sf:small_sf () in
+  let wl = T.workload_simple () in
+  let ccs = Workload.extract_ccs db wl in
+  Alcotest.(check bool) "has ccs" true (List.length ccs > 50);
+  List.iter
+    (fun (cc : Cc.t) ->
+      Alcotest.(check int)
+        (Format.asprintf "remeasure %a" Cc.pp cc)
+        cc.Cc.card (Cc.measure db cc))
+    ccs
+
+(* ---- DataSynth baseline ---- *)
+
+let test_datasynth_end_to_end () =
+  let db = T.generate ~sf:small_sf () in
+  let wl = T.workload_simple () in
+  let ccs = Workload.extract_ccs db wl in
+  let sizes = T.sizes ~sf:small_sf in
+  let r = Hydra_datasynth.Datasynth.regenerate ~sizes T.schema ccs in
+  (* all relations materialized with correct-ish sizes *)
+  List.iter
+    (fun (rname, n) ->
+      let got = Database.nrows r.Hydra_datasynth.Datasynth.db rname in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s size %d ~ %d" rname got n)
+        true
+        (got >= n && got <= n + (n / 2) + 20000))
+    sizes;
+  (* regenerated data obeys referential integrity *)
+  Alcotest.(check bool) "fk integrity after repair" true
+    (fk_integrity r.Hydra_datasynth.Datasynth.db T.schema);
+  (* errors exist (sampling) but are bounded on large CCs *)
+  let v = Hydra_core.Validate.check r.Hydra_datasynth.Datasynth.db ccs in
+  Alcotest.(check bool) "not exact everywhere" true
+    (v.Hydra_core.Validate.exact_fraction < 1.0);
+  Alcotest.(check bool) "some negative errors" true
+    (v.Hydra_core.Validate.negative_fraction > 0.0)
+
+let test_datasynth_crash_on_wlc () =
+  let db = T.generate ~sf:small_sf () in
+  let wl = T.workload_complex () in
+  let ccs = Workload.extract_ccs db wl in
+  let sizes = T.sizes ~sf:small_sf in
+  match Hydra_datasynth.Datasynth.regenerate ~max_cells:200_000 ~sizes T.schema ccs with
+  | exception Hydra_datasynth.Datasynth.Crash _ -> ()
+  | _ -> Alcotest.fail "expected grid blow-up crash on WLc"
+
+let test_datasynth_variable_counts () =
+  let db = T.generate ~sf:small_sf () in
+  let wl = T.workload_complex () in
+  let ccs = Workload.extract_ccs db wl in
+  let ccs_full =
+    Hydra_core.Pipeline.complete_size_ccs T.schema ccs (T.sizes ~sf:small_sf)
+  in
+  let counts = Hydra_datasynth.Datasynth.variable_counts T.schema ccs_full in
+  let item = List.assoc "item" counts in
+  Alcotest.(check bool) "item grid exceeds a million cells" true
+    (Hydra_arith.Bigint.compare item (Hydra_arith.Bigint.of_int 1_000_000) > 0)
+
+(* ---- hydra on the benchmark environments (integration) ---- *)
+
+let test_hydra_tpcds_small () =
+  let db = T.generate ~sf:small_sf () in
+  let wl = T.workload_simple () in
+  let ccs = Workload.extract_ccs db wl in
+  let r =
+    Hydra_core.Pipeline.regenerate ~sizes:(T.sizes ~sf:small_sf) T.schema ccs
+  in
+  let vdb = Hydra_core.Tuple_gen.materialize r.Hydra_core.Pipeline.summary in
+  let v = Hydra_core.Validate.check vdb ccs in
+  Alcotest.(check bool)
+    (Format.asprintf "small TPC-DS fidelity (%a)" Hydra_core.Validate.pp v)
+    true
+    (v.Hydra_core.Validate.mean_abs_error < 0.05);
+  Alcotest.(check bool) "no negative errors" true
+    (v.Hydra_core.Validate.negative_fraction = 0.0);
+  Alcotest.(check bool) "fk integrity" true (fk_integrity vdb T.schema)
+
+let test_hydra_summary_scale_free () =
+  (* summaries for x1 and x1000 scales have identical row counts *)
+  let db = T.generate ~sf:small_sf () in
+  let wl = T.workload_simple () in
+  let ccs = Workload.extract_ccs db wl in
+  let sizes = T.sizes ~sf:small_sf in
+  let r1 = Hydra_core.Pipeline.regenerate ~sizes T.schema ccs in
+  let big_ccs = Workload.scale_ccs 1000.0 ccs in
+  let big_sizes = List.map (fun (r, n) -> (r, n * 1000)) sizes in
+  let r2 = Hydra_core.Pipeline.regenerate ~sizes:big_sizes T.schema big_ccs in
+  Alcotest.(check int) "same summary size"
+    (Hydra_core.Summary.summary_rows r1.Hydra_core.Pipeline.summary)
+    (Hydra_core.Summary.summary_rows r2.Hydra_core.Pipeline.summary);
+  Alcotest.(check bool) "1000x more tuples" true
+    (Hydra_core.Summary.total_rows r2.Hydra_core.Pipeline.summary
+    > 900 * Hydra_core.Summary.total_rows r1.Hydra_core.Pipeline.summary)
+
+let suite =
+  [
+    ( "schemas",
+      [
+        Alcotest.test_case "tpcds schema" `Quick test_tpcds_schema;
+        Alcotest.test_case "job schema" `Quick test_job_schema;
+      ] );
+    ( "generation",
+      [
+        Alcotest.test_case "tpcds data" `Quick test_tpcds_generation;
+        Alcotest.test_case "job data" `Quick test_job_generation;
+      ] );
+    ( "workloads",
+      [
+        Alcotest.test_case "WLc shape" `Quick test_wlc_shape;
+        Alcotest.test_case "JOB shape" `Quick test_job_workload_shape;
+        Alcotest.test_case "CCs executable" `Quick test_ccs_executable;
+      ] );
+    ( "datasynth",
+      [
+        Alcotest.test_case "end to end on WLs" `Quick test_datasynth_end_to_end;
+        Alcotest.test_case "crash on WLc" `Quick test_datasynth_crash_on_wlc;
+        Alcotest.test_case "grid variable counts" `Quick
+          test_datasynth_variable_counts;
+      ] );
+    ( "integration",
+      [
+        Alcotest.test_case "hydra on small TPC-DS" `Quick test_hydra_tpcds_small;
+        Alcotest.test_case "summary is scale-free" `Quick
+          test_hydra_summary_scale_free;
+      ] );
+  ]
+
+let () = Alcotest.run "hydra-benchmarks" suite

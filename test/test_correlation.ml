@@ -1,0 +1,149 @@
+(* Tests for the value-distribution (correlation) extension: apportioning,
+   metadata-derived histograms, spreading inside regions, CC preservation,
+   and the fidelity metric. *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_workload
+open Hydra_core
+
+let iv = Interval.make
+
+let schema =
+  Schema.create
+    [
+      {
+        Schema.rname = "S";
+        pk = "S_pk";
+        fks = [];
+        attrs = [ { Schema.aname = "A"; dom_lo = 0; dom_hi = 100 } ];
+      };
+    ]
+
+(* skewed client data: A concentrated in the upper half *)
+let client_db () =
+  let db = Database.create schema in
+  let s = Table.create "S" [ "S_pk"; "A" ] in
+  for i = 1 to 1000 do
+    let a = if i mod 4 = 0 then i mod 50 else 50 + (i mod 50) in
+    Table.add_row s [| i; a |]
+  done;
+  Database.bind_table db s;
+  db
+
+let test_apportion () =
+  Alcotest.(check (list int)) "even" [ 5; 5 ] (Correlation.apportion 10 [ 1.0; 1.0 ]);
+  Alcotest.(check (list int)) "weighted" [ 9; 3 ]
+    (Correlation.apportion 12 [ 3.0; 1.0 ]);
+  let r = Correlation.apportion 7 [ 1.0; 1.0; 1.0 ] in
+  Alcotest.(check int) "sums to count" 7 (List.fold_left ( + ) 0 r);
+  Alcotest.(check (list int)) "zero weights" [ 0; 0 ]
+    (Correlation.apportion 5 [ 0.0; 0.0 ])
+
+let test_of_metadata () =
+  let db = client_db () in
+  let md = Hydra_codd.Metadata.capture db in
+  match Correlation.of_metadata md "S.A" with
+  | None -> Alcotest.fail "expected a histogram"
+  | Some h ->
+      Alcotest.(check string) "attr" "S.A" h.Correlation.ch_attr;
+      let total =
+        List.fold_left (fun acc (_, w) -> acc +. w) 0.0 h.Correlation.ch_buckets
+      in
+      Alcotest.(check int) "mass = rows" 1000 (int_of_float total);
+      (* skew visible: upper half carries ~3x the mass *)
+      let mass lo hi =
+        List.fold_left
+          (fun acc ((b : Interval.t), w) ->
+            if b.Interval.lo >= lo && b.Interval.hi <= hi then acc +. w else acc)
+          0.0 h.Correlation.ch_buckets
+      in
+      Alcotest.(check bool) "upper heavier" true (mass 50 100 > 2.0 *. mass 0 50)
+
+let test_spreading_preserves_ccs () =
+  let db = client_db () in
+  let md = Hydra_codd.Metadata.capture db in
+  let hist = Option.get (Correlation.of_metadata md "S.A") in
+  let ccs =
+    [
+      Cc.size_cc "S" 1000;
+      Cc.make [ "S" ] (Predicate.atom "S.A" (iv 0 50)) 250;
+      Cc.make [ "S" ] (Predicate.atom "S.A" (iv 25 75)) 500;
+    ]
+  in
+  let plain = Pipeline.regenerate schema ccs in
+  let spread = Pipeline.regenerate ~histograms:[ hist ] schema ccs in
+  let db_plain = Tuple_gen.materialize plain.Pipeline.summary in
+  let db_spread = Tuple_gen.materialize spread.Pipeline.summary in
+  (* both satisfy every CC exactly (single-relation, no fks, no repair) *)
+  List.iter
+    (fun (cc : Cc.t) ->
+      Alcotest.(check int)
+        (Format.asprintf "plain %a" Cc.pp cc)
+        cc.Cc.card (Cc.measure db_plain cc);
+      Alcotest.(check int)
+        (Format.asprintf "spread %a" Cc.pp cc)
+        cc.Cc.card (Cc.measure db_spread cc))
+    ccs;
+  (* ... but the spread database tracks the client distribution better *)
+  let d_plain = Correlation.histogram_distance db_plain "S" "A" hist in
+  let d_spread = Correlation.histogram_distance db_spread "S" "A" hist in
+  Alcotest.(check bool)
+    (Printf.sprintf "distance improves (%.3f -> %.3f)" d_plain d_spread)
+    true (d_spread < d_plain);
+  (* the summary grew but stayed workload-sized *)
+  Alcotest.(check bool) "summary still small" true
+    (Summary.summary_rows spread.Pipeline.summary < 200)
+
+let test_zero_mass_buckets () =
+  (* a histogram with no mass where the LP placed tuples must not lose
+     the count: the row stays at its corner *)
+  let hist =
+    {
+      Correlation.ch_attr = "S.A";
+      ch_buckets = [ (iv 0 50, 0.0); (iv 50 100, 1.0) ];
+    }
+  in
+  let sol =
+    {
+      Hydra_core.Solution.attrs = [| "S.A" |];
+      rows = [ { Hydra_core.Solution.box = [| iv 0 40 |]; count = 77 } ];
+    }
+  in
+  let refined = Correlation.refine ~owner:"S" [ hist ] sol in
+  Alcotest.(check int) "count preserved" 77 (Hydra_core.Solution.total refined)
+
+let test_distance_metric () =
+  let db = client_db () in
+  let md = Hydra_codd.Metadata.capture db in
+  let hist = Option.get (Correlation.of_metadata md "S.A") in
+  (* the client data against its own histogram is near zero *)
+  let d = Correlation.histogram_distance db "S" "A" hist in
+  Alcotest.(check bool) (Printf.sprintf "self distance %.4f" d) true (d < 0.05);
+  (* a degenerate database far from the histogram scores high *)
+  let bad = Database.create schema in
+  let t = Table.create "S" [ "S_pk"; "A" ] in
+  for i = 1 to 1000 do
+    Table.add_row t [| i; 0 |]
+  done;
+  Database.bind_table bad t;
+  let d_bad = Correlation.histogram_distance bad "S" "A" hist in
+  Alcotest.(check bool)
+    (Printf.sprintf "degenerate distance %.4f" d_bad)
+    true (d_bad > 0.3)
+
+let suite =
+  [
+    ( "correlation",
+      [
+        Alcotest.test_case "apportion" `Quick test_apportion;
+        Alcotest.test_case "histogram from metadata" `Quick test_of_metadata;
+        Alcotest.test_case "spreading preserves CCs" `Quick
+          test_spreading_preserves_ccs;
+        Alcotest.test_case "zero-mass buckets keep counts" `Quick
+          test_zero_mass_buckets;
+        Alcotest.test_case "distance metric" `Quick test_distance_metric;
+      ] );
+  ]
+
+let () = Alcotest.run "hydra-correlation" suite

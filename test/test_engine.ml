@@ -1,0 +1,306 @@
+(* Tests for the relational substrate and the mini query engine:
+   tables, predicates, plan execution, AQP cardinalities, and the
+   dynamic-generation scan. *)
+
+open Hydra_rel
+open Hydra_engine
+
+let iv = Interval.make
+
+(* ---- interval ---- *)
+
+let test_interval_basics () =
+  Alcotest.(check bool) "contains lo" true (Interval.contains (iv 2 5) 2);
+  Alcotest.(check bool) "excludes hi" false (Interval.contains (iv 2 5) 5);
+  Alcotest.(check bool) "empty" true (Interval.is_empty (iv 5 2));
+  Alcotest.(check bool) "inter" true
+    (Interval.equal (Interval.inter (iv 0 10) (iv 5 20)) (iv 5 10));
+  Alcotest.(check bool) "disjoint inter empty" true
+    (Interval.is_empty (Interval.inter (iv 0 5) (iv 5 10)));
+  Alcotest.(check bool) "subset" true (Interval.subset (iv 2 4) (iv 0 10));
+  Alcotest.(check bool) "not subset" false (Interval.subset (iv 2 12) (iv 0 10));
+  Alcotest.(check int) "width" 3 (Interval.width (iv 2 5));
+  let lo, hi = Interval.split_at (iv 0 10) 4 in
+  Alcotest.(check bool) "split lo" true (Interval.equal lo (iv 0 4));
+  Alcotest.(check bool) "split hi" true (Interval.equal hi (iv 4 10))
+
+let prop_interval_inter_comm =
+  QCheck.Test.make ~name:"interval intersection commutative" ~count:200
+    QCheck.(quad small_int small_int small_int small_int)
+    (fun (a, b, c, d) ->
+      let x = iv a b and y = iv c d in
+      Interval.equal (Interval.inter x y) (Interval.inter y x))
+
+(* ---- predicate ---- *)
+
+let test_predicate_dnf () =
+  let p =
+    Predicate.disj
+      (Predicate.of_conjuncts [ [ ("x", iv 0 10); ("y", iv 5 8) ] ])
+      (Predicate.atom "x" (iv 20 30))
+  in
+  let at x y = Predicate.eval (fun a -> if a = "x" then x else y) p in
+  Alcotest.(check bool) "in first conjunct" true (at 5 6);
+  Alcotest.(check bool) "y out" false (at 5 4);
+  Alcotest.(check bool) "in second disjunct" true (at 25 0);
+  Alcotest.(check bool) "out" false (at 15 6);
+  Alcotest.(check (list string)) "attrs" [ "x"; "y" ] (Predicate.attrs p)
+
+let test_predicate_conj_contradiction () =
+  let p =
+    Predicate.conj (Predicate.atom "x" (iv 0 5)) (Predicate.atom "x" (iv 10 20))
+  in
+  Alcotest.(check bool) "contradiction is false" true
+    (Predicate.equal p Predicate.false_)
+
+let test_predicate_clamp () =
+  let p = Predicate.atom "x" (iv min_int 50) in
+  let clamped = Predicate.clamp (fun _ -> (0, 30)) p in
+  Alcotest.(check bool) "clamped to domain" true
+    (Predicate.equal clamped (Predicate.atom "x" (iv 0 30)))
+
+let test_predicate_rename () =
+  let p = Predicate.atom "S.A" (iv 0 5) in
+  let q = Predicate.rename (fun _ -> "T1.c1") p in
+  Alcotest.(check (list string)) "renamed" [ "T1.c1" ] (Predicate.attrs q)
+
+(* ---- schema ---- *)
+
+let diamond_schema =
+  (* D <- B, D <- C, B <- A, C <- A : a DAG that is not a tree *)
+  Schema.create
+    [
+      { Schema.rname = "D"; pk = "d_pk"; fks = []; attrs = [ { Schema.aname = "d"; dom_lo = 0; dom_hi = 10 } ] };
+      { Schema.rname = "B"; pk = "b_pk"; fks = [ ("bd", "D") ]; attrs = [] };
+      { Schema.rname = "C"; pk = "c_pk"; fks = [ ("cd", "D") ]; attrs = [] };
+      {
+        Schema.rname = "A";
+        pk = "a_pk";
+        fks = [ ("ab", "B"); ("ac", "C") ];
+        attrs = [];
+      };
+    ]
+
+let test_schema_topo_dag () =
+  let order = Schema.topo_order diamond_schema in
+  let pos r = Option.get (List.find_index (fun x -> x = r) order) in
+  Alcotest.(check bool) "D before B" true (pos "D" < pos "B");
+  Alcotest.(check bool) "D before C" true (pos "D" < pos "C");
+  Alcotest.(check bool) "B before A" true (pos "B" < pos "A");
+  Alcotest.(check (list string))
+    "transitive refs of A" [ "B"; "C"; "D" ]
+    (List.sort compare (Schema.transitive_references diamond_schema "A"));
+  Alcotest.(check bool) "is dag" true (Schema.is_dag diamond_schema)
+
+let test_schema_cycle_detected () =
+  let cyclic =
+    Schema.create
+      [
+        { Schema.rname = "X"; pk = "x_pk"; fks = [ ("xy", "Y") ]; attrs = [] };
+        { Schema.rname = "Y"; pk = "y_pk"; fks = [ ("yx", "X") ]; attrs = [] };
+      ]
+  in
+  match Schema.topo_order cyclic with
+  | exception Schema.Schema_error _ -> ()
+  | _ -> Alcotest.fail "expected cycle detection"
+
+let test_schema_validation () =
+  (match
+     Schema.create
+       [ { Schema.rname = "X"; pk = "x_pk"; fks = [ ("f", "NOPE") ]; attrs = [] } ]
+   with
+  | exception Schema.Schema_error _ -> ()
+  | _ -> Alcotest.fail "dangling fk accepted");
+  match
+    Schema.create
+      [
+        {
+          Schema.rname = "X";
+          pk = "x_pk";
+          fks = [];
+          attrs = [ { Schema.aname = "a"; dom_lo = 5; dom_hi = 5 } ];
+        };
+      ]
+  with
+  | exception Schema.Schema_error _ -> ()
+  | _ -> Alcotest.fail "empty domain accepted"
+
+(* ---- table / csv ---- *)
+
+let test_table_roundtrip () =
+  let t = Table.create "t" [ "pk"; "a"; "b" ] in
+  for i = 1 to 100 do
+    Table.add_row t [| i; i * 2; i mod 7 |]
+  done;
+  Table.add_rows t [| 101; 0; 0 |] 5;
+  Alcotest.(check int) "length" 105 (Table.length t);
+  Alcotest.(check int) "get" 14 (Table.get t ~row:6 ~col:"a");
+  Alcotest.(check int) "bulk row" 101 (Table.get t ~row:103 ~col:"pk");
+  let path = Filename.temp_file "hydra" ".csv" in
+  Csv.write_table path t;
+  let t2 = Csv.read_table path "t" in
+  Sys.remove path;
+  Alcotest.(check int) "csv length" 105 (Table.length t2);
+  Alcotest.(check int) "csv cell" 14 (Table.get t2 ~row:6 ~col:"a")
+
+(* ---- executor ---- *)
+
+let tiny_db () =
+  let schema =
+    Schema.create
+      [
+        {
+          Schema.rname = "dim";
+          pk = "dim_pk";
+          fks = [];
+          attrs = [ { Schema.aname = "x"; dom_lo = 0; dom_hi = 100 } ];
+        };
+        {
+          Schema.rname = "fact";
+          pk = "fact_pk";
+          fks = [ ("f_dim", "dim") ];
+          attrs = [ { Schema.aname = "y"; dom_lo = 0; dom_hi = 10 } ];
+        };
+      ]
+  in
+  let db = Database.create schema in
+  (* dim: 10 rows, x = 10*i ; fact: 50 rows, f_dim = (i mod 10)+1, y = i mod 10 *)
+  let dim = Table.create "dim" [ "dim_pk"; "x" ] in
+  for i = 1 to 10 do
+    Table.add_row dim [| i; 10 * (i - 1) |]
+  done;
+  let fact = Table.create "fact" [ "fact_pk"; "f_dim"; "y" ] in
+  for i = 1 to 50 do
+    Table.add_row fact [| i; (i mod 10) + 1; i mod 10 |]
+  done;
+  Database.bind_table db dim;
+  Database.bind_table db fact;
+  db
+
+let test_executor_scan_filter () =
+  let db = tiny_db () in
+  Alcotest.(check int) "scan card" 10 (Executor.cardinality db (Plan.Scan "dim"));
+  let plan = Plan.Filter (Predicate.atom "dim.x" (iv 0 50), Plan.Scan "dim") in
+  Alcotest.(check int) "filter card" 5 (Executor.cardinality db plan)
+
+let test_executor_join () =
+  let db = tiny_db () in
+  let join =
+    Plan.Join
+      ( Plan.Scan "fact",
+        Plan.Scan "dim",
+        { Plan.fk_col = "fact.f_dim"; pk_rel = "dim" } )
+  in
+  Alcotest.(check int) "pk-fk join keeps all fact rows" 50
+    (Executor.cardinality db join);
+  (* filtered dim: x < 50 keeps dims 1..5, fact rows with f_dim <= 5 *)
+  let join_filtered =
+    Plan.Join
+      ( Plan.Scan "fact",
+        Plan.Filter (Predicate.atom "dim.x" (iv 0 50), Plan.Scan "dim"),
+        { Plan.fk_col = "fact.f_dim"; pk_rel = "dim" } )
+  in
+  let expected = 25 (* f_dim in 1..5: i mod 10 in 0..4 -> 25 rows *) in
+  Alcotest.(check int) "join with filtered build side" expected
+    (Executor.cardinality db join_filtered);
+  (* annotated plan exposes per-operator cardinalities *)
+  let _, ann = Executor.exec db join_filtered in
+  Alcotest.(check int) "root card" expected ann.Executor.card;
+  match ann.Executor.children with
+  | [ left; right ] ->
+      Alcotest.(check int) "left scan" 50 left.Executor.card;
+      Alcotest.(check int) "right filter" 5 right.Executor.card
+  | _ -> Alcotest.fail "join should have two children"
+
+let test_executor_post_join_filter () =
+  let db = tiny_db () in
+  let plan =
+    Plan.Filter
+      ( Predicate.conj
+          (Predicate.atom "dim.x" (iv 0 50))
+          (Predicate.atom "fact.y" (iv 0 2)),
+        Plan.Join
+          ( Plan.Scan "fact",
+            Plan.Scan "dim",
+            { Plan.fk_col = "fact.f_dim"; pk_rel = "dim" } ) )
+  in
+  (* y in {0,1} and f_dim in 1..5 -> i mod 10 in {0,1} -> 10 rows *)
+  Alcotest.(check int) "conjunctive filter over join" 10
+    (Executor.cardinality db plan)
+
+let test_aggregate_sum () =
+  let db = tiny_db () in
+  (* sum of y over fact: 50 rows with y = i mod 10: 5 * (0+..+9) = 225 *)
+  Alcotest.(check int) "aggregate" 225 (Executor.aggregate_sum db "fact" "y")
+
+let test_group_by_over_generated () =
+  (* duplicate elimination must work identically over a virtual source *)
+  let db = tiny_db () in
+  let gen =
+    {
+      Database.gen_rows = 50;
+      gen_col =
+        (fun c ->
+          match c with
+          | "fact_pk" -> fun r -> r + 1
+          | "f_dim" -> fun r -> ((r + 1) mod 10) + 1
+          | "y" -> fun r -> (r + 1) mod 10
+          | _ -> invalid_arg "bad col");
+    }
+  in
+  Database.bind db "fact" (Database.Generated gen);
+  let plan = Plan.Group_by ([ "fact.y" ], Plan.Scan "fact") in
+  Alcotest.(check int) "distinct y over generated" 10
+    (Executor.cardinality db plan)
+
+let test_generated_source () =
+  let db = tiny_db () in
+  (* replace dim with a generated source computing the same contents *)
+  let gen =
+    {
+      Database.gen_rows = 10;
+      gen_col =
+        (fun c ->
+          match c with
+          | "dim_pk" -> fun r -> r + 1
+          | "x" -> fun r -> 10 * r
+          | _ -> invalid_arg "bad col");
+    }
+  in
+  Database.bind db "dim" (Database.Generated gen);
+  let plan = Plan.Filter (Predicate.atom "dim.x" (iv 0 50), Plan.Scan "dim") in
+  Alcotest.(check int) "generated filter card" 5 (Executor.cardinality db plan)
+
+let suite =
+  [
+    ( "interval",
+      [ Alcotest.test_case "basics" `Quick test_interval_basics ]
+      @ [ QCheck_alcotest.to_alcotest prop_interval_inter_comm ] );
+    ( "predicate",
+      [
+        Alcotest.test_case "dnf eval" `Quick test_predicate_dnf;
+        Alcotest.test_case "contradiction" `Quick test_predicate_conj_contradiction;
+        Alcotest.test_case "clamp" `Quick test_predicate_clamp;
+        Alcotest.test_case "rename" `Quick test_predicate_rename;
+      ] );
+    ( "schema",
+      [
+        Alcotest.test_case "DAG topo order" `Quick test_schema_topo_dag;
+        Alcotest.test_case "cycle detection" `Quick test_schema_cycle_detected;
+        Alcotest.test_case "validation" `Quick test_schema_validation;
+      ] );
+    ( "table",
+      [ Alcotest.test_case "roundtrip + csv" `Quick test_table_roundtrip ] );
+    ( "executor",
+      [
+        Alcotest.test_case "scan/filter" `Quick test_executor_scan_filter;
+        Alcotest.test_case "pk-fk join" `Quick test_executor_join;
+        Alcotest.test_case "post-join filter" `Quick test_executor_post_join_filter;
+        Alcotest.test_case "aggregate" `Quick test_aggregate_sum;
+        Alcotest.test_case "generated source" `Quick test_generated_source;
+        Alcotest.test_case "group-by over generated" `Quick
+          test_group_by_over_generated;
+      ] );
+  ]
+
+let () = Alcotest.run "hydra-engine" suite

@@ -1,0 +1,248 @@
+(* Tests for the grouping-operator extension (the paper's future-work
+   item): the Group_by plan operator, distinct-count CCs, the post-LP
+   value-spreading refinement, and the parser's delta(...) syntax. *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_workload
+open Hydra_core
+
+let iv = Interval.make
+
+(* single relation S(A, B) with known contents *)
+let schema =
+  Schema.create
+    [
+      {
+        Schema.rname = "S";
+        pk = "S_pk";
+        fks = [];
+        attrs =
+          [
+            { Schema.aname = "A"; dom_lo = 0; dom_hi = 100 };
+            { Schema.aname = "B"; dom_lo = 0; dom_hi = 10 };
+          ];
+      };
+      {
+        Schema.rname = "R";
+        pk = "R_pk";
+        fks = [ ("S_fk", "S") ];
+        attrs = [];
+      };
+    ]
+
+let client_db () =
+  let db = Database.create schema in
+  let s = Table.create "S" [ "S_pk"; "A"; "B" ] in
+  (* A = i mod 25 (25 distinct values), B = i mod 5 *)
+  for i = 1 to 100 do
+    Table.add_row s [| i; i mod 25; i mod 5 |]
+  done;
+  let r = Table.create "R" [ "R_pk"; "S_fk" ] in
+  for i = 1 to 400 do
+    Table.add_row r [| i; (i mod 100) + 1 |]
+  done;
+  Database.bind_table db s;
+  Database.bind_table db r;
+  db
+
+(* ---- engine operator ---- *)
+
+let test_group_by_operator () =
+  let db = client_db () in
+  let plan = Plan.Group_by ([ "S.A" ], Plan.Scan "S") in
+  Alcotest.(check int) "distinct A" 25 (Executor.cardinality db plan);
+  let filtered =
+    Plan.Group_by
+      ([ "S.A" ], Plan.Filter (Predicate.atom "S.A" (iv 0 10), Plan.Scan "S"))
+  in
+  Alcotest.(check int) "distinct A under filter" 10
+    (Executor.cardinality db filtered);
+  let multi = Plan.Group_by ([ "S.A"; "S.B" ], Plan.Scan "S") in
+  (* A = i mod 25 and B = i mod 5 are correlated: B = A mod 5, so the
+     number of (A, B) pairs equals the number of distinct A *)
+  Alcotest.(check int) "correlated pair" 25 (Executor.cardinality db multi);
+  (* group-by over a join *)
+  let join =
+    Plan.Group_by
+      ( [ "S.A" ],
+        Plan.Join
+          (Plan.Scan "R", Plan.Scan "S", { Plan.fk_col = "R.S_fk"; pk_rel = "S" })
+      )
+  in
+  Alcotest.(check int) "distinct over join" 25 (Executor.cardinality db join)
+
+(* ---- CC extraction and measurement ---- *)
+
+let test_grouped_cc_extraction () =
+  let db = client_db () in
+  let plan =
+    Plan.Group_by
+      ([ "S.A" ], Plan.Filter (Predicate.atom "S.A" (iv 0 10), Plan.Scan "S"))
+  in
+  let wl = Workload.create [ { Workload.qname = "g"; plan } ] in
+  let ccs = Workload.extract_ccs db wl in
+  (* scan CC, filter CC, group CC *)
+  Alcotest.(check int) "three ccs" 3 (List.length ccs);
+  let grouped = List.find (fun (c : Cc.t) -> c.Cc.group_by <> []) ccs in
+  Alcotest.(check (list string)) "group attrs" [ "S.A" ] grouped.Cc.group_by;
+  Alcotest.(check int) "distinct card" 10 grouped.Cc.card;
+  Alcotest.(check int) "measure matches" 10 (Cc.measure db grouped);
+  (* grouped and plain CCs with the same expression are distinct *)
+  let plain = Cc.make [ "S" ] (Predicate.atom "S.A" (iv 0 10)) 40 in
+  Alcotest.(check bool) "not same expression" false
+    (Cc.same_expression grouped plain)
+
+(* ---- end-to-end regeneration with grouping CCs ---- *)
+
+let regen ccs =
+  let result = Pipeline.regenerate schema ccs in
+  (result, Tuple_gen.materialize result.Pipeline.summary)
+
+let test_grouping_end_to_end () =
+  let ccs =
+    [
+      Cc.size_cc "S" 100;
+      Cc.size_cc "R" 400;
+      Cc.make [ "S" ] (Predicate.atom "S.A" (iv 0 40)) 60;
+      Cc.make ~group_by:[ "S.A" ] [ "S" ] (Predicate.atom "S.A" (iv 0 40)) 25;
+    ]
+  in
+  let result, db = regen ccs in
+  Alcotest.(check int) "no residuals" 0
+    (List.length result.Pipeline.group_residuals);
+  List.iter
+    (fun (cc : Cc.t) ->
+      Alcotest.(check int)
+        (Format.asprintf "satisfied: %a" Cc.pp cc)
+        cc.Cc.card (Cc.measure db cc))
+    ccs
+
+let test_grouping_over_join () =
+  let ccs =
+    [
+      Cc.size_cc "S" 100;
+      Cc.size_cc "R" 400;
+      Cc.make [ "R"; "S" ] (Predicate.atom "S.A" (iv 0 40)) 150;
+      Cc.make ~group_by:[ "S.A" ] [ "R"; "S" ]
+        (Predicate.atom "S.A" (iv 0 40))
+        12;
+    ]
+  in
+  let result, db = regen ccs in
+  Alcotest.(check int) "no residuals" 0
+    (List.length result.Pipeline.group_residuals);
+  (* join and grouped CCs are exact; single-relation CCs may carry the
+     usual bounded integrity-repair additions *)
+  let extras r =
+    try List.assoc r result.Pipeline.summary.Summary.extra_tuples
+    with Not_found -> 0
+  in
+  List.iter
+    (fun (cc : Cc.t) ->
+      let actual = Cc.measure db cc in
+      match cc.Cc.relations with
+      | [ r ] when cc.Cc.group_by = [] ->
+          Alcotest.(check bool)
+            (Format.asprintf "bounded: %a (got %d)" Cc.pp cc actual)
+            true
+            (actual >= cc.Cc.card && actual - cc.Cc.card <= extras r)
+      | _ ->
+          Alcotest.(check int)
+            (Format.asprintf "exact: %a" Cc.pp cc)
+            cc.Cc.card actual)
+    ccs
+
+let test_grouping_capacity_residual () =
+  (* requesting 10 distinct values inside a width-2 box cannot succeed *)
+  let ccs =
+    [
+      Cc.size_cc "S" 100;
+      Cc.size_cc "R" 400;
+      Cc.make [ "S" ] (Predicate.atom "S.A" (iv 20 22)) 30;
+      Cc.make ~group_by:[ "S.A" ] [ "S" ] (Predicate.atom "S.A" (iv 20 22)) 10;
+    ]
+  in
+  let result, db = regen ccs in
+  (match result.Pipeline.group_residuals with
+  | [ r ] ->
+      Alcotest.(check int) "target" 10 r.Grouping.r_target;
+      Alcotest.(check bool) "achieved at most width" true
+        (r.Grouping.r_achieved <= 2)
+  | _ -> Alcotest.fail "expected exactly one residual");
+  (* the tuple-count CCs are still exact *)
+  Alcotest.(check int) "count cc unharmed" 30
+    (Cc.measure db (Cc.make [ "S" ] (Predicate.atom "S.A" (iv 20 22)) 30))
+
+let test_grouping_preserves_counts () =
+  (* spreading must not disturb any other CC, including overlapping ones *)
+  let ccs =
+    [
+      Cc.size_cc "S" 100;
+      Cc.size_cc "R" 400;
+      Cc.make [ "S" ] (Predicate.atom "S.A" (iv 0 50)) 70;
+      Cc.make [ "S" ] (Predicate.atom "S.A" (iv 30 80)) 40;
+      Cc.make ~group_by:[ "S.A" ] [ "S" ] (Predicate.atom "S.A" (iv 0 50)) 20;
+    ]
+  in
+  let result, db = regen ccs in
+  Alcotest.(check int) "no residuals" 0
+    (List.length result.Pipeline.group_residuals);
+  let v = Validate.check db ccs in
+  Alcotest.(check bool)
+    (Format.asprintf "all satisfied (%a)" Validate.pp v)
+    true
+    (v.Validate.max_abs_error = 0.0)
+
+(* ---- parser ---- *)
+
+let test_parser_delta () =
+  let spec =
+    Cc_parser.parse
+      {|
+table S (A int [0,100), B int [0,10));
+cc |S| = 100;
+cc |sigma(S.A in [0,40))(S)| = 60;
+cc |delta(S.A)(sigma(S.A in [0,40))(S))| = 25;
+cc |delta(S.A, S.B)(S)| = 40;
+|}
+  in
+  Alcotest.(check int) "four ccs" 4 (List.length spec.Cc_parser.ccs);
+  let grouped =
+    List.filter (fun (c : Cc.t) -> c.Cc.group_by <> []) spec.Cc_parser.ccs
+  in
+  Alcotest.(check int) "two grouped" 2 (List.length grouped);
+  (match grouped with
+  | [ g1; g2 ] ->
+      Alcotest.(check (list string)) "attrs 1" [ "S.A" ] g1.Cc.group_by;
+      Alcotest.(check (list string)) "attrs 2" [ "S.A"; "S.B" ] g2.Cc.group_by;
+      Alcotest.(check int) "card 2" 40 g2.Cc.card
+  | _ -> Alcotest.fail "grouping parse");
+  (* end-to-end from the parsed spec *)
+  let schema1 = spec.Cc_parser.schema in
+  let result = Pipeline.regenerate schema1 spec.Cc_parser.ccs in
+  let db = Tuple_gen.materialize result.Pipeline.summary in
+  List.iter
+    (fun (cc : Cc.t) ->
+      Alcotest.(check int)
+        (Format.asprintf "parsed cc satisfied: %a" Cc.pp cc)
+        cc.Cc.card (Cc.measure db cc))
+    spec.Cc_parser.ccs
+
+let suite =
+  [
+    ( "group-by",
+      [
+        Alcotest.test_case "engine operator" `Quick test_group_by_operator;
+        Alcotest.test_case "cc extraction" `Quick test_grouped_cc_extraction;
+        Alcotest.test_case "end to end" `Quick test_grouping_end_to_end;
+        Alcotest.test_case "over a join" `Quick test_grouping_over_join;
+        Alcotest.test_case "capacity residual" `Quick
+          test_grouping_capacity_residual;
+        Alcotest.test_case "counts preserved" `Quick
+          test_grouping_preserves_counts;
+        Alcotest.test_case "parser delta syntax" `Quick test_parser_delta;
+      ] );
+  ]
+
+let () = Alcotest.run "hydra-grouping" suite

@@ -1,0 +1,279 @@
+(* Tests for the LP model, the exact simplex, and integer feasibility.
+   Includes the paper's Figure 4(b) region-partitioned Person system. *)
+
+open Hydra_arith
+open Hydra_lp
+
+let rat = Rat.of_int
+
+let feasible = function
+  | Simplex.Feasible x -> x
+  | Simplex.Infeasible -> Alcotest.fail "expected feasible, got infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "expected feasible, got unbounded"
+
+let test_single_eq () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () in
+  Lp.add_eq lp [ (x, Rat.one) ] (rat 5);
+  let sol = feasible (Simplex.solve lp) in
+  Alcotest.(check bool) "x = 5" true (Rat.equal sol.(x) (rat 5));
+  Alcotest.(check bool) "satisfies" true (Lp.check lp sol)
+
+let test_infeasible () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () in
+  Lp.add_eq lp [ (x, Rat.one) ] (rat 5);
+  Lp.add_eq lp [ (x, Rat.one) ] (rat 7);
+  (match Simplex.solve lp with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible");
+  (* negativity forced through x >= 0 *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () in
+  Lp.add_constraint lp [ (x, Rat.one) ] Lp.Le (rat (-3));
+  match Simplex.solve lp with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible (x <= -3, x >= 0)"
+
+let test_person_figure4 () =
+  (* y1 + y2 = 1000; y2 + y3 = 2000; y1 + y2 + y3 + y4 = 8000 *)
+  let lp = Lp.create () in
+  let y1 = Lp.add_var lp () in
+  let y2 = Lp.add_var lp () in
+  let y3 = Lp.add_var lp () in
+  let y4 = Lp.add_var lp () in
+  Lp.add_eq_count lp [ y1; y2 ] 1000;
+  Lp.add_eq_count lp [ y2; y3 ] 2000;
+  Lp.add_eq_count lp [ y1; y2; y3; y4 ] 8000;
+  let sol = feasible (Simplex.solve lp) in
+  Alcotest.(check bool) "exact satisfaction" true (Lp.check lp sol);
+  (* also as an integer problem *)
+  match Int_feasible.solve lp with
+  | Int_feasible.Solution xi ->
+      Alcotest.(check bool) "integer solution checks" true
+        (Int_feasible.check lp xi)
+  | _ -> Alcotest.fail "expected an integer solution"
+
+let test_inequalities () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () and y = Lp.add_var lp () in
+  Lp.add_constraint lp [ (x, Rat.one); (y, Rat.one) ] Lp.Ge (rat 10);
+  Lp.add_constraint lp [ (x, Rat.one) ] Lp.Le (rat 4);
+  Lp.add_constraint lp [ (y, Rat.one) ] Lp.Le (rat 7);
+  let sol = feasible (Simplex.solve lp) in
+  Alcotest.(check bool) "satisfies" true (Lp.check lp sol)
+
+let test_objective () =
+  (* minimize x + y subject to x + y >= 10 picks the boundary *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () and y = Lp.add_var lp () in
+  Lp.add_constraint lp [ (x, Rat.one); (y, Rat.one) ] Lp.Ge (rat 10);
+  let sol =
+    feasible (Simplex.solve ~objective:[ (x, Rat.one); (y, Rat.one) ] lp)
+  in
+  Alcotest.(check bool) "x + y = 10" true
+    (Rat.equal (Rat.add sol.(x) sol.(y)) (rat 10))
+
+let test_unbounded_objective () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () and y = Lp.add_var lp () in
+  Lp.add_constraint lp [ (x, Rat.one); (y, Rat.one) ] Lp.Ge (rat 10);
+  match Simplex.solve ~objective:[ (x, Rat.minus_one) ] lp with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_fractional_vertex_branching () =
+  (* 2x = 3 has the unique solution x = 3/2: integer-infeasible *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () in
+  Lp.add_eq lp [ (x, rat 2) ] (rat 3);
+  (match Int_feasible.solve lp with
+  | Int_feasible.Infeasible -> ()
+  | _ -> Alcotest.fail "2x=3 has no integer solution");
+  (* x + 2y = 5, 3x + y = 5 -> vertex (1,2): integral after solving *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () and y = Lp.add_var lp () in
+  Lp.add_eq lp [ (x, Rat.one); (y, rat 2) ] (rat 5);
+  Lp.add_eq lp [ (x, rat 3); (y, Rat.one) ] (rat 5);
+  match Int_feasible.solve lp with
+  | Int_feasible.Solution xi ->
+      Alcotest.(check string) "x" "1" (Bigint.to_string xi.(x));
+      Alcotest.(check string) "y" "2" (Bigint.to_string xi.(y))
+  | _ -> Alcotest.fail "expected solution (1,2)"
+
+let test_gave_up () =
+  (* a node budget of 1 cannot finish branching on a fractional system *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () and y = Lp.add_var lp () in
+  Lp.add_eq lp [ (x, rat 2); (y, rat 2) ] (rat 3);
+  match Int_feasible.solve ~max_nodes:1 lp with
+  | Int_feasible.Gave_up -> ()
+  | Int_feasible.Solution _ -> Alcotest.fail "2x+2y=3 has no integer solution"
+  | Int_feasible.Infeasible ->
+      Alcotest.fail "budget 1 cannot prove integer infeasibility"
+
+let test_residuals () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () in
+  Lp.add_eq lp [ (x, Rat.one) ] (rat 5);
+  Lp.add_constraint lp [ (x, Rat.one) ] Lp.Le (rat 3);
+  let r = Lp.residuals lp [| rat 4 |] in
+  (match r with
+  | [ r1; r2 ] ->
+      Alcotest.(check string) "eq residual" "-1" (Rat.to_string r1);
+      Alcotest.(check string) "le violation" "1" (Rat.to_string r2)
+  | _ -> Alcotest.fail "two residuals expected");
+  Alcotest.(check bool) "check rejects" false (Lp.check lp [| rat 4 |]);
+  Alcotest.(check bool) "negative rejected" false (Lp.check lp [| rat (-5) |])
+
+let test_stats_populated () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () in
+  Lp.add_eq lp [ (x, Rat.one) ] (rat 5);
+  ignore (Simplex.solve lp);
+  let st = Simplex.last_stats () in
+  Alcotest.(check bool) "iterations counted" true (st.Simplex.iterations > 0);
+  Alcotest.(check int) "rows" 1 st.Simplex.rows
+
+let test_big_cardinalities () =
+  (* exabyte-scale counts: 10^18 rows split across two regions *)
+  let lp = Lp.create () in
+  let a = Lp.add_var lp () and b = Lp.add_var lp () in
+  let huge = Rat.of_bigint (Bigint.of_string "1000000000000000000") in
+  Lp.add_eq lp [ (a, Rat.one); (b, Rat.one) ] huge;
+  Lp.add_eq lp [ (a, Rat.one) ] (Rat.of_bigint (Bigint.of_string "999999999999999999"));
+  match Int_feasible.solve lp with
+  | Int_feasible.Solution xi ->
+      Alcotest.(check string) "a" "999999999999999999" (Bigint.to_string xi.(a));
+      Alcotest.(check string) "b" "1" (Bigint.to_string xi.(b))
+  | _ -> Alcotest.fail "expected exabyte-scale solution"
+
+(* property: random systems built from a known non-negative integer witness
+   are solvable, and the returned solution satisfies all constraints *)
+let witness_system_gen =
+  let open QCheck.Gen in
+  let* n = int_range 2 8 in
+  let* m = int_range 1 5 in
+  let* witness = array_size (return n) (int_range 0 50) in
+  let* rows =
+    list_size (return m)
+      (list_size (return n) (int_range 0 2) (* small non-negative coefs *))
+  in
+  return (witness, rows)
+
+let prop_witnessed_systems =
+  QCheck.Test.make ~name:"simplex solves witnessed systems" ~count:150
+    (QCheck.make witness_system_gen) (fun (witness, rows) ->
+      let lp = Lp.create () in
+      let n = Array.length witness in
+      ignore (Lp.add_vars lp n);
+      List.iter
+        (fun row ->
+          let terms =
+            List.mapi (fun i c -> (i, rat c)) row
+            |> List.filter (fun (_, c) -> not (Rat.is_zero c))
+          in
+          if terms <> [] then begin
+            let rhs =
+              List.fold_left
+                (fun acc (i, c) -> Rat.add acc (Rat.mul c (rat witness.(i))))
+                Rat.zero terms
+            in
+            Lp.add_eq lp terms rhs
+          end)
+        rows;
+      match Simplex.solve lp with
+      | Simplex.Feasible x -> Lp.check lp x
+      | _ -> false)
+
+(* optimality: simplex minimization must match brute force over a small
+   integer box (the LP optimum of these systems lies at integer points
+   because constraints and bounds are integral and we only check <=) *)
+let prop_objective_optimality =
+  let gen =
+    let open QCheck.Gen in
+    let* c1 = int_range 1 5 in
+    let* c2 = int_range 1 5 in
+    let* b1 = int_range 1 10 in
+    let* b2 = int_range 1 10 in
+    let* target = int_range 1 15 in
+    return (c1, c2, b1, b2, target)
+  in
+  QCheck.Test.make ~name:"simplex minimization matches brute force" ~count:150
+    (QCheck.make gen) (fun (c1, c2, b1, b2, target) ->
+      (* minimize c1*x + c2*y  s.t.  x <= b1, y <= b2, x + y >= target *)
+      QCheck.assume (b1 + b2 >= target);
+      let lp = Lp.create () in
+      let x = Lp.add_var lp () and y = Lp.add_var lp () in
+      Lp.add_constraint lp [ (x, Rat.one) ] Lp.Le (rat b1);
+      Lp.add_constraint lp [ (y, Rat.one) ] Lp.Le (rat b2);
+      Lp.add_constraint lp [ (x, Rat.one); (y, Rat.one) ] Lp.Ge (rat target);
+      match Simplex.solve ~objective:[ (x, rat c1); (y, rat c2) ] lp with
+      | Simplex.Feasible sol ->
+          let got =
+            Rat.add (Rat.mul (rat c1) sol.(x)) (Rat.mul (rat c2) sol.(y))
+          in
+          (* brute force over the integer box *)
+          let best = ref max_int in
+          for xi = 0 to b1 do
+            for yi = 0 to b2 do
+              if xi + yi >= target then
+                best := min !best ((c1 * xi) + (c2 * yi))
+            done
+          done;
+          Rat.equal got (rat !best)
+      | _ -> false)
+
+let prop_integer_witnessed_systems =
+  QCheck.Test.make ~name:"int_feasible solves witnessed systems" ~count:80
+    (QCheck.make witness_system_gen) (fun (witness, rows) ->
+      let lp = Lp.create () in
+      let n = Array.length witness in
+      ignore (Lp.add_vars lp n);
+      List.iter
+        (fun row ->
+          let terms =
+            List.mapi (fun i c -> (i, rat c)) row
+            |> List.filter (fun (_, c) -> not (Rat.is_zero c))
+          in
+          if terms <> [] then begin
+            let rhs =
+              List.fold_left
+                (fun acc (i, c) -> Rat.add acc (Rat.mul c (rat witness.(i))))
+                Rat.zero terms
+            in
+            Lp.add_eq lp terms rhs
+          end)
+        rows;
+      match Int_feasible.solve lp with
+      | Int_feasible.Solution xi -> Int_feasible.check lp xi
+      | Int_feasible.Gave_up -> true (* budget exhaustion is not a failure *)
+      | Int_feasible.Infeasible -> false)
+
+let suite =
+  [
+    ( "simplex",
+      [
+        Alcotest.test_case "single equality" `Quick test_single_eq;
+        Alcotest.test_case "infeasible" `Quick test_infeasible;
+        Alcotest.test_case "Person Figure 4b" `Quick test_person_figure4;
+        Alcotest.test_case "inequalities" `Quick test_inequalities;
+        Alcotest.test_case "objective" `Quick test_objective;
+        Alcotest.test_case "unbounded objective" `Quick test_unbounded_objective;
+        Alcotest.test_case "big cardinalities" `Quick test_big_cardinalities;
+        Alcotest.test_case "residuals and check" `Quick test_residuals;
+        Alcotest.test_case "solver statistics" `Quick test_stats_populated;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_witnessed_systems; prop_objective_optimality ] );
+    ( "int_feasible",
+      [
+        Alcotest.test_case "fractional vertex branching" `Quick
+          test_fractional_vertex_branching;
+        Alcotest.test_case "budget exhaustion" `Quick test_gave_up;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest [ prop_integer_witnessed_systems ]
+    );
+  ]
+
+let () = Alcotest.run "hydra-lp" suite

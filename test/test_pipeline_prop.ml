@@ -1,0 +1,241 @@
+(* Generative end-to-end tests: random star schemas, random client
+   databases, random workloads -> extract CCs -> regenerate -> validate.
+
+   Because the CCs are measured on an actual database they are always
+   satisfiable, so the pipeline must succeed; and the regenerated data
+   must satisfy a strong error contract that follows from the design:
+
+   - multi-relation (join) CCs are satisfied EXACTLY: the foreign keys
+     produced by the summary generator point at tuples carrying exactly
+     the borrowed attribute values, so join counts equal the fact view's
+     LP-exact counts;
+   - single-relation CCs err only upward, by at most the number of
+     integrity-repair tuples added to that relation;
+   - dynamic generation returns exactly the same tuples as static
+     materialization. *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_workload
+
+(* ---- random environment generator ---- *)
+
+type env = {
+  schema : Schema.t;
+  dims : (string * int) list;  (* name, size *)
+  fact_size : int;
+  queries : (string list * Predicate.t option) list list;
+      (* per query: parts (relation, filter) *)
+  seed : int;
+}
+
+let attr_count = 2
+
+let env_gen =
+  let open QCheck.Gen in
+  let* ndims = int_range 1 3 in
+  let* dim_sizes = list_size (return ndims) (int_range 3 40) in
+  let* fact_size = int_range 20 300 in
+  let* nqueries = int_range 1 5 in
+  let* seed = int_range 0 10000 in
+  (* filters chosen per query: for each relation a random atom or none *)
+  let* query_specs =
+    list_size (return nqueries)
+      (list_size (return (ndims + 1)) (option (pair (int_range 0 (attr_count - 1)) (pair (int_range 0 15) (int_range 1 8)))))
+  in
+  return (dim_sizes, fact_size, query_specs, seed)
+
+let build_env (dim_sizes, fact_size, query_specs, seed) =
+  let dims = List.mapi (fun i n -> (Printf.sprintf "d%d" i, n)) dim_sizes in
+  let mk_attrs prefix =
+    List.init attr_count (fun i ->
+        { Schema.aname = Printf.sprintf "%s%d" prefix i; dom_lo = 0; dom_hi = 20 })
+  in
+  let relations =
+    List.map
+      (fun (name, _) ->
+        { Schema.rname = name; pk = name ^ "_pk"; fks = []; attrs = mk_attrs name })
+      dims
+    @ [
+        {
+          Schema.rname = "fact";
+          pk = "fact_pk";
+          fks = List.map (fun (d, _) -> ("fk_" ^ d, d)) dims;
+          attrs = mk_attrs "f";
+        };
+      ]
+  in
+  let schema = Schema.create relations in
+  (* one query = fact + all dims, with per-relation optional filters *)
+  let rel_names = "fact" :: List.map fst dims in
+  let queries =
+    List.map
+      (fun filters ->
+        List.map2
+          (fun rel f ->
+            match f with
+            | None -> ([ rel ], None)
+            | Some (ai, (lo, w)) ->
+                let attr_prefix = if rel = "fact" then "f" else rel in
+                let q =
+                  Schema.qualify rel (Printf.sprintf "%s%d" attr_prefix ai)
+                in
+                let lo = min lo 18 in
+                let hi = min 20 (lo + w) in
+                ([ rel ], Some (Predicate.atom q (Interval.make lo hi))))
+          rel_names filters)
+      query_specs
+  in
+  { schema; dims; fact_size; queries; seed }
+
+let populate env =
+  let db = Database.create env.schema in
+  let rng = ref (env.seed + 7) in
+  let next () =
+    rng := (!rng * 0x343FD) + 0x269EC3;
+    (!rng lsr 8) land 0xFFFFFF
+  in
+  List.iter
+    (fun r ->
+      let rname = r.Schema.rname in
+      let n =
+        if rname = "fact" then env.fact_size else List.assoc rname env.dims
+      in
+      let t = Table.create rname (Schema.columns r) in
+      for row = 1 to n do
+        let fks =
+          List.map
+            (fun (_, tgt) -> 1 + (next () mod List.assoc tgt env.dims))
+            r.Schema.fks
+        in
+        let attrs = List.map (fun _ -> next () mod 20) r.Schema.attrs in
+        Table.add_row t (Array.of_list ((row :: fks) @ attrs))
+      done;
+      Database.bind_table db t)
+    (Schema.relations env.schema);
+  db
+
+let workload_of env =
+  Workload.create
+    (List.mapi
+       (fun i parts ->
+         let parts =
+           List.map (fun (rels, f) -> (List.hd rels, f)) parts
+         in
+         {
+           Workload.qname = Printf.sprintf "q%d" i;
+           plan = Workload.left_deep_plan env.schema parts;
+         })
+       env.queries)
+
+let sizes_of env db =
+  List.map
+    (fun r -> (r.Schema.rname, Database.nrows db r.Schema.rname))
+    (Schema.relations env.schema)
+
+(* ---- the properties ---- *)
+
+let regenerate env =
+  let db = populate env in
+  let wl = workload_of env in
+  let ccs = Workload.extract_ccs db wl in
+  let result =
+    Hydra_core.Pipeline.regenerate ~sizes:(sizes_of env db) env.schema ccs
+  in
+  (ccs, result)
+
+let prop_error_contract =
+  QCheck.Test.make ~name:"regeneration error contract" ~count:40
+    (QCheck.make env_gen) (fun raw ->
+      let env = build_env raw in
+      let ccs, result = regenerate env in
+      let summary = result.Hydra_core.Pipeline.summary in
+      let vdb = Hydra_core.Tuple_gen.materialize summary in
+      let extras r =
+        try List.assoc r summary.Hydra_core.Summary.extra_tuples
+        with Not_found -> 0
+      in
+      List.for_all
+        (fun (cc : Cc.t) ->
+          let actual = Cc.measure vdb cc in
+          match cc.Cc.relations with
+          | [ r ] ->
+              (* upward only, bounded by that relation's repair tuples *)
+              actual >= cc.Cc.card && actual - cc.Cc.card <= extras r
+          | _ ->
+              (* join CCs are exact by construction *)
+              actual = cc.Cc.card)
+        ccs)
+
+let prop_dynamic_equals_static =
+  QCheck.Test.make ~name:"dynamic generation = static materialization"
+    ~count:25 (QCheck.make env_gen) (fun raw ->
+      let env = build_env raw in
+      let _, result = regenerate env in
+      let summary = result.Hydra_core.Pipeline.summary in
+      let sdb = Hydra_core.Tuple_gen.materialize summary in
+      let ddb = Hydra_core.Tuple_gen.dynamic summary in
+      List.for_all
+        (fun r ->
+          let rname = r.Schema.rname in
+          let n = Database.nrows sdb rname in
+          Database.nrows ddb rname = n
+          && List.for_all
+               (fun c ->
+                 let rs = Database.reader sdb rname c in
+                 let rd = Database.reader ddb rname c in
+                 let ok = ref true in
+                 for i = 0 to n - 1 do
+                   if rs i <> rd i then ok := false
+                 done;
+                 !ok)
+               (Schema.columns r))
+        (Schema.relations env.schema))
+
+let prop_summary_roundtrip =
+  QCheck.Test.make ~name:"summary save/load preserves regeneration" ~count:15
+    (QCheck.make env_gen) (fun raw ->
+      let env = build_env raw in
+      let _, result = regenerate env in
+      let summary = result.Hydra_core.Pipeline.summary in
+      let path = Filename.temp_file "hydra_prop" ".summary" in
+      Hydra_core.Summary.save path summary;
+      let loaded = Hydra_core.Summary.load path env.schema in
+      Sys.remove path;
+      let db1 = Hydra_core.Tuple_gen.materialize summary in
+      let db2 = Hydra_core.Tuple_gen.materialize loaded in
+      List.for_all
+        (fun r ->
+          let rname = r.Schema.rname in
+          Database.nrows db1 rname = Database.nrows db2 rname)
+        (Schema.relations env.schema))
+
+let prop_scale_free_summary =
+  QCheck.Test.make ~name:"summary size independent of data scale" ~count:15
+    (QCheck.make env_gen) (fun raw ->
+      let env = build_env raw in
+      let db = populate env in
+      let wl = workload_of env in
+      let ccs = Workload.extract_ccs db wl in
+      let sizes = sizes_of env db in
+      let r1 = Hydra_core.Pipeline.regenerate ~sizes env.schema ccs in
+      let factor = 1000.0 in
+      let ccs' = Workload.scale_ccs factor ccs in
+      let sizes' = List.map (fun (r, n) -> (r, n * 1000)) sizes in
+      let r2 = Hydra_core.Pipeline.regenerate ~sizes:sizes' env.schema ccs' in
+      Hydra_core.Summary.summary_rows r1.Hydra_core.Pipeline.summary
+      = Hydra_core.Summary.summary_rows r2.Hydra_core.Pipeline.summary)
+
+let suite =
+  [
+    ( "pipeline-properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_error_contract;
+          prop_dynamic_equals_static;
+          prop_summary_roundtrip;
+          prop_scale_free_summary;
+        ] );
+  ]
+
+let () = Alcotest.run "hydra-pipeline-prop" suite

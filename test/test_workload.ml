@@ -1,0 +1,334 @@
+(* Tests for cardinality constraints, AQP -> CC extraction, the text
+   parser, the anonymizer, and the CODD metadata substrate. *)
+
+open Hydra_rel
+open Hydra_engine
+open Hydra_workload
+
+let iv = Interval.make
+
+(* small star schema: fact -> dim *)
+let schema =
+  Schema.create
+    [
+      {
+        Schema.rname = "dim";
+        pk = "dim_pk";
+        fks = [];
+        attrs = [ { Schema.aname = "x"; dom_lo = 0; dom_hi = 100 } ];
+      };
+      {
+        Schema.rname = "fact";
+        pk = "fact_pk";
+        fks = [ ("f_dim", "dim") ];
+        attrs = [ { Schema.aname = "y"; dom_lo = 0; dom_hi = 10 } ];
+      };
+    ]
+
+let sample_db () =
+  let db = Database.create schema in
+  let dim = Table.create "dim" [ "dim_pk"; "x" ] in
+  for i = 1 to 10 do
+    Table.add_row dim [| i; 10 * (i - 1) |]
+  done;
+  let fact = Table.create "fact" [ "fact_pk"; "f_dim"; "y" ] in
+  for i = 1 to 50 do
+    Table.add_row fact [| i; (i mod 10) + 1; i mod 10 |]
+  done;
+  Database.bind_table db dim;
+  Database.bind_table db fact;
+  db
+
+(* ---- CC extraction ---- *)
+
+let test_ccs_of_query () =
+  let db = sample_db () in
+  let plan =
+    Plan.Join
+      ( Plan.Scan "fact",
+        Plan.Filter (Predicate.atom "dim.x" (iv 0 50), Plan.Scan "dim"),
+        { Plan.fk_col = "fact.f_dim"; pk_rel = "dim" } )
+  in
+  let wl = Workload.create [ { Workload.qname = "q"; plan } ] in
+  let ccs = Workload.extract_ccs db wl in
+  (* scan fact, scan dim, filter dim, join: 4 CCs *)
+  Alcotest.(check int) "four CCs" 4 (List.length ccs);
+  let find rels pred_attrs =
+    List.find
+      (fun (cc : Cc.t) ->
+        cc.Cc.relations = rels && Predicate.attrs cc.Cc.predicate = pred_attrs)
+      ccs
+  in
+  Alcotest.(check int) "|fact|" 50 (find [ "fact" ] []).Cc.card;
+  Alcotest.(check int) "|dim|" 10 (find [ "dim" ] []).Cc.card;
+  Alcotest.(check int) "filter" 5 (find [ "dim" ] [ "dim.x" ]).Cc.card;
+  Alcotest.(check int) "join" 25 (find [ "dim"; "fact" ] [ "dim.x" ]).Cc.card
+
+let test_cc_dedup_and_measure () =
+  let db = sample_db () in
+  let plan = Plan.Filter (Predicate.atom "dim.x" (iv 0 50), Plan.Scan "dim") in
+  let wl =
+    Workload.create
+      [ { Workload.qname = "a"; plan }; { Workload.qname = "b"; plan } ]
+  in
+  let ccs = Workload.extract_ccs db wl in
+  Alcotest.(check int) "dedup across queries" 2 (List.length ccs);
+  (* measuring each CC against the same database returns its cardinality *)
+  List.iter
+    (fun (cc : Cc.t) ->
+      Alcotest.(check int) "measure" cc.Cc.card (Cc.measure db cc))
+    ccs
+
+let test_cc_root_relation () =
+  let cc = Cc.make [ "fact"; "dim" ] Predicate.true_ 50 in
+  Alcotest.(check string) "root" "fact" (Cc.root_relation schema cc)
+
+let test_scale_ccs () =
+  let ccs = [ Cc.size_cc "dim" 10 ] in
+  match Workload.scale_ccs 2.5 ccs with
+  | [ cc ] -> Alcotest.(check int) "scaled" 25 cc.Cc.card
+  | _ -> Alcotest.fail "one cc expected"
+
+let test_histogram () =
+  let ccs =
+    [ Cc.size_cc "dim" 0; Cc.size_cc "dim" 5; Cc.size_cc "dim" 50;
+      Cc.size_cc "dim" 5000 ]
+  in
+  let h = Workload.cardinality_histogram ccs in
+  Alcotest.(check int) "bucket zero" 1 h.(0);
+  Alcotest.(check int) "bucket 1-9" 1 h.(1);
+  Alcotest.(check int) "bucket 10-99" 1 h.(2);
+  Alcotest.(check int) "bucket 1000-9999" 1 h.(4)
+
+(* ---- parser ---- *)
+
+let toy_spec_text =
+  {|
+# Figure 1 of the paper
+table S (A int [0,100), B int [0,50));
+table T (C int [0,10));
+table R (S_fk -> S, T_fk -> T);
+
+cc |R| = 80000;
+cc |S| = 700;
+cc |T| = 1500;
+cc |sigma(S.A in [20,60))(S)| = 400;
+cc |sigma(T.C in [2,3))(T)| = 900;
+cc |sigma(S.A in [20,60))(R join S)| = 50000;
+cc |sigma(S.A in [20,60) and T.C in [2,3))(R join S join T)| = 30000;
+
+query q1: R join S join T where S.A in [20,60) and T.C >= 2 and T.C < 3;
+|}
+
+let test_parser_full_spec () =
+  let spec = Cc_parser.parse toy_spec_text in
+  Alcotest.(check int) "three tables" 3
+    (List.length (Schema.relations spec.Cc_parser.schema));
+  Alcotest.(check int) "seven ccs" 7 (List.length spec.Cc_parser.ccs);
+  Alcotest.(check int) "one query" 1 (List.length spec.Cc_parser.queries);
+  let r = Schema.find spec.Cc_parser.schema "R" in
+  Alcotest.(check int) "R has two fks" 2 (List.length r.Schema.fks);
+  (* the parsed query must reproduce the CC cardinalities when run on a
+     database regenerated from the parsed CCs *)
+  let result =
+    Hydra_core.Pipeline.regenerate spec.Cc_parser.schema spec.Cc_parser.ccs
+  in
+  let db = Hydra_core.Tuple_gen.materialize result.Hydra_core.Pipeline.summary in
+  let q = List.hd spec.Cc_parser.queries in
+  let _, ann = Executor.exec db q.Workload.plan in
+  Alcotest.(check int) "query root cardinality" 30000 ann.Executor.card
+
+let test_parser_operators () =
+  let spec =
+    Cc_parser.parse
+      {|
+table X (a int [0,100));
+cc |sigma(X.a < 10)(X)| = 1;
+cc |sigma(X.a <= 10)(X)| = 2;
+cc |sigma(X.a > 90)(X)| = 3;
+cc |sigma(X.a >= 90)(X)| = 4;
+cc |sigma(X.a = 50)(X)| = 5;
+cc |sigma(X.a < 10 or X.a > 90)(X)| = 6;
+|}
+  in
+  Alcotest.(check int) "six ccs" 6 (List.length spec.Cc_parser.ccs);
+  let preds = List.map (fun (c : Cc.t) -> c.Cc.predicate) spec.Cc_parser.ccs in
+  let eval p v = Predicate.eval (fun _ -> v) p in
+  (match preds with
+  | [ lt; le; gt; ge; eq; disj ] ->
+      Alcotest.(check bool) "lt 9" true (eval lt 9);
+      Alcotest.(check bool) "lt 10" false (eval lt 10);
+      Alcotest.(check bool) "le 10" true (eval le 10);
+      Alcotest.(check bool) "gt 90" false (eval gt 90);
+      Alcotest.(check bool) "gt 91" true (eval gt 91);
+      Alcotest.(check bool) "ge 90" true (eval ge 90);
+      Alcotest.(check bool) "eq" true (eval eq 50);
+      Alcotest.(check bool) "eq off" false (eval eq 51);
+      Alcotest.(check bool) "disj low" true (eval disj 5);
+      Alcotest.(check bool) "disj mid" false (eval disj 50);
+      Alcotest.(check bool) "disj high" true (eval disj 95)
+  | _ -> Alcotest.fail "expected six predicates")
+
+let test_emit_roundtrip () =
+  (* emitting a schema + CC set and reparsing must preserve both *)
+  let spec = Cc_parser.parse toy_spec_text in
+  let text = Cc_parser.emit spec.Cc_parser.schema spec.Cc_parser.ccs in
+  let spec2 = Cc_parser.parse text in
+  Alcotest.(check int) "same relation count"
+    (List.length (Schema.relations spec.Cc_parser.schema))
+    (List.length (Schema.relations spec2.Cc_parser.schema));
+  Alcotest.(check int) "same cc count"
+    (List.length spec.Cc_parser.ccs)
+    (List.length spec2.Cc_parser.ccs);
+  List.iter2
+    (fun (a : Cc.t) (b : Cc.t) ->
+      Alcotest.(check bool)
+        (Format.asprintf "cc preserved: %a" Cc.pp a)
+        true
+        (Cc.same_expression a b && a.Cc.card = b.Cc.card))
+    spec.Cc_parser.ccs spec2.Cc_parser.ccs;
+  (* unbounded atoms and grouping survive the roundtrip *)
+  let spec3 =
+    Cc_parser.parse
+      {|
+table X (a int [0,100));
+cc |sigma(X.a < 30)(X)| = 5;
+cc |sigma(X.a >= 70)(X)| = 7;
+cc |delta(X.a)(sigma(X.a < 30 or X.a >= 70)(X))| = 9;
+|}
+  in
+  let text3 = Cc_parser.emit spec3.Cc_parser.schema spec3.Cc_parser.ccs in
+  let spec4 = Cc_parser.parse text3 in
+  List.iter2
+    (fun (a : Cc.t) (b : Cc.t) ->
+      Alcotest.(check bool)
+        (Format.asprintf "unbounded cc preserved: %a" Cc.pp a)
+        true
+        (Cc.same_expression a b && a.Cc.card = b.Cc.card))
+    spec3.Cc_parser.ccs spec4.Cc_parser.ccs
+
+let test_parser_query_group_by () =
+  let spec =
+    Cc_parser.parse
+      {|
+table X (a int [0,100), b int [0,10));
+query g: X where X.a < 50 group by X.a, X.b;
+|}
+  in
+  match (List.hd spec.Cc_parser.queries).Workload.plan with
+  | Hydra_engine.Plan.Group_by (attrs, _) ->
+      Alcotest.(check (list string)) "group attrs" [ "X.a"; "X.b" ] attrs
+  | _ -> Alcotest.fail "expected a Group_by plan root"
+
+let test_parser_errors () =
+  let bad = [ "table ;"; "cc |X| = 5;"; "table X (a int [0,10)); cc |X| 5;" ] in
+  List.iter
+    (fun src ->
+      match Cc_parser.parse src with
+      | exception Cc_parser.Parse_error _ -> ()
+      | exception Schema.Schema_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed input: %s" src)
+    bad
+
+(* ---- anonymizer ---- *)
+
+let test_anonymizer () =
+  let anon = Anonymizer.create schema in
+  let masked_schema = Anonymizer.anonymize_schema anon schema in
+  Alcotest.(check int) "same relation count" 2
+    (List.length (Schema.relations masked_schema));
+  (* masked names hide originals *)
+  Alcotest.(check bool) "relation name masked" false
+    (Schema.mem masked_schema "fact");
+  (* value mapping is invertible *)
+  let v = 42 in
+  let fwd = Anonymizer.value_fwd anon "dim.x" v in
+  Alcotest.(check int) "roundtrip" v (Anonymizer.value_bwd anon "dim.x" fwd);
+  (* CC anonymization preserves cardinalities and predicate structure *)
+  let cc = Cc.make [ "dim" ] (Predicate.atom "dim.x" (iv 10 20)) 7 in
+  let mcc = Anonymizer.anonymize_cc anon cc in
+  Alcotest.(check int) "card preserved" 7 mcc.Cc.card;
+  Alcotest.(check int) "one conjunct" 1 (List.length mcc.Cc.predicate);
+  (* anonymized interval width is preserved by the affine map *)
+  (match mcc.Cc.predicate with
+  | [ [ (_, miv) ] ] ->
+      Alcotest.(check int) "width preserved" 10 (Interval.width miv)
+  | _ -> Alcotest.fail "unexpected predicate shape");
+  (* the masked schema + masked ccs form a solvable regeneration problem *)
+  let masked_sizes =
+    List.map
+      (fun r -> (r.Schema.rname, 100))
+      (Schema.relations masked_schema)
+  in
+  let result =
+    Hydra_core.Pipeline.regenerate ~sizes:masked_sizes masked_schema [ mcc ]
+  in
+  let db = Hydra_core.Tuple_gen.materialize result.Hydra_core.Pipeline.summary in
+  Alcotest.(check int) "masked cc satisfied" 7 (Cc.measure db mcc)
+
+(* ---- codd metadata ---- *)
+
+let test_metadata_capture_and_scale () =
+  let db = sample_db () in
+  let md = Hydra_codd.Metadata.capture db in
+  Alcotest.(check int) "fact rows" 50 (Hydra_codd.Metadata.row_count md "fact");
+  Alcotest.(check int) "dim rows" 10 (Hydra_codd.Metadata.row_count md "dim");
+  let col =
+    List.find
+      (fun (c : Hydra_codd.Metadata.column_stats) -> c.Hydra_codd.Metadata.col = "x")
+      (Hydra_codd.Metadata.relation md "dim").Hydra_codd.Metadata.columns
+  in
+  Alcotest.(check int) "x min" 0 col.Hydra_codd.Metadata.min_v;
+  Alcotest.(check int) "x max" 90 col.Hydra_codd.Metadata.max_v;
+  Alcotest.(check int) "x ndv" 10 col.Hydra_codd.Metadata.n_distinct;
+  (* scaling *)
+  let sc = Hydra_codd.Scaling.create ~factor:1000.0 in
+  let md2 = Hydra_codd.Scaling.scale_metadata sc md in
+  Alcotest.(check int) "scaled rows" 50000
+    (Hydra_codd.Metadata.row_count md2 "fact");
+  (* saturation instead of overflow *)
+  let huge = Hydra_codd.Scaling.create ~factor:1e30 in
+  Alcotest.(check int) "saturates" max_int
+    (Hydra_codd.Scaling.scale_count huge 50);
+  (* metadata matching *)
+  let issues = Hydra_codd.Metadata.match_against ~reference:md md in
+  Alcotest.(check int) "self match" 0 (List.length issues);
+  let issues = Hydra_codd.Metadata.match_against ~reference:md2 md in
+  Alcotest.(check bool) "mismatch detected" true (List.length issues > 0)
+
+let test_scaling_ccs () =
+  let sc = Hydra_codd.Scaling.create ~factor:1e13 in
+  let ccs = Hydra_codd.Scaling.scale_ccs sc [ Cc.size_cc "fact" 288 ] in
+  match ccs with
+  | [ cc ] ->
+      Alcotest.(check bool) "exabyte-scale count" true
+        (cc.Cc.card > 2_000_000_000_000_000)
+  | _ -> Alcotest.fail "one cc"
+
+let suite =
+  [
+    ( "cc",
+      [
+        Alcotest.test_case "extraction from AQP" `Quick test_ccs_of_query;
+        Alcotest.test_case "dedup and measure" `Quick test_cc_dedup_and_measure;
+        Alcotest.test_case "root relation" `Quick test_cc_root_relation;
+        Alcotest.test_case "scaling" `Quick test_scale_ccs;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+      ] );
+    ( "parser",
+      [
+        Alcotest.test_case "full spec" `Quick test_parser_full_spec;
+        Alcotest.test_case "comparison operators" `Quick test_parser_operators;
+        Alcotest.test_case "emit roundtrip" `Quick test_emit_roundtrip;
+        Alcotest.test_case "query group by" `Quick test_parser_query_group_by;
+        Alcotest.test_case "errors" `Quick test_parser_errors;
+      ] );
+    ( "anonymizer", [ Alcotest.test_case "masking" `Quick test_anonymizer ] );
+    ( "codd",
+      [
+        Alcotest.test_case "capture and scale" `Quick test_metadata_capture_and_scale;
+        Alcotest.test_case "cc scaling" `Quick test_scaling_ccs;
+      ] );
+  ]
+
+let () = Alcotest.run "hydra-workload" suite
