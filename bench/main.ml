@@ -6,7 +6,8 @@
    the reproduction target. See EXPERIMENTS.md for the recorded outcomes.
 
    Usage: dune exec bench/main.exe [-- fig9|fig10|fig11|fig12|fig13|fig14|
-                                       fig15|exabyte|fig16|fig17|micro|all] *)
+                                       fig15|exabyte|fig16|fig17|ablation|
+                                       correlation|robust|micro|all] *)
 
 module T = Hydra_benchmarks.Tpcds
 module J = Hydra_benchmarks.Job
@@ -423,6 +424,64 @@ let correlation () =
      limited by the LP's freedom to place unconstrained mass across regions\n\
      - guiding the LP objective with histogram mass is the natural next step."
 
+(* ---- Robustness: fault injection and graceful degradation ---- *)
+
+let robust () =
+  header "Robustness: graceful degradation under faults"
+    "not in the paper: a production regenerator must survive conflicting \
+     CCs and starved solver budgets without losing the whole run";
+  let module Cc = Hydra_workload.Cc in
+  let ccs = Lazy.force wls_ccs in
+  let sizes = Lazy.force tpcds_sizes in
+  let summarize label (r : Pipeline.result) =
+    let d = r.Pipeline.diagnostics in
+    Printf.printf "%-26s %2d exact %2d relaxed %2d fallback  (%.2fs)\n" label
+      d.Pipeline.exact_views d.Pipeline.relaxed_views d.Pipeline.fallback_views
+      r.Pipeline.total_seconds;
+    List.iter
+      (fun (v : Pipeline.view_stats) ->
+        match v.Pipeline.status with
+        | Pipeline.Exact -> ()
+        | Pipeline.Relaxed vs ->
+            Printf.printf "    %-20s relaxed, %d violated CC(s)\n"
+              v.Pipeline.rel (List.length vs)
+        | Pipeline.Fallback reason ->
+            Printf.printf "    %-20s fallback: %s\n" v.Pipeline.rel reason)
+      r.Pipeline.views
+  in
+  summarize "clean workload" (Pipeline.regenerate ~sizes T.schema ccs);
+  (* a CC contradicting one the client also reported: same predicate,
+     three times the cardinality *)
+  let pick =
+    match
+      List.find_opt
+        (fun (c : Cc.t) ->
+          not
+            (Hydra_rel.Predicate.equal c.Cc.predicate Hydra_rel.Predicate.true_))
+        ccs
+    with
+    | Some c -> c
+    | None -> List.hd ccs
+  in
+  let conflict =
+    Cc.make ~group_by:pick.Cc.group_by pick.Cc.relations pick.Cc.predicate
+      ((3 * pick.Cc.card) + 1)
+  in
+  let r = Pipeline.regenerate ~sizes T.schema (conflict :: ccs) in
+  summarize "conflicting CC injected" r;
+  let db = Tuple_gen.materialize r.Pipeline.summary in
+  let v = Validate.check db ccs in
+  Printf.printf
+    "  fidelity on the remaining CCs: %.1f%% exact, max |err| %.2f%%\n"
+    (100.0 *. v.Validate.exact_fraction)
+    (100.0 *. v.Validate.max_abs_error);
+  (* starved integer search: every view must still land somewhere *)
+  summarize "zero node budget"
+    (Pipeline.regenerate ~sizes ~max_nodes:0 ~retries:0 T.schema ccs);
+  (* expired wall-clock deadline: the run completes degraded, not never *)
+  summarize "expired deadline"
+    (Pipeline.regenerate ~sizes ~deadline_s:0.0 T.schema ccs)
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let micro () =
@@ -533,7 +592,7 @@ let all () =
   List.iter
     (fun f -> flushing f ())
     [ fig9; fig10; fig11; fig12; fig13; fig14; exabyte; fig15; fig16; fig17;
-      ablation; correlation; micro ]
+      ablation; correlation; robust; micro ]
 
 let () =
   let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -550,10 +609,12 @@ let () =
   | "fig17" -> flushing fig17 ()
   | "ablation" -> flushing ablation ()
   | "correlation" -> flushing correlation ()
+  | "robust" -> flushing robust ()
   | "micro" -> flushing micro ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown benchmark %S (expected fig9..fig17, exabyte, ablation, micro, all)\n"
+        "unknown benchmark %S (expected fig9..fig17, exabyte, ablation, \
+         correlation, robust, micro, all)\n"
         other;
       exit 1

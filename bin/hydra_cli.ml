@@ -22,21 +22,30 @@ let or_die = function
       prerr_endline ("hydra: " ^ m);
       exit 1
 
-(* uniform rendering of domain errors raised below the command layer *)
+(* uniform rendering of domain errors raised below the command layer: one
+   actionable line on stderr, no OCaml backtrace, and a distinct exit code
+   per error family so scripts can tell a bad spec from a solver fault.
+
+     1   parse / schema / usage errors
+     2   validation threshold exceeded
+     3   summary degraded: some views Relaxed
+     4   summary degraded: some views Fallback
+     10  preprocessing error        11  LP formulation error
+     12  summary assembly error     13  align-and-merge error *)
 let protecting f x =
-  let die m =
+  let die code m =
     prerr_endline ("hydra: " ^ m);
-    exit 1
+    exit code
   in
   try f x with
-  | Hydra_rel.Schema.Schema_error m -> die ("schema: " ^ m)
-  | Hydra_core.Summary.Summary_error m -> die ("summary: " ^ m)
-  | Hydra_core.Preprocess.Preprocess_error m -> die ("preprocess: " ^ m)
-  | Hydra_core.Formulate.Formulation_error m -> die ("formulation: " ^ m)
-  | Hydra_core.Align.Align_error m -> die ("alignment: " ^ m)
-  | Hydra_workload.Cc_parser.Parse_error m -> die ("parse: " ^ m)
-  | Invalid_argument m -> die m
-  | Sys_error m -> die m
+  | Hydra_rel.Schema.Schema_error m -> die 1 ("schema: " ^ m)
+  | Hydra_core.Summary.Summary_error m -> die 12 ("summary: " ^ m)
+  | Hydra_core.Preprocess.Preprocess_error m -> die 10 ("preprocess: " ^ m)
+  | Hydra_core.Formulate.Formulation_error m -> die 11 ("formulation: " ^ m)
+  | Hydra_core.Align.Align_error m -> die 13 ("alignment: " ^ m)
+  | Hydra_workload.Cc_parser.Parse_error m -> die 1 ("parse: " ^ m)
+  | Invalid_argument m -> die 1 m
+  | Sys_error m -> die 1 m
 
 let spec_arg =
   let doc = "Spec file with table and cc declarations." in
@@ -48,6 +57,15 @@ let summary_pos_arg =
 
 (* ---- summary ---- *)
 
+let status_line (v : Hydra_core.Pipeline.view_stats) =
+  match v.Hydra_core.Pipeline.status with
+  | Hydra_core.Pipeline.Exact -> "exact"
+  | Hydra_core.Pipeline.Relaxed [] -> "relaxed (consistency only)"
+  | Hydra_core.Pipeline.Relaxed vs ->
+      Printf.sprintf "relaxed (%d CC%s violated)" (List.length vs)
+        (if List.length vs = 1 then "" else "s")
+  | Hydra_core.Pipeline.Fallback reason -> "fallback: " ^ reason
+
 let summary_cmd =
   let out =
     Arg.(
@@ -55,41 +73,70 @@ let summary_cmd =
       & opt string "db.summary"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output summary file.")
   in
-  let run spec_path out =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the whole run; views still unsolved when \
+             it expires degrade to their closest-feasible or fallback \
+             summaries.")
+  in
+  let max_nodes =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Branch-and-bound node budget per view before degradation.")
+  in
+  let run spec_path out deadline_s max_nodes =
     let spec = or_die (read_spec spec_path) in
     let t0 = Unix.gettimeofday () in
-    match
-      Hydra_core.Pipeline.regenerate spec.Hydra_workload.Cc_parser.schema
-        spec.Hydra_workload.Cc_parser.ccs
-    with
-    | result ->
-        let summary = result.Hydra_core.Pipeline.summary in
-        Hydra_core.Summary.save out summary;
-        Printf.printf "summary: %d rows covering %d tuples -> %s (%.2fs)\n"
-          (Hydra_core.Summary.summary_rows summary)
-          (Hydra_core.Summary.total_rows summary)
-          out
-          (Unix.gettimeofday () -. t0);
-        List.iter
-          (fun (v : Hydra_core.Pipeline.view_stats) ->
-            Printf.printf "  view %-20s %6d LP vars %5d constraints %.2fs\n"
-              v.Hydra_core.Pipeline.rel v.Hydra_core.Pipeline.num_lp_vars
-              v.Hydra_core.Pipeline.num_lp_constraints
-              v.Hydra_core.Pipeline.solve_seconds)
-          result.Hydra_core.Pipeline.views;
-        List.iter
-          (fun (r, n) ->
-            if n > 0 then
-              Printf.printf "  +%d integrity-repair tuples in %s\n" n r)
-          summary.Hydra_core.Summary.extra_tuples
-    | exception Hydra_core.Preprocess.Preprocess_error m ->
-        or_die (Error ("preprocess: " ^ m))
-    | exception Hydra_core.Formulate.Formulation_error m ->
-        or_die (Error ("formulation: " ^ m))
+    let result =
+      Hydra_core.Pipeline.regenerate ?deadline_s ~max_nodes
+        spec.Hydra_workload.Cc_parser.schema spec.Hydra_workload.Cc_parser.ccs
+    in
+    let summary = result.Hydra_core.Pipeline.summary in
+    Hydra_core.Summary.save out summary;
+    Printf.printf "summary: %d rows covering %d tuples -> %s (%.2fs)\n"
+      (Hydra_core.Summary.summary_rows summary)
+      (Hydra_core.Summary.total_rows summary)
+      out
+      (Unix.gettimeofday () -. t0);
+    List.iter
+      (fun (v : Hydra_core.Pipeline.view_stats) ->
+        Printf.printf "  view %-20s %6d LP vars %5d constraints %.2fs  %s\n"
+          v.Hydra_core.Pipeline.rel v.Hydra_core.Pipeline.num_lp_vars
+          v.Hydra_core.Pipeline.num_lp_constraints
+          v.Hydra_core.Pipeline.solve_seconds (status_line v);
+        match v.Hydra_core.Pipeline.status with
+        | Hydra_core.Pipeline.Relaxed vs ->
+            List.iter
+              (fun (viol : Hydra_core.Pipeline.violation) ->
+                Printf.printf "    violated: %s expected %d achieved %d\n"
+                  (Hydra_rel.Predicate.to_string
+                     viol.Hydra_core.Pipeline.v_pred)
+                  viol.Hydra_core.Pipeline.v_expected
+                  viol.Hydra_core.Pipeline.v_achieved)
+              vs
+        | _ -> ())
+      result.Hydra_core.Pipeline.views;
+    List.iter
+      (fun note -> Printf.printf "  note: %s\n" note)
+      result.Hydra_core.Pipeline.diagnostics.Hydra_core.Pipeline.notes;
+    List.iter
+      (fun (r, n) ->
+        if n > 0 then Printf.printf "  +%d integrity-repair tuples in %s\n" n r)
+      summary.Hydra_core.Summary.extra_tuples;
+    let d = result.Hydra_core.Pipeline.diagnostics in
+    if d.Hydra_core.Pipeline.fallback_views > 0 then exit 4
+    else if d.Hydra_core.Pipeline.relaxed_views > 0 then exit 3
   in
   let doc = "Build a database summary from a schema + CC spec." in
   Cmd.v (Cmd.info "summary" ~doc)
-    Term.(const (fun a b -> protecting (run a) b) $ spec_arg $ out)
+    Term.(
+      const (fun a b c d -> protecting (run a b c) d)
+      $ spec_arg $ out $ deadline $ max_nodes)
 
 (* ---- materialize ---- *)
 
@@ -148,6 +195,13 @@ let validate_cmd =
     in
     let v = Hydra_core.Validate.check db spec.Hydra_workload.Cc_parser.ccs in
     Format.printf "%a@." Hydra_core.Validate.pp v;
+    List.iter
+      (fun (rr : Hydra_core.Validate.relation_report) ->
+        Format.printf "  %-24s %3d/%-3d exact, max |err| %.2f%%@."
+          (String.concat "," rr.Hydra_core.Validate.rr_rels)
+          rr.Hydra_core.Validate.rr_exact rr.Hydra_core.Validate.rr_ccs
+          (100.0 *. rr.Hydra_core.Validate.rr_max_abs_error))
+      (Hydra_core.Validate.by_relation v);
     List.iter
       (fun (r : Hydra_core.Validate.cc_report) ->
         if r.Hydra_core.Validate.rel_error <> 0.0 then

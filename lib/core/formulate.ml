@@ -178,6 +178,19 @@ let add_cc_constraints lp p =
       Lp.add_eq_count lp !vars card)
     p.sp_ccs
 
+(* disconnected clique-tree components are only tied through their
+   duplicated total rows, which the relaxation may violate independently;
+   an explicit total-equality row keeps their marginals mergeable even
+   then (redundant — hence harmless — for the exact solve) *)
+let add_total_glue lp a b =
+  let all p =
+    List.init
+      (Region.num_regions p.sp_partition)
+      (fun i -> (p.sp_var_base + i, Hydra_arith.Rat.one))
+  in
+  let negate = List.map (fun (v, c) -> (v, Hydra_arith.Rat.neg c)) in
+  Lp.add_eq lp (all a @ negate (all b)) Hydra_arith.Rat.zero
+
 let add_consistency_constraints lp child parent =
   let shared = child.sp_node.Viewgraph.separator in
   if shared <> [] then begin
@@ -207,76 +220,149 @@ let add_consistency_constraints lp child parent =
       keys
   end
 
-let solve_view ?(max_nodes = 2000) (view : Preprocess.view) =
-  if view.Preprocess.subviews = [] then
-    (* attribute-less view: the solution is a single empty row carrying the
-       relation's total cardinality *)
-    {
-      view;
-      problems = [];
-      solutions =
-        [
-          {
-            Solution.attrs = [||];
-            rows = [ { Solution.box = [||]; count = view.Preprocess.total } ];
-          };
-        ];
-      lp_vars = 0;
-      lp_constraints = 0;
-    }
-  else begin
-    let problems = build_problems view |> refine_shared in
-    let lp = Lp.create () in
-    let problems =
-      List.map
-        (fun p ->
-          let base = Lp.add_vars lp (Region.num_regions p.sp_partition) in
-          { p with sp_var_base = base })
-        problems
-    in
-    List.iter (add_cc_constraints lp) problems;
-    let probs = Array.of_list problems in
-    Array.iter
+(* attribute-less view: the solution is a single empty row carrying the
+   relation's total cardinality *)
+let trivial_result (view : Preprocess.view) =
+  {
+    view;
+    problems = [];
+    solutions =
+      [
+        {
+          Solution.attrs = [||];
+          rows = [ { Solution.box = [||]; count = view.Preprocess.total } ];
+        };
+      ];
+    lp_vars = 0;
+    lp_constraints = 0;
+  }
+
+(* Build the complete LP of a view: per-sub-view CC equalities first, then
+   cross-sub-view consistency equalities. Returns the number of CC
+   constraints so callers can tell the two blocks apart (the relaxation
+   path penalizes consistency violations much more heavily). *)
+let formulate (view : Preprocess.view) =
+  let problems = build_problems view |> refine_shared in
+  let lp = Lp.create () in
+  let problems =
+    List.map
       (fun p ->
-        match p.sp_node.Viewgraph.parent with
-        | Some parent -> add_consistency_constraints lp p probs.(parent)
-        | None -> ())
-      probs;
+        let base = Lp.add_vars lp (Region.num_regions p.sp_partition) in
+        { p with sp_var_base = base })
+      problems
+  in
+  List.iter (add_cc_constraints lp) problems;
+  let n_cc_constraints = Lp.num_constraints lp in
+  let probs = Array.of_list problems in
+  Array.iteri
+    (fun i p ->
+      match p.sp_node.Viewgraph.parent with
+      | Some parent -> add_consistency_constraints lp p probs.(parent)
+      | None -> if i > 0 then add_total_glue lp p probs.(0))
+    probs;
+  (problems, lp, n_cc_constraints)
+
+let counts_of_bigint x =
+  Array.map
+    (fun v ->
+      match Hydra_arith.Bigint.to_int v with
+      | Some n -> n
+      | None -> err "tuple count exceeds native int range")
+    x
+
+let result_of_counts (view : Preprocess.view) problems lp counts =
+  let solutions =
+    List.map
+      (fun p ->
+        let rows = ref [] in
+        Array.iteri
+          (fun i (r : Region.region) ->
+            let c = counts.(p.sp_var_base + i) in
+            if c > 0 then
+              rows :=
+                { Solution.box = List.hd r.Region.boxes; count = c } :: !rows)
+          p.sp_partition.Region.regions;
+        { Solution.attrs = p.sp_attrs; rows = List.rev !rows })
+      problems
+  in
+  {
+    view;
+    problems;
+    solutions;
+    lp_vars = Lp.num_vars lp;
+    lp_constraints = Lp.num_constraints lp;
+  }
+
+let solve_view ?(max_nodes = 2000) ?deadline (view : Preprocess.view) =
+  if view.Preprocess.subviews = [] then trivial_result view
+  else begin
+    let problems, lp, _ = formulate view in
     let counts =
-      match Int_feasible.solve ~max_nodes lp with
-      | Int_feasible.Solution x ->
-          Array.map
-            (fun v ->
-              match Hydra_arith.Bigint.to_int v with
-              | Some n -> n
-              | None -> err "tuple count exceeds native int range")
-            x
+      match Int_feasible.solve ~max_nodes ?deadline lp with
+      | Int_feasible.Solution x -> counts_of_bigint x
       | Int_feasible.Infeasible ->
           err "infeasible cardinality constraints for view %s"
             view.Preprocess.vrel
       | Int_feasible.Gave_up ->
           err "integer search budget exhausted for view %s"
             view.Preprocess.vrel
+      | Int_feasible.Timeout ->
+          err "solve deadline exceeded for view %s" view.Preprocess.vrel
     in
-    let solutions =
-      List.map
-        (fun p ->
-          let rows = ref [] in
-          Array.iteri
-            (fun i (r : Region.region) ->
-              let c = counts.(p.sp_var_base + i) in
-              if c > 0 then
-                rows :=
-                  { Solution.box = List.hd r.Region.boxes; count = c } :: !rows)
-            p.sp_partition.Region.regions;
-          { Solution.attrs = p.sp_attrs; rows = List.rev !rows })
-        problems
-    in
-    {
-      view;
-      problems;
-      solutions;
-      lp_vars = Lp.num_vars lp;
-      lp_constraints = Lp.num_constraints lp;
-    }
+    result_of_counts view problems lp counts
   end
+
+(* ---- fault-tolerant solve (never raises) ---- *)
+
+type outcome =
+  | Exact of view_result
+  | Relaxed of view_result * Hydra_arith.Rat.t
+  | Failed of string
+
+(* Violating a consistency constraint makes sub-view marginals disagree,
+   which can defeat align-and-merge entirely; a violated CC merely skews
+   one count. The relaxation therefore pays 1024x more for consistency
+   slack, effectively restricting violations to the data constraints
+   whenever the consistency subsystem alone is satisfiable. *)
+let consistency_weight = Hydra_arith.Rat.of_int 1024
+
+let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline
+    (view : Preprocess.view) =
+  try
+    if view.Preprocess.subviews = [] then Exact (trivial_result view)
+    else begin
+      let problems, lp, n_cc_constraints = formulate view in
+      let relax reason =
+        let weight i =
+          if i < n_cc_constraints then Hydra_arith.Rat.one
+          else consistency_weight
+        in
+        match Relax.solve ?deadline ~max_nodes:(Stdlib.max 1 max_nodes) ~weight lp with
+        | Relax.Relaxed { x; total_violation; _ } ->
+            Relaxed
+              ( result_of_counts view problems lp (counts_of_bigint x),
+                total_violation )
+        | Relax.Timeout -> Failed (reason ^ "; relaxation hit the deadline")
+        | Relax.Failed m -> Failed (reason ^ "; relaxation failed: " ^ m)
+      in
+      let rec attempt budget tries_left =
+        match Int_feasible.solve ~max_nodes:budget ?deadline lp with
+        | Int_feasible.Solution x ->
+            Exact (result_of_counts view problems lp (counts_of_bigint x))
+        | Int_feasible.Gave_up when tries_left > 0 ->
+            (* escalate before degrading: a budget that was merely tight
+               often succeeds with a modest multiplier *)
+            attempt (Stdlib.max 1 budget * 4) (tries_left - 1)
+        | Int_feasible.Gave_up ->
+            relax
+              (Printf.sprintf "integer search budget exhausted (%d nodes)"
+                 budget)
+        | Int_feasible.Timeout -> relax "solve deadline exceeded"
+        | Int_feasible.Infeasible -> relax "infeasible cardinality constraints"
+      in
+      attempt max_nodes retries
+    end
+  with
+  | Formulation_error m -> Failed m
+  | Preprocess.Preprocess_error m -> Failed m
+  | e -> Failed (Printexc.to_string e)

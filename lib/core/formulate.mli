@@ -40,7 +40,32 @@ val refine_shared : subview_problem list -> subview_problem list
     partitions' boundaries along each such attribute (a global cut set,
     so projection keys coincide across sub-views). *)
 
-val solve_view : ?max_nodes:int -> Preprocess.view -> view_result
+val solve_view :
+  ?max_nodes:int -> ?deadline:float -> Preprocess.view -> view_result
 (** Full formulation and integer solve for one view.
-    @raise Formulation_error on infeasibility or search-budget
-    exhaustion. *)
+    @raise Formulation_error on infeasibility, search-budget exhaustion,
+    or deadline expiry. *)
+
+(** {2 Fault-tolerant solve} *)
+
+type outcome =
+  | Exact of view_result  (** every CC satisfied exactly *)
+  | Relaxed of view_result * Hydra_arith.Rat.t
+      (** closest-feasible solution after slack relaxation, with the total
+          LP-level constraint violation; per-CC violations are measured on
+          the merged solution by the pipeline *)
+  | Failed of string
+      (** nothing usable could be produced (relaxation timed out or an
+          internal error); the reason is an actionable one-liner *)
+
+val solve_view_robust :
+  ?max_nodes:int ->
+  ?retries:int ->
+  ?deadline:float ->
+  Preprocess.view -> outcome
+(** Like {!solve_view} but never raises. On budget exhaustion the node
+    budget is escalated 4x up to [retries] times (default 1); on
+    infeasibility — or exhaustion after all retries — the system is
+    re-solved by {!Relax} with consistency constraints weighted 1024x so
+    violations concentrate on the data CCs. [deadline] bounds the whole
+    attempt ladder in wall-clock time. *)

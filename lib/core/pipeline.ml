@@ -1,8 +1,33 @@
 (* End-to-end HYDRA pipeline (Fig. 2, vendor site): schema + CCs in,
-   database summary out, with per-view diagnostics for the experiments. *)
+   database summary out, with per-view diagnostics for the experiments.
+
+   The pipeline is fault-tolerant: [regenerate] never raises. Every view
+   resolves to one rung of the degradation ladder —
+
+     Exact     every CC satisfied exactly (the normal case);
+     Relaxed   the CC system was infeasible or out of budget, so the
+               closest-feasible solution is used and the per-CC
+               violations are reported;
+     Fallback  nothing usable came out of the solver (or the view could
+               not even be built), so a metadata-only uniform summary is
+               synthesized from the relation's size
+
+   — so Summary/Tuple_gen always have something to materialize, and the
+   caller decides from [diagnostics] whether the artifact is good enough. *)
 
 open Hydra_rel
 open Hydra_workload
+
+type violation = {
+  v_pred : Predicate.t;
+  v_expected : int;
+  v_achieved : int;
+}
+
+type view_status =
+  | Exact
+  | Relaxed of violation list
+  | Fallback of string
 
 type view_stats = {
   rel : string;
@@ -10,6 +35,14 @@ type view_stats = {
   num_lp_vars : int;
   num_lp_constraints : int;
   solve_seconds : float;
+  status : view_status;
+}
+
+type diagnostics = {
+  exact_views : int;
+  relaxed_views : int;
+  fallback_views : int;
+  notes : string list;
 }
 
 type result = {
@@ -17,8 +50,11 @@ type result = {
   views : view_stats list;
   group_residuals : Grouping.residual list;
       (* grouping CCs that value spreading could not meet exactly *)
+  diagnostics : diagnostics;
   total_seconds : float;
 }
+
+let degraded d = d.relaxed_views > 0 || d.fallback_views > 0
 
 (* Add missing size CCs from a fallback table (metadata row counts): every
    relation needs a |R| = k constraint, but the workload may never scan
@@ -45,58 +81,197 @@ let complete_size_ccs schema ccs fallback_sizes =
   in
   ccs @ extra
 
+(* ---- per-CC violation measurement (Relaxed views) ----
+
+   Region partitions are built so every box is homogeneous w.r.t. every CC
+   predicate, so evaluating a predicate at a box's low corner decides the
+   whole box. The measurement runs on the MERGED solution — the artifact
+   the summary is built from — so reported violations equal the CC errors
+   Validate later measures on the regenerated data (up to
+   integrity-repair additions, which Validate reports separately). *)
+
+let measure_pred (sol : Solution.t) pred =
+  List.fold_left
+    (fun acc (row : Solution.row) ->
+      if
+        Grouping.eval_at sol.Solution.attrs
+          (Box.low_corner row.Solution.box)
+          pred
+      then acc + row.Solution.count
+      else acc)
+    0 sol.Solution.rows
+
+let view_violations (view : Preprocess.view) merged =
+  let ccs =
+    (Predicate.true_, view.Preprocess.total)
+    :: List.map
+         (fun (vc : Preprocess.view_cc) ->
+           (vc.Preprocess.pred, vc.Preprocess.card))
+         view.Preprocess.view_ccs
+  in
+  (* the same CC is applicable to several sub-views; report it once *)
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (pred, card) ->
+      let key = (Predicate.to_string pred, card) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        let achieved = measure_pred merged pred in
+        if achieved = card then None
+        else Some { v_pred = pred; v_expected = card; v_achieved = achieved }
+      end)
+    ccs
+
+(* ---- fallback: metadata-only uniform summary ----
+
+   One row spanning the full domain of every view attribute, carrying the
+   relation's size (from its size CC, or the metadata fallback, or zero).
+   The row is kept even at count zero so dependent views can still project
+   their borrowed combinations onto this view during integrity repair. *)
+
+let fallback_solution schema ccs sizes rname =
+  let attrs = try Preprocess.view_attrs schema rname with _ -> [] in
+  let domains = try Preprocess.attr_domains schema attrs with _ -> [] in
+  let total =
+    match
+      List.find_opt
+        (fun (cc : Cc.t) ->
+          cc.Cc.relations = [ rname ]
+          && cc.Cc.group_by = []
+          && Predicate.equal cc.Cc.predicate Predicate.true_)
+        ccs
+    with
+    | Some cc -> cc.Cc.card
+    | None -> ( match List.assoc_opt rname sizes with Some n -> n | None -> 0)
+  in
+  {
+    Solution.attrs = Array.of_list (List.map fst domains);
+    rows =
+      [ { Solution.box = Array.of_list (List.map snd domains); count = total } ];
+  }
+
+let exn_message = function
+  | Align.Align_error m -> "align: " ^ m
+  | Formulate.Formulation_error m -> "formulation: " ^ m
+  | Preprocess.Preprocess_error m -> "preprocess: " ^ m
+  | Summary.Summary_error m -> "summary: " ^ m
+  | Invalid_argument m -> m
+  | e -> Printexc.to_string e
+
 let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
-    ?(histograms = []) schema ccs =
+    ?(histograms = []) ?deadline_s ?(retries = 1) schema ccs =
   let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) deadline_s in
   let ccs = complete_size_ccs schema ccs sizes in
-  let views = Preprocess.run schema ccs in
-  let results =
-    List.map
-      (fun view ->
-        let t = Unix.gettimeofday () in
-        let r = Formulate.solve_view ~max_nodes view in
-        let dt = Unix.gettimeofday () -. t in
-        (r, dt))
-      views
+  let views, route_notes =
+    try Preprocess.run_each schema ccs
+    with e ->
+      (* even isolated preprocessing failed; degrade every view *)
+      ( List.map
+          (fun r -> (r.Schema.rname, Error (exn_message e)))
+          (Schema.relations schema),
+        [] )
   in
   let residuals = ref [] in
-  let view_solutions =
+  let processed =
     List.map
-      (fun ((r : Formulate.view_result), _) ->
-        let merged = Align.merge_all r.Formulate.solutions in
-        (* enforce grouping (distinct-count) CCs by value spreading *)
-        let merged, res =
-          Grouping.refine ~policy r.Formulate.view merged
+      (fun (rname, res) ->
+        let t = Unix.gettimeofday () in
+        let fallback reason =
+          let sol = fallback_solution schema ccs sizes rname in
+          ( (rname, sol),
+            {
+              rel = rname;
+              num_subviews = 0;
+              num_lp_vars = 0;
+              num_lp_constraints = 0;
+              solve_seconds = Unix.gettimeofday () -. t;
+              status = Fallback reason;
+            } )
         in
-        residuals := res @ !residuals;
-        (* optional client histograms: spread values inside regions to
-           track the original distributions (future-work extension) *)
-        let merged =
-          if histograms = [] then merged
-          else
-            Correlation.refine
-              ~owner:r.Formulate.view.Preprocess.vrel histograms merged
-        in
-        (r.Formulate.view.Preprocess.vrel, merged))
-      results
+        match res with
+        | Error m -> fallback m
+        | Ok view -> (
+            let finish (r : Formulate.view_result) status_of_merged =
+              (* merge sub-view solutions, then enforce grouping CCs by
+                 value spreading and optional client histograms *)
+              let merged = Align.merge_all r.Formulate.solutions in
+              let status = status_of_merged merged in
+              let merged, res = Grouping.refine ~policy view merged in
+              residuals := res @ !residuals;
+              let merged =
+                if histograms = [] then merged
+                else Correlation.refine ~owner:rname histograms merged
+              in
+              ( (rname, merged),
+                {
+                  rel = rname;
+                  num_subviews = List.length r.Formulate.problems;
+                  num_lp_vars = r.Formulate.lp_vars;
+                  num_lp_constraints = r.Formulate.lp_constraints;
+                  solve_seconds = Unix.gettimeofday () -. t;
+                  status;
+                } )
+            in
+            match
+              Formulate.solve_view_robust ~max_nodes ~retries ?deadline view
+            with
+            | Formulate.Exact r -> (
+                try finish r (fun _ -> Exact)
+                with e -> fallback (exn_message e))
+            | Formulate.Relaxed (r, _total) -> (
+                try finish r (fun merged -> Relaxed (view_violations view merged))
+                with e -> fallback (exn_message e))
+            | Formulate.Failed m -> fallback m))
+      views
   in
-  let summary = Summary.of_view_solutions ~policy schema view_solutions in
-  let stats =
-    List.map
-      (fun ((r : Formulate.view_result), dt) ->
-        {
-          rel = r.Formulate.view.Preprocess.vrel;
-          num_subviews = List.length r.Formulate.problems;
-          num_lp_vars = r.Formulate.lp_vars;
-          num_lp_constraints = r.Formulate.lp_constraints;
-          solve_seconds = dt;
-        })
-      results
+  let view_solutions = List.map fst processed in
+  let stats = List.map snd processed in
+  (* summary assembly is cross-view; if it fails (it should not), degrade
+     every view to its fallback so the artifact still exists *)
+  let summary, stats, assembly_notes =
+    match Summary.of_view_solutions ~policy schema view_solutions with
+    | s -> (s, stats, [])
+    | exception e ->
+        let reason = "summary assembly failed: " ^ exn_message e in
+        let fb =
+          List.map
+            (fun (r, _) -> (r, fallback_solution schema ccs sizes r))
+            view_solutions
+        in
+        let stats =
+          List.map (fun st -> { st with status = Fallback reason }) stats
+        in
+        (match Summary.of_view_solutions ~policy schema fb with
+        | s -> (s, stats, [ reason ])
+        | exception e2 ->
+            (* last resort: an empty summary; still a usable artifact *)
+            ( {
+                Summary.schema;
+                views = [];
+                relations = [];
+                extra_tuples = [];
+              },
+              stats,
+              [ reason; "fallback assembly failed: " ^ exn_message e2 ] ))
+  in
+  let count f = List.length (List.filter f stats) in
+  let diagnostics =
+    {
+      exact_views = count (fun s -> s.status = Exact);
+      relaxed_views =
+        count (fun s -> match s.status with Relaxed _ -> true | _ -> false);
+      fallback_views =
+        count (fun s -> match s.status with Fallback _ -> true | _ -> false);
+      notes = route_notes @ assembly_notes;
+    }
   in
   {
     summary;
     views = stats;
     group_residuals = !residuals;
+    diagnostics;
     total_seconds = Unix.gettimeofday () -. t0;
   }
 

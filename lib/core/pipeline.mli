@@ -1,8 +1,35 @@
 (** End-to-end vendor-site pipeline (Fig. 2): schema + CCs in, database
-    summary out, with per-view diagnostics for the benchmark harness. *)
+    summary out, with per-view diagnostics for the benchmark harness.
+
+    The pipeline is fault-tolerant: {!regenerate} never raises. Every view
+    lands on one rung of the degradation ladder {!Exact} → {!Relaxed} →
+    {!Fallback}, and the caller reads {!diagnostics} to decide whether the
+    artifact is good enough (the CLI maps the rungs to exit codes). *)
 
 open Hydra_rel
 open Hydra_workload
+
+type violation = {
+  v_pred : Predicate.t;
+      (** the violated CC's predicate; [Predicate.true_] is the relation's
+          total-size constraint *)
+  v_expected : int;  (** the CC's cardinality *)
+  v_achieved : int;
+      (** tuple count actually realized by the closest-feasible solution;
+          measured on the merged solution, so it equals what {!Validate}
+          later reports (before integrity-repair additions) *)
+}
+
+type view_status =
+  | Exact  (** every CC satisfied exactly *)
+  | Relaxed of violation list
+      (** infeasible or out-of-budget CC system; the closest-feasible
+          solution is used and each violated CC is listed. An empty list
+          means only internal consistency constraints were violated. *)
+  | Fallback of string
+      (** the solver produced nothing usable (reason attached); a
+          metadata-only uniform summary from the relation's size stands
+          in so materialization still works *)
 
 type view_stats = {
   rel : string;
@@ -10,6 +37,16 @@ type view_stats = {
   num_lp_vars : int;  (** region variables after refinement (Fig. 12) *)
   num_lp_constraints : int;
   solve_seconds : float;
+  status : view_status;
+}
+
+type diagnostics = {
+  exact_views : int;
+  relaxed_views : int;
+  fallback_views : int;
+  notes : string list;
+      (** cross-view incidents: dropped unroutable CCs, summary-assembly
+          degradations *)
 }
 
 type result = {
@@ -18,8 +55,12 @@ type result = {
   group_residuals : Grouping.residual list;
       (** grouping (distinct-count) CCs that value spreading could not
           meet exactly; empty when all grouping CCs are satisfied *)
+  diagnostics : diagnostics;
   total_seconds : float;
 }
+
+val degraded : diagnostics -> bool
+(** Any view below {!Exact}? *)
 
 val complete_size_ccs :
   Schema.t -> Cc.t list -> (string * int) list -> Cc.t list
@@ -31,13 +72,19 @@ val regenerate :
   ?max_nodes:int ->
   ?policy:Summary.instantiation ->
   ?histograms:Correlation.column_hist list ->
+  ?deadline_s:float ->
+  ?retries:int ->
   Schema.t -> Cc.t list -> result
 (** Preprocess, formulate and solve every view, align-and-merge, build the
     summary. [sizes] supplies fallback relation sizes; [max_nodes] bounds
     the integer search per view; [policy] selects the instantiation rule
     (Sec. 5.2); [histograms] are optional client value distributions to
-    track inside regions (the value-correlation extension).
-    @raise Preprocess.Preprocess_error / Formulate.Formulation_error on
-    unsatisfiable or incomplete inputs. *)
+    track inside regions (the value-correlation extension); [deadline_s]
+    is a wall-clock budget in seconds for the whole run, enforced inside
+    the solvers; [retries] is the number of 4x node-budget escalations
+    attempted before a view degrades (default 1).
+
+    Never raises: per-view faults surface as {!Relaxed} / {!Fallback}
+    statuses and cross-view incidents as [diagnostics.notes]. *)
 
 val total_lp_vars : result -> int

@@ -58,8 +58,10 @@ let restrict_predicate scope (pred : Predicate.t) : Predicate.t =
   List.map (List.filter (fun (a, _) -> List.mem a scope)) pred
   |> Predicate.of_conjuncts
 
-(* rewrite each CC onto its root view; returns cc lists per relation *)
-let route_ccs schema (ccs : Cc.t list) =
+(* rewrite each CC onto its root view; returns cc lists per relation.
+   [on_error] receives CCs whose root cannot be determined (default:
+   re-raise) so fault-isolated callers can drop them with a note. *)
+let route_ccs ?on_error schema (ccs : Cc.t list) =
   let routed = Hashtbl.create 16 in
   let add rname cc =
     let cur = try Hashtbl.find routed rname with Not_found -> [] in
@@ -67,7 +69,12 @@ let route_ccs schema (ccs : Cc.t list) =
   in
   List.iter
     (fun (cc : Cc.t) ->
-      let root = Cc.root_relation schema cc in
+      match Cc.root_relation schema cc with
+      | exception Schema.Schema_error m -> (
+          match on_error with
+          | Some f -> f cc m
+          | None -> raise (Schema.Schema_error m))
+      | root ->
       add root cc;
       (* A grouping CC over a join also induces a grouping requirement on
          the view that owns the grouped attributes: that view must offer at
@@ -121,8 +128,8 @@ let build_view schema route rname =
     List.filter_map
       (fun (cc : Cc.t) ->
         let pred = Predicate.clamp domain_of cc.Cc.predicate in
-        if Predicate.equal pred Predicate.true_ then None
-          (* size CCs handled via [total]; duplicate totals collapse *)
+        if Predicate.equal pred Predicate.true_ && cc.Cc.card = total then
+          None (* size CCs handled via [total]; duplicate totals collapse *)
         else Some { pred; card = cc.Cc.card })
       counts
   in
@@ -154,6 +161,46 @@ let build_view schema route rname =
 (* Full preprocessing: one view per relation, built in topological order of
    the referential dependency DAG (dependencies first), which is also the
    order the summary generator wants for consistency repair. *)
+
+let has_size_cc rname raw =
+  List.exists
+    (fun (cc : Cc.t) ->
+      cc.Cc.relations = [ rname ]
+      && cc.Cc.group_by = []
+      && Predicate.equal cc.Cc.predicate Predicate.true_)
+    raw
+
 let run schema (ccs : Cc.t list) =
   let route = route_ccs schema ccs in
-  List.map (build_view schema route) (Schema.topo_order schema)
+  let order = Schema.topo_order schema in
+  (* report every relation missing its size CC at once, not just the
+     first: the client fixes the whole spec in one round trip *)
+  let missing =
+    List.filter (fun rname -> not (has_size_cc rname (route rname))) order
+  in
+  if missing <> [] then
+    err
+      "no size CC (|R| = k) for relation%s %s; add the CCs to the workload \
+       or pass metadata row counts via ~sizes (Pipeline.regenerate)"
+      (if List.length missing > 1 then "s" else "")
+      (String.concat ", " missing);
+  List.map (build_view schema route) order
+
+let run_each schema (ccs : Cc.t list) =
+  let notes = ref [] in
+  let route =
+    route_ccs schema ccs ~on_error:(fun cc m ->
+        notes :=
+          Printf.sprintf "dropped unroutable CC %s: %s" (Cc.to_string cc) m
+          :: !notes)
+  in
+  let views =
+    List.map
+      (fun rname ->
+        match build_view schema route rname with
+        | v -> (rname, Ok v)
+        | exception Preprocess_error m -> (rname, Error m)
+        | exception Schema.Schema_error m -> (rname, Error ("schema: " ^ m)))
+      (Schema.topo_order schema)
+  in
+  (views, List.rev !notes)

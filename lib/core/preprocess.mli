@@ -38,5 +38,15 @@ val attr_domains : Schema.t -> string list -> (string * Interval.t) list
 val run : Schema.t -> Cc.t list -> view list
 (** Views for all relations, in topological (dependencies-first) order —
     the order the summary generator consumes.
-    @raise Preprocess_error when a relation lacks a size CC or a CC
-    references attributes outside its root view. *)
+    @raise Preprocess_error when relations lack size CCs (all offenders
+    are listed in one message, which also points at the [~sizes] fallback
+    of [Pipeline.regenerate]) or a CC references attributes outside its
+    root view. *)
+
+val run_each :
+  Schema.t -> Cc.t list -> (string * (view, string) result) list * string list
+(** Fault-isolated variant of {!run}: every relation yields either its
+    view or the error message that prevented building it, so one bad
+    relation cannot abort the others. CCs whose root relation cannot be
+    determined are dropped; the second component describes each dropped
+    CC. Never raises. *)

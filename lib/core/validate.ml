@@ -66,6 +66,40 @@ let coverage_at t threshold =
 let coverage_curve t thresholds =
   List.map (fun th -> (th, coverage_at t th)) thresholds
 
+(* per-expression-group breakdown: CCs grouped by their join group, so the
+   CLI can print a per-view status line next to the pipeline's
+   Exact/Relaxed/Fallback diagnostics *)
+type relation_report = {
+  rr_rels : string list;  (* the join group, sorted as in Cc.t *)
+  rr_ccs : int;
+  rr_exact : int;
+  rr_max_abs_error : float;
+}
+
+let by_relation t =
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = r.cc.Cc.relations in
+      let cur =
+        match Hashtbl.find_opt groups key with
+        | Some g -> g
+        | None ->
+            order := key :: !order;
+            { rr_rels = key; rr_ccs = 0; rr_exact = 0; rr_max_abs_error = 0.0 }
+      in
+      Hashtbl.replace groups key
+        {
+          cur with
+          rr_ccs = cur.rr_ccs + 1;
+          rr_exact = (cur.rr_exact + if r.rel_error = 0.0 then 1 else 0);
+          rr_max_abs_error =
+            Float.max cur.rr_max_abs_error (Float.abs r.rel_error);
+        })
+    t.reports;
+  List.rev_map (fun key -> Hashtbl.find groups key) !order
+
 let worst t k =
   List.stable_sort
     (fun a b -> compare (Float.abs b.rel_error) (Float.abs a.rel_error))

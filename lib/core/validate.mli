@@ -32,4 +32,15 @@ val coverage_curve : t -> float list -> (float * float) list
 val worst : t -> int -> cc_report list
 (** The k CCs with the largest absolute error. *)
 
+type relation_report = {
+  rr_rels : string list;  (** the CCs' join group *)
+  rr_ccs : int;
+  rr_exact : int;
+  rr_max_abs_error : float;
+}
+
+val by_relation : t -> relation_report list
+(** CC reports grouped by join group, in first-appearance order — the
+    validation-side counterpart of the pipeline's per-view statuses. *)
+
 val pp : Format.formatter -> t -> unit

@@ -184,7 +184,16 @@ let solve_view_grid ~max_cells (view : Preprocess.view) =
     | Hydra_lp.Simplex.Feasible x -> x
     | Hydra_lp.Simplex.Infeasible ->
         raise (Crash ("infeasible grid LP for view " ^ view.Preprocess.vrel))
-    | Hydra_lp.Simplex.Unbounded -> assert false
+    | Hydra_lp.Simplex.Unbounded ->
+        (* no objective is supplied, so this marks a degenerate grid whose
+           constraint system the solver could not bound; report it instead
+           of crashing the whole process with an assertion *)
+        raise
+          (Crash
+             ("unbounded grid LP for view " ^ view.Preprocess.vrel
+            ^ " (degenerate grid constraint system)"))
+    | Hydra_lp.Simplex.Timeout ->
+        raise (Crash ("grid LP timed out for view " ^ view.Preprocess.vrel))
   in
   (subs, solution, Hydra_lp.Lp.num_vars lp)
 

@@ -4,6 +4,7 @@ type status =
   | Solution of Bigint.t array
   | Infeasible
   | Gave_up
+  | Timeout
 
 let check lp xi =
   let x = Array.map Rat.of_bigint xi in
@@ -35,15 +36,23 @@ let with_bounds lp bounds =
     bounds;
   lp'
 
-let solve ?(max_nodes = 2000) lp =
+let solve ?(max_nodes = 2000) ?deadline lp =
   let nodes = ref 0 in
   let exception Out_of_budget in
+  let exception Timed_out in
+  let past_deadline () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
   (* DFS over branching decisions; bounds accumulate along the path *)
   let rec branch bounds =
     if !nodes >= max_nodes then raise Out_of_budget;
+    if past_deadline () then raise Timed_out;
     incr nodes;
     let sub = if bounds = [] then lp else with_bounds lp bounds in
-    match Simplex.solve sub with
+    match Simplex.solve ?deadline sub with
+    | Simplex.Timeout -> raise Timed_out
     | Simplex.Infeasible -> None
     | Simplex.Unbounded -> None (* cannot happen without an objective *)
     | Simplex.Feasible x -> (
@@ -59,3 +68,4 @@ let solve ?(max_nodes = 2000) lp =
   | Some s -> Solution s
   | None -> Infeasible
   | exception Out_of_budget -> Gave_up
+  | exception Timed_out -> Timeout

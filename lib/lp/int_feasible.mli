@@ -13,11 +13,14 @@ type status =
   | Solution of Bigint.t array
   | Infeasible
   | Gave_up  (** node budget exhausted before a certificate either way *)
+  | Timeout  (** wall-clock deadline hit before a certificate either way *)
 
-val solve : ?max_nodes:int -> Lp.t -> status
+val solve : ?max_nodes:int -> ?deadline:float -> Lp.t -> status
 (** [solve lp] searches for a non-negative integer point satisfying every
     constraint. [max_nodes] bounds the branch-and-bound tree size
-    (default [2000]). *)
+    (default [2000]); [deadline] is an absolute [Unix.gettimeofday]
+    instant enforced both between nodes and inside each node's LP
+    relaxation. *)
 
 val check : Lp.t -> Bigint.t array -> bool
 (** Exact satisfaction check of an integer assignment. *)

@@ -1,0 +1,40 @@
+(** Closest-feasible relaxation of an infeasible {!Lp} system.
+
+    When a view's cardinality constraints admit no (integer) solution —
+    conflicting client measurements, or a search budget too small to find
+    one — regeneration still has to produce an artifact. This module
+    re-solves the system with per-constraint slack variables and minimizes
+    the weighted total violation, yielding the closest-feasible point plus
+    an exact per-constraint violation report. *)
+
+open Hydra_arith
+
+type outcome =
+  | Relaxed of {
+      x : Bigint.t array;
+          (** Non-negative integer assignment to the original variables:
+              an integer-feasible point of the system re-anchored at the
+              rational optimum's achieved values, or — if that search
+              fails — the rational optimum rounded to nearest. *)
+      violations : Rat.t array;
+          (** Absolute violation of each original constraint (in insertion
+              order) under [x] — recomputed from [x], so the report is
+              exact for the returned point even after rounding. *)
+      total_violation : Rat.t;  (** Sum of [violations]. *)
+    }
+  | Timeout  (** deadline or iteration budget exhausted *)
+  | Failed of string  (** internal solver defect; never expected *)
+
+val solve :
+  ?deadline:float ->
+  ?max_iters:int ->
+  ?max_nodes:int ->
+  ?weight:(int -> Rat.t) ->
+  Lp.t -> outcome
+(** [solve lp] minimizes the weighted sum of constraint violations.
+    [weight i] is the positive penalty of violating constraint [i]
+    (default all-ones); callers use it to protect structural constraints
+    (e.g. sub-view consistency) more strongly than data constraints.
+    [max_nodes] bounds the branch-and-bound search used to integerize the
+    relaxed optimum without perturbing satisfied constraints.
+    @raise Invalid_argument on a non-positive weight. *)

@@ -4,6 +4,7 @@ type status =
   | Feasible of Rat.t array
   | Infeasible
   | Unbounded
+  | Timeout
 
 type stats = { iterations : int; rows : int; cols : int }
 
@@ -104,14 +105,29 @@ let binv_col binv m col =
   done;
   d
 
+(* Wall-clock deadline and iteration ceiling shared by both phases. An
+   optimal basis is always reported as such — the budget is only consulted
+   when another pivot would be needed — so a trivially solved system never
+   times out, and a [Timeout] verdict means real work was cut short. *)
+type budget = { deadline : float option; max_iters : int option }
+
+let no_budget = { deadline = None; max_iters = None }
+
+let out_of_budget budget iter_count =
+  (match budget.max_iters with Some k -> iter_count > k | None -> false)
+  ||
+  match budget.deadline with
+  | Some d -> Unix.gettimeofday () > d
+  | None -> false
+
 (* One simplex run minimizing cost vector [c] (length n) from the given
    basis state. [allowed j] filters columns that may enter. Mutates binv,
-   basis, xb. Returns `Optimal or `Unbounded.
+   basis, xb. Returns `Optimal, `Unbounded or `Timeout.
 
    Pricing is Dantzig's rule (most negative reduced cost) for speed; after
    a run of consecutive degenerate pivots it falls back to Bland's rule,
    whose anti-cycling guarantee restores termination. *)
-let optimize t binv basis xb c allowed iter_count =
+let optimize ?(budget = no_budget) t binv basis xb c allowed iter_count =
   let { m; n; cols; _ } = t in
   let y = Array.make m Rat.zero in
   let in_basis = Array.make n false in
@@ -170,6 +186,7 @@ let optimize t binv basis xb c allowed iter_count =
      with Exit -> ());
     let entering = !entering in
     if entering < 0 then `Optimal
+    else if out_of_budget budget !iter_count then `Timeout
     else begin
       let d = binv_col binv m cols.(entering) in
       (* ratio test with Bland tie-break on smallest basis variable index *)
@@ -223,7 +240,8 @@ let optimize t binv basis xb c allowed iter_count =
   in
   loop ()
 
-let solve ?objective lp =
+let solve ?objective ?deadline ?max_iters lp =
+  let budget = { deadline; max_iters } in
   let t, basis = build_tableau lp in
   let { m; n; _ } = t in
   let iter_count = ref 0 in
@@ -256,9 +274,10 @@ let solve ?objective lp =
     for j = t.art_first to n - 1 do
       c1.(j) <- Rat.one
     done;
-    let phase1 = optimize t binv basis xb c1 (fun _ -> true) iter_count in
+    let phase1 = optimize ~budget t binv basis xb c1 (fun _ -> true) iter_count in
     let result =
       match phase1 with
+      | `Timeout -> Timeout
       | `Unbounded -> Infeasible (* cannot happen: phase I is bounded below *)
       | `Optimal ->
           let art_value = ref Rat.zero in
@@ -322,11 +341,12 @@ let solve ?objective lp =
                       c2.(v) <- Rat.add c2.(v) k)
                     obj;
                   (* artificials stay out in phase II *)
-                  optimize t binv basis xb c2
+                  optimize ~budget t binv basis xb c2
                     (fun j -> j < t.art_first)
                     iter_count
             in
             match phase2 with
+            | `Timeout -> Timeout
             | `Unbounded -> Unbounded
             | `Optimal ->
                 let x = Array.make (Lp.num_vars lp) Rat.zero in

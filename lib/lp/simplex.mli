@@ -16,10 +16,22 @@ type status =
           optimal one. *)
   | Infeasible
   | Unbounded
+  | Timeout
+      (** The wall-clock deadline or iteration budget was exhausted while
+          further pivots were still needed. Never returned for a system
+          whose start basis is already optimal, and never returned when no
+          budget was supplied. *)
 
-val solve : ?objective:(int * Rat.t) list -> Lp.t -> status
+val solve :
+  ?objective:(int * Rat.t) list ->
+  ?deadline:float ->
+  ?max_iters:int ->
+  Lp.t -> status
 (** [solve lp] finds a feasible point of [lp]; with [~objective] it
-    minimizes the given sparse linear objective over the feasible region. *)
+    minimizes the given sparse linear objective over the feasible region.
+    [deadline] is an absolute [Unix.gettimeofday] instant and [max_iters]
+    a total pivot budget across both phases; exhausting either yields
+    {!Timeout} instead of looping indefinitely. *)
 
 type stats = { iterations : int; rows : int; cols : int }
 

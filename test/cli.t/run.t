@@ -19,9 +19,19 @@ The Figure 1 toy scenario through the CLI, end to end.
 
   $ hydra validate toy.hydra toy.summary
   CCs: 8, exact: 100.0%, mean |err|: 0.000%, max |err|: 0.000%, negative: 0.0%
+    R                          1/1   exact, max |err| 0.00%
+    S                          3/3   exact, max |err| 0.00%
+    T                          2/2   exact, max |err| 0.00%
+    R,S                        1/1   exact, max |err| 0.00%
+    R,S,T                      1/1   exact, max |err| 0.00%
 
   $ hydra validate toy.hydra toy.summary --dynamic
   CCs: 8, exact: 100.0%, mean |err|: 0.000%, max |err|: 0.000%, negative: 0.0%
+    R                          1/1   exact, max |err| 0.00%
+    S                          3/3   exact, max |err| 0.00%
+    T                          2/2   exact, max |err| 0.00%
+    R,S                        1/1   exact, max |err| 0.00%
+    R,S,T                      1/1   exact, max |err| 0.00%
 
   $ hydra inspect toy.hydra toy.summary
   S (A,B): 13 summary rows, 700 tuples
@@ -56,8 +66,16 @@ regenerate from the extracted spec.
   $ hydra summary ccs.hydra -o roundtrip.summary > /dev/null
   $ hydra validate ccs.hydra roundtrip.summary
   CCs: 9, exact: 100.0%, mean |err|: 0.000%, max |err|: 0.000%, negative: 0.0%
+    T                          2/2   exact, max |err| 0.00%
+    S                          4/4   exact, max |err| 0.00%
+    R                          1/1   exact, max |err| 0.00%
+    R,S                        1/1   exact, max |err| 0.00%
+    R,S,T                      1/1   exact, max |err| 0.00%
 
-Error handling: malformed input, unknown references, infeasibility.
+Error handling and graceful degradation: malformed input, unknown
+references, infeasibility, starved budgets. Each error family has its
+own exit code; solver-level faults degrade the affected view instead of
+failing the run (exit 3 = some views relaxed, 4 = some views fell back).
 
   $ printf 'table X (a int [0,10)\n' > bad.hydra
   $ hydra summary bad.hydra
@@ -69,10 +87,32 @@ Error handling: malformed input, unknown references, infeasibility.
   hydra: schema error in bad2.hydra: unknown relation "Y"
   [1]
 
+An infeasible CC system no longer kills the run: the view is relaxed to
+the closest-feasible solution and the violated CC is reported.
+
   $ printf 'table X (a int [0,10));\ncc |X| = 5;\ncc |sigma(X.a in [0,5))(X)| = 50;\n' > infeasible.hydra
-  $ hydra summary infeasible.hydra
-  hydra: formulation: infeasible cardinality constraints for view X
-  [1]
+  $ hydra summary infeasible.hydra -o infeasible.summary > infeasible.out
+  [3]
+  $ sed 's/(.*s)/(_s)/; s/ [0-9.]*s / _s /' infeasible.out
+  summary: 1 rows covering 50 tuples -> infeasible.summary (_s)
+    view X                         2 LP vars     2 constraints _s  relaxed (1 CC violated)
+      violated: TRUE expected 5 achieved 50
+
+A relation with no size CC (and no metadata fallback) degrades to a
+metadata-only uniform summary rather than failing.
+
+  $ printf 'table X (a int [0,10));\ncc |sigma(X.a in [0,5))(X)| = 3;\n' > nosize.hydra
+  $ hydra summary nosize.hydra -o nosize.summary > nosize.out
+  [4]
+  $ sed 's/(.*s)/(_s)/; s/ [0-9.]*s / _s /' nosize.out
+  summary: 1 rows covering 0 tuples -> nosize.summary (_s)
+    view X                         0 LP vars     0 constraints _s  fallback: no size CC (|X| = k) in workload
+
+A zero wall-clock deadline still completes (degraded), honoring the
+budget instead of looping.
+
+  $ hydra summary toy.hydra --deadline 0 -o dead.summary > /dev/null
+  [4]
 
   $ printf 'table Q (z int [0,5));\ncc |Q| = 9;\n' > other.hydra
   $ hydra validate other.hydra toy.summary

@@ -10,6 +10,7 @@ let feasible = function
   | Simplex.Feasible x -> x
   | Simplex.Infeasible -> Alcotest.fail "expected feasible, got infeasible"
   | Simplex.Unbounded -> Alcotest.fail "expected feasible, got unbounded"
+  | Simplex.Timeout -> Alcotest.fail "expected feasible, got timeout"
 
 let test_single_eq () =
   let lp = Lp.create () in
@@ -111,6 +112,106 @@ let test_gave_up () =
   | Int_feasible.Solution _ -> Alcotest.fail "2x+2y=3 has no integer solution"
   | Int_feasible.Infeasible ->
       Alcotest.fail "budget 1 cannot prove integer infeasibility"
+  | Int_feasible.Timeout -> Alcotest.fail "no deadline was given"
+
+(* ---- deadlines and budgets ---- *)
+
+let person_lp () =
+  let lp = Lp.create () in
+  let y1 = Lp.add_var lp () in
+  let y2 = Lp.add_var lp () in
+  let y3 = Lp.add_var lp () in
+  let y4 = Lp.add_var lp () in
+  Lp.add_eq_count lp [ y1; y2 ] 1000;
+  Lp.add_eq_count lp [ y2; y3 ] 2000;
+  Lp.add_eq_count lp [ y1; y2; y3; y4 ] 8000;
+  lp
+
+let test_simplex_deadline () =
+  (* a deadline already in the past: any system needing pivots times out *)
+  let past = Unix.gettimeofday () -. 1.0 in
+  (match Simplex.solve ~deadline:past (person_lp ()) with
+  | Simplex.Timeout -> ()
+  | _ -> Alcotest.fail "expected timeout with an expired deadline");
+  (* ... but a generous deadline changes nothing *)
+  let future = Unix.gettimeofday () +. 60.0 in
+  let sol = feasible (Simplex.solve ~deadline:future (person_lp ())) in
+  Alcotest.(check bool) "satisfies" true (Lp.check (person_lp ()) sol)
+
+let test_simplex_iteration_budget () =
+  (match Simplex.solve ~max_iters:0 (person_lp ()) with
+  | Simplex.Timeout -> ()
+  | _ -> Alcotest.fail "expected timeout with a zero pivot budget");
+  (* an already-optimal start basis never times out, even with zero
+     budget: no constraints means the origin is the answer *)
+  let lp = Lp.create () in
+  ignore (Lp.add_var lp ());
+  match Simplex.solve ~max_iters:0 lp with
+  | Simplex.Feasible _ -> ()
+  | _ -> Alcotest.fail "trivial system must not time out"
+
+let test_int_feasible_deadline () =
+  let past = Unix.gettimeofday () -. 1.0 in
+  match Int_feasible.solve ~deadline:past (person_lp ()) with
+  | Int_feasible.Timeout -> ()
+  | _ -> Alcotest.fail "expected timeout with an expired deadline"
+
+(* ---- relaxation ---- *)
+
+let test_relax_conflicting () =
+  (* x = 5 and x = 7 cannot both hold; the closest-feasible point leaves
+     total violation exactly 2 wherever x lands in [5,7] *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () in
+  Lp.add_eq lp [ (x, Rat.one) ] (rat 5);
+  Lp.add_eq lp [ (x, Rat.one) ] (rat 7);
+  match Relax.solve lp with
+  | Relax.Relaxed { x = xi; violations; total_violation } ->
+      Alcotest.(check bool) "total violation = 2" true
+        (Rat.equal total_violation (rat 2));
+      Alcotest.(check int) "one violation per constraint" 2
+        (Array.length violations);
+      let v = Bigint.to_int_exn xi.(x) in
+      Alcotest.(check bool) "x within [5,7]" true (v >= 5 && v <= 7)
+  | _ -> Alcotest.fail "expected a relaxed solution"
+
+let test_relax_feasible_is_exact () =
+  (* relaxing a feasible system must report zero violation *)
+  let lp = person_lp () in
+  match Relax.solve lp with
+  | Relax.Relaxed { x; total_violation; _ } ->
+      Alcotest.(check bool) "zero violation" true
+        (Rat.is_zero total_violation);
+      Alcotest.(check bool) "integer point satisfies" true
+        (Int_feasible.check lp x)
+  | _ -> Alcotest.fail "expected a relaxed solution"
+
+let test_relax_weights () =
+  (* conflicting y = 0 vs y = 10: the heavier constraint wins *)
+  let lp = Lp.create () in
+  let y = Lp.add_var lp () in
+  Lp.add_eq lp [ (y, Rat.one) ] (rat 0);
+  Lp.add_eq lp [ (y, Rat.one) ] (rat 10);
+  let weight i = if i = 1 then rat 100 else Rat.one in
+  match Relax.solve ~weight lp with
+  | Relax.Relaxed { x; violations; _ } ->
+      Alcotest.(check string) "y follows the heavy constraint" "10"
+        (Bigint.to_string x.(y));
+      Alcotest.(check string) "light constraint absorbs the violation" "10"
+        (Rat.to_string violations.(0));
+      Alcotest.(check string) "heavy constraint is met" "0"
+        (Rat.to_string violations.(1))
+  | _ -> Alcotest.fail "expected a relaxed solution"
+
+let test_relax_deadline () =
+  let past = Unix.gettimeofday () -. 1.0 in
+  let lp = Lp.create () in
+  let x = Lp.add_var lp () in
+  Lp.add_eq lp [ (x, Rat.one) ] (rat 5);
+  Lp.add_eq lp [ (x, Rat.one) ] (rat 7);
+  match Relax.solve ~deadline:past lp with
+  | Relax.Timeout -> ()
+  | _ -> Alcotest.fail "expected timeout with an expired deadline"
 
 let test_residuals () =
   let lp = Lp.create () in
@@ -248,7 +349,8 @@ let prop_integer_witnessed_systems =
       match Int_feasible.solve lp with
       | Int_feasible.Solution xi -> Int_feasible.check lp xi
       | Int_feasible.Gave_up -> true (* budget exhaustion is not a failure *)
-      | Int_feasible.Infeasible -> false)
+      | Int_feasible.Infeasible -> false
+      | Int_feasible.Timeout -> false (* no deadline was given *))
 
 let suite =
   [
@@ -263,6 +365,9 @@ let suite =
         Alcotest.test_case "big cardinalities" `Quick test_big_cardinalities;
         Alcotest.test_case "residuals and check" `Quick test_residuals;
         Alcotest.test_case "solver statistics" `Quick test_stats_populated;
+        Alcotest.test_case "wall-clock deadline" `Quick test_simplex_deadline;
+        Alcotest.test_case "iteration budget" `Quick
+          test_simplex_iteration_budget;
       ]
       @ List.map QCheck_alcotest.to_alcotest
           [ prop_witnessed_systems; prop_objective_optimality ] );
@@ -271,9 +376,21 @@ let suite =
         Alcotest.test_case "fractional vertex branching" `Quick
           test_fractional_vertex_branching;
         Alcotest.test_case "budget exhaustion" `Quick test_gave_up;
+        Alcotest.test_case "wall-clock deadline" `Quick
+          test_int_feasible_deadline;
       ]
       @ List.map QCheck_alcotest.to_alcotest [ prop_integer_witnessed_systems ]
     );
+    ( "relax",
+      [
+        Alcotest.test_case "conflicting equalities" `Quick
+          test_relax_conflicting;
+        Alcotest.test_case "feasible system relaxes to exact" `Quick
+          test_relax_feasible_is_exact;
+        Alcotest.test_case "weights steer the violation" `Quick
+          test_relax_weights;
+        Alcotest.test_case "deadline" `Quick test_relax_deadline;
+      ] );
   ]
 
 let () = Alcotest.run "hydra-lp" suite
