@@ -5,9 +5,15 @@
    the comparisons — who wins, by what factor, where methods break — are
    the reproduction target. See EXPERIMENTS.md for the recorded outcomes.
 
+   Every target runs inside a [bench.<target>] span with the hydra.obs
+   registry enabled and reset, and leaves a BENCH_<target>.json artifact
+   (wall time + full metrics snapshot) in the working directory. The
+   `smoke` target is a CI-sized end-to-end run that re-parses its own
+   artifact and fails loudly if the observability contract is broken.
+
    Usage: dune exec bench/main.exe [-- fig9|fig10|fig11|fig12|fig13|fig14|
                                        fig15|exabyte|fig16|fig17|ablation|
-                                       correlation|robust|micro|all] *)
+                                       correlation|robust|micro|smoke|all] *)
 
 module T = Hydra_benchmarks.Tpcds
 module J = Hydra_benchmarks.Job
@@ -18,13 +24,16 @@ module Summary = Hydra_core.Summary
 module Workload = Hydra_workload.Workload
 module Scaling = Hydra_codd.Scaling
 module Bigint = Hydra_arith.Bigint
+module Obs = Hydra_obs.Obs
+module Mclock = Hydra_obs.Mclock
+module Json = Hydra_obs.Json
 
 let sf = 100 (* stands in for the paper's 100 GB instance *)
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mclock.now () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Mclock.now () -. t0)
 
 let header title paper =
   Printf.printf "\n==== %s ====\n" title;
@@ -584,37 +593,172 @@ cc |sigma(S.A in [20,60) and T.C in [2,3))(R join S join T)| = 30000;
       | _ -> Printf.printf "  %-32s (no estimate)\n" name)
     (List.sort compare rows)
 
-let flushing f () =
-  f ();
-  flush stdout
+(* ---- Smoke: CI-sized end-to-end run validating the obs contract ---- *)
 
-let all () =
+let smoke () =
+  header "Smoke: tiny pipeline exercising every instrumented layer"
+    "not in the paper: CI target; its BENCH artifact is re-parsed and \
+     checked below";
+  let module Plan = Hydra_engine.Plan in
+  let module Executor = Hydra_engine.Executor in
+  let spec =
+    Hydra_workload.Cc_parser.parse
+      {|
+table S (A int [0,100), B int [0,50));
+table T (C int [0,10));
+table R (S_fk -> S, T_fk -> T);
+cc |R| = 80000; cc |S| = 700; cc |T| = 1500;
+cc |sigma(S.A in [20,60))(S)| = 400;
+cc |sigma(T.C in [2,3))(T)| = 900;
+cc |sigma(S.A in [20,60))(R join S)| = 50000;
+cc |sigma(S.A in [20,60) and T.C in [2,3))(R join S join T)| = 30000;
+|}
+  in
+  let schema = spec.Hydra_workload.Cc_parser.schema in
+  let r = Pipeline.regenerate schema spec.Hydra_workload.Cc_parser.ccs in
+  Printf.printf "pipeline: %.2fs total (%.2fs preprocess, %.2fs assemble)\n"
+    r.Pipeline.total_seconds r.Pipeline.preprocess_seconds
+    r.Pipeline.assemble_seconds;
+  let db = Tuple_gen.materialize r.Pipeline.summary in
+  let iv = Hydra_rel.Interval.make in
+  let plan =
+    Plan.Group_by
+      ( [ "T.C" ],
+        Plan.Filter
+          ( Hydra_rel.Predicate.of_conjuncts [ [ ("S.A", iv 20 60) ] ],
+            Plan.Join
+              ( Plan.Join
+                  ( Plan.Scan "R",
+                    Plan.Scan "S",
+                    { Plan.fk_col = "R.S_fk"; pk_rel = "S" } ),
+                Plan.Scan "T",
+                { Plan.fk_col = "R.T_fk"; pk_rel = "T" } ) ) )
+  in
+  let card_stored = Executor.cardinality db plan in
+  (* the same plan over the dynamic generator drives the datagen scan *)
+  let dyn = Tuple_gen.dynamic r.Pipeline.summary in
+  let card_dyn = Executor.cardinality dyn plan in
+  if card_stored <> card_dyn then begin
+    Printf.eprintf "smoke: stored/dynamic cardinality mismatch: %d vs %d\n"
+      card_stored card_dyn;
+    exit 1
+  end;
+  Printf.printf "plan cardinality: %d (stored) = %d (dynamic)\n" card_stored
+    card_dyn;
+  let total = Executor.aggregate_sum dyn "R" "S_fk" in
+  Printf.printf "dynamic-scan aggregate over R.S_fk: %d\n" total;
+  let v = Validate.check db spec.Hydra_workload.Cc_parser.ccs in
+  Format.printf "fidelity: %a@." Validate.pp v
+
+(* re-parse the smoke artifact with the obs JSON codec and check the
+   fields the observability contract (DESIGN.md Sec. 6) promises *)
+let validate_smoke_artifact path =
+  let fail m =
+    Printf.eprintf "%s: validation failed: %s\n" path m;
+    exit 1
+  in
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc =
+    match Json.parse s with Ok d -> d | Error m -> fail ("parse: " ^ m)
+  in
+  let field obj name =
+    match Json.member name obj with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "missing field %S" name)
+  in
+  let metrics = field doc "metrics" in
+  let counters = field metrics "counters" in
+  let spans = field metrics "spans" in
+  let counter name =
+    match Json.member name counters with
+    | Some (Json.Int n) -> n
+    | _ -> fail (Printf.sprintf "missing counter %S" name)
+  in
+  let span_seconds name =
+    match Json.member name spans with
+    | Some sp -> (
+        match Json.member "seconds" sp with
+        | Some (Json.Float x) -> x
+        | Some (Json.Int x) -> float_of_int x
+        | _ -> fail (Printf.sprintf "span %S has no seconds" name))
+    | None -> fail (Printf.sprintf "missing span %S" name)
+  in
   List.iter
-    (fun f -> flushing f ())
-    [ fig9; fig10; fig11; fig12; fig13; fig14; exabyte; fig15; fig16; fig17;
-      ablation; correlation; robust; micro ]
+    (fun name ->
+      if span_seconds name < 0.0 then
+        fail (Printf.sprintf "span %S has negative duration" name))
+    [
+      "bench.smoke"; "pipeline.preprocess"; "pipeline.view"; "view.formulate";
+      "view.solve"; "view.merge"; "pipeline.assemble"; "tuple_gen.materialize";
+      "exec.scan"; "exec.filter"; "exec.join"; "exec.group_by";
+      "exec.aggregate_sum";
+    ];
+  List.iter
+    (fun name ->
+      if counter name <= 0 then
+        fail (Printf.sprintf "counter %S is zero" name))
+    [
+      "simplex.solves"; "simplex.iterations"; "bnb.nodes";
+      "engine.scan.rows_out"; "engine.datagen.rows_out";
+      "engine.join.rows_out"; "engine.filter.rows_out";
+      "engine.group_by.rows_out"; "engine.aggregate.rows_in";
+      "tuple_gen.rows_materialized"; "pipeline.views.exact";
+    ];
+  Printf.printf
+    "%s ok: phase spans, solver counters and engine cardinalities present\n"
+    path
+
+(* ---- driver: every target runs in a span and leaves an artifact ---- *)
+
+let targets =
+  [
+    ("fig9", fig9); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
+    ("fig13", fig13); ("fig14", fig14); ("exabyte", exabyte);
+    ("fig15", fig15); ("fig16", fig16); ("fig17", fig17);
+    ("ablation", ablation); ("correlation", correlation); ("robust", robust);
+    ("micro", micro); ("smoke", smoke);
+  ]
+
+let write_bench_artifact name seconds =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let doc =
+    Json.Obj
+      [
+        ("target", Json.String name);
+        ("seconds", Json.Float seconds);
+        ("metrics", Obs.metrics_json ());
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n%!" path
+
+let run_target (name, f) =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let (), dt = time (fun () -> Obs.with_span ("bench." ^ name) f) in
+  flush stdout;
+  write_bench_artifact name dt;
+  if name = "smoke" then validate_smoke_artifact ("BENCH_" ^ name ^ ".json")
 
 let () =
   let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match cmd with
-  | "fig9" -> flushing fig9 ()
-  | "fig10" -> flushing fig10 ()
-  | "fig11" -> flushing fig11 ()
-  | "fig12" -> flushing fig12 ()
-  | "fig13" -> flushing fig13 ()
-  | "fig14" -> flushing fig14 ()
-  | "fig15" -> flushing fig15 ()
-  | "exabyte" -> flushing exabyte ()
-  | "fig16" -> flushing fig16 ()
-  | "fig17" -> flushing fig17 ()
-  | "ablation" -> flushing ablation ()
-  | "correlation" -> flushing correlation ()
-  | "robust" -> flushing robust ()
-  | "micro" -> flushing micro ()
-  | "all" -> all ()
-  | other ->
-      Printf.eprintf
-        "unknown benchmark %S (expected fig9..fig17, exabyte, ablation, \
-         correlation, robust, micro, all)\n"
-        other;
-      exit 1
+  | "all" -> List.iter run_target targets
+  | name -> (
+      match List.assoc_opt name targets with
+      | Some f -> run_target (name, f)
+      | None ->
+          Printf.eprintf
+            "unknown benchmark %S (expected %s, all)\n" name
+            (String.concat ", " (List.map fst targets));
+          exit 1)

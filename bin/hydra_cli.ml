@@ -7,6 +7,41 @@
    similarity, mirroring the vendor-site flow of Fig. 2. *)
 
 open Cmdliner
+module Obs = Hydra_obs.Obs
+module Json = Hydra_obs.Json
+module Mclock = Hydra_obs.Mclock
+
+(* shared observability flags: any of them switches the global obs
+   registry on; HYDRA_OBS covers the no-flag case (parsed in [main]) *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSON line per finished span and event to $(docv) \
+           (JSONL trace).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON snapshot of all counters, gauges, histograms and \
+           span aggregates to $(docv) when the command exits.")
+
+let setup_obs trace metrics_out =
+  (match trace with
+  | Some path ->
+      Obs.add_sink (Obs.jsonl_sink path);
+      Obs.set_enabled true
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+      Obs.set_metrics_out path;
+      Obs.set_enabled true
+  | None -> ()
 
 let read_spec path =
   try Ok (Hydra_workload.Cc_parser.parse_file path) with
@@ -66,6 +101,96 @@ let status_line (v : Hydra_core.Pipeline.view_stats) =
         (if List.length vs = 1 then "" else "s")
   | Hydra_core.Pipeline.Fallback reason -> "fallback: " ^ reason
 
+let status_word (v : Hydra_core.Pipeline.view_stats) =
+  match v.Hydra_core.Pipeline.status with
+  | Hydra_core.Pipeline.Exact -> "exact"
+  | Hydra_core.Pipeline.Relaxed _ -> "relaxed"
+  | Hydra_core.Pipeline.Fallback _ -> "fallback"
+
+(* machine-readable run report: the whole pipeline result plus the final
+   metrics snapshot, as one JSON object on stdout *)
+let run_report_json out (result : Hydra_core.Pipeline.result) =
+  let open Hydra_core.Pipeline in
+  let summary = result.summary in
+  let metrics_obj kvs =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) kvs)
+  in
+  let view_json (v : view_stats) =
+    let violations =
+      match v.status with
+      | Relaxed vs ->
+          Json.List
+            (List.map
+               (fun (viol : violation) ->
+                 Json.Obj
+                   [
+                     ( "predicate",
+                       Json.String
+                         (Hydra_rel.Predicate.to_string viol.v_pred) );
+                     ("expected", Json.Int viol.v_expected);
+                     ("achieved", Json.Int viol.v_achieved);
+                   ])
+               vs)
+      | _ -> Json.List []
+    in
+    Json.Obj
+      [
+        ("rel", Json.String v.rel);
+        ("status", Json.String (status_word v));
+        ( "fallback_reason",
+          match v.status with
+          | Fallback r -> Json.String r
+          | _ -> Json.Null );
+        ("lp_vars", Json.Int v.num_lp_vars);
+        ("lp_constraints", Json.Int v.num_lp_constraints);
+        ("solve_seconds", Json.Float v.solve_seconds);
+        ("violations", violations);
+        ("metrics", metrics_obj v.metrics);
+      ]
+  in
+  let d = result.diagnostics in
+  Json.Obj
+    [
+      ("output", Json.String out);
+      ("total_seconds", Json.Float result.total_seconds);
+      ("preprocess_seconds", Json.Float result.preprocess_seconds);
+      ("assemble_seconds", Json.Float result.assemble_seconds);
+      ( "summary",
+        Json.Obj
+          [
+            ( "rows",
+              Json.Int (Hydra_core.Summary.summary_rows summary) );
+            ("tuples", Json.Int (Hydra_core.Summary.total_rows summary));
+            ( "extra_tuples",
+              Json.Obj
+                (List.map
+                   (fun (r, n) -> (r, Json.Int n))
+                   summary.Hydra_core.Summary.extra_tuples) );
+          ] );
+      ("views", Json.List (List.map view_json result.views));
+      ( "diagnostics",
+        Json.Obj
+          [
+            ("exact_views", Json.Int d.exact_views);
+            ("relaxed_views", Json.Int d.relaxed_views);
+            ("fallback_views", Json.Int d.fallback_views);
+            ( "notes",
+              Json.List (List.map (fun n -> Json.String n) d.notes) );
+          ] );
+      ("metrics", Obs.metrics_json ());
+    ]
+
+(* text rendering of the metrics registry, aligned name/value pairs *)
+let print_metrics_report () =
+  let kvs = Obs.flatten (Obs.snapshot ()) in
+  print_string "metrics report:\n";
+  List.iter
+    (fun (k, v) ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Printf.printf "  %-44s %d\n" k (int_of_float v)
+      else Printf.printf "  %-44s %.6f\n" k v)
+    kvs
+
 let summary_cmd =
   let out =
     Arg.(
@@ -89,45 +214,68 @@ let summary_cmd =
       & info [ "max-nodes" ] ~docv:"N"
           ~doc:"Branch-and-bound node budget per view before degradation.")
   in
-  let run spec_path out deadline_s max_nodes =
+  let report =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Print a text table of all collected metrics after the run \
+             (implies metric collection).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print one machine-readable JSON run report on stdout instead \
+             of the human-readable lines (implies metric collection). The \
+             summary file is still written.")
+  in
+  let run spec_path out deadline_s max_nodes trace metrics_out report json =
+    setup_obs trace metrics_out;
+    if report || json then Obs.set_enabled true;
     let spec = or_die (read_spec spec_path) in
-    let t0 = Unix.gettimeofday () in
     let result =
       Hydra_core.Pipeline.regenerate ?deadline_s ~max_nodes
         spec.Hydra_workload.Cc_parser.schema spec.Hydra_workload.Cc_parser.ccs
     in
     let summary = result.Hydra_core.Pipeline.summary in
     Hydra_core.Summary.save out summary;
-    Printf.printf "summary: %d rows covering %d tuples -> %s (%.2fs)\n"
-      (Hydra_core.Summary.summary_rows summary)
-      (Hydra_core.Summary.total_rows summary)
-      out
-      (Unix.gettimeofday () -. t0);
-    List.iter
-      (fun (v : Hydra_core.Pipeline.view_stats) ->
-        Printf.printf "  view %-20s %6d LP vars %5d constraints %.2fs  %s\n"
-          v.Hydra_core.Pipeline.rel v.Hydra_core.Pipeline.num_lp_vars
-          v.Hydra_core.Pipeline.num_lp_constraints
-          v.Hydra_core.Pipeline.solve_seconds (status_line v);
-        match v.Hydra_core.Pipeline.status with
-        | Hydra_core.Pipeline.Relaxed vs ->
-            List.iter
-              (fun (viol : Hydra_core.Pipeline.violation) ->
-                Printf.printf "    violated: %s expected %d achieved %d\n"
-                  (Hydra_rel.Predicate.to_string
-                     viol.Hydra_core.Pipeline.v_pred)
-                  viol.Hydra_core.Pipeline.v_expected
-                  viol.Hydra_core.Pipeline.v_achieved)
-              vs
-        | _ -> ())
-      result.Hydra_core.Pipeline.views;
-    List.iter
-      (fun note -> Printf.printf "  note: %s\n" note)
-      result.Hydra_core.Pipeline.diagnostics.Hydra_core.Pipeline.notes;
-    List.iter
-      (fun (r, n) ->
-        if n > 0 then Printf.printf "  +%d integrity-repair tuples in %s\n" n r)
-      summary.Hydra_core.Summary.extra_tuples;
+    if json then
+      print_endline (Json.to_string_pretty (run_report_json out result))
+    else begin
+      Printf.printf "summary: %d rows covering %d tuples -> %s (%.2fs)\n"
+        (Hydra_core.Summary.summary_rows summary)
+        (Hydra_core.Summary.total_rows summary)
+        out result.Hydra_core.Pipeline.total_seconds;
+      List.iter
+        (fun (v : Hydra_core.Pipeline.view_stats) ->
+          Printf.printf "  view %-20s %6d LP vars %5d constraints %.2fs  %s\n"
+            v.Hydra_core.Pipeline.rel v.Hydra_core.Pipeline.num_lp_vars
+            v.Hydra_core.Pipeline.num_lp_constraints
+            v.Hydra_core.Pipeline.solve_seconds (status_line v);
+          match v.Hydra_core.Pipeline.status with
+          | Hydra_core.Pipeline.Relaxed vs ->
+              List.iter
+                (fun (viol : Hydra_core.Pipeline.violation) ->
+                  Printf.printf "    violated: %s expected %d achieved %d\n"
+                    (Hydra_rel.Predicate.to_string
+                       viol.Hydra_core.Pipeline.v_pred)
+                    viol.Hydra_core.Pipeline.v_expected
+                    viol.Hydra_core.Pipeline.v_achieved)
+                vs
+          | _ -> ())
+        result.Hydra_core.Pipeline.views;
+      List.iter
+        (fun note -> Printf.printf "  note: %s\n" note)
+        result.Hydra_core.Pipeline.diagnostics.Hydra_core.Pipeline.notes;
+      List.iter
+        (fun (r, n) ->
+          if n > 0 then
+            Printf.printf "  +%d integrity-repair tuples in %s\n" n r)
+        summary.Hydra_core.Summary.extra_tuples
+    end;
+    if report && not json then print_metrics_report ();
     let d = result.Hydra_core.Pipeline.diagnostics in
     if d.Hydra_core.Pipeline.fallback_views > 0 then exit 4
     else if d.Hydra_core.Pipeline.relaxed_views > 0 then exit 3
@@ -135,8 +283,9 @@ let summary_cmd =
   let doc = "Build a database summary from a schema + CC spec." in
   Cmd.v (Cmd.info "summary" ~doc)
     Term.(
-      const (fun a b c d -> protecting (run a b c) d)
-      $ spec_arg $ out $ deadline $ max_nodes)
+      const (fun a b c d e f g h -> protecting (run a b c d e f g) h)
+      $ spec_arg $ out $ deadline $ max_nodes $ trace_arg $ metrics_out_arg
+      $ report $ json)
 
 (* ---- materialize ---- *)
 
@@ -151,7 +300,7 @@ let materialize_cmd =
     let summary =
       Hydra_core.Summary.load summary_path spec.Hydra_workload.Cc_parser.schema
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mclock.now () in
     let db = Hydra_core.Tuple_gen.materialize summary in
     List.iter
       (fun rname ->
@@ -164,7 +313,7 @@ let materialize_cmd =
               path
         | Hydra_engine.Database.Generated _ -> ())
       (Hydra_engine.Database.relation_names db);
-    Printf.printf "materialized in %.2fs\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "materialized in %.2fs\n" (Mclock.now () -. t0)
   in
   let doc = "Materialize a summary into CSV relations." in
   Cmd.v
@@ -184,7 +333,8 @@ let validate_cmd =
             "Execute against the dynamic tuple generator instead of \
              materialized tables.")
   in
-  let run spec_path summary_path dynamic =
+  let run spec_path summary_path dynamic trace metrics_out =
+    setup_obs trace metrics_out;
     let spec = or_die (read_spec spec_path) in
     let summary =
       Hydra_core.Summary.load summary_path spec.Hydra_workload.Cc_parser.schema
@@ -216,8 +366,8 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc)
     Term.(
-      const (fun a b c -> protecting (run a b) c)
-      $ spec_arg $ summary_pos_arg $ dynamic)
+      const (fun a b c d e -> protecting (run a b c d) e)
+      $ spec_arg $ summary_pos_arg $ dynamic $ trace_arg $ metrics_out_arg)
 
 (* ---- extract (the client-site flow of Fig. 2) ---- *)
 
@@ -307,4 +457,8 @@ let main =
     (Cmd.info "hydra" ~version:"1.0.0" ~doc)
     [ summary_cmd; extract_cmd; materialize_cmd; validate_cmd; inspect_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  Obs.init_from_env ();
+  (* metrics files must land even on the degraded-summary exit codes *)
+  at_exit Obs.finish;
+  exit (Cmd.eval main)

@@ -13,6 +13,7 @@
 
 open Hydra_rel
 open Hydra_lp
+module Obs = Hydra_obs.Obs
 
 type subview_problem = {
   sp_node : Viewgraph.tree_node;
@@ -296,9 +297,14 @@ let result_of_counts (view : Preprocess.view) problems lp counts =
 let solve_view ?(max_nodes = 2000) ?deadline (view : Preprocess.view) =
   if view.Preprocess.subviews = [] then trivial_result view
   else begin
-    let problems, lp, _ = formulate view in
+    let problems, lp, _ =
+      Obs.with_span "view.formulate" (fun () -> formulate view)
+    in
     let counts =
-      match Int_feasible.solve ~max_nodes ?deadline lp with
+      match
+        Obs.with_span "view.solve" (fun () ->
+            Int_feasible.solve ~max_nodes ?deadline lp)
+      with
       | Int_feasible.Solution x -> counts_of_bigint x
       | Int_feasible.Infeasible ->
           err "infeasible cardinality constraints for view %s"
@@ -331,13 +337,19 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline
   try
     if view.Preprocess.subviews = [] then Exact (trivial_result view)
     else begin
-      let problems, lp, n_cc_constraints = formulate view in
+      let problems, lp, n_cc_constraints =
+        Obs.with_span "view.formulate" (fun () -> formulate view)
+      in
       let relax reason =
         let weight i =
           if i < n_cc_constraints then Hydra_arith.Rat.one
           else consistency_weight
         in
-        match Relax.solve ?deadline ~max_nodes:(Stdlib.max 1 max_nodes) ~weight lp with
+        match
+          Obs.with_span "view.relax" (fun () ->
+              Relax.solve ?deadline ~max_nodes:(Stdlib.max 1 max_nodes)
+                ~weight lp)
+        with
         | Relax.Relaxed { x; total_violation; _ } ->
             Relaxed
               ( result_of_counts view problems lp (counts_of_bigint x),
@@ -346,7 +358,10 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline
         | Relax.Failed m -> Failed (reason ^ "; relaxation failed: " ^ m)
       in
       let rec attempt budget tries_left =
-        match Int_feasible.solve ~max_nodes:budget ?deadline lp with
+        match
+          Obs.with_span "view.solve" (fun () ->
+              Int_feasible.solve ~max_nodes:budget ?deadline lp)
+        with
         | Int_feasible.Solution x ->
             Exact (result_of_counts view problems lp (counts_of_bigint x))
         | Int_feasible.Gave_up when tries_left > 0 ->

@@ -17,6 +17,13 @@
 
 open Hydra_rel
 open Hydra_workload
+module Obs = Hydra_obs.Obs
+module Mclock = Hydra_obs.Mclock
+
+(* degradation-ladder rung counters, aggregated across the whole run *)
+let m_exact = Obs.counter "pipeline.views.exact"
+let m_relaxed = Obs.counter "pipeline.views.relaxed"
+let m_fallback = Obs.counter "pipeline.views.fallback"
 
 type violation = {
   v_pred : Predicate.t;
@@ -35,6 +42,9 @@ type view_stats = {
   num_lp_vars : int;
   num_lp_constraints : int;
   solve_seconds : float;
+  metrics : (string * float) list;
+      (* per-view delta of the obs registry (solver counters, phase span
+         durations); [] when tracing is disabled *)
   status : view_status;
 }
 
@@ -51,6 +61,8 @@ type result = {
   group_residuals : Grouping.residual list;
       (* grouping CCs that value spreading could not meet exactly *)
   diagnostics : diagnostics;
+  preprocess_seconds : float;
+  assemble_seconds : float;
   total_seconds : float;
 }
 
@@ -161,101 +173,153 @@ let exn_message = function
 
 let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
     ?(histograms = []) ?deadline_s ?(retries = 1) schema ccs =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mclock.now () in
+  (* deadlines live on the monotonic timeline, so a wall-clock step can
+     neither expire nor extend a run's budget *)
   let deadline = Option.map (fun s -> t0 +. s) deadline_s in
-  let ccs = complete_size_ccs schema ccs sizes in
-  let views, route_notes =
-    try Preprocess.run_each schema ccs
-    with e ->
-      (* even isolated preprocessing failed; degrade every view *)
-      ( List.map
-          (fun r -> (r.Schema.rname, Error (exn_message e)))
-          (Schema.relations schema),
-        [] )
+  let ccs, views, route_notes =
+    Obs.with_span "pipeline.preprocess" (fun () ->
+        let ccs = complete_size_ccs schema ccs sizes in
+        let views, route_notes =
+          try Preprocess.run_each schema ccs
+          with e ->
+            (* even isolated preprocessing failed; degrade every view *)
+            ( List.map
+                (fun r -> (r.Schema.rname, Error (exn_message e)))
+                (Schema.relations schema),
+              [] )
+        in
+        (ccs, views, route_notes))
   in
+  let preprocess_seconds = Mclock.now () -. t0 in
   let residuals = ref [] in
   let processed =
     List.map
       (fun (rname, res) ->
-        let t = Unix.gettimeofday () in
-        let fallback reason =
-          let sol = fallback_solution schema ccs sizes rname in
-          ( (rname, sol),
-            {
-              rel = rname;
-              num_subviews = 0;
-              num_lp_vars = 0;
-              num_lp_constraints = 0;
-              solve_seconds = Unix.gettimeofday () -. t;
-              status = Fallback reason;
-            } )
+        (* per-view registry delta: every solver counter and phase span
+           accrued while this view was processed is attributed to it *)
+        let before = if Obs.enabled () then Some (Obs.snapshot ()) else None in
+        let t = Mclock.now () in
+        let view_metrics () =
+          match before with
+          | None -> []
+          | Some b -> Obs.diff b (Obs.snapshot ())
         in
-        match res with
-        | Error m -> fallback m
-        | Ok view -> (
-            let finish (r : Formulate.view_result) status_of_merged =
-              (* merge sub-view solutions, then enforce grouping CCs by
-                 value spreading and optional client histograms *)
-              let merged = Align.merge_all r.Formulate.solutions in
-              let status = status_of_merged merged in
-              let merged, res = Grouping.refine ~policy view merged in
-              residuals := res @ !residuals;
-              let merged =
-                if histograms = [] then merged
-                else Correlation.refine ~owner:rname histograms merged
-              in
-              ( (rname, merged),
+        Obs.with_span ~attrs:[ ("rel", Obs.Str rname) ] "pipeline.view"
+          (fun () ->
+            let fallback reason =
+              Obs.event ~level:Obs.Warn
+                ~attrs:[ ("view", Obs.Str rname) ]
+                ("view " ^ rname ^ " fell back: " ^ reason);
+              Obs.incr m_fallback 1;
+              Obs.span_attr "status" (Obs.Str "fallback");
+              let sol = fallback_solution schema ccs sizes rname in
+              ( (rname, sol),
                 {
                   rel = rname;
-                  num_subviews = List.length r.Formulate.problems;
-                  num_lp_vars = r.Formulate.lp_vars;
-                  num_lp_constraints = r.Formulate.lp_constraints;
-                  solve_seconds = Unix.gettimeofday () -. t;
-                  status;
+                  num_subviews = 0;
+                  num_lp_vars = 0;
+                  num_lp_constraints = 0;
+                  solve_seconds = Mclock.now () -. t;
+                  metrics = view_metrics ();
+                  status = Fallback reason;
                 } )
             in
-            match
-              Formulate.solve_view_robust ~max_nodes ~retries ?deadline view
-            with
-            | Formulate.Exact r -> (
-                try finish r (fun _ -> Exact)
-                with e -> fallback (exn_message e))
-            | Formulate.Relaxed (r, _total) -> (
-                try finish r (fun merged -> Relaxed (view_violations view merged))
-                with e -> fallback (exn_message e))
-            | Formulate.Failed m -> fallback m))
+            match res with
+            | Error m -> fallback m
+            | Ok view -> (
+                let finish (r : Formulate.view_result) status_of_merged =
+                  (* merge sub-view solutions, then enforce grouping CCs by
+                     value spreading and optional client histograms *)
+                  let merged, status =
+                    Obs.with_span "view.merge" (fun () ->
+                        let merged = Align.merge_all r.Formulate.solutions in
+                        (merged, status_of_merged merged))
+                  in
+                  let merged =
+                    Obs.with_span "view.refine" (fun () ->
+                        let merged, res = Grouping.refine ~policy view merged in
+                        residuals := res @ !residuals;
+                        if histograms = [] then merged
+                        else Correlation.refine ~owner:rname histograms merged)
+                  in
+                  (match status with
+                  | Exact ->
+                      Obs.incr m_exact 1;
+                      Obs.span_attr "status" (Obs.Str "exact")
+                  | Relaxed vs ->
+                      Obs.incr m_relaxed 1;
+                      Obs.span_attr "status" (Obs.Str "relaxed");
+                      Obs.event ~level:Obs.Info
+                        ~attrs:
+                          [
+                            ("view", Obs.Str rname);
+                            ("violations", Obs.Int (List.length vs));
+                          ]
+                        ("view " ^ rname ^ " relaxed")
+                  | Fallback _ -> ());
+                  Obs.span_attr "lp_vars" (Obs.Int r.Formulate.lp_vars);
+                  Obs.span_attr "lp_constraints"
+                    (Obs.Int r.Formulate.lp_constraints);
+                  ( (rname, merged),
+                    {
+                      rel = rname;
+                      num_subviews = List.length r.Formulate.problems;
+                      num_lp_vars = r.Formulate.lp_vars;
+                      num_lp_constraints = r.Formulate.lp_constraints;
+                      solve_seconds = Mclock.now () -. t;
+                      metrics = view_metrics ();
+                      status;
+                    } )
+                in
+                match
+                  Formulate.solve_view_robust ~max_nodes ~retries ?deadline view
+                with
+                | Formulate.Exact r -> (
+                    try finish r (fun _ -> Exact)
+                    with e -> fallback (exn_message e))
+                | Formulate.Relaxed (r, _total) -> (
+                    try
+                      finish r (fun merged ->
+                          Relaxed (view_violations view merged))
+                    with e -> fallback (exn_message e))
+                | Formulate.Failed m -> fallback m)))
       views
   in
   let view_solutions = List.map fst processed in
   let stats = List.map snd processed in
   (* summary assembly is cross-view; if it fails (it should not), degrade
      every view to its fallback so the artifact still exists *)
+  let assemble_t = Mclock.now () in
   let summary, stats, assembly_notes =
-    match Summary.of_view_solutions ~policy schema view_solutions with
-    | s -> (s, stats, [])
-    | exception e ->
-        let reason = "summary assembly failed: " ^ exn_message e in
-        let fb =
-          List.map
-            (fun (r, _) -> (r, fallback_solution schema ccs sizes r))
-            view_solutions
-        in
-        let stats =
-          List.map (fun st -> { st with status = Fallback reason }) stats
-        in
-        (match Summary.of_view_solutions ~policy schema fb with
-        | s -> (s, stats, [ reason ])
-        | exception e2 ->
-            (* last resort: an empty summary; still a usable artifact *)
-            ( {
-                Summary.schema;
-                views = [];
-                relations = [];
-                extra_tuples = [];
-              },
-              stats,
-              [ reason; "fallback assembly failed: " ^ exn_message e2 ] ))
+    Obs.with_span "pipeline.assemble" (fun () ->
+        match Summary.of_view_solutions ~policy schema view_solutions with
+        | s -> (s, stats, [])
+        | exception e ->
+            let reason = "summary assembly failed: " ^ exn_message e in
+            Obs.event ~level:Obs.Error reason;
+            let fb =
+              List.map
+                (fun (r, _) -> (r, fallback_solution schema ccs sizes r))
+                view_solutions
+            in
+            let stats =
+              List.map (fun st -> { st with status = Fallback reason }) stats
+            in
+            (match Summary.of_view_solutions ~policy schema fb with
+            | s -> (s, stats, [ reason ])
+            | exception e2 ->
+                (* last resort: an empty summary; still a usable artifact *)
+                ( {
+                    Summary.schema;
+                    views = [];
+                    relations = [];
+                    extra_tuples = [];
+                  },
+                  stats,
+                  [ reason; "fallback assembly failed: " ^ exn_message e2 ] )))
   in
+  let assemble_seconds = Mclock.now () -. assemble_t in
   let count f = List.length (List.filter f stats) in
   let diagnostics =
     {
@@ -272,7 +336,9 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
     views = stats;
     group_residuals = !residuals;
     diagnostics;
-    total_seconds = Unix.gettimeofday () -. t0;
+    preprocess_seconds;
+    assemble_seconds;
+    total_seconds = Mclock.now () -. t0;
   }
 
 let total_lp_vars result =

@@ -37,6 +37,13 @@ type view_stats = {
   num_lp_vars : int;  (** region variables after refinement (Fig. 12) *)
   num_lp_constraints : int;
   solve_seconds : float;
+      (** full wall time of this view on the monotonic clock: formulate +
+          solve (+ relax) + merge + refine *)
+  metrics : (string * float) list;
+      (** per-view delta of the {!Hydra_obs.Obs} registry — solver
+          counters ([simplex.iterations], [bnb.nodes], …) and phase span
+          durations ([span.view.solve.seconds], …) accrued while this
+          view was processed. Empty when tracing is disabled. *)
   status : view_status;
 }
 
@@ -56,7 +63,14 @@ type result = {
       (** grouping (distinct-count) CCs that value spreading could not
           meet exactly; empty when all grouping CCs are satisfied *)
   diagnostics : diagnostics;
+  preprocess_seconds : float;
+      (** CC completion + routing + view construction *)
+  assemble_seconds : float;  (** cross-view summary assembly *)
   total_seconds : float;
+      (** whole run; reconciles with the named phases:
+          [preprocess_seconds + sum of views' solve_seconds +
+          assemble_seconds <= total_seconds], with only loop bookkeeping
+          in the gap (asserted in the test suite) *)
 }
 
 val degraded : diagnostics -> bool

@@ -5,6 +5,10 @@
 
 open Hydra_rel
 open Hydra_engine
+module Obs = Hydra_obs.Obs
+module Mclock = Hydra_obs.Mclock
+
+let m_rows = Obs.counter "tuple_gen.rows_materialized"
 
 (* cumulative boundaries: starts.(g) = first 0-based row index of group g *)
 let group_starts (rs : Summary.relation_summary) =
@@ -35,11 +39,22 @@ let materialize_relation schema (rs : Summary.relation_summary) =
     (pk_col :: Array.to_list value_cols)
 
 let materialize (summary : Summary.t) =
-  let db = Database.create summary.Summary.schema in
-  List.iter
-    (fun rs -> Database.bind_table db (materialize_relation summary.Summary.schema rs))
-    summary.Summary.relations;
-  db
+  Obs.with_span "tuple_gen.materialize" (fun () ->
+      let db = Database.create summary.Summary.schema in
+      List.iter
+        (fun (rs : Summary.relation_summary) ->
+          let t = Mclock.now () in
+          let table = materialize_relation summary.Summary.schema rs in
+          let n = Table.length table in
+          Obs.incr m_rows n;
+          let dt = Mclock.now () -. t in
+          if Obs.enabled () then
+            Obs.span_attr
+              (rs.Summary.rs_rel ^ ".rows_per_sec")
+              (Obs.Float (float_of_int n /. Float.max dt 1e-9));
+          Database.bind_table db table)
+        summary.Summary.relations;
+      db)
 
 (* ---- dynamic generation ---- *)
 

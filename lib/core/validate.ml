@@ -3,6 +3,7 @@
    errors plus the coverage curve of Figure 10. *)
 
 open Hydra_workload
+module Obs = Hydra_obs.Obs
 
 type cc_report = {
   cc : Cc.t;
@@ -17,9 +18,23 @@ type t = {
   mean_abs_error : float;
   exact_fraction : float;
   negative_fraction : float;
+  uncovered_relations : string list;
 }
 
 let check db ccs =
+  let uncovered_relations =
+    (* relations of the database schema that no CC measures at all: their
+       volumetric similarity is entirely unchecked, which the caller
+       should know before trusting a 100%-exact report *)
+    let covered r =
+      List.exists (fun (cc : Cc.t) -> List.mem r cc.Cc.relations) ccs
+    in
+    List.filter_map
+      (fun (rel : Hydra_rel.Schema.relation) ->
+        let r = rel.Hydra_rel.Schema.rname in
+        if covered r then None else Some r)
+      (Hydra_rel.Schema.relations (Hydra_engine.Database.schema db))
+  in
   let reports =
     List.map
       (fun (cc : Cc.t) ->
@@ -51,6 +66,7 @@ let check db ccs =
          float_of_int
            (List.length (List.filter (fun r -> r.rel_error < 0.0) reports))
          /. n);
+    uncovered_relations;
   }
 
 (* fraction of CCs with |relative error| <= threshold, for a CDF plot *)
@@ -77,6 +93,14 @@ type relation_report = {
 }
 
 let by_relation t =
+  (* a relation with zero measured CCs would otherwise vanish from the
+     per-relation breakdown in silence *)
+  List.iter
+    (fun r ->
+      Obs.event ~level:Obs.Warn
+        ~attrs:[ ("relation", Obs.Str r) ]
+        (Printf.sprintf "relation %s has zero measured CCs" r))
+    t.uncovered_relations;
   let groups = Hashtbl.create 8 in
   let order = ref [] in
   List.iter

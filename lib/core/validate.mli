@@ -21,6 +21,10 @@ type t = {
   exact_fraction : float;
   negative_fraction : float;
       (** the paper's Hydra produces no negative errors; DataSynth ~1/3 *)
+  uncovered_relations : string list;
+      (** schema relations measured by no CC at all: their volumetric
+          similarity is unchecked. {!by_relation} raises a [Warn] event
+          through the obs event log for each. *)
 }
 
 val check : Hydra_engine.Database.t -> Cc.t list -> t
@@ -41,6 +45,8 @@ type relation_report = {
 
 val by_relation : t -> relation_report list
 (** CC reports grouped by join group, in first-appearance order — the
-    validation-side counterpart of the pipeline's per-view statuses. *)
+    validation-side counterpart of the pipeline's per-view statuses.
+    Emits a one-line [Warn] through {!Hydra_obs.Obs.event} for every
+    relation in [uncovered_relations] instead of silently omitting it. *)
 
 val pp : Format.formatter -> t -> unit

@@ -346,7 +346,7 @@ let regenerate ?(seed = 7) ?(max_cells = 200_000) ?(sizes = []) schema ccs =
   let rng = Rng.create seed in
   let ccs = Pipeline.complete_size_ccs schema ccs sizes in
   let views = Preprocess.run schema ccs in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Hydra_obs.Mclock.now () in
   let solved =
     List.map
       (fun view ->
@@ -354,11 +354,11 @@ let regenerate ?(seed = 7) ?(max_cells = 200_000) ?(sizes = []) schema ccs =
         (view, subs, solution, nvars))
       views
   in
-  let solve_seconds = Unix.gettimeofday () -. t0 in
+  let solve_seconds = Hydra_obs.Mclock.now () -. t0 in
   let lp_vars =
     List.fold_left (fun acc (_, _, _, n) -> acc + n) 0 solved
   in
-  let t1 = Unix.gettimeofday () in
+  let t1 = Hydra_obs.Mclock.now () in
   (* materialize every view instance by sampling *)
   let instances =
     List.map
@@ -464,7 +464,7 @@ let regenerate ?(seed = 7) ?(max_cells = 200_000) ?(sizes = []) schema ccs =
         tuples;
       Database.bind_table db table)
     (Schema.topo_order schema);
-  let materialize_seconds = Unix.gettimeofday () -. t1 in
+  let materialize_seconds = Hydra_obs.Mclock.now () -. t1 in
   {
     db;
     lp_vars;

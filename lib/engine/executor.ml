@@ -5,6 +5,16 @@
    results compact and makes cardinality counting free. *)
 
 open Hydra_rel
+module Obs = Hydra_obs.Obs
+module Mclock = Hydra_obs.Mclock
+
+(* per-operator output cardinalities, aggregated across a run *)
+let m_scan_rows = Obs.counter "engine.scan.rows_out"
+let m_datagen_rows = Obs.counter "engine.datagen.rows_out"
+let m_filter_rows = Obs.counter "engine.filter.rows_out"
+let m_join_rows = Obs.counter "engine.join.rows_out"
+let m_group_rows = Obs.counter "engine.group_by.rows_out"
+let m_agg_rows = Obs.counter "engine.aggregate.rows_in"
 
 type rset = {
   width : int;  (* number of result rows *)
@@ -119,40 +129,77 @@ let group_rset db rset attrs =
         rset.bindings;
   }
 
+(* operator span: input/output cardinalities, counter update, throughput.
+   Disabled tracing takes the [f ()] branch only — the executor's hot
+   path pays a single flag test per operator. *)
+let op_span name counter ~rows_in f =
+  if not (Obs.enabled ()) then f ()
+  else
+    Obs.with_span name (fun () ->
+        let t = Mclock.now () in
+        let rset, ann = f () in
+        let dt = Float.max (Mclock.now () -. t) 1e-9 in
+        Obs.incr counter rset.width;
+        Obs.span_attr "rows_in" (Obs.Int rows_in);
+        Obs.span_attr "rows_out" (Obs.Int rset.width);
+        Obs.span_attr "rows_per_sec"
+          (Obs.Float (float_of_int (Stdlib.max rows_in rset.width) /. dt));
+        (rset, ann))
+
+let scan_is_generated db rname =
+  match Database.source db rname with
+  | Database.Generated _ -> true
+  | Database.Stored _ -> false
+
 let rec exec db plan =
   match plan with
   | Plan.Scan rname ->
-      let n = Database.nrows db rname in
-      let rset = { width = n; bindings = [ (rname, Array.init n Fun.id) ] } in
-      (rset, { op = "Scan(" ^ rname ^ ")"; card = n; children = [] })
+      let generated = scan_is_generated db rname in
+      let counter = if generated then m_datagen_rows else m_scan_rows in
+      op_span "exec.scan" counter ~rows_in:0 (fun () ->
+          Obs.span_attr "rel" (Obs.Str rname);
+          Obs.span_attr "source"
+            (Obs.Str (if generated then "generated" else "stored"));
+          let n = Database.nrows db rname in
+          let rset =
+            { width = n; bindings = [ (rname, Array.init n Fun.id) ] }
+          in
+          (rset, { op = "Scan(" ^ rname ^ ")"; card = n; children = [] }))
   | Plan.Filter (pred, child) ->
       let child_rset, child_ann = exec db child in
-      let rset = filter_rset db child_rset pred in
-      ( rset,
-        {
-          op = Format.asprintf "Filter(%a)" Predicate.pp pred;
-          card = rset.width;
-          children = [ child_ann ];
-        } )
+      op_span "exec.filter" m_filter_rows ~rows_in:child_rset.width (fun () ->
+          let rset = filter_rset db child_rset pred in
+          ( rset,
+            {
+              op = Format.asprintf "Filter(%a)" Predicate.pp pred;
+              card = rset.width;
+              children = [ child_ann ];
+            } ))
   | Plan.Group_by (attrs, child) ->
       let child_rset, child_ann = exec db child in
-      let rset = group_rset db child_rset attrs in
-      ( rset,
-        {
-          op = Printf.sprintf "GroupBy(%s)" (String.concat "," attrs);
-          card = rset.width;
-          children = [ child_ann ];
-        } )
+      op_span "exec.group_by" m_group_rows ~rows_in:child_rset.width
+        (fun () ->
+          let rset = group_rset db child_rset attrs in
+          ( rset,
+            {
+              op = Printf.sprintf "GroupBy(%s)" (String.concat "," attrs);
+              card = rset.width;
+              children = [ child_ann ];
+            } ))
   | Plan.Join (l, r, spec) ->
       let lres, lann = exec db l in
       let rres, rann = exec db r in
-      let rset = join_rset db lres rres spec in
-      ( rset,
-        {
-          op = Printf.sprintf "Join(%s=%s.pk)" spec.Plan.fk_col spec.Plan.pk_rel;
-          card = rset.width;
-          children = [ lann; rann ];
-        } )
+      op_span "exec.join" m_join_rows ~rows_in:(lres.width + rres.width)
+        (fun () ->
+          let rset = join_rset db lres rres spec in
+          ( rset,
+            {
+              op =
+                Printf.sprintf "Join(%s=%s.pk)" spec.Plan.fk_col
+                  spec.Plan.pk_rel;
+              card = rset.width;
+              children = [ lann; rann ];
+            } ))
 
 let cardinality db plan = (snd (exec db plan)).card
 
@@ -160,13 +207,29 @@ let cardinality db plan = (snd (exec db plan)).card
    used by the data-supply-time experiment (Fig. 15) where the query is a
    simple aggregate and the cost is dominated by tuple supply *)
 let aggregate_sum db rname cname =
-  let n = Database.nrows db rname in
-  let rd = Database.reader db rname cname in
-  let acc = ref 0 in
-  for i = 0 to n - 1 do
-    acc := !acc + rd i
-  done;
-  !acc
+  let run () =
+    let n = Database.nrows db rname in
+    let rd = Database.reader db rname cname in
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + rd i
+    done;
+    (n, !acc)
+  in
+  if not (Obs.enabled ()) then snd (run ())
+  else
+    Obs.with_span "exec.aggregate_sum" (fun () ->
+        let t = Mclock.now () in
+        let n, sum = run () in
+        let dt = Float.max (Mclock.now () -. t) 1e-9 in
+        Obs.incr m_agg_rows n;
+        Obs.span_attr "rel" (Obs.Str rname);
+        Obs.span_attr "source"
+          (Obs.Str
+             (if scan_is_generated db rname then "generated" else "stored"));
+        Obs.span_attr "rows_in" (Obs.Int n);
+        Obs.span_attr "rows_per_sec" (Obs.Float (float_of_int n /. dt));
+        sum)
 
 let rec pp_annotated fmt a =
   Format.fprintf fmt "@[<v 2>%s [card=%d]" a.op a.card;

@@ -1,4 +1,10 @@
 open Hydra_arith
+module Obs = Hydra_obs.Obs
+module Mclock = Hydra_obs.Mclock
+
+let m_nodes = Obs.counter "bnb.nodes"
+let m_backtracks = Obs.counter "bnb.backtracks"
+let g_max_depth = Obs.gauge "bnb.max_depth"
 
 type status =
   | Solution of Bigint.t array
@@ -42,14 +48,16 @@ let solve ?(max_nodes = 2000) ?deadline lp =
   let exception Timed_out in
   let past_deadline () =
     match deadline with
-    | Some d -> Unix.gettimeofday () > d
+    | Some d -> Mclock.now () > d
     | None -> false
   in
   (* DFS over branching decisions; bounds accumulate along the path *)
-  let rec branch bounds =
+  let rec branch depth bounds =
     if !nodes >= max_nodes then raise Out_of_budget;
     if past_deadline () then raise Timed_out;
     incr nodes;
+    Obs.incr m_nodes 1;
+    Obs.gauge_max g_max_depth (float_of_int depth);
     let sub = if bounds = [] then lp else with_bounds lp bounds in
     match Simplex.solve ?deadline sub with
     | Simplex.Timeout -> raise Timed_out
@@ -60,11 +68,13 @@ let solve ?(max_nodes = 2000) ?deadline lp =
         | None -> Some (Array.map (fun v -> Rat.num v) x)
         | Some i -> (
             let f = Rat.floor x.(i) in
-            match branch ((i, `Le f) :: bounds) with
+            match branch (depth + 1) ((i, `Le f) :: bounds) with
             | Some s -> Some s
-            | None -> branch ((i, `Ge (Bigint.succ f)) :: bounds)))
+            | None ->
+                Obs.incr m_backtracks 1;
+                branch (depth + 1) ((i, `Ge (Bigint.succ f)) :: bounds)))
   in
-  match branch [] with
+  match branch 0 [] with
   | Some s -> Solution s
   | None -> Infeasible
   | exception Out_of_budget -> Gave_up

@@ -8,6 +8,11 @@
    bounded below by zero, so the solve can only end Feasible or Timeout. *)
 
 open Hydra_arith
+module Obs = Hydra_obs.Obs
+
+let m_solves = Obs.counter "relax.solves"
+let m_violated = Obs.counter "relax.violated_constraints"
+let h_slack = Obs.histogram "relax.slack_mass"
 
 type outcome =
   | Relaxed of {
@@ -20,6 +25,7 @@ type outcome =
 
 let solve ?deadline ?max_iters ?(max_nodes = 2000) ?(weight = fun _ -> Rat.one)
     lp =
+  Obs.incr m_solves 1;
   let lp' = Lp.create () in
   let nstruct = Lp.num_vars lp in
   ignore (Lp.add_vars lp' nstruct);
@@ -68,6 +74,11 @@ let solve ?deadline ?max_iters ?(max_nodes = 2000) ?(weight = fun _ -> Rat.one)
           Array.of_list (List.map Rat.abs (Lp.residuals lp xr))
         in
         let total_violation = Array.fold_left Rat.add Rat.zero violations in
+        Obs.incr m_violated
+          (Array.fold_left
+             (fun acc v -> if Rat.sign v > 0 then acc + 1 else acc)
+             0 violations);
+        Obs.observe h_slack (Rat.to_float total_violation);
         Relaxed { x; violations; total_violation }
       in
       (* Integerizing the rational optimum coordinate-by-coordinate would

@@ -1,4 +1,14 @@
 open Hydra_arith
+module Obs = Hydra_obs.Obs
+module Mclock = Hydra_obs.Mclock
+
+(* registry handles are created once at load time; every update is a
+   single flag test when tracing is disabled *)
+let m_solves = Obs.counter "simplex.solves"
+let m_iterations = Obs.counter "simplex.iterations"
+let m_pivots = Obs.counter "simplex.pivots"
+let m_degenerate = Obs.counter "simplex.degenerate_pivots"
+let m_bland = Obs.counter "simplex.bland_fallbacks"
 
 type status =
   | Feasible of Rat.t array
@@ -105,10 +115,12 @@ let binv_col binv m col =
   done;
   d
 
-(* Wall-clock deadline and iteration ceiling shared by both phases. An
-   optimal basis is always reported as such — the budget is only consulted
-   when another pivot would be needed — so a trivially solved system never
-   times out, and a [Timeout] verdict means real work was cut short. *)
+(* Monotonic deadline and iteration ceiling shared by both phases. The
+   deadline lives on the Mclock timeline (see Pipeline), so wall-clock
+   adjustments can neither trigger nor defer it. An optimal basis is
+   always reported as such — the budget is only consulted when another
+   pivot would be needed — so a trivially solved system never times out,
+   and a [Timeout] verdict means real work was cut short. *)
 type budget = { deadline : float option; max_iters : int option }
 
 let no_budget = { deadline = None; max_iters = None }
@@ -117,7 +129,7 @@ let out_of_budget budget iter_count =
   (match budget.max_iters with Some k -> iter_count > k | None -> false)
   ||
   match budget.deadline with
-  | Some d -> Unix.gettimeofday () > d
+  | Some d -> Mclock.now () > d
   | None -> false
 
 (* One simplex run minimizing cost vector [c] (length n) from the given
@@ -139,6 +151,7 @@ let optimize ?(budget = no_budget) t binv basis xb c allowed iter_count =
     | Some "1" -> -1 (* always Bland *)
     | _ -> 40
   in
+  let was_bland = ref false in
   let rec loop () =
     incr iter_count;
     (* y = cB . Binv *)
@@ -155,6 +168,8 @@ let optimize ?(budget = no_budget) t binv basis xb c allowed iter_count =
         done
     done;
     let bland = !degenerate_run > bland_threshold in
+    if bland && not !was_bland then Obs.incr m_bland 1;
+    was_bland := bland;
     let entering = ref (-1) in
     (try
        if bland then
@@ -208,7 +223,11 @@ let optimize ?(budget = no_budget) t binv basis xb c allowed iter_count =
       else begin
         let r = !leave in
         let t_step = !best in
-        if Rat.is_zero t_step then incr degenerate_run
+        Obs.incr m_pivots 1;
+        if Rat.is_zero t_step then begin
+          incr degenerate_run;
+          Obs.incr m_degenerate 1
+        end
         else degenerate_run := 0;
         (* update xb *)
         for i = 0 to m - 1 do
@@ -245,6 +264,7 @@ let solve ?objective ?deadline ?max_iters lp =
   let t, basis = build_tableau lp in
   let { m; n; _ } = t in
   let iter_count = ref 0 in
+  Obs.incr m_solves 1;
   stats := { iterations = 0; rows = m; cols = n };
   if m = 0 then
     (* no constraints: the origin is feasible, and the problem is unbounded
@@ -358,5 +378,6 @@ let solve ?objective ?deadline ?max_iters lp =
           end
     in
     stats := { iterations = !iter_count; rows = m; cols = n };
+    Obs.incr m_iterations !iter_count;
     result
   end

@@ -1,0 +1,7 @@
+external raw_ns : unit -> int64 = "hydra_obs_monotonic_ns"
+
+(* anchor at the first reading so [now] stays small and float-precise even
+   after long uptimes (CLOCK_MONOTONIC's origin is boot time) *)
+let epoch = raw_ns ()
+let now_ns () = raw_ns ()
+let now () = Int64.to_float (Int64.sub (raw_ns ()) epoch) *. 1e-9

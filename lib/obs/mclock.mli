@@ -1,0 +1,15 @@
+(** Process-shared monotonic clock.
+
+    All durations, span timestamps and solver deadlines in the system are
+    expressed on this timeline — seconds since the first reading in this
+    process, taken from [CLOCK_MONOTONIC] — so they are immune to
+    wall-clock adjustment: a deadline computed as [now () +. budget] can
+    only be reached by real elapsed time, and a duration measured as a
+    difference of two readings is always non-negative. *)
+
+val now_ns : unit -> int64
+(** Raw monotonic reading in nanoseconds (arbitrary origin). *)
+
+val now : unit -> float
+(** Monotonic seconds since the process's first reading. Use
+    [now () +. seconds] to build an absolute deadline on this timeline. *)

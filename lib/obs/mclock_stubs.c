@@ -1,0 +1,17 @@
+/* Monotonic clock for hydra.obs: CLOCK_MONOTONIC is immune to wall-clock
+   adjustment (NTP steps, manual date changes), so durations and deadline
+   comparisons derived from it can never go negative. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <time.h>
+#include <stdint.h>
+
+CAMLprim value hydra_obs_monotonic_ns(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + ts.tv_nsec));
+}

@@ -1,0 +1,460 @@
+(* Observability core. Design constraints, in order:
+     1. disabled mode must be indistinguishable from uninstrumented code
+        (one flag test per call site, no clock reads, no allocation);
+     2. no dependencies beyond the stdlib and the local mclock stub;
+     3. metric handles are stable across [reset] so instrumented modules
+        can create them once at load time. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type attrs = (string * value) list
+
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* ---- spans ---- *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_start : float;
+  sp_end : float;
+  sp_attrs : attrs;
+}
+
+type event = {
+  ev_time : float;
+  ev_level : level;
+  ev_msg : string;
+  ev_attrs : attrs;
+}
+
+type sink = {
+  sink_span : span -> unit;
+  sink_event : event -> unit;
+  sink_close : unit -> unit;
+}
+
+let sinks : sink list ref = ref []
+let add_sink s = sinks := s :: !sinks
+
+(* ---- metrics registry ---- *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  h_buckets : int array;
+}
+
+(* per-span-name duration aggregate, fed by [with_span] *)
+type span_agg = {
+  a_name : string;
+  mutable a_count : int;
+  mutable a_seconds : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let span_aggs : (string, span_agg) Hashtbl.t = Hashtbl.create 32
+
+let num_buckets = 64
+let min_exp = -20 (* bucket 1 starts just above 2^-20 *)
+
+let bucket_upper i =
+  if i >= num_buckets - 1 then infinity else ldexp 1.0 (min_exp + i)
+
+let bucket_of v =
+  if v <= ldexp 1.0 min_exp then 0
+  else
+    let e = int_of_float (Float.ceil (Float.log2 v)) in
+    (* v lies in (2^(e-1), 2^e]; guard against log2 rounding placing an
+       exact power of two one bucket high *)
+    let e = if ldexp 1.0 (e - 1) >= v then e - 1 else e in
+    let i = e - min_exp in
+    if i < 1 then 1 else if i > num_buckets - 1 then num_buckets - 1 else i
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr c n = if !enabled_flag then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      Hashtbl.replace gauges name g;
+      g
+
+let set_gauge g v = if !enabled_flag then g.g_value <- v
+let gauge_max g v = if !enabled_flag && v > g.g_value then g.g_value <- v
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; h_count = 0; h_sum = 0.0;
+          h_buckets = Array.make num_buckets 0 }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let observe h v =
+  if !enabled_flag then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  end
+
+let span_agg name =
+  match Hashtbl.find_opt span_aggs name with
+  | Some a -> a
+  | None ->
+      let a = { a_name = name; a_count = 0; a_seconds = 0.0 } in
+      Hashtbl.replace span_aggs name a;
+      a
+
+(* ---- events ---- *)
+
+let ring_capacity = 256
+let ring : event option array = Array.make ring_capacity None
+let ring_next = ref 0
+let ring_count = ref 0
+
+let event ?(level = Info) ?(attrs = []) msg =
+  let ev =
+    { ev_time = Mclock.now (); ev_level = level; ev_msg = msg;
+      ev_attrs = attrs }
+  in
+  ring.(!ring_next) <- Some ev;
+  ring_next := (!ring_next + 1) mod ring_capacity;
+  if !ring_count < ring_capacity then Stdlib.incr ring_count;
+  if !enabled_flag then List.iter (fun s -> s.sink_event ev) !sinks
+
+let recent_events () =
+  let n = !ring_count in
+  let start = (!ring_next - n + ring_capacity * 2) mod ring_capacity in
+  List.init n (fun i ->
+      match ring.((start + i) mod ring_capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+(* ---- span execution ---- *)
+
+type open_span = {
+  os_id : int;
+  os_parent : int;
+  os_name : string;
+  os_start : float;
+  mutable os_attrs : attrs;
+}
+
+let next_id = ref 0
+let stack : open_span list ref = ref []
+
+let span_attr k v =
+  if !enabled_flag then
+    match !stack with [] -> () | s :: _ -> s.os_attrs <- (k, v) :: s.os_attrs
+
+let close_span os =
+  let t1 = Mclock.now () in
+  (* pop down to (and including) our own frame; tolerates an unbalanced
+     stack left by an exotic control-flow escape *)
+  let rec pop = function
+    | [] -> []
+    | s :: rest -> if s.os_id = os.os_id then rest else pop rest
+  in
+  stack := pop !stack;
+  let sp =
+    { sp_id = os.os_id; sp_parent = os.os_parent; sp_name = os.os_name;
+      sp_start = os.os_start; sp_end = t1; sp_attrs = List.rev os.os_attrs }
+  in
+  let agg = span_agg os.os_name in
+  agg.a_count <- agg.a_count + 1;
+  agg.a_seconds <- agg.a_seconds +. (sp.sp_end -. sp.sp_start);
+  List.iter (fun s -> s.sink_span sp) !sinks
+
+let with_span ?(attrs = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    Stdlib.incr next_id;
+    let os =
+      {
+        os_id = !next_id;
+        os_parent = (match !stack with [] -> -1 | s :: _ -> s.os_id);
+        os_name = name;
+        os_start = Mclock.now ();
+        os_attrs = List.rev attrs;
+      }
+    in
+    stack := os :: !stack;
+    match f () with
+    | v ->
+        close_span os;
+        v
+    | exception e ->
+        close_span os;
+        raise e
+  end
+
+(* ---- snapshots ---- *)
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_hists : (string * (int * float * int array)) list;
+  snap_spans : (string * (int * float)) list;
+}
+
+let sorted_of_tbl tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () =
+  {
+    snap_counters = sorted_of_tbl counters (fun c -> c.c_value);
+    snap_gauges = sorted_of_tbl gauges (fun g -> g.g_value);
+    snap_hists =
+      sorted_of_tbl histograms (fun h ->
+          (h.h_count, h.h_sum, Array.copy h.h_buckets));
+    snap_spans = sorted_of_tbl span_aggs (fun a -> (a.a_count, a.a_seconds));
+  }
+
+let flatten snap =
+  List.map (fun (k, v) -> (k, float_of_int v)) snap.snap_counters
+  @ snap.snap_gauges
+  @ List.concat_map
+      (fun (k, (count, sum, _)) ->
+        [ (k ^ ".count", float_of_int count); (k ^ ".sum", sum) ])
+      snap.snap_hists
+  @ List.concat_map
+      (fun (k, (count, seconds)) ->
+        [
+          ("span." ^ k ^ ".count", float_of_int count);
+          ("span." ^ k ^ ".seconds", seconds);
+        ])
+      snap.snap_spans
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let diff before after =
+  let b = flatten before in
+  List.filter_map
+    (fun (k, v) ->
+      let v0 = match List.assoc_opt k b with Some x -> x | None -> 0.0 in
+      if v = v0 then None else Some (k, v -. v0))
+    (flatten after)
+
+let snapshot_json snap =
+  let buckets_json buckets =
+    (* only non-empty buckets, keyed by their inclusive upper bound *)
+    let fields = ref [] in
+    Array.iteri
+      (fun i n ->
+        if n > 0 then
+          let key =
+            if i = 0 then Printf.sprintf "%g" (ldexp 1.0 min_exp)
+            else if i = num_buckets - 1 then "+inf"
+            else Printf.sprintf "%g" (bucket_upper i)
+          in
+          fields := (key, Json.Int n) :: !fields)
+      buckets;
+    Json.Obj (List.rev !fields)
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) snap.snap_counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) snap.snap_gauges)
+      );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, (count, sum, buckets)) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.Int count);
+                     ("sum", Json.Float sum);
+                     ("buckets", buckets_json buckets);
+                   ] ))
+             snap.snap_hists) );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (k, (count, seconds)) ->
+               ( k,
+                 Json.Obj
+                   [ ("count", Json.Int count); ("seconds", Json.Float seconds) ]
+               ))
+             snap.snap_spans) );
+    ]
+
+let metrics_json () = snapshot_json (snapshot ())
+
+(* ---- sinks ---- *)
+
+let value_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let value_json = function
+  | Str s -> Json.String s
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+let attrs_text attrs =
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k (value_string v)) attrs)
+
+let pretty_seconds s =
+  if s >= 1.0 then Printf.sprintf "%.2fs" s
+  else if s >= 1e-3 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.0fus" (s *. 1e6)
+
+let text_sink oc =
+  {
+    sink_span =
+      (fun sp ->
+        Printf.fprintf oc "[obs] span %-28s %8s%s\n%!" sp.sp_name
+          (pretty_seconds (sp.sp_end -. sp.sp_start))
+          (attrs_text sp.sp_attrs));
+    sink_event =
+      (fun ev ->
+        Printf.fprintf oc "[obs] %s: %s%s\n%!" (level_name ev.ev_level)
+          ev.ev_msg (attrs_text ev.ev_attrs));
+    sink_close = (fun () -> ());
+  }
+
+let jsonl_sink path =
+  let oc = open_out path in
+  let attrs_json attrs =
+    Json.Obj (List.map (fun (k, v) -> (k, value_json v)) attrs)
+  in
+  {
+    sink_span =
+      (fun sp ->
+        output_string oc
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("type", Json.String "span");
+                  ("id", Json.Int sp.sp_id);
+                  ("parent", Json.Int sp.sp_parent);
+                  ("name", Json.String sp.sp_name);
+                  ("start", Json.Float sp.sp_start);
+                  ("end", Json.Float sp.sp_end);
+                  ("attrs", attrs_json sp.sp_attrs);
+                ]));
+        output_char oc '\n');
+    sink_event =
+      (fun ev ->
+        output_string oc
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("type", Json.String "event");
+                  ("time", Json.Float ev.ev_time);
+                  ("level", Json.String (level_name ev.ev_level));
+                  ("msg", Json.String ev.ev_msg);
+                  ("attrs", attrs_json ev.ev_attrs);
+                ]));
+        output_char oc '\n');
+    sink_close = (fun () -> close_out oc);
+  }
+
+(* ---- lifecycle ---- *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      Array.fill h.h_buckets 0 num_buckets 0)
+    histograms;
+  Hashtbl.iter
+    (fun _ a ->
+      a.a_count <- 0;
+      a.a_seconds <- 0.0)
+    span_aggs;
+  Array.fill ring 0 ring_capacity None;
+  ring_next := 0;
+  ring_count := 0
+
+let metrics_out : string option ref = ref None
+let set_metrics_out path = metrics_out := Some path
+
+let write_metrics path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty (metrics_json ()));
+      output_char oc '\n')
+
+let finished = ref false
+
+let finish () =
+  if not !finished then begin
+    finished := true;
+    (match !metrics_out with Some path -> write_metrics path | None -> ());
+    List.iter (fun s -> s.sink_close ()) !sinks;
+    sinks := []
+  end
+
+let init_from_env () =
+  match Sys.getenv_opt "HYDRA_OBS" with
+  | None | Some "" -> ()
+  | Some spec ->
+      List.iter
+        (fun tok ->
+          let tok = String.trim tok in
+          match String.index_opt tok '=' with
+          | Some i ->
+              let key = String.sub tok 0 i in
+              let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+              (match key with
+              | "trace" ->
+                  add_sink (jsonl_sink v);
+                  set_enabled true
+              | "metrics" ->
+                  set_metrics_out v;
+                  set_enabled true
+              | _ -> ())
+          | None -> (
+              match tok with
+              | "on" | "1" -> set_enabled true
+              | "text" ->
+                  add_sink (text_sink stderr);
+                  set_enabled true
+              | _ -> ()))
+        (String.split_on_char ',' spec)

@@ -1,0 +1,150 @@
+(** Observability core: nested spans, a process-global metric registry,
+    a ring-buffer event log, and pluggable sinks.
+
+    Everything routes through one global [enabled] switch. When tracing
+    is disabled (the default) every instrumentation call short-circuits
+    on a single flag test — no clock reads, no allocation — so
+    instrumented hot paths are free in production, and enabling tracing
+    never changes what the instrumented code computes (it only watches).
+
+    The only always-on facility is the event ring buffer: incidents such
+    as degraded views or uncovered relations are recorded even when
+    tracing is off, so diagnostics survive without any setup cost. *)
+
+(* ---- attribute values ---- *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type attrs = (string * value) list
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+(* ---- global switch ---- *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(* ---- spans ---- *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** [-1] for a root span *)
+  sp_name : string;
+  sp_start : float;  (** {!Mclock} seconds *)
+  sp_end : float;
+  sp_attrs : attrs;
+}
+
+val with_span : ?attrs:attrs -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span. Disabled mode calls the thunk directly.
+    The span is closed (and delivered to sinks) even if the thunk
+    raises. Spans nest: the innermost open span is the parent. *)
+
+val span_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span; no-op when disabled
+    or outside any span. *)
+
+(* ---- metrics registry ---- *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get-or-create by name; the handle stays valid across {!reset}. *)
+
+val incr : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_max : gauge -> float -> unit
+(** Keep the maximum of all observations (e.g. deepest B&B node). *)
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+
+val bucket_of : float -> int
+(** Log-scaled bucket index: bucket [0] holds values [<= 2^-20] (and all
+    non-positive values), bucket [i] holds [(2^(i-21), 2^(i-20)]], and the
+    last bucket collects overflow. Exposed for tests. *)
+
+val bucket_upper : int -> float
+(** Inclusive upper bound of a bucket; [infinity] for the last. *)
+
+val num_buckets : int
+
+(* ---- events (always-on ring buffer) ---- *)
+
+type event = {
+  ev_time : float;
+  ev_level : level;
+  ev_msg : string;
+  ev_attrs : attrs;
+}
+
+val event : ?level:level -> ?attrs:attrs -> string -> unit
+(** Record into the ring buffer (always); forward to sinks when enabled. *)
+
+val recent_events : unit -> event list
+(** Ring-buffer contents, oldest first (capacity 256). *)
+
+(* ---- sinks ---- *)
+
+type sink = {
+  sink_span : span -> unit;
+  sink_event : event -> unit;
+  sink_close : unit -> unit;
+}
+
+val add_sink : sink -> unit
+
+val text_sink : out_channel -> sink
+(** Human-readable lines, e.g. [obs] span pipeline.view 12.3ms rel=item. *)
+
+val jsonl_sink : string -> sink
+(** One JSON object per finished span / event, appended to the file. *)
+
+(* ---- snapshots ---- *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** Point-in-time copy of the whole registry, including per-span-name
+    duration aggregates. *)
+
+val flatten : snapshot -> (string * float) list
+(** Flat metric view: counters and gauges under their own names,
+    histograms as [name.count]/[name.sum], span aggregates as
+    [span.name.count]/[span.name.seconds]. Sorted by name. *)
+
+val diff : snapshot -> snapshot -> (string * float) list
+(** [diff before after]: flattened after-minus-before, non-zero entries
+    only — the metric delta attributable to the enclosed work. *)
+
+val snapshot_json : snapshot -> Json.t
+val metrics_json : unit -> Json.t
+(** [snapshot_json (snapshot ())]. *)
+
+(* ---- lifecycle ---- *)
+
+val reset : unit -> unit
+(** Zero every registered metric, span aggregate and the event ring.
+    Handles returned by {!counter}/{!gauge}/{!histogram} stay valid. *)
+
+val set_metrics_out : string -> unit
+(** Write a metrics snapshot to this path at {!finish} time. *)
+
+val write_metrics : string -> unit
+(** Write a pretty-printed metrics snapshot to the path right now. *)
+
+val init_from_env : unit -> unit
+(** Parse [HYDRA_OBS] — comma-separated [on], [text], [trace=FILE],
+    [metrics=FILE] — and enable the corresponding sinks. Unknown tokens
+    are ignored. *)
+
+val finish : unit -> unit
+(** Write the pending metrics file (if {!set_metrics_out} was called),
+    flush and close all sinks. Idempotent; safe from [at_exit]. *)

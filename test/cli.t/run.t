@@ -46,6 +46,37 @@ The Figure 1 toy scenario through the CLI, end to end.
   $ wc -l < out/S.csv
   701
 
+Observability: --metrics-out writes a JSON snapshot of the obs registry
+(counters, gauges, histograms, span aggregates); --json replaces the
+human-readable lines with one machine-readable run report. Only
+stable fields are asserted — values vary run to run.
+
+  $ hydra summary toy.hydra -o toy2.summary --metrics-out metrics.json > /dev/null
+  $ grep -c '"simplex.iterations"' metrics.json
+  1
+  $ grep -c '"bnb.nodes"' metrics.json
+  1
+  $ grep -c '"engine.scan.rows_out"' metrics.json
+  1
+  $ grep -c '"pipeline.preprocess"' metrics.json
+  1
+  $ grep -c '"pipeline.assemble"' metrics.json
+  1
+  $ grep -c '"view.solve"' metrics.json
+  1
+
+  $ hydra summary toy.hydra -o toy3.summary --json > report.json
+  $ grep -c '"status": "exact"' report.json
+  3
+  $ grep -c '"total_seconds"' report.json
+  1
+  $ grep -c '"preprocess_seconds"' report.json
+  1
+
+  $ hydra validate toy.hydra toy.summary --metrics-out vmetrics.json > /dev/null
+  $ grep -c '"tuple_gen.rows_materialized"' vmetrics.json
+  1
+
 The client-site flow: extract CCs from CSV data and queries, then
 regenerate from the extracted spec.
 

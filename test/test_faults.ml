@@ -205,6 +205,49 @@ let test_per_view_isolation () =
   Alcotest.(check bool) "degraded" true
     (Pipeline.degraded result.Pipeline.diagnostics)
 
+(* ---- relations no CC ever measures ---- *)
+
+let test_uncovered_relation_warns () =
+  (* two relations, CCs only on one: validation must name the blind spot
+     and raise a Warn through the always-on obs event ring *)
+  let schema =
+    Schema.create
+      [
+        { Schema.rname = "seen"; pk = "se_pk"; fks = []; attrs = [ attr "a" ] };
+        { Schema.rname = "blind"; pk = "b_pk"; fks = []; attrs = [ attr "a" ] };
+      ]
+  in
+  let ccs =
+    [
+      Cc.size_cc "seen" 40;
+      Cc.make [ "seen" ]
+        (Predicate.atom (Schema.qualify "seen" "a") (Interval.make 0 10))
+        25;
+    ]
+  in
+  let result = Pipeline.regenerate ~sizes:[ ("blind", 30) ] schema ccs in
+  let db = Hydra_core.Tuple_gen.materialize result.Pipeline.summary in
+  let v = Hydra_core.Validate.check db ccs in
+  Alcotest.(check (list string))
+    "uncovered relation detected" [ "blind" ]
+    v.Hydra_core.Validate.uncovered_relations;
+  ignore (Hydra_core.Validate.by_relation v);
+  let warned =
+    List.exists
+      (fun (e : Hydra_obs.Obs.event) ->
+        e.Hydra_obs.Obs.ev_level = Hydra_obs.Obs.Warn
+        && contains e.Hydra_obs.Obs.ev_msg "blind has zero measured CCs")
+      (Hydra_obs.Obs.recent_events ())
+  in
+  Alcotest.(check bool) "warn event in the ring" true warned;
+  (* a fully covered workload stays silent *)
+  let v_full =
+    Hydra_core.Validate.check db (Cc.size_cc "blind" 30 :: ccs)
+  in
+  Alcotest.(check (list string))
+    "no blind spots when every relation is measured" []
+    v_full.Hydra_core.Validate.uncovered_relations
+
 (* ---- property: regenerate never raises, statuses stay consistent ---- *)
 
 let fault_env_gen =
@@ -256,6 +299,8 @@ let suite =
           test_missing_size_cc;
         Alcotest.test_case "per-view fault isolation" `Quick
           test_per_view_isolation;
+        Alcotest.test_case "uncovered relation warns through obs" `Quick
+          test_uncovered_relation_warns;
       ] );
     ( "fault-properties",
       [ QCheck_alcotest.to_alcotest prop_robust_regenerate ] );

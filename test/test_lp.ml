@@ -129,12 +129,12 @@ let person_lp () =
 
 let test_simplex_deadline () =
   (* a deadline already in the past: any system needing pivots times out *)
-  let past = Unix.gettimeofday () -. 1.0 in
+  let past = Hydra_obs.Mclock.now () -. 1.0 in
   (match Simplex.solve ~deadline:past (person_lp ()) with
   | Simplex.Timeout -> ()
   | _ -> Alcotest.fail "expected timeout with an expired deadline");
   (* ... but a generous deadline changes nothing *)
-  let future = Unix.gettimeofday () +. 60.0 in
+  let future = Hydra_obs.Mclock.now () +. 60.0 in
   let sol = feasible (Simplex.solve ~deadline:future (person_lp ())) in
   Alcotest.(check bool) "satisfies" true (Lp.check (person_lp ()) sol)
 
@@ -151,7 +151,7 @@ let test_simplex_iteration_budget () =
   | _ -> Alcotest.fail "trivial system must not time out"
 
 let test_int_feasible_deadline () =
-  let past = Unix.gettimeofday () -. 1.0 in
+  let past = Hydra_obs.Mclock.now () -. 1.0 in
   match Int_feasible.solve ~deadline:past (person_lp ()) with
   | Int_feasible.Timeout -> ()
   | _ -> Alcotest.fail "expected timeout with an expired deadline"
@@ -204,7 +204,7 @@ let test_relax_weights () =
   | _ -> Alcotest.fail "expected a relaxed solution"
 
 let test_relax_deadline () =
-  let past = Unix.gettimeofday () -. 1.0 in
+  let past = Hydra_obs.Mclock.now () -. 1.0 in
   let lp = Lp.create () in
   let x = Lp.add_var lp () in
   Lp.add_eq lp [ (x, Rat.one) ] (rat 5);

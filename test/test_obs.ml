@@ -1,0 +1,327 @@
+(* Tests for the observability core (hydra.obs) and its pipeline
+   integration: span nesting and delivery order, log-scaled histogram
+   bucket boundaries, per-view counter aggregation, the disabled-mode
+   no-op guarantee (as a qcheck property over whole regeneration runs),
+   and the timing-reconciliation contract of Pipeline.result. *)
+
+open Hydra_rel
+open Hydra_workload
+module Obs = Hydra_obs.Obs
+module Mclock = Hydra_obs.Mclock
+module Json = Hydra_obs.Json
+module Pipeline = Hydra_core.Pipeline
+
+(* every test leaves the global registry disabled and zeroed *)
+let scrub () =
+  Obs.set_enabled false;
+  Obs.reset ()
+
+(* ---- monotonic clock ---- *)
+
+let test_mclock () =
+  let a = Mclock.now () in
+  let b = Mclock.now () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a);
+  Alcotest.(check bool) "anchored near zero" true (a >= 0.0 && a < 86400.0)
+
+(* ---- span nesting and delivery order ---- *)
+
+let test_span_nesting () =
+  scrub ();
+  let seen = ref [] in
+  Obs.add_sink
+    {
+      Obs.sink_span = (fun sp -> seen := sp :: !seen);
+      sink_event = ignore;
+      sink_close = ignore;
+    };
+  Obs.set_enabled true;
+  let v =
+    Obs.with_span "parent" (fun () ->
+        Obs.span_attr "k" (Obs.Int 1);
+        Obs.with_span "child" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "thunk value" 42 v;
+  scrub ();
+  match List.rev !seen with
+  | [ child; parent ] ->
+      Alcotest.(check string) "child first" "child" child.Obs.sp_name;
+      Alcotest.(check string) "then parent" "parent" parent.Obs.sp_name;
+      Alcotest.(check int) "child's parent id" parent.Obs.sp_id
+        child.Obs.sp_parent;
+      Alcotest.(check int) "parent is a root" (-1) parent.Obs.sp_parent;
+      Alcotest.(check bool) "ids increase" true
+        (child.Obs.sp_id > parent.Obs.sp_id);
+      Alcotest.(check bool) "child inside parent" true
+        (child.Obs.sp_start >= parent.Obs.sp_start
+        && child.Obs.sp_end <= parent.Obs.sp_end);
+      Alcotest.(check bool) "durations non-negative" true
+        (child.Obs.sp_end >= child.Obs.sp_start
+        && parent.Obs.sp_end >= parent.Obs.sp_start);
+      Alcotest.(check bool) "attr recorded" true
+        (List.mem_assoc "k" parent.Obs.sp_attrs)
+  | sps -> Alcotest.failf "expected 2 spans, got %d" (List.length sps)
+
+let test_span_closed_on_exception () =
+  scrub ();
+  Obs.set_enabled true;
+  (try Obs.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  let kvs = Obs.flatten (Obs.snapshot ()) in
+  scrub ();
+  Alcotest.(check (option (float 0.0)))
+    "span aggregate recorded despite the raise" (Some 1.0)
+    (List.assoc_opt "span.boom.count" kvs)
+
+(* ---- histogram buckets ---- *)
+
+let test_histogram_buckets () =
+  (* bucket 0: everything at or below 2^-20 (and non-positive values) *)
+  Alcotest.(check int) "zero" 0 (Obs.bucket_of 0.0);
+  Alcotest.(check int) "negative" 0 (Obs.bucket_of (-3.0));
+  Alcotest.(check int) "2^-20 itself" 0 (Obs.bucket_of (ldexp 1.0 (-20)));
+  (* bucket i covers (2^(i-21), 2^(i-20)]: upper bounds are inclusive,
+     the next representable value above lands one bucket up *)
+  for i = 1 to Obs.num_buckets - 2 do
+    let upper = Obs.bucket_upper i in
+    Alcotest.(check int)
+      (Printf.sprintf "upper bound of bucket %d" i)
+      i (Obs.bucket_of upper);
+    Alcotest.(check int)
+      (Printf.sprintf "just above bucket %d" i)
+      (i + 1)
+      (Obs.bucket_of (upper *. 1.0000001))
+  done;
+  Alcotest.(check int) "1.0 sits at 2^0" (Obs.bucket_of 1.0)
+    (Obs.bucket_of (Obs.bucket_upper (Obs.bucket_of 1.0)));
+  Alcotest.(check (float 0.0)) "1.0 is an exact upper bound" 1.0
+    (Obs.bucket_upper (Obs.bucket_of 1.0));
+  (* overflow collects in the last bucket *)
+  Alcotest.(check int) "huge" (Obs.num_buckets - 1) (Obs.bucket_of 1e30);
+  Alcotest.(check bool) "last upper is +inf" true
+    (Obs.bucket_upper (Obs.num_buckets - 1) = infinity)
+
+let test_histogram_observe () =
+  scrub ();
+  Obs.set_enabled true;
+  let h = Obs.histogram "t.hist" in
+  List.iter (Obs.observe h) [ 0.5; 0.5; 2.0 ];
+  let kvs = Obs.flatten (Obs.snapshot ()) in
+  scrub ();
+  Alcotest.(check (option (float 0.0))) "count" (Some 3.0)
+    (List.assoc_opt "t.hist.count" kvs);
+  Alcotest.(check (option (float 1e-9))) "sum" (Some 3.0)
+    (List.assoc_opt "t.hist.sum" kvs)
+
+(* ---- counters: reset keeps handles valid, disabled mode is a no-op ---- *)
+
+let test_counter_reset_and_disabled () =
+  scrub ();
+  let c = Obs.counter "t.counter" in
+  Obs.incr c 5;
+  Alcotest.(check int) "disabled incr ignored" 0 (Obs.counter_value c);
+  Obs.set_enabled true;
+  Obs.incr c 5;
+  Alcotest.(check int) "enabled incr lands" 5 (Obs.counter_value c);
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.counter_value c);
+  Obs.incr c 2;
+  Alcotest.(check int) "handle survives reset" 2 (Obs.counter_value c);
+  scrub ()
+
+(* ---- events: the ring buffer is always on ---- *)
+
+let test_event_ring_always_on () =
+  scrub ();
+  Obs.event ~level:Obs.Warn "ring test incident";
+  let found =
+    List.exists
+      (fun (e : Obs.event) -> e.Obs.ev_msg = "ring test incident")
+      (Obs.recent_events ())
+  in
+  scrub ();
+  Alcotest.(check bool) "recorded while disabled" true found
+
+(* ---- pipeline integration ---- *)
+
+let attr name = { Schema.aname = name; dom_lo = 0; dom_hi = 20 }
+
+let two_rel_schema =
+  Schema.create
+    [
+      { Schema.rname = "u"; pk = "u_pk"; fks = []; attrs = [ attr "a" ] };
+      { Schema.rname = "v"; pk = "v_pk"; fks = []; attrs = [ attr "a" ] };
+    ]
+
+let two_rel_ccs =
+  let patom r lo hi =
+    Predicate.atom (Schema.qualify r "a") (Interval.make lo hi)
+  in
+  [
+    Cc.size_cc "u" 100;
+    Cc.make [ "u" ] (patom "u" 2 9) 30;
+    Cc.size_cc "v" 120;
+    Cc.make [ "v" ] (patom "v" 5 15) 60;
+  ]
+
+let test_counter_aggregation_across_views () =
+  scrub ();
+  Obs.set_enabled true;
+  let before = Obs.snapshot () in
+  let result = Pipeline.regenerate two_rel_schema two_rel_ccs in
+  let delta = Obs.diff before (Obs.snapshot ()) in
+  scrub ();
+  Alcotest.(check int) "two views" 2 (List.length result.Pipeline.views);
+  let global name =
+    match List.assoc_opt name delta with Some x -> x | None -> 0.0
+  in
+  let view_sum name =
+    List.fold_left
+      (fun acc (v : Pipeline.view_stats) ->
+        acc
+        +.
+        match List.assoc_opt name v.Pipeline.metrics with
+        | Some x -> x
+        | None -> 0.0)
+      0.0 result.Pipeline.views
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check (float 1e-9))
+        (name ^ ": per-view deltas sum to the global delta")
+        (global name) (view_sum name))
+    [ "simplex.iterations"; "simplex.solves"; "bnb.nodes" ];
+  Alcotest.(check bool) "some simplex work happened" true
+    (global "simplex.iterations" > 0.0);
+  (* every view carries its own span timings *)
+  List.iter
+    (fun (v : Pipeline.view_stats) ->
+      Alcotest.(check bool)
+        (v.Pipeline.rel ^ " has a view.solve span delta")
+        true
+        (List.mem_assoc "span.view.solve.seconds" v.Pipeline.metrics))
+    result.Pipeline.views
+
+let test_timing_reconciliation () =
+  scrub ();
+  let result = Pipeline.regenerate two_rel_schema two_rel_ccs in
+  let solve_sum =
+    List.fold_left
+      (fun acc (v : Pipeline.view_stats) -> acc +. v.Pipeline.solve_seconds)
+      0.0 result.Pipeline.views
+  in
+  let named =
+    result.Pipeline.preprocess_seconds +. solve_sum
+    +. result.Pipeline.assemble_seconds
+  in
+  Alcotest.(check bool) "phases non-negative" true
+    (result.Pipeline.preprocess_seconds >= 0.0
+    && result.Pipeline.assemble_seconds >= 0.0
+    && solve_sum >= 0.0);
+  Alcotest.(check bool) "named phases fit inside the total" true
+    (named <= result.Pipeline.total_seconds +. 1e-6);
+  Alcotest.(check bool) "only loop bookkeeping in the gap (< 100ms)" true
+    (result.Pipeline.total_seconds -. named < 0.1)
+
+(* metrics snapshot JSON and the codec round-trip *)
+let test_metrics_json_roundtrip () =
+  scrub ();
+  Obs.set_enabled true;
+  ignore (Pipeline.regenerate two_rel_schema two_rel_ccs);
+  let doc = Obs.metrics_json () in
+  scrub ();
+  let s = Json.to_string_pretty doc in
+  match Json.parse s with
+  | Error m -> Alcotest.failf "re-parse failed: %s" m
+  | Ok doc' -> (
+      match Json.member "counters" doc' with
+      | Some counters -> (
+          match Json.member "simplex.iterations" counters with
+          | Some (Json.Int n) ->
+              Alcotest.(check bool) "iterations counted" true (n > 0)
+          | _ -> Alcotest.fail "counters.simplex.iterations missing")
+      | None -> Alcotest.fail "counters object missing")
+
+(* ---- property: observation never changes what is computed ---- *)
+
+let obs_env_gen =
+  let open QCheck.Gen in
+  let* total = int_range 10 200 in
+  let* nccs = int_range 1 4 in
+  let* specs =
+    list_size (return nccs)
+      (let* lo = int_range 0 17 in
+       let* w = int_range 1 (18 - lo) in
+       let* card = int_range 0 (2 * total) in
+       return (lo, w, card))
+  in
+  return (total, specs)
+
+let one_rel_schema =
+  Schema.create
+    [ { Schema.rname = "r"; pk = "r_pk"; fks = []; attrs = [ attr "a" ] } ]
+
+(* the deterministic face of a result: everything except wall times and
+   the metrics payload *)
+let fingerprint (r : Pipeline.result) =
+  let s = r.Pipeline.summary in
+  ( List.map
+      (fun (v : Pipeline.view_stats) ->
+        (v.Pipeline.rel, v.Pipeline.status, v.Pipeline.num_lp_vars))
+      r.Pipeline.views,
+    s.Hydra_core.Summary.relations,
+    s.Hydra_core.Summary.extra_tuples,
+    r.Pipeline.diagnostics )
+
+let prop_observation_is_pure =
+  QCheck.Test.make
+    ~name:"enabling tracing never changes regeneration output" ~count:40
+    (QCheck.make obs_env_gen)
+    (fun (total, specs) ->
+      let ccs =
+        Cc.size_cc "r" total
+        :: List.map
+             (fun (lo, w, card) ->
+               Cc.make [ "r" ]
+                 (Predicate.atom (Schema.qualify "r" "a")
+                    (Interval.make lo (lo + w)))
+                 card)
+             specs
+      in
+      scrub ();
+      let plain = Pipeline.regenerate one_rel_schema ccs in
+      Obs.set_enabled true;
+      let traced = Pipeline.regenerate one_rel_schema ccs in
+      scrub ();
+      fingerprint plain = fingerprint traced)
+
+let suite =
+  [
+    ( "obs-core",
+      [
+        Alcotest.test_case "monotonic clock" `Quick test_mclock;
+        Alcotest.test_case "span nesting and delivery order" `Quick
+          test_span_nesting;
+        Alcotest.test_case "span closed on exception" `Quick
+          test_span_closed_on_exception;
+        Alcotest.test_case "histogram bucket boundaries" `Quick
+          test_histogram_buckets;
+        Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+        Alcotest.test_case "counter reset + disabled no-op" `Quick
+          test_counter_reset_and_disabled;
+        Alcotest.test_case "event ring always on" `Quick
+          test_event_ring_always_on;
+      ] );
+    ( "obs-pipeline",
+      [
+        Alcotest.test_case "per-view counter aggregation" `Quick
+          test_counter_aggregation_across_views;
+        Alcotest.test_case "timing reconciliation" `Quick
+          test_timing_reconciliation;
+        Alcotest.test_case "metrics JSON round-trip" `Quick
+          test_metrics_json_roundtrip;
+      ] );
+    ( "obs-properties",
+      [ QCheck_alcotest.to_alcotest prop_observation_is_pure ] );
+  ]
+
+let () = Alcotest.run "hydra-obs" suite
