@@ -13,7 +13,8 @@
 
    Usage: dune exec bench/main.exe [-- fig9|fig10|fig11|fig12|fig13|fig14|
                                        fig15|exabyte|fig16|fig17|ablation|
-                                       correlation|robust|micro|smoke|all] *)
+                                       correlation|robust|par|micro|smoke|
+                                       all] *)
 
 module T = Hydra_benchmarks.Tpcds
 module J = Hydra_benchmarks.Job
@@ -27,6 +28,7 @@ module Bigint = Hydra_arith.Bigint
 module Obs = Hydra_obs.Obs
 module Mclock = Hydra_obs.Mclock
 module Json = Hydra_obs.Json
+module Pool = Hydra_par.Pool
 
 let sf = 100 (* stands in for the paper's 100 GB instance *)
 
@@ -593,6 +595,95 @@ cc |sigma(S.A in [20,60) and T.C in [2,3))(R join S join T)| = 30000;
       | _ -> Printf.printf "  %-32s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* ---- Parallel regeneration speedup (the hydra.par domain pool) ---- *)
+
+let par () =
+  header "Parallel regeneration: domain-pool speedup (WLc end to end)"
+    "not in the paper: regenerate + materialize at jobs = 1, 2, 4, ...; \
+     the determinism contract (identical summary bytes and per-view \
+     statuses at every width) is asserted, not assumed";
+  let ccs = Lazy.force wlc_ccs in
+  let sizes = Lazy.force tpcds_sizes in
+  let summary_bytes s =
+    let path = Filename.temp_file "hydra_bench_par" ".summary" in
+    Summary.save path s;
+    let ic = open_in_bin path in
+    let b =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Sys.remove path;
+    b
+  in
+  let statuses r =
+    List.map
+      (fun (v : Pipeline.view_stats) ->
+        ( v.Pipeline.rel,
+          match v.Pipeline.status with
+          | Pipeline.Exact -> "exact"
+          | Pipeline.Relaxed _ -> "relaxed"
+          | Pipeline.Fallback _ -> "fallback" ))
+      r.Pipeline.views
+  in
+  let run jobs =
+    let (r, db), dt =
+      time (fun () ->
+          let r = Pipeline.regenerate ~sizes ~jobs T.schema ccs in
+          let db = Tuple_gen.materialize ~jobs r.Pipeline.summary in
+          (r, db))
+    in
+    ignore db;
+    (summary_bytes r.Pipeline.summary, statuses r, dt)
+  in
+  let widths =
+    let top = max 4 (Pool.default_jobs ()) in
+    let rec up acc w = if w > top then List.rev acc else up (w :: acc) (2 * w) in
+    up [] 1
+  in
+  let base_bytes, base_statuses, base_dt = run 1 in
+  Printf.printf "machine: %d recommended domain(s)\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "%8s %12s %10s  %s\n" "jobs" "seconds" "speedup" "output";
+  let row jobs dt same =
+    Printf.printf "%8d %11.2fs %9.2fx  %s\n" jobs dt (base_dt /. dt)
+      (if same then "identical" else "DIVERGED")
+  in
+  row 1 base_dt true;
+  let curve =
+    List.filter_map
+      (fun jobs ->
+        if jobs = 1 then
+          Some
+            (Json.Obj
+               [
+                 ("jobs", Json.Int 1);
+                 ("seconds", Json.Float base_dt);
+                 ("speedup", Json.Float 1.0);
+               ])
+        else begin
+          let bytes, sts, dt = run jobs in
+          let same = bytes = base_bytes && sts = base_statuses in
+          row jobs dt same;
+          if not same then begin
+            Printf.eprintf
+              "par: output at jobs=%d diverged from jobs=1 — determinism \
+               contract broken\n"
+              jobs;
+            exit 1
+          end;
+          Some
+            (Json.Obj
+               [
+                 ("jobs", Json.Int jobs);
+                 ("seconds", Json.Float dt);
+                 ("speedup", Json.Float (base_dt /. dt));
+               ])
+        end)
+      widths
+  in
+  [ ("jobs_curve", Json.List curve) ]
+
 (* ---- Smoke: CI-sized end-to-end run validating the obs contract ---- *)
 
 let smoke () =
@@ -715,24 +806,32 @@ let validate_smoke_artifact path =
 
 (* ---- driver: every target runs in a span and leaves an artifact ---- *)
 
+(* most targets only print; `par` also contributes extra artifact fields
+   (its speedup curve), so every target returns a field list *)
+let plain f () =
+  f ();
+  []
+
 let targets =
   [
-    ("fig9", fig9); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
-    ("fig13", fig13); ("fig14", fig14); ("exabyte", exabyte);
-    ("fig15", fig15); ("fig16", fig16); ("fig17", fig17);
-    ("ablation", ablation); ("correlation", correlation); ("robust", robust);
-    ("micro", micro); ("smoke", smoke);
+    ("fig9", plain fig9); ("fig10", plain fig10); ("fig11", plain fig11);
+    ("fig12", plain fig12); ("fig13", plain fig13); ("fig14", plain fig14);
+    ("exabyte", plain exabyte); ("fig15", plain fig15); ("fig16", plain fig16);
+    ("fig17", plain fig17); ("ablation", plain ablation);
+    ("correlation", plain correlation); ("robust", plain robust);
+    ("par", par); ("micro", plain micro); ("smoke", plain smoke);
   ]
 
-let write_bench_artifact name seconds =
+let write_bench_artifact name seconds extra =
   let path = Printf.sprintf "BENCH_%s.json" name in
   let doc =
     Json.Obj
-      [
-        ("target", Json.String name);
-        ("seconds", Json.Float seconds);
-        ("metrics", Obs.metrics_json ());
-      ]
+      ([
+         ("target", Json.String name);
+         ("seconds", Json.Float seconds);
+       ]
+      @ extra
+      @ [ ("metrics", Obs.metrics_json ()) ])
   in
   let oc = open_out path in
   Fun.protect
@@ -745,9 +844,9 @@ let write_bench_artifact name seconds =
 let run_target (name, f) =
   Obs.set_enabled true;
   Obs.reset ();
-  let (), dt = time (fun () -> Obs.with_span ("bench." ^ name) f) in
+  let extra, dt = time (fun () -> Obs.with_span ("bench." ^ name) f) in
   flush stdout;
-  write_bench_artifact name dt;
+  write_bench_artifact name dt extra;
   if name = "smoke" then validate_smoke_artifact ("BENCH_" ^ name ^ ".json")
 
 let () =

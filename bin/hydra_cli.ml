@@ -10,6 +10,28 @@ open Cmdliner
 module Obs = Hydra_obs.Obs
 module Json = Hydra_obs.Json
 module Mclock = Hydra_obs.Mclock
+module Pool = Hydra_par.Pool
+
+(* shared parallelism knob: --jobs beats HYDRA_JOBS beats the machine's
+   recommended domain count. Output is identical for any value (the
+   determinism contract in Pipeline/Tuple_gen/Workload). *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Solve views, materialize row-range shards and evaluate workload \
+           queries on $(docv) domains. Defaults to the $(b,HYDRA_JOBS) \
+           environment variable, then to the machine's core count. The \
+           output is identical for any value.")
+
+let resolve_jobs = function
+  | Some n when n < 1 ->
+      invalid_arg
+        (Printf.sprintf "--jobs must be at least 1 (got %d)" n)
+  | Some n -> n
+  | None -> Pool.default_jobs ()
 
 (* shared observability flags: any of them switches the global obs
    registry on; HYDRA_OBS covers the no-flag case (parsed in [main]) *)
@@ -109,7 +131,7 @@ let status_word (v : Hydra_core.Pipeline.view_stats) =
 
 (* machine-readable run report: the whole pipeline result plus the final
    metrics snapshot, as one JSON object on stdout *)
-let run_report_json out (result : Hydra_core.Pipeline.result) =
+let run_report_json ~jobs out (result : Hydra_core.Pipeline.result) =
   let open Hydra_core.Pipeline in
   let summary = result.summary in
   let metrics_obj kvs =
@@ -152,6 +174,7 @@ let run_report_json out (result : Hydra_core.Pipeline.result) =
   Json.Obj
     [
       ("output", Json.String out);
+      ("jobs", Json.Int jobs);
       ("total_seconds", Json.Float result.total_seconds);
       ("preprocess_seconds", Json.Float result.preprocess_seconds);
       ("assemble_seconds", Json.Float result.assemble_seconds);
@@ -231,18 +254,20 @@ let summary_cmd =
              of the human-readable lines (implies metric collection). The \
              summary file is still written.")
   in
-  let run spec_path out deadline_s max_nodes trace metrics_out report json =
+  let run spec_path out deadline_s max_nodes jobs trace metrics_out report json
+      =
     setup_obs trace metrics_out;
     if report || json then Obs.set_enabled true;
+    let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
     let result =
-      Hydra_core.Pipeline.regenerate ?deadline_s ~max_nodes
+      Hydra_core.Pipeline.regenerate ?deadline_s ~max_nodes ~jobs
         spec.Hydra_workload.Cc_parser.schema spec.Hydra_workload.Cc_parser.ccs
     in
     let summary = result.Hydra_core.Pipeline.summary in
     Hydra_core.Summary.save out summary;
     if json then
-      print_endline (Json.to_string_pretty (run_report_json out result))
+      print_endline (Json.to_string_pretty (run_report_json ~jobs out result))
     else begin
       Printf.printf "summary: %d rows covering %d tuples -> %s (%.2fs)\n"
         (Hydra_core.Summary.summary_rows summary)
@@ -283,9 +308,9 @@ let summary_cmd =
   let doc = "Build a database summary from a schema + CC spec." in
   Cmd.v (Cmd.info "summary" ~doc)
     Term.(
-      const (fun a b c d e f g h -> protecting (run a b c d e f g) h)
-      $ spec_arg $ out $ deadline $ max_nodes $ trace_arg $ metrics_out_arg
-      $ report $ json)
+      const (fun a b c d e f g h i -> protecting (run a b c d e f g h) i)
+      $ spec_arg $ out $ deadline $ max_nodes $ jobs_arg $ trace_arg
+      $ metrics_out_arg $ report $ json)
 
 (* ---- materialize ---- *)
 
@@ -295,13 +320,14 @@ let materialize_cmd =
       value & opt string "."
       & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory for CSVs.")
   in
-  let run spec_path summary_path dir =
+  let run spec_path summary_path dir jobs =
+    let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
     let summary =
       Hydra_core.Summary.load summary_path spec.Hydra_workload.Cc_parser.schema
     in
     let t0 = Mclock.now () in
-    let db = Hydra_core.Tuple_gen.materialize summary in
+    let db = Hydra_core.Tuple_gen.materialize ~jobs summary in
     List.iter
       (fun rname ->
         match Hydra_engine.Database.source db rname with
@@ -319,8 +345,8 @@ let materialize_cmd =
   Cmd.v
     (Cmd.info "materialize" ~doc)
     Term.(
-      const (fun a b c -> protecting (run a b) c)
-      $ spec_arg $ summary_pos_arg $ dir)
+      const (fun a b c d -> protecting (run a b c) d)
+      $ spec_arg $ summary_pos_arg $ dir $ jobs_arg)
 
 (* ---- validate ---- *)
 
@@ -333,15 +359,16 @@ let validate_cmd =
             "Execute against the dynamic tuple generator instead of \
              materialized tables.")
   in
-  let run spec_path summary_path dynamic trace metrics_out =
+  let run spec_path summary_path dynamic jobs trace metrics_out =
     setup_obs trace metrics_out;
+    let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
     let summary =
       Hydra_core.Summary.load summary_path spec.Hydra_workload.Cc_parser.schema
     in
     let db =
       if dynamic then Hydra_core.Tuple_gen.dynamic summary
-      else Hydra_core.Tuple_gen.materialize summary
+      else Hydra_core.Tuple_gen.materialize ~jobs summary
     in
     let v = Hydra_core.Validate.check db spec.Hydra_workload.Cc_parser.ccs in
     Format.printf "%a@." Hydra_core.Validate.pp v;
@@ -366,8 +393,9 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc)
     Term.(
-      const (fun a b c d e -> protecting (run a b c d) e)
-      $ spec_arg $ summary_pos_arg $ dynamic $ trace_arg $ metrics_out_arg)
+      const (fun a b c d e f -> protecting (run a b c d e) f)
+      $ spec_arg $ summary_pos_arg $ dynamic $ jobs_arg $ trace_arg
+      $ metrics_out_arg)
 
 (* ---- extract (the client-site flow of Fig. 2) ---- *)
 
@@ -386,7 +414,8 @@ let extract_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the CC spec here instead of stdout.")
   in
-  let run spec_path data_dir out =
+  let run spec_path data_dir out jobs =
+    let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
     if spec.Hydra_workload.Cc_parser.queries = [] then
       or_die (Error "extract: the spec declares no queries");
@@ -406,7 +435,7 @@ let extract_cmd =
     let wl =
       Hydra_workload.Workload.create spec.Hydra_workload.Cc_parser.queries
     in
-    let ccs = Hydra_workload.Workload.extract_ccs db wl in
+    let ccs = Hydra_workload.Workload.extract_ccs ~jobs db wl in
     let sizes =
       List.map
         (fun (r : Hydra_rel.Schema.relation) ->
@@ -434,8 +463,8 @@ let extract_cmd =
   in
   Cmd.v (Cmd.info "extract" ~doc)
     Term.(
-      const (fun a b c -> protecting (run a b) c)
-      $ spec_arg $ data_dir $ out)
+      const (fun a b c d -> protecting (run a b c) d)
+      $ spec_arg $ data_dir $ out $ jobs_arg)
 
 (* ---- inspect ---- *)
 

@@ -19,6 +19,7 @@ open Hydra_rel
 open Hydra_workload
 module Obs = Hydra_obs.Obs
 module Mclock = Hydra_obs.Mclock
+module Pool = Hydra_par.Pool
 
 (* degradation-ladder rung counters, aggregated across the whole run *)
 let m_exact = Obs.counter "pipeline.views.exact"
@@ -172,7 +173,8 @@ let exn_message = function
   | e -> Printexc.to_string e
 
 let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
-    ?(histograms = []) ?deadline_s ?(retries = 1) schema ccs =
+    ?(histograms = []) ?deadline_s ?(retries = 1) ?(jobs = 1) schema ccs =
+  let jobs = max 1 jobs in
   let t0 = Mclock.now () in
   (* deadlines live on the monotonic timeline, so a wall-clock step can
      neither expire nor extend a run's budget *)
@@ -192,102 +194,122 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
         (ccs, views, route_notes))
   in
   let preprocess_seconds = Mclock.now () -. t0 in
-  let residuals = ref [] in
-  let processed =
-    List.map
-      (fun (rname, res) ->
-        (* per-view registry delta: every solver counter and phase span
-           accrued while this view was processed is attributed to it *)
-        let before = if Obs.enabled () then Some (Obs.snapshot ()) else None in
-        let t = Mclock.now () in
-        let view_metrics () =
-          match before with
-          | None -> []
-          | Some b -> Obs.diff b (Obs.snapshot ())
+  (* Per-view processing is a pure function of (schema, ccs, view) plus
+     the solver budgets, so the views can be solved on any domain of the
+     hydra.par pool. Each task returns its solution, stats and grouping
+     residuals; [Pool.map_list] slots results in view order, so the
+     assembled summary is byte-identical for any jobs count (the
+     determinism contract; only wall-clock deadlines can break it, since
+     they tie degradation to real time). *)
+  let process_view (rname, res) =
+    (* per-view registry delta: every solver counter and phase span
+       accrued while this view was processed is attributed to it. The
+       snapshot is domain-local: a view runs whole on one domain, so
+       concurrent views on other domains never leak into the delta. *)
+    let before =
+      if Obs.enabled () then Some (Obs.local_snapshot ()) else None
+    in
+    let t = Mclock.now () in
+    let view_metrics () =
+      match before with
+      | None -> []
+      | Some b -> Obs.diff b (Obs.local_snapshot ())
+    in
+    Obs.with_span ~attrs:[ ("rel", Obs.Str rname) ] "pipeline.view"
+      (fun () ->
+        let fallback reason =
+          Obs.event ~level:Obs.Warn
+            ~attrs:[ ("view", Obs.Str rname) ]
+            ("view " ^ rname ^ " fell back: " ^ reason);
+          Obs.incr m_fallback 1;
+          Obs.span_attr "status" (Obs.Str "fallback");
+          let sol = fallback_solution schema ccs sizes rname in
+          ( (rname, sol),
+            {
+              rel = rname;
+              num_subviews = 0;
+              num_lp_vars = 0;
+              num_lp_constraints = 0;
+              solve_seconds = Mclock.now () -. t;
+              metrics = view_metrics ();
+              status = Fallback reason;
+            },
+            [] )
         in
-        Obs.with_span ~attrs:[ ("rel", Obs.Str rname) ] "pipeline.view"
-          (fun () ->
-            let fallback reason =
-              Obs.event ~level:Obs.Warn
-                ~attrs:[ ("view", Obs.Str rname) ]
-                ("view " ^ rname ^ " fell back: " ^ reason);
-              Obs.incr m_fallback 1;
-              Obs.span_attr "status" (Obs.Str "fallback");
-              let sol = fallback_solution schema ccs sizes rname in
-              ( (rname, sol),
+        match res with
+        | Error m -> fallback m
+        | Ok view -> (
+            let finish (r : Formulate.view_result) status_of_merged =
+              (* merge sub-view solutions, then enforce grouping CCs by
+                 value spreading and optional client histograms *)
+              let merged, status =
+                Obs.with_span "view.merge" (fun () ->
+                    let merged = Align.merge_all r.Formulate.solutions in
+                    (merged, status_of_merged merged))
+              in
+              let merged, view_residuals =
+                Obs.with_span "view.refine" (fun () ->
+                    let merged, res = Grouping.refine ~policy view merged in
+                    let merged =
+                      if histograms = [] then merged
+                      else Correlation.refine ~owner:rname histograms merged
+                    in
+                    (merged, res))
+              in
+              (match status with
+              | Exact ->
+                  Obs.incr m_exact 1;
+                  Obs.span_attr "status" (Obs.Str "exact")
+              | Relaxed vs ->
+                  Obs.incr m_relaxed 1;
+                  Obs.span_attr "status" (Obs.Str "relaxed");
+                  Obs.event ~level:Obs.Info
+                    ~attrs:
+                      [
+                        ("view", Obs.Str rname);
+                        ("violations", Obs.Int (List.length vs));
+                      ]
+                    ("view " ^ rname ^ " relaxed")
+              | Fallback _ -> ());
+              Obs.span_attr "lp_vars" (Obs.Int r.Formulate.lp_vars);
+              Obs.span_attr "lp_constraints"
+                (Obs.Int r.Formulate.lp_constraints);
+              ( (rname, merged),
                 {
                   rel = rname;
-                  num_subviews = 0;
-                  num_lp_vars = 0;
-                  num_lp_constraints = 0;
+                  num_subviews = List.length r.Formulate.problems;
+                  num_lp_vars = r.Formulate.lp_vars;
+                  num_lp_constraints = r.Formulate.lp_constraints;
                   solve_seconds = Mclock.now () -. t;
                   metrics = view_metrics ();
-                  status = Fallback reason;
-                } )
+                  status;
+                },
+                view_residuals )
             in
-            match res with
-            | Error m -> fallback m
-            | Ok view -> (
-                let finish (r : Formulate.view_result) status_of_merged =
-                  (* merge sub-view solutions, then enforce grouping CCs by
-                     value spreading and optional client histograms *)
-                  let merged, status =
-                    Obs.with_span "view.merge" (fun () ->
-                        let merged = Align.merge_all r.Formulate.solutions in
-                        (merged, status_of_merged merged))
-                  in
-                  let merged =
-                    Obs.with_span "view.refine" (fun () ->
-                        let merged, res = Grouping.refine ~policy view merged in
-                        residuals := res @ !residuals;
-                        if histograms = [] then merged
-                        else Correlation.refine ~owner:rname histograms merged)
-                  in
-                  (match status with
-                  | Exact ->
-                      Obs.incr m_exact 1;
-                      Obs.span_attr "status" (Obs.Str "exact")
-                  | Relaxed vs ->
-                      Obs.incr m_relaxed 1;
-                      Obs.span_attr "status" (Obs.Str "relaxed");
-                      Obs.event ~level:Obs.Info
-                        ~attrs:
-                          [
-                            ("view", Obs.Str rname);
-                            ("violations", Obs.Int (List.length vs));
-                          ]
-                        ("view " ^ rname ^ " relaxed")
-                  | Fallback _ -> ());
-                  Obs.span_attr "lp_vars" (Obs.Int r.Formulate.lp_vars);
-                  Obs.span_attr "lp_constraints"
-                    (Obs.Int r.Formulate.lp_constraints);
-                  ( (rname, merged),
-                    {
-                      rel = rname;
-                      num_subviews = List.length r.Formulate.problems;
-                      num_lp_vars = r.Formulate.lp_vars;
-                      num_lp_constraints = r.Formulate.lp_constraints;
-                      solve_seconds = Mclock.now () -. t;
-                      metrics = view_metrics ();
-                      status;
-                    } )
-                in
-                match
-                  Formulate.solve_view_robust ~max_nodes ~retries ?deadline view
-                with
-                | Formulate.Exact r -> (
-                    try finish r (fun _ -> Exact)
-                    with e -> fallback (exn_message e))
-                | Formulate.Relaxed (r, _total) -> (
-                    try
-                      finish r (fun merged ->
-                          Relaxed (view_violations view merged))
-                    with e -> fallback (exn_message e))
-                | Formulate.Failed m -> fallback m)))
-      views
+            (* a catch-all around the whole solve: an exception escaping a
+               pooled view task must land on that view's Fallback rung,
+               never kill the batch *)
+            try
+              match
+                Formulate.solve_view_robust ~max_nodes ~retries ?deadline view
+              with
+              | Formulate.Exact r -> (
+                  try finish r (fun _ -> Exact)
+                  with e -> fallback (exn_message e))
+              | Formulate.Relaxed (r, _total) -> (
+                  try
+                    finish r (fun merged ->
+                        Relaxed (view_violations view merged))
+                  with e -> fallback (exn_message e))
+              | Formulate.Failed m -> fallback m
+            with e -> fallback (exn_message e)))
   in
-  let view_solutions = List.map fst processed in
-  let stats = List.map snd processed in
+  let processed =
+    Pool.with_pool jobs (fun pool -> Pool.map_list pool process_view views)
+  in
+  let view_solutions = List.map (fun (s, _, _) -> s) processed in
+  let stats = List.map (fun (_, st, _) -> st) processed in
+  let residuals = List.concat_map (fun (_, _, r) -> r) processed in
   (* summary assembly is cross-view; if it fails (it should not), degrade
      every view to its fallback so the artifact still exists *)
   let assemble_t = Mclock.now () in
@@ -334,7 +356,7 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
   {
     summary;
     views = stats;
-    group_residuals = !residuals;
+    group_residuals = residuals;
     diagnostics;
     preprocess_seconds;
     assemble_seconds;

@@ -88,6 +88,7 @@ val regenerate :
   ?histograms:Correlation.column_hist list ->
   ?deadline_s:float ->
   ?retries:int ->
+  ?jobs:int ->
   Schema.t -> Cc.t list -> result
 (** Preprocess, formulate and solve every view, align-and-merge, build the
     summary. [sizes] supplies fallback relation sizes; [max_nodes] bounds
@@ -96,9 +97,20 @@ val regenerate :
     track inside regions (the value-correlation extension); [deadline_s]
     is a wall-clock budget in seconds for the whole run, enforced inside
     the solvers; [retries] is the number of 4x node-budget escalations
-    attempted before a view degrades (default 1).
+    attempted before a view degrades (default 1); [jobs] (default 1)
+    solves views concurrently on a {!Hydra_par.Pool} of that many
+    domains.
 
-    Never raises: per-view faults surface as {!Relaxed} / {!Fallback}
-    statuses and cross-view incidents as [diagnostics.notes]. *)
+    Determinism contract: for any [jobs] count the summary, the per-view
+    statuses and the grouping residuals are identical — each view is a
+    pure function of its inputs, results are slotted in view order, and
+    per-view obs metrics come from domain-local snapshot deltas. The one
+    exception is [deadline_s], which ties degradation to real time, so a
+    deadlined run's statuses may legitimately differ between jobs
+    counts (each view still keeps its own deadline and ladder).
+
+    Never raises: per-view faults — including exceptions escaping a
+    pooled view task — surface as {!Relaxed} / {!Fallback} statuses and
+    cross-view incidents as [diagnostics.notes]. *)
 
 val total_lp_vars : result -> int

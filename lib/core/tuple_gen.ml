@@ -7,8 +7,13 @@ open Hydra_rel
 open Hydra_engine
 module Obs = Hydra_obs.Obs
 module Mclock = Hydra_obs.Mclock
+module Pool = Hydra_par.Pool
 
 let m_rows = Obs.counter "tuple_gen.rows_materialized"
+
+(* below this many rows a relation is filled inline: sharding overhead
+   (domain wakeup + binary search per shard) would dominate *)
+let shard_threshold = 4096
 
 (* cumulative boundaries: starts.(g) = first 0-based row index of group g *)
 let group_starts (rs : Summary.relation_summary) =
@@ -21,30 +26,59 @@ let group_starts (rs : Summary.relation_summary) =
 
 (* ---- static materialization ---- *)
 
-let materialize_relation schema (rs : Summary.relation_summary) =
+(* Fill rows [lo, hi) of the value columns from the row-groups. Writes
+   only to the [lo, hi) slice, so disjoint ranges can be filled by
+   different domains concurrently; the result is bit-identical to a
+   single sequential pass regardless of the sharding. *)
+let fill_range (rs : Summary.relation_summary) starts value_cols lo hi =
+  let ncols = Array.length value_cols in
+  let ngroups = Array.length rs.Summary.rs_rows in
+  (* greatest g with starts.(g) <= lo *)
+  let g = ref 0 in
+  let l = ref 0 and h = ref (ngroups - 1) in
+  while !l < !h do
+    let mid = (!l + !h + 1) / 2 in
+    if starts.(mid) <= lo then l := mid else h := mid - 1
+  done;
+  g := max 0 !l;
+  let pos = ref lo in
+  while !pos < hi do
+    let values, _ = rs.Summary.rs_rows.(!g) in
+    let stop = min hi starts.(!g + 1) in
+    for c = 0 to ncols - 1 do
+      Array.fill value_cols.(c) !pos (stop - !pos) values.(c)
+    done;
+    pos := stop;
+    incr g
+  done
+
+let materialize_relation ?pool schema (rs : Summary.relation_summary) =
   let r = Schema.find schema rs.Summary.rs_rel in
   let total = rs.Summary.rs_total in
   let pk_col = Array.init total (fun i -> i + 1) in
   let ncols = Array.length rs.Summary.rs_cols in
   let value_cols = Array.init ncols (fun _ -> Array.make total 0) in
-  let pos = ref 0 in
-  Array.iter
-    (fun (values, count) ->
-      for c = 0 to ncols - 1 do
-        Array.fill value_cols.(c) !pos count values.(c)
-      done;
-      pos := !pos + count)
-    rs.Summary.rs_rows;
+  let starts = group_starts rs in
+  (match pool with
+  | Some pool when Pool.jobs pool > 1 && total > shard_threshold ->
+      let nshards = Pool.jobs pool in
+      let per = (total + nshards - 1) / nshards in
+      Pool.iter_range pool nshards (fun s ->
+          let lo = s * per and hi = min total ((s + 1) * per) in
+          if lo < hi then fill_range rs starts value_cols lo hi)
+  | _ -> fill_range rs starts value_cols 0 total);
   Table.of_columns rs.Summary.rs_rel (Schema.columns r)
     (pk_col :: Array.to_list value_cols)
 
-let materialize (summary : Summary.t) =
+let materialize ?(jobs = 1) (summary : Summary.t) =
+  let jobs = max 1 jobs in
   Obs.with_span "tuple_gen.materialize" (fun () ->
+      Pool.with_pool jobs (fun pool ->
       let db = Database.create summary.Summary.schema in
       List.iter
         (fun (rs : Summary.relation_summary) ->
           let t = Mclock.now () in
-          let table = materialize_relation summary.Summary.schema rs in
+          let table = materialize_relation ~pool summary.Summary.schema rs in
           let n = Table.length table in
           Obs.incr m_rows n;
           let dt = Mclock.now () -. t in
@@ -54,7 +88,7 @@ let materialize (summary : Summary.t) =
               (Obs.Float (float_of_int n /. Float.max dt 1e-9));
           Database.bind_table db table)
         summary.Summary.relations;
-      db)
+      db))
 
 (* ---- dynamic generation ---- *)
 

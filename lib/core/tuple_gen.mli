@@ -13,9 +13,17 @@ val group_starts : Summary.relation_summary -> int array
 (** [group_starts rs].(g) is the first 0-based row index of group [g];
     the final entry is the total row count. *)
 
-val materialize_relation : Schema.t -> Summary.relation_summary -> Table.t
-val materialize : Summary.t -> Database.t
-(** All relations as stored tables. *)
+val materialize_relation :
+  ?pool:Hydra_par.Pool.t -> Schema.t -> Summary.relation_summary -> Table.t
+(** One relation as a stored table. With [pool] (and more than one job),
+    relations above a few thousand rows are filled in row-range shards,
+    each shard writing a disjoint slice of the preallocated columns —
+    the table is bit-identical to the sequential fill. *)
+
+val materialize : ?jobs:int -> Summary.t -> Database.t
+(** All relations as stored tables. [jobs] (default 1) shards the column
+    fills across that many domains; the database contents are identical
+    for any jobs count. *)
 
 val generated_relation : Schema.t -> Summary.relation_summary -> Database.generated
 (** Column accessors over the summary: sequential scans advance a cursor,

@@ -18,8 +18,13 @@ type status =
 
 type stats = { iterations : int; rows : int; cols : int }
 
-let stats = ref { iterations = 0; rows = 0; cols = 0 }
-let last_stats () = !stats
+(* domain-local: concurrent per-view solves in the hydra.par pool must
+   not clobber each other's reporting *)
+let stats_key =
+  Domain.DLS.new_key (fun () -> { iterations = 0; rows = 0; cols = 0 })
+
+let last_stats () = Domain.DLS.get stats_key
+let set_stats s = Domain.DLS.set stats_key s
 
 (* Internal problem in computational form:
      minimize c.x  s.t.  A x = b,  x >= 0,  b >= 0
@@ -265,7 +270,7 @@ let solve ?objective ?deadline ?max_iters lp =
   let { m; n; _ } = t in
   let iter_count = ref 0 in
   Obs.incr m_solves 1;
-  stats := { iterations = 0; rows = m; cols = n };
+  set_stats { iterations = 0; rows = m; cols = n };
   if m = 0 then
     (* no constraints: the origin is feasible, and the problem is unbounded
        exactly when some variable's accumulated net coefficient is
@@ -377,7 +382,7 @@ let solve ?objective ?deadline ?max_iters lp =
                 Feasible x
           end
     in
-    stats := { iterations = !iter_count; rows = m; cols = n };
+    set_stats { iterations = !iter_count; rows = m; cols = n };
     Obs.incr m_iterations !iter_count;
     result
   end

@@ -3,7 +3,19 @@
         (one flag test per call site, no clock reads, no allocation);
      2. no dependencies beyond the stdlib and the local mclock stub;
      3. metric handles are stable across [reset] so instrumented modules
-        can create them once at load time. *)
+        can create them once at load time;
+     4. every entry point is domain-safe: instrumented code runs inside
+        the hydra.par pool, so updates accumulate in per-domain shards
+        (plain writes, no locks on the hot path) and are merged
+        commutatively at snapshot time. The span stack is domain-local;
+        the event ring and sink delivery serialize under small mutexes.
+
+   Synchronization contract: a shard's values are published to other
+   domains by whatever synchronizes the parallel region itself (the pool
+   joins its batch under a mutex before [map] returns), so snapshots
+   taken at quiescent points are exact. A snapshot taken concurrently
+   with running work may miss in-flight updates but never tears or
+   crashes. *)
 
 type value = Str of string | Int of int | Float of float | Bool of bool
 
@@ -17,9 +29,9 @@ let level_name = function
   | Warn -> "warn"
   | Error -> "error"
 
-let enabled_flag = ref false
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
 
 (* ---- spans ---- *)
 
@@ -45,32 +57,67 @@ type sink = {
   sink_close : unit -> unit;
 }
 
+(* sink list mutations happen at setup; delivery serializes under a
+   mutex so concurrent domains never interleave inside one sink write *)
 let sinks : sink list ref = ref []
-let add_sink s = sinks := s :: !sinks
+let sinks_m = Mutex.create ()
 
-(* ---- metrics registry ---- *)
+let add_sink s =
+  Mutex.lock sinks_m;
+  sinks := s :: !sinks;
+  Mutex.unlock sinks_m
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+let deliver f =
+  Mutex.lock sinks_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sinks_m)
+    (fun () -> List.iter f !sinks)
 
-type histogram = {
-  h_name : string;
-  mutable h_count : int;
-  mutable h_sum : float;
-  h_buckets : int array;
+(* ---- handle registration (global, name -> dense id per kind) ---- *)
+
+type kind_reg = {
+  mutable kr_names : string array; (* by id *)
+  mutable kr_count : int;
+  kr_tbl : (string, int) Hashtbl.t;
 }
 
-(* per-span-name duration aggregate, fed by [with_span] *)
-type span_agg = {
-  a_name : string;
-  mutable a_count : int;
-  mutable a_seconds : float;
-}
+let reg_m = Mutex.create ()
 
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let span_aggs : (string, span_agg) Hashtbl.t = Hashtbl.create 32
+let new_reg () = { kr_names = [||]; kr_count = 0; kr_tbl = Hashtbl.create 64 }
+
+let reg_counters = new_reg ()
+let reg_gauges = new_reg ()
+let reg_hists = new_reg ()
+
+let register reg name =
+  Mutex.lock reg_m;
+  let id =
+    match Hashtbl.find_opt reg.kr_tbl name with
+    | Some id -> id
+    | None ->
+        let id = reg.kr_count in
+        reg.kr_count <- id + 1;
+        Hashtbl.replace reg.kr_tbl name id;
+        if id >= Array.length reg.kr_names then begin
+          let a = Array.make (max 8 (2 * (id + 1))) "" in
+          Array.blit reg.kr_names 0 a 0 (Array.length reg.kr_names);
+          reg.kr_names <- a
+        end;
+        reg.kr_names.(id) <- name;
+        id
+  in
+  Mutex.unlock reg_m;
+  id
+
+let registered reg =
+  Mutex.lock reg_m;
+  let a = Array.sub reg.kr_names 0 reg.kr_count in
+  Mutex.unlock reg_m;
+  a
+
+type counter = { c_id : int }
+type gauge = { g_id : int }
+type histogram = { h_id : int }
 
 let num_buckets = 64
 let min_exp = -20 (* bucket 1 starts just above 2^-20 *)
@@ -88,81 +135,16 @@ let bucket_of v =
     let i = e - min_exp in
     if i < 1 then 1 else if i > num_buckets - 1 then num_buckets - 1 else i
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.replace counters name c;
-      c
+(* ---- per-domain shards ---- *)
 
-let incr c n = if !enabled_flag then c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+type hcell = {
+  mutable hc_count : int;
+  mutable hc_sum : float;
+  hc_buckets : int array;
+}
 
-let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; g_value = 0.0 } in
-      Hashtbl.replace gauges name g;
-      g
-
-let set_gauge g v = if !enabled_flag then g.g_value <- v
-let gauge_max g v = if !enabled_flag && v > g.g_value then g.g_value <- v
-
-let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        { h_name = name; h_count = 0; h_sum = 0.0;
-          h_buckets = Array.make num_buckets 0 }
-      in
-      Hashtbl.replace histograms name h;
-      h
-
-let observe h v =
-  if !enabled_flag then begin
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    let b = bucket_of v in
-    h.h_buckets.(b) <- h.h_buckets.(b) + 1
-  end
-
-let span_agg name =
-  match Hashtbl.find_opt span_aggs name with
-  | Some a -> a
-  | None ->
-      let a = { a_name = name; a_count = 0; a_seconds = 0.0 } in
-      Hashtbl.replace span_aggs name a;
-      a
-
-(* ---- events ---- *)
-
-let ring_capacity = 256
-let ring : event option array = Array.make ring_capacity None
-let ring_next = ref 0
-let ring_count = ref 0
-
-let event ?(level = Info) ?(attrs = []) msg =
-  let ev =
-    { ev_time = Mclock.now (); ev_level = level; ev_msg = msg;
-      ev_attrs = attrs }
-  in
-  ring.(!ring_next) <- Some ev;
-  ring_next := (!ring_next + 1) mod ring_capacity;
-  if !ring_count < ring_capacity then Stdlib.incr ring_count;
-  if !enabled_flag then List.iter (fun s -> s.sink_event ev) !sinks
-
-let recent_events () =
-  let n = !ring_count in
-  let start = (!ring_next - n + ring_capacity * 2) mod ring_capacity in
-  List.init n (fun i ->
-      match ring.((start + i) mod ring_capacity) with
-      | Some ev -> ev
-      | None -> assert false)
-
-(* ---- span execution ---- *)
+(* per-span-name duration aggregate, fed by [with_span] *)
+type scell = { mutable sc_count : int; mutable sc_seconds : float }
 
 type open_span = {
   os_id : int;
@@ -172,45 +154,208 @@ type open_span = {
   mutable os_attrs : attrs;
 }
 
-let next_id = ref 0
-let stack : open_span list ref = ref []
+type shard = {
+  mutable sh_counters : int array; (* by counter id *)
+  mutable sh_gauges : float array; (* by gauge id *)
+  mutable sh_hists : hcell option array; (* by histogram id *)
+  sh_spans : (string, scell) Hashtbl.t; (* owner-domain access only *)
+  mutable sh_stack : open_span list; (* domain-local span stack *)
+}
+
+let new_shard () =
+  {
+    sh_counters = [||];
+    sh_gauges = [||];
+    sh_hists = [||];
+    sh_spans = Hashtbl.create 32;
+    sh_stack = [];
+  }
+
+(* every domain that ever touches the registry leaves its shard here, so
+   totals survive the domain's death (pool shutdown) *)
+let shards : shard list ref = ref []
+let shards_m = Mutex.create ()
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = new_shard () in
+      Mutex.lock shards_m;
+      shards := s :: !shards;
+      Mutex.unlock shards_m;
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let all_shards () =
+  Mutex.lock shards_m;
+  let ss = !shards in
+  Mutex.unlock shards_m;
+  ss
+
+(* growth replaces the array; only the owner domain writes, so the worst
+   a concurrent reader can see is the smaller pre-growth array *)
+let ensure_counters s id =
+  if id >= Array.length s.sh_counters then begin
+    let a = Array.make (max 8 (2 * (id + 1))) 0 in
+    Array.blit s.sh_counters 0 a 0 (Array.length s.sh_counters);
+    s.sh_counters <- a
+  end
+
+let ensure_gauges s id =
+  if id >= Array.length s.sh_gauges then begin
+    let a = Array.make (max 8 (2 * (id + 1))) 0.0 in
+    Array.blit s.sh_gauges 0 a 0 (Array.length s.sh_gauges);
+    s.sh_gauges <- a
+  end
+
+let ensure_hists s id =
+  if id >= Array.length s.sh_hists then begin
+    let a = Array.make (max 8 (2 * (id + 1))) None in
+    Array.blit s.sh_hists 0 a 0 (Array.length s.sh_hists);
+    s.sh_hists <- a
+  end;
+  match s.sh_hists.(id) with
+  | Some cell -> cell
+  | None ->
+      let cell =
+        { hc_count = 0; hc_sum = 0.0; hc_buckets = Array.make num_buckets 0 }
+      in
+      s.sh_hists.(id) <- Some cell;
+      cell
+
+(* ---- metric entry points ---- *)
+
+let counter name = { c_id = register reg_counters name }
+
+let incr c n =
+  if Atomic.get enabled_flag then begin
+    let s = my_shard () in
+    ensure_counters s c.c_id;
+    s.sh_counters.(c.c_id) <- s.sh_counters.(c.c_id) + n
+  end
+
+let counter_value c =
+  List.fold_left
+    (fun acc s ->
+      if c.c_id < Array.length s.sh_counters then acc + s.sh_counters.(c.c_id)
+      else acc)
+    0 (all_shards ())
+
+let gauge name = { g_id = register reg_gauges name }
+
+let set_gauge g v =
+  if Atomic.get enabled_flag then begin
+    let s = my_shard () in
+    ensure_gauges s g.g_id;
+    s.sh_gauges.(g.g_id) <- v
+  end
+
+let gauge_max g v =
+  if Atomic.get enabled_flag then begin
+    let s = my_shard () in
+    ensure_gauges s g.g_id;
+    if v > s.sh_gauges.(g.g_id) then s.sh_gauges.(g.g_id) <- v
+  end
+
+let histogram name = { h_id = register reg_hists name }
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    let s = my_shard () in
+    let cell = ensure_hists s h.h_id in
+    cell.hc_count <- cell.hc_count + 1;
+    cell.hc_sum <- cell.hc_sum +. v;
+    let b = bucket_of v in
+    cell.hc_buckets.(b) <- cell.hc_buckets.(b) + 1
+  end
+
+let span_cell s name =
+  match Hashtbl.find_opt s.sh_spans name with
+  | Some c -> c
+  | None ->
+      let c = { sc_count = 0; sc_seconds = 0.0 } in
+      Hashtbl.replace s.sh_spans name c;
+      c
+
+(* ---- events (always-on, mutex-guarded ring) ---- *)
+
+let ring_capacity = 256
+let ring : event option array = Array.make ring_capacity None
+let ring_next = ref 0
+let ring_count = ref 0
+let ring_m = Mutex.create ()
+
+let event ?(level = Info) ?(attrs = []) msg =
+  let ev =
+    { ev_time = Mclock.now (); ev_level = level; ev_msg = msg;
+      ev_attrs = attrs }
+  in
+  Mutex.lock ring_m;
+  ring.(!ring_next) <- Some ev;
+  ring_next := (!ring_next + 1) mod ring_capacity;
+  if !ring_count < ring_capacity then Stdlib.incr ring_count;
+  Mutex.unlock ring_m;
+  if Atomic.get enabled_flag then deliver (fun s -> s.sink_event ev)
+
+let recent_events () =
+  Mutex.lock ring_m;
+  let n = !ring_count in
+  let start = (!ring_next - n + (ring_capacity * 2)) mod ring_capacity in
+  let evs =
+    List.init n (fun i ->
+        match ring.((start + i) mod ring_capacity) with
+        | Some ev -> ev
+        | None -> assert false)
+  in
+  Mutex.unlock ring_m;
+  evs
+
+(* ---- span execution ---- *)
+
+let next_id = Atomic.make 0
 
 let span_attr k v =
-  if !enabled_flag then
-    match !stack with [] -> () | s :: _ -> s.os_attrs <- (k, v) :: s.os_attrs
+  if Atomic.get enabled_flag then begin
+    let sh = my_shard () in
+    match sh.sh_stack with
+    | [] -> ()
+    | s :: _ -> s.os_attrs <- (k, v) :: s.os_attrs
+  end
 
 let close_span os =
   let t1 = Mclock.now () in
+  let sh = my_shard () in
   (* pop down to (and including) our own frame; tolerates an unbalanced
      stack left by an exotic control-flow escape *)
   let rec pop = function
     | [] -> []
     | s :: rest -> if s.os_id = os.os_id then rest else pop rest
   in
-  stack := pop !stack;
+  sh.sh_stack <- pop sh.sh_stack;
   let sp =
     { sp_id = os.os_id; sp_parent = os.os_parent; sp_name = os.os_name;
       sp_start = os.os_start; sp_end = t1; sp_attrs = List.rev os.os_attrs }
   in
-  let agg = span_agg os.os_name in
-  agg.a_count <- agg.a_count + 1;
-  agg.a_seconds <- agg.a_seconds +. (sp.sp_end -. sp.sp_start);
-  List.iter (fun s -> s.sink_span sp) !sinks
+  let agg = span_cell sh os.os_name in
+  agg.sc_count <- agg.sc_count + 1;
+  agg.sc_seconds <- agg.sc_seconds +. (sp.sp_end -. sp.sp_start);
+  deliver (fun s -> s.sink_span sp)
 
 let with_span ?(attrs = []) name f =
-  if not !enabled_flag then f ()
+  if not (Atomic.get enabled_flag) then f ()
   else begin
-    Stdlib.incr next_id;
+    let sh = my_shard () in
     let os =
       {
-        os_id = !next_id;
-        os_parent = (match !stack with [] -> -1 | s :: _ -> s.os_id);
+        os_id = 1 + Atomic.fetch_and_add next_id 1;
+        os_parent =
+          (match sh.sh_stack with [] -> -1 | s :: _ -> s.os_id);
         os_name = name;
         os_start = Mclock.now ();
         os_attrs = List.rev attrs;
       }
     in
-    stack := os :: !stack;
+    sh.sh_stack <- os :: sh.sh_stack;
     match f () with
     | v ->
         close_span os;
@@ -229,19 +374,87 @@ type snapshot = {
   snap_spans : (string * (int * float)) list;
 }
 
-let sorted_of_tbl tbl f =
-  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let by_name (a, _) (b, _) = compare a b
 
-let snapshot () =
+(* merge a shard set: counters/histograms sum, gauges take the max
+   (cross-domain "last write" is meaningless; every current gauge is a
+   high-water mark), span aggregates sum *)
+let snapshot_of ss =
+  let cnames = registered reg_counters in
+  let gnames = registered reg_gauges in
+  let hnames = registered reg_hists in
+  let counters =
+    Array.to_list
+      (Array.mapi
+         (fun id name ->
+           ( name,
+             List.fold_left
+               (fun acc s ->
+                 if id < Array.length s.sh_counters then
+                   acc + s.sh_counters.(id)
+                 else acc)
+               0 ss ))
+         cnames)
+  in
+  let gauges =
+    Array.to_list
+      (Array.mapi
+         (fun id name ->
+           ( name,
+             List.fold_left
+               (fun acc s ->
+                 if id < Array.length s.sh_gauges then
+                   Float.max acc s.sh_gauges.(id)
+                 else acc)
+               0.0 ss ))
+         gnames)
+  in
+  let hists =
+    Array.to_list
+      (Array.mapi
+         (fun id name ->
+           let count = ref 0 and sum = ref 0.0 in
+           let buckets = Array.make num_buckets 0 in
+           List.iter
+             (fun s ->
+               if id < Array.length s.sh_hists then
+                 match s.sh_hists.(id) with
+                 | Some cell ->
+                     count := !count + cell.hc_count;
+                     sum := !sum +. cell.hc_sum;
+                     Array.iteri
+                       (fun b n -> buckets.(b) <- buckets.(b) + n)
+                       cell.hc_buckets
+                 | None -> ())
+             ss;
+           (name, (!count, !sum, buckets)))
+         hnames)
+  in
+  let span_tbl : (string, int * float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun name (cell : scell) ->
+          let c0, s0 =
+            match Hashtbl.find_opt span_tbl name with
+            | Some x -> x
+            | None -> (0, 0.0)
+          in
+          Hashtbl.replace span_tbl name
+            (c0 + cell.sc_count, s0 +. cell.sc_seconds))
+        s.sh_spans)
+    ss;
+  let spans = Hashtbl.fold (fun k v acc -> (k, v) :: acc) span_tbl [] in
   {
-    snap_counters = sorted_of_tbl counters (fun c -> c.c_value);
-    snap_gauges = sorted_of_tbl gauges (fun g -> g.g_value);
-    snap_hists =
-      sorted_of_tbl histograms (fun h ->
-          (h.h_count, h.h_sum, Array.copy h.h_buckets));
-    snap_spans = sorted_of_tbl span_aggs (fun a -> (a.a_count, a.a_seconds));
+    snap_counters = List.sort by_name counters;
+    snap_gauges = List.sort by_name gauges;
+    snap_hists = List.sort by_name hists;
+    snap_spans = List.sort by_name spans;
   }
+
+let snapshot () = snapshot_of (all_shards ())
+
+let local_snapshot () = snapshot_of [ my_shard () ]
 
 let flatten snap =
   List.map (fun (k, v) -> (k, float_of_int v)) snap.snap_counters
@@ -257,7 +470,7 @@ let flatten snap =
           ("span." ^ k ^ ".seconds", seconds);
         ])
       snap.snap_spans
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort by_name
 
 let diff before after =
   let b = flatten before in
@@ -393,22 +606,29 @@ let jsonl_sink path =
 (* ---- lifecycle ---- *)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_count <- 0;
-      h.h_sum <- 0.0;
-      Array.fill h.h_buckets 0 num_buckets 0)
-    histograms;
-  Hashtbl.iter
-    (fun _ a ->
-      a.a_count <- 0;
-      a.a_seconds <- 0.0)
-    span_aggs;
+  List.iter
+    (fun s ->
+      Array.fill s.sh_counters 0 (Array.length s.sh_counters) 0;
+      Array.fill s.sh_gauges 0 (Array.length s.sh_gauges) 0.0;
+      Array.iter
+        (function
+          | Some cell ->
+              cell.hc_count <- 0;
+              cell.hc_sum <- 0.0;
+              Array.fill cell.hc_buckets 0 num_buckets 0
+          | None -> ())
+        s.sh_hists;
+      Hashtbl.iter
+        (fun _ (cell : scell) ->
+          cell.sc_count <- 0;
+          cell.sc_seconds <- 0.0)
+        s.sh_spans)
+    (all_shards ());
+  Mutex.lock ring_m;
   Array.fill ring 0 ring_capacity None;
   ring_next := 0;
-  ring_count := 0
+  ring_count := 0;
+  Mutex.unlock ring_m
 
 let metrics_out : string option ref = ref None
 let set_metrics_out path = metrics_out := Some path

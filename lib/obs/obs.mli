@@ -9,7 +9,18 @@
 
     The only always-on facility is the event ring buffer: incidents such
     as degraded views or uncovered relations are recorded even when
-    tracing is off, so diagnostics survive without any setup cost. *)
+    tracing is off, so diagnostics survive without any setup cost.
+
+    Every entry point is domain-safe: metric updates accumulate in
+    per-domain shards (plain writes, no locks on the hot path) that are
+    merged commutatively at snapshot time, the span stack is
+    domain-local, and the event ring and sink delivery serialize under
+    mutexes. Counter totals and histogram masses observed at quiescent
+    points (after a parallel region has joined) are exact and equal to
+    what a sequential run would have produced; gauges merge across
+    domains by maximum (every current gauge is a high-water mark).
+    {!reset} and {!snapshot} may run concurrently with instrumented code
+    without crashing, but only quiescent snapshots are exact. *)
 
 (* ---- attribute values ---- *)
 
@@ -113,7 +124,17 @@ type snapshot
 
 val snapshot : unit -> snapshot
 (** Point-in-time copy of the whole registry, including per-span-name
-    duration aggregates. *)
+    duration aggregates, merged across every domain that ever
+    contributed. *)
+
+val local_snapshot : unit -> snapshot
+(** Like {!snapshot} but restricted to the calling domain's own shard —
+    the metric delta between two [local_snapshot]s brackets exactly the
+    work this domain did in between, regardless of what other domains
+    were running. This is how the pipeline attributes solver counters to
+    individual views under parallel regeneration (each view runs whole
+    on one domain). On a program that never spawned domains it equals
+    {!snapshot}. *)
 
 val flatten : snapshot -> (string * float) list
 (** Flat metric view: counters and gauges under their own names,

@@ -1,0 +1,193 @@
+(* Fixed domain pool with deterministic result placement.
+
+   One mutex guards the batch queue and all batch bookkeeping; workers
+   claim the next unclaimed index of the head batch under that lock and
+   run the task outside it. Task granularity in HYDRA (a view solve, a
+   row-range shard, a query's AQP) is orders of magnitude above the cost
+   of an uncontended lock, so a single lock keeps the scheduler trivially
+   correct without measurable overhead.
+
+   Determinism: every index is claimed exactly once and its result is
+   written to its own slot, so [map_range] output is independent of the
+   schedule. Only per-task side effects (obs metrics, which accumulate
+   per-domain and merge commutatively) see the interleaving. *)
+
+type batch = {
+  bn : int;
+  brun : int -> unit;  (* wrapped task: never raises *)
+  mutable bnext : int;  (* next unclaimed index; under the pool mutex *)
+  mutable bdone : int;  (* completed tasks; under the pool mutex *)
+}
+
+type t = {
+  width : int;
+  mutable workers : unit Domain.t list;
+  m : Mutex.t;
+  work : Condition.t;  (* a batch arrived / the pool is closing *)
+  finished : Condition.t;  (* some batch completed its last task *)
+  queue : batch Queue.t;
+  mutable closing : bool;
+}
+
+(* set in worker domains so nested submissions run inline instead of
+   deadlocking on their own pool *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () =
+  match Sys.getenv_opt "HYDRA_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.width
+
+(* drop fully-claimed batches from the head of the queue. Invariant
+   (restored after every claim, under the pool mutex): the head of the
+   queue always has unclaimed work. A batch can be exhausted while NOT
+   at the head — a nested batch pushed behind a still-draining outer one
+   and drained directly by its submitter — so a claim-time head-only pop
+   is not enough: the stale batch would sit at the head forever once its
+   predecessors drain, and workers would spin on it without ever
+   re-checking [closing]. The purge loop pops every exhausted prefix. *)
+let purge t =
+  let exhausted (b : batch) = b.bnext >= b.bn in
+  while (not (Queue.is_empty t.queue)) && exhausted (Queue.peek t.queue) do
+    ignore (Queue.pop t.queue)
+  done
+
+(* claim the next index of [b] (which need not be at the head) *)
+let try_claim t b =
+  let i = b.bnext in
+  if i >= b.bn then None
+  else begin
+    b.bnext <- i + 1;
+    purge t;
+    Some i
+  end
+
+let complete t b =
+  Mutex.lock t.m;
+  b.bdone <- b.bdone + 1;
+  if b.bdone = b.bn then Condition.broadcast t.finished;
+  Mutex.unlock t.m
+
+(* run tasks of [b] until none are left unclaimed *)
+let help t b =
+  let rec loop () =
+    Mutex.lock t.m;
+    let claimed = try_claim t b in
+    Mutex.unlock t.m;
+    match claimed with
+    | None -> ()
+    | Some i ->
+        b.brun i;
+        complete t b;
+        loop ()
+  in
+  loop ()
+
+let worker t () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.closing do
+      Condition.wait t.work t.m
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.m (* closing: exit *)
+    else begin
+      let b = Queue.peek t.queue in
+      let claimed = try_claim t b in
+      Mutex.unlock t.m;
+      (match claimed with
+      | None -> ()
+      | Some i ->
+          b.brun i;
+          complete t b);
+      loop ()
+    end
+  in
+  loop ()
+
+let create width =
+  if width < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      width;
+      workers = [];
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+    }
+  in
+  if width > 1 then
+    t.workers <- List.init (width - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.closing <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool width f =
+  let t = create width in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_range (type a) t n (f : int -> a) : a array =
+  if n < 0 then invalid_arg "Pool.map_range: negative range";
+  if n = 0 then [||]
+  else if t.width <= 1 || n = 1 || Domain.DLS.get in_worker then begin
+    (* inline: same claim order (ascending), no domains involved *)
+    let first = f 0 in
+    let results = Array.make n first in
+    for i = 1 to n - 1 do
+      results.(i) <- f i
+    done;
+    results
+  end
+  else begin
+    let results :
+        (a, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let run i =
+      let r = try Ok (f i) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+      results.(i) <- Some r
+    in
+    let b = { bn = n; brun = run; bnext = 0; bdone = 0 } in
+    Mutex.lock t.m;
+    Queue.push b t.queue;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    (* the caller is one of the [width] workers for this batch *)
+    help t b;
+    Mutex.lock t.m;
+    while b.bdone < b.bn do
+      Condition.wait t.finished t.m
+    done;
+    Mutex.unlock t.m;
+    (* re-raise the lowest-index failure only after every slot settled,
+       so an exception never leaves half a batch running *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false (* settled above *))
+      results
+  end
+
+let iter_range t n f = ignore (map_range t n f)
+
+let map_list t f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map_range t (Array.length arr) (fun i -> f arr.(i)))

@@ -1,0 +1,57 @@
+(** A fixed, work-stealing-free domain pool for deterministic data
+    parallelism.
+
+    HYDRA's hot paths are embarrassingly parallel: every view's LP is
+    solved independently, tuple materialization is a pure function of the
+    summary, and each query's AQP is evaluated on its own. The pool runs
+    such index-ranged jobs on a fixed set of OCaml 5 domains and returns
+    results {e slotted by index}, so the output of [map] is byte-for-byte
+    identical for any jobs count — the determinism contract the test
+    battery locks down.
+
+    Scheduling is dynamic (workers claim the next unclaimed index under
+    one mutex) but result placement is static, so only timing — never
+    output — depends on the interleaving.
+
+    Exceptions raised by a task are captured per index; after the whole
+    batch has finished, the exception of the lowest raising index is
+    re-raised with its backtrace. A batch that raises leaves the pool
+    fully reusable.
+
+    A pool with [jobs <= 1] spawns no domains and runs every batch inline
+    on the caller, so sequential mode pays nothing and shares the exact
+    code path with parallel mode. Nested submissions from inside a worker
+    also run inline (same domain), which makes accidental re-entrancy
+    safe instead of a deadlock. *)
+
+type t
+
+val create : int -> t
+(** [create jobs] spawns [jobs - 1] worker domains (the caller
+    participates as the remaining worker while a batch runs). [jobs <= 1]
+    spawns none. @raise Invalid_argument on [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism width this pool was created with. *)
+
+val default_jobs : unit -> int
+(** [HYDRA_JOBS] when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map_range : t -> int -> (int -> 'a) -> 'a array
+(** [map_range pool n f] computes [f i] for [0 <= i < n], each index
+    exactly once, and returns the results in index order. Re-raises the
+    lowest-index exception after the batch completes. *)
+
+val iter_range : t -> int -> (int -> unit) -> unit
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_range] over a list, preserving order. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent; the pool must not be used
+    afterwards. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool jobs f] runs [f] with a fresh pool and always shuts it
+    down, even when [f] raises. *)

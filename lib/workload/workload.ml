@@ -4,6 +4,7 @@
 
 open Hydra_rel
 open Hydra_engine
+module Pool = Hydra_par.Pool
 
 type query = { qname : string; plan : Plan.t }
 type t = { queries : query list }
@@ -54,9 +55,18 @@ let ccs_of_query db q =
   List.rev ccs
 
 (* All CCs of the workload measured on [db], deduplicated across queries
-   (identical subexpressions appear in many queries). *)
-let extract_ccs db t =
-  List.concat_map (ccs_of_query db) t.queries |> Cc.dedup
+   (identical subexpressions appear in many queries). Queries evaluate
+   independently against the read-only client database, so they run on
+   the pool; per-query CC lists come back in query order and dedup keeps
+   the first occurrence, making the result independent of [jobs]. *)
+let extract_ccs ?(jobs = 1) db t =
+  let jobs = max 1 jobs in
+  let qs = Array.of_list t.queries in
+  let per_query =
+    Pool.with_pool jobs (fun pool ->
+        Pool.map_range pool (Array.length qs) (fun i -> ccs_of_query db qs.(i)))
+  in
+  List.concat (Array.to_list per_query) |> Cc.dedup
 
 (* uniform scaling of constraint counts: the CODD-based procedure of
    Sec. 7.4 (run plans at small scale, multiply intermediate counts) *)

@@ -16,9 +16,11 @@ val num_queries : t -> int
 val ccs_of_query : Database.t -> query -> Cc.t list
 (** CCs of one query's AQP, one per operator output edge, in plan order. *)
 
-val extract_ccs : Database.t -> t -> Cc.t list
+val extract_ccs : ?jobs:int -> Database.t -> t -> Cc.t list
 (** All CCs of the workload measured on the given (client) database,
-    deduplicated across queries. *)
+    deduplicated across queries. [jobs] (default 1) evaluates the AQPs
+    concurrently on that many domains; per-query results are concatenated
+    in query order, so the CC list is identical for any jobs count. *)
 
 val scale_ccs : float -> Cc.t list -> Cc.t list
 (** Multiply every cardinality by a factor — the CODD-based scaling

@@ -248,6 +248,103 @@ let test_uncovered_relation_warns () =
     "no blind spots when every relation is measured" []
     v_full.Hydra_core.Validate.uncovered_relations
 
+(* ---- faults under the domain pool ---- *)
+
+exception Mid_solve of int
+
+let test_pool_survives_raising_tasks () =
+  (* tasks that die mid-flight must neither wedge the pool nor leak into
+     other tasks: the batch settles, the exception surfaces once, and the
+     same pool keeps accepting work. Explicit create/shutdown (no
+     with_pool) so the reuse is of the very same domains. *)
+  let module Pool = Hydra_par.Pool in
+  let p = Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown p;
+      (* shutdown is idempotent *)
+      Pool.shutdown p)
+    (fun () ->
+      for round = 1 to 3 do
+        (match
+           Pool.map_range p 12 (fun i ->
+               if i mod 5 = 2 then raise (Mid_solve i) else i * round)
+         with
+        | _ -> Alcotest.fail "expected Mid_solve"
+        | exception Mid_solve i ->
+            Alcotest.(check int) "lowest failing index" 2 i);
+        let ok = Pool.map_range p 6 (fun i -> i * round) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "pool reusable after failure, round %d" round)
+          (Array.init 6 (fun i -> i * round))
+          ok
+      done)
+
+let test_parallel_expired_deadline_completes () =
+  (* jobs > 1 with an already-expired deadline: every view must land on
+     Fallback and the run must terminate (a deadlock here would hang the
+     suite); the fallback summaries still materialize *)
+  let schema =
+    Schema.create
+      [
+        { Schema.rname = "p"; pk = "p_pk"; fks = []; attrs = [ attr "a" ] };
+        { Schema.rname = "q"; pk = "q_pk"; fks = []; attrs = [ attr "a" ] };
+        { Schema.rname = "s"; pk = "s_pk"; fks = []; attrs = [ attr "a" ] };
+      ]
+  in
+  let ccs =
+    List.concat_map
+      (fun r ->
+        [
+          Cc.size_cc r 50;
+          Cc.make [ r ]
+            (Predicate.atom (Schema.qualify r "a") (Interval.make 2 9))
+            20;
+        ])
+      [ "p"; "q"; "s" ]
+  in
+  let result = Pipeline.regenerate ~jobs:4 ~deadline_s:0.0 schema ccs in
+  Alcotest.(check int) "all views fall back" 3
+    result.Pipeline.diagnostics.Pipeline.fallback_views;
+  List.iter
+    (fun (v : Pipeline.view_stats) ->
+      match v.Pipeline.status with
+      | Pipeline.Fallback reason ->
+          if not (contains reason "deadline") then
+            Alcotest.failf "%s: fallback reason not deadline: %s"
+              v.Pipeline.rel reason
+      | _ -> Alcotest.failf "%s did not fall back" v.Pipeline.rel)
+    result.Pipeline.views;
+  let db = Hydra_core.Tuple_gen.materialize ~jobs:4 result.Pipeline.summary in
+  List.iter
+    (fun r ->
+      Alcotest.(check int) ("fallback size of " ^ r) 50
+        (Hydra_engine.Database.nrows db r))
+    [ "p"; "q"; "s" ]
+
+let test_parallel_conflict_same_ladder () =
+  (* an unsatisfiable system must degrade IDENTICALLY at any width: the
+     ladder is part of the determinism contract, not just the summary *)
+  let ccs =
+    [ Cc.size_cc "r" 100; cc (atom "a" 2 9) 30; cc (atom "a" 2 9) 70 ]
+  in
+  let ladder jobs =
+    let result = Pipeline.regenerate ~jobs one_rel_schema ccs in
+    List.map
+      (fun (v : Pipeline.view_stats) ->
+        match v.Pipeline.status with
+        | Pipeline.Exact -> (v.Pipeline.rel, "exact", 0)
+        | Pipeline.Relaxed vs -> (v.Pipeline.rel, "relaxed", List.length vs)
+        | Pipeline.Fallback _ -> (v.Pipeline.rel, "fallback", 0))
+      result.Pipeline.views
+  in
+  let l1 = ladder 1 in
+  Alcotest.(check (list (triple string string int)))
+    "jobs=4 degrades exactly like jobs=1" l1 (ladder 4);
+  match l1 with
+  | [ (_, "relaxed", n) ] when n > 0 -> ()
+  | _ -> Alcotest.fail "conflict did not produce a relaxed view"
+
 (* ---- property: regenerate never raises, statuses stay consistent ---- *)
 
 let fault_env_gen =
@@ -301,6 +398,15 @@ let suite =
           test_per_view_isolation;
         Alcotest.test_case "uncovered relation warns through obs" `Quick
           test_uncovered_relation_warns;
+      ] );
+    ( "fault-parallel",
+      [
+        Alcotest.test_case "pool survives raising tasks, stays reusable"
+          `Quick test_pool_survives_raising_tasks;
+        Alcotest.test_case "parallel expired deadline completes all-fallback"
+          `Quick test_parallel_expired_deadline_completes;
+        Alcotest.test_case "parallel conflict degrades like sequential" `Quick
+          test_parallel_conflict_same_ladder;
       ] );
     ( "fault-properties",
       [ QCheck_alcotest.to_alcotest prop_robust_regenerate ] );
