@@ -23,6 +23,7 @@ module Tuple_gen = Hydra_core.Tuple_gen
 module Validate = Hydra_core.Validate
 module Summary = Hydra_core.Summary
 module Workload = Hydra_workload.Workload
+module Audit = Hydra_audit.Audit
 module Scaling = Hydra_codd.Scaling
 module Bigint = Hydra_arith.Bigint
 module Obs = Hydra_obs.Obs
@@ -741,6 +742,73 @@ cc |sigma(S.A in [20,60) and T.C in [2,3))(R join S join T)| = 30000;
   let v = Validate.check db spec.Hydra_workload.Cc_parser.ccs in
   Format.printf "fidelity: %a@." Validate.pp v
 
+(* ---- Audit: volumetric-accuracy accounting end to end ---- *)
+
+let audit () =
+  header "Audit: per-operator cardinality accounting (hydra.audit)"
+    "not in the paper: expected-vs-observed rows for every plan operator; \
+     the per-relation roll-up must reconcile exactly with Validate";
+  let module Executor = Hydra_engine.Executor in
+  let spec =
+    Hydra_workload.Cc_parser.parse
+      {|
+table S (A int [0,100), B int [0,50));
+table T (C int [0,10));
+table R (S_fk -> S, T_fk -> T);
+cc |R| = 80000; cc |S| = 700; cc |T| = 1500;
+cc |sigma(S.A in [20,60))(S)| = 400;
+cc |sigma(T.C in [2,3))(T)| = 900;
+cc |sigma(S.A in [20,60))(R join S)| = 50000;
+cc |sigma(S.A in [20,60) and T.C in [2,3))(R join S join T)| = 30000;
+|}
+  in
+  let ccs = spec.Hydra_workload.Cc_parser.ccs in
+  let r = Pipeline.regenerate spec.Hydra_workload.Cc_parser.schema ccs in
+  let dyn = Tuple_gen.dynamic r.Pipeline.summary in
+  let trail = Audit.create () in
+  let v = Validate.check ~audit:trail dyn ccs in
+  (* reconcile on the validation records only; the aggregate probe below
+     adds an edge Validate never measures *)
+  let reconciles =
+    Validate.reconciles_audit v (Audit.by_relation (Audit.records trail))
+  in
+  if not reconciles then begin
+    Printf.eprintf
+      "audit: per-relation roll-up does not reconcile with Validate\n";
+    exit 1
+  end;
+  let expected_r =
+    List.find_map
+      (fun (cc : Hydra_workload.Cc.t) ->
+        if cc.Hydra_workload.Cc.relations = [ "R" ] then
+          Some cc.Hydra_workload.Cc.card
+        else None)
+      ccs
+  in
+  let sum =
+    Executor.aggregate_sum_audited ~query:"sum(R.S_fk)" trail
+      ~expected:expected_r dyn "R" "S_fk"
+  in
+  let records = Audit.records trail in
+  let ops, annotated, exact, max_err = Audit.summary_stats records in
+  Printf.printf
+    "audited %d operators: %d annotated, %d exact, max |rel err| %.2f%%\n" ops
+    annotated exact (100.0 *. max_err);
+  Printf.printf "per-relation roll-up reconciles with Validate: %b\n"
+    reconciles;
+  Printf.printf "audited dynamic-scan aggregate over R.S_fk: %d\n" sum;
+  [
+    ( "audit",
+      Json.Obj
+        [
+          ("ops", Json.Int ops);
+          ("annotated", Json.Int annotated);
+          ("exact", Json.Int exact);
+          ("max_abs_rel_error", Json.Float max_err);
+          ("reconciles", Json.Bool reconciles);
+        ] );
+  ]
+
 (* re-parse the smoke artifact with the obs JSON codec and check the
    fields the observability contract (DESIGN.md Sec. 6) promises *)
 let validate_smoke_artifact path =
@@ -820,7 +888,157 @@ let targets =
     ("fig17", plain fig17); ("ablation", plain ablation);
     ("correlation", plain correlation); ("robust", plain robust);
     ("par", par); ("micro", plain micro); ("smoke", plain smoke);
+    ("audit", audit);
   ]
+
+(* ---- regression gate: compare fresh artifacts against baselines ---- *)
+
+(* resource measurements vary run to run; everything else (cardinalities,
+   fidelity, audit roll-ups, speedup shapes are excluded -- see below) is
+   deterministic and must match the baseline exactly *)
+let resource_key k =
+  match k with
+  | "seconds" | "minor_words" | "major_words" | "speedup" -> true
+  | _ -> false
+
+let check_tolerance () =
+  match Sys.getenv_opt "BENCH_CHECK_TOLERANCE" with
+  | Some s -> ( try float_of_string s with _ -> 8.0)
+  | None -> 8.0
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let json_kind = function
+  | Json.Null -> "null"
+  | Json.Bool _ -> "bool"
+  | Json.Int _ -> "int"
+  | Json.Float _ -> "float"
+  | Json.String _ -> "string"
+  | Json.List _ -> "list"
+  | Json.Obj _ -> "object"
+
+(* [key] is the field name the values sit under; a resource key only has
+   to stay below tolerance * (baseline + eps), everything else is exact *)
+let rec json_diff ~tol path key base fresh errs =
+  let err fmt =
+    Printf.ksprintf (fun m -> errs := (path ^ ": " ^ m) :: !errs) fmt
+  in
+  let number = function
+    | Json.Int n -> Some (float_of_int n)
+    | Json.Float x -> Some x
+    | _ -> None
+  in
+  match (number base, number fresh) with
+  | Some b, Some f ->
+      if resource_key key then begin
+        let ceiling = tol *. (b +. 0.05) in
+        if f > ceiling then
+          err "%g exceeds %gx baseline %g (ceiling %g)" f tol b ceiling
+      end
+      else if Float.abs (f -. b) > 1e-9 *. Float.max 1.0 (Float.abs b) then
+        err "expected %g, got %g" b f
+  | _ -> (
+      match (base, fresh) with
+      | Json.Null, Json.Null -> ()
+      | Json.Bool b, Json.Bool f -> if b <> f then err "expected %b, got %b" b f
+      | Json.String b, Json.String f ->
+          if b <> f then err "expected %S, got %S" b f
+      | Json.List bs, Json.List fs ->
+          if List.length bs <> List.length fs then
+            err "list length %d, got %d" (List.length bs) (List.length fs)
+          else
+            List.iteri
+              (fun i (b, f) ->
+                json_diff ~tol
+                  (Printf.sprintf "%s[%d]" path i)
+                  key b f errs)
+              (List.combine bs fs)
+      | Json.Obj bs, Json.Obj fs ->
+          List.iter
+            (fun (k, bv) ->
+              match List.assoc_opt k fs with
+              | None ->
+                  errs := (path ^ "." ^ k ^ ": missing in fresh artifact")
+                          :: !errs
+              | Some fv -> json_diff ~tol (path ^ "." ^ k) k bv fv errs)
+            bs;
+          List.iter
+            (fun (k, _) ->
+              if not (List.mem_assoc k bs) then
+                errs :=
+                  (path ^ "." ^ k
+                  ^ ": not in baseline (regenerate baselines?)")
+                  :: !errs)
+            fs
+      | _ -> err "expected %s, got %s" (json_kind base) (json_kind fresh))
+
+let baselines_dir () =
+  match Sys.getenv_opt "BENCH_BASELINES" with
+  | Some d -> d
+  | None ->
+      if Sys.file_exists "baselines" && Sys.is_directory "baselines" then
+        "baselines"
+      else "bench/baselines"
+
+let check args =
+  let dir = baselines_dir () in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "bench check: baseline directory %s not found\n" dir;
+    exit 1
+  end;
+  let names =
+    match args with
+    | [] ->
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.map Filename.remove_extension
+        |> List.sort compare
+    | names -> names
+  in
+  if names = [] then begin
+    Printf.eprintf "bench check: no baselines in %s\n" dir;
+    exit 1
+  end;
+  let tol = check_tolerance () in
+  let failed = ref false in
+  let target_fail name msgs =
+    failed := true;
+    Printf.printf "check %s: FAIL\n" name;
+    List.iter (fun m -> Printf.printf "  %s\n" m) msgs
+  in
+  List.iter
+    (fun name ->
+      let bpath = Filename.concat dir (name ^ ".json") in
+      let fpath = Printf.sprintf "BENCH_%s.json" name in
+      if not (Sys.file_exists bpath) then
+        target_fail name [ "no baseline " ^ bpath ]
+      else if not (Sys.file_exists fpath) then
+        target_fail name
+          [
+            Printf.sprintf "missing %s (run `hydra-bench %s` first)" fpath
+              name;
+          ]
+      else
+        let parse path =
+          match Json.parse (slurp path) with
+          | Ok d -> Ok d
+          | Error m -> Error (path ^ ": parse error: " ^ m)
+        in
+        match (parse bpath, parse fpath) with
+        | Error m, _ | _, Error m -> target_fail name [ m ]
+        | Ok base, Ok fresh ->
+            let errs = ref [] in
+            json_diff ~tol name "" base fresh errs;
+            if !errs = [] then Printf.printf "check %s: ok\n" name
+            else target_fail name (List.rev !errs))
+    names;
+  if !failed then exit 1;
+  Printf.printf "bench check: %d target(s) within tolerance %gx\n"
+    (List.length names) tol
 
 let write_bench_artifact name seconds extra =
   let path = Printf.sprintf "BENCH_%s.json" name in
@@ -853,11 +1071,14 @@ let () =
   let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match cmd with
   | "all" -> List.iter run_target targets
+  | "check" ->
+      check
+        (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
   | name -> (
       match List.assoc_opt name targets with
       | Some f -> run_target (name, f)
       | None ->
           Printf.eprintf
-            "unknown benchmark %S (expected %s, all)\n" name
+            "unknown benchmark %S (expected %s, check, all)\n" name
             (String.concat ", " (List.map fst targets));
           exit 1)

@@ -65,6 +65,66 @@ let setup_obs trace metrics_out =
       Obs.set_enabled true
   | None -> ()
 
+let flame_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flame-out" ] ~docv:"FILE"
+        ~doc:
+          "Write folded stacks (flamegraph.pl-compatible, one \
+           $(i,path value_us) line per distinct span path) to $(docv) when \
+           the command exits (implies metric collection).")
+
+(* the flame sink writes on close, which [at_exit Obs.finish] triggers —
+   so the profile survives the degraded exit codes 3/4, like metrics *)
+let setup_flame flame_out =
+  match flame_out with
+  | None -> ()
+  | Some path ->
+      Obs.add_sink (Hydra_obs.Flame.sink ~out:path (Hydra_obs.Flame.create ()));
+      Obs.set_enabled true
+
+let audit_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-out" ] ~docv:"FILE"
+        ~doc:
+          "Re-execute every CC's plan against the regenerated database \
+           with per-operator cardinality accounting and write the \
+           volumetric-accuracy audit report (expected vs observed rows \
+           per operator, per-relation roll-up reconciled against \
+           validation, degraded-view incidents) to $(docv). Implies \
+           metric collection.")
+
+(* audited validation against a database: the audit trail, the validation
+   report, and whether the two roll-ups agree exactly *)
+let run_audit db ccs =
+  let trail = Hydra_audit.Audit.create () in
+  let v = Hydra_core.Validate.check ~audit:trail db ccs in
+  let records = Hydra_audit.Audit.records trail in
+  let reconciles =
+    Hydra_core.Validate.reconciles_audit v
+      (Hydra_audit.Audit.by_relation records)
+  in
+  (v, records, reconciles)
+
+let audit_incidents () =
+  List.filter
+    (fun (ev : Obs.event) -> List.mem_assoc "view" ev.Obs.ev_attrs)
+    (Obs.recent_events ())
+
+let print_audit_line records reconciles path =
+  let ops, annotated, exact, max_err =
+    Hydra_audit.Audit.summary_stats records
+  in
+  Printf.printf
+    "audit: %d operators (%d annotated, %d exact), max |rel err| %.2f%% -> \
+     %s%s\n"
+    ops annotated exact (100.0 *. max_err) path
+    (if reconciles then " (reconciles with validate)"
+     else " (DOES NOT reconcile with validate)")
+
 let read_spec path =
   try Ok (Hydra_workload.Cc_parser.parse_file path) with
   | Hydra_workload.Cc_parser.Parse_error m ->
@@ -131,7 +191,7 @@ let status_word (v : Hydra_core.Pipeline.view_stats) =
 
 (* machine-readable run report: the whole pipeline result plus the final
    metrics snapshot, as one JSON object on stdout *)
-let run_report_json ~jobs out (result : Hydra_core.Pipeline.result) =
+let run_report_json ?audit ~jobs out (result : Hydra_core.Pipeline.result) =
   let open Hydra_core.Pipeline in
   let summary = result.summary in
   let metrics_obj kvs =
@@ -172,7 +232,7 @@ let run_report_json ~jobs out (result : Hydra_core.Pipeline.result) =
   in
   let d = result.diagnostics in
   Json.Obj
-    [
+    ([
       ("output", Json.String out);
       ("jobs", Json.Int jobs);
       ("total_seconds", Json.Float result.total_seconds);
@@ -202,17 +262,30 @@ let run_report_json ~jobs out (result : Hydra_core.Pipeline.result) =
           ] );
       ("metrics", Obs.metrics_json ());
     ]
+    @ match audit with Some a -> [ ("audit", a) ] | None -> [])
 
 (* text rendering of the metrics registry, aligned name/value pairs *)
 let print_metrics_report () =
-  let kvs = Obs.flatten (Obs.snapshot ()) in
+  let snap = Obs.snapshot () in
+  let kvs = Obs.flatten snap in
   print_string "metrics report:\n";
   List.iter
     (fun (k, v) ->
       if Float.is_integer v && Float.abs v < 1e15 then
         Printf.printf "  %-44s %d\n" k (int_of_float v)
       else Printf.printf "  %-44s %.6f\n" k v)
-    kvs
+    kvs;
+  let populated =
+    List.filter (fun (_, (p50, p95, p99)) -> p50 +. p95 +. p99 > 0.0)
+      (Obs.percentiles snap)
+  in
+  if populated <> [] then begin
+    print_string "histogram percentiles (p50 / p95 / p99):\n";
+    List.iter
+      (fun (k, (p50, p95, p99)) ->
+        Printf.printf "  %-44s %.6f / %.6f / %.6f\n" k p50 p95 p99)
+      populated
+  end
 
 let summary_cmd =
   let out =
@@ -254,10 +327,11 @@ let summary_cmd =
              of the human-readable lines (implies metric collection). The \
              summary file is still written.")
   in
-  let run spec_path out deadline_s max_nodes jobs trace metrics_out report json
-      =
+  let run spec_path out deadline_s max_nodes jobs trace metrics_out audit_out
+      flame_out report json =
     setup_obs trace metrics_out;
-    if report || json then Obs.set_enabled true;
+    setup_flame flame_out;
+    if report || json || audit_out <> None then Obs.set_enabled true;
     let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
     let result =
@@ -266,8 +340,32 @@ let summary_cmd =
     in
     let summary = result.Hydra_core.Pipeline.summary in
     Hydra_core.Summary.save out summary;
-    if json then
-      print_endline (Json.to_string_pretty (run_report_json ~jobs out result))
+    (* audited validation runs against the dynamic generator: the same
+       tuples materialization would produce, with no storage and no
+       jobs-dependence, so the report is byte-identical across --jobs *)
+    let audit =
+      match audit_out with
+      | None -> None
+      | Some path ->
+          let db = Hydra_core.Tuple_gen.dynamic summary in
+          let _, records, reconciles =
+            run_audit db spec.Hydra_workload.Cc_parser.ccs
+          in
+          let incidents = audit_incidents () in
+          Hydra_audit.Audit.write_report ~reconciles ~incidents path records;
+          Some (records, reconciles, path)
+    in
+    if json then begin
+      let audit_json =
+        Option.map
+          (fun (records, reconciles, _) ->
+            Hydra_audit.Audit.report_json ~reconciles
+              ~incidents:(audit_incidents ()) records)
+          audit
+      in
+      print_endline
+        (Json.to_string_pretty (run_report_json ?audit:audit_json ~jobs out result))
+    end
     else begin
       Printf.printf "summary: %d rows covering %d tuples -> %s (%.2fs)\n"
         (Hydra_core.Summary.summary_rows summary)
@@ -298,7 +396,11 @@ let summary_cmd =
         (fun (r, n) ->
           if n > 0 then
             Printf.printf "  +%d integrity-repair tuples in %s\n" n r)
-        summary.Hydra_core.Summary.extra_tuples
+        summary.Hydra_core.Summary.extra_tuples;
+      match audit with
+      | Some (records, reconciles, path) ->
+          print_audit_line records reconciles path
+      | None -> ()
     end;
     if report && not json then print_metrics_report ();
     let d = result.Hydra_core.Pipeline.diagnostics in
@@ -308,9 +410,10 @@ let summary_cmd =
   let doc = "Build a database summary from a schema + CC spec." in
   Cmd.v (Cmd.info "summary" ~doc)
     Term.(
-      const (fun a b c d e f g h i -> protecting (run a b c d e f g h) i)
+      const (fun a b c d e f g h i j k ->
+          protecting (run a b c d e f g h i j) k)
       $ spec_arg $ out $ deadline $ max_nodes $ jobs_arg $ trace_arg
-      $ metrics_out_arg $ report $ json)
+      $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ report $ json)
 
 (* ---- materialize ---- *)
 
@@ -359,8 +462,11 @@ let validate_cmd =
             "Execute against the dynamic tuple generator instead of \
              materialized tables.")
   in
-  let run spec_path summary_path dynamic jobs trace metrics_out =
+  let run spec_path summary_path dynamic jobs trace metrics_out audit_out
+      flame_out =
     setup_obs trace metrics_out;
+    setup_flame flame_out;
+    if audit_out <> None then Obs.set_enabled true;
     let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
     let summary =
@@ -370,7 +476,19 @@ let validate_cmd =
       if dynamic then Hydra_core.Tuple_gen.dynamic summary
       else Hydra_core.Tuple_gen.materialize ~jobs summary
     in
-    let v = Hydra_core.Validate.check db spec.Hydra_workload.Cc_parser.ccs in
+    let v =
+      match audit_out with
+      | None ->
+          Hydra_core.Validate.check db spec.Hydra_workload.Cc_parser.ccs
+      | Some path ->
+          let v, records, reconciles =
+            run_audit db spec.Hydra_workload.Cc_parser.ccs
+          in
+          Hydra_audit.Audit.write_report ~reconciles
+            ~incidents:(audit_incidents ()) path records;
+          print_audit_line records reconciles path;
+          v
+    in
     Format.printf "%a@." Hydra_core.Validate.pp v;
     List.iter
       (fun (rr : Hydra_core.Validate.relation_report) ->
@@ -393,9 +511,9 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc)
     Term.(
-      const (fun a b c d e f -> protecting (run a b c d e) f)
+      const (fun a b c d e f g h -> protecting (run a b c d e f g) h)
       $ spec_arg $ summary_pos_arg $ dynamic $ jobs_arg $ trace_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ audit_out_arg $ flame_out_arg)
 
 (* ---- extract (the client-site flow of Fig. 2) ---- *)
 

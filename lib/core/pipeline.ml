@@ -218,8 +218,15 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
     Obs.with_span ~attrs:[ ("rel", Obs.Str rname) ] "pipeline.view"
       (fun () ->
         let fallback reason =
+          (* structured view/rung/reason attrs, not just the message:
+             audit reports join incidents to views through them *)
           Obs.event ~level:Obs.Warn
-            ~attrs:[ ("view", Obs.Str rname) ]
+            ~attrs:
+              [
+                ("view", Obs.Str rname);
+                ("rung", Obs.Str "fallback");
+                ("reason", Obs.Str reason);
+              ]
             ("view " ^ rname ^ " fell back: " ^ reason);
           Obs.incr m_fallback 1;
           Obs.span_attr "status" (Obs.Str "fallback");
@@ -267,6 +274,7 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
                     ~attrs:
                       [
                         ("view", Obs.Str rname);
+                        ("rung", Obs.Str "relaxed");
                         ("violations", Obs.Int (List.length vs));
                       ]
                     ("view " ^ rname ^ " relaxed")

@@ -21,7 +21,7 @@ type t = {
   uncovered_relations : string list;
 }
 
-let check db ccs =
+let check ?audit db ccs =
   let uncovered_relations =
     (* relations of the database schema that no CC measures at all: their
        volumetric similarity is entirely unchecked, which the caller
@@ -35,10 +35,27 @@ let check db ccs =
         if covered r then None else Some r)
       (Hydra_rel.Schema.relations (Hydra_engine.Database.schema db))
   in
+  (* audited measurement runs the same plan through the same engine —
+     only the accounting differs, so [actual] is identical either way *)
+  let measure =
+    match audit with
+    | None -> fun cc -> Cc.measure db cc
+    | Some trail ->
+        fun cc ->
+          let plan =
+            Cc.measurement_plan (Hydra_engine.Database.schema db) cc
+          in
+          let expect = Workload.audit_expectation ccs plan in
+          let rset, _ =
+            Hydra_engine.Executor.exec_audited ~query:(Cc.to_string cc) trail
+              expect db plan
+          in
+          rset.Hydra_engine.Executor.width
+  in
   let reports =
     List.map
       (fun (cc : Cc.t) ->
-        let actual = Cc.measure db cc in
+        let actual = measure cc in
         (* zero-cardinality CCs use a +1 denominator so a handful of
            integrity-repair tuples register as a bounded error *)
         let rel_error =
@@ -123,6 +140,32 @@ let by_relation t =
         })
     t.reports;
   List.rev_map (fun key -> Hashtbl.find groups key) !order
+
+(* Exact agreement between the audit trail's per-relation roll-up and our
+   own: both derive error from the same ints with the same formula, so
+   float comparison is by equality, not tolerance. Holds whenever the CC
+   list contains one CC per expression (extraction dedups); duplicated
+   expressions are counted once by the audit and once per copy here. *)
+let reconciles_audit t (groups : Hydra_audit.Audit.group_stat list) =
+  let vr = by_relation t in
+  (* group keys are unique on both sides, but first-appearance order may
+     differ (the audit sees a join's scan edges before the join CC), so
+     match by join group *)
+  List.length vr = List.length groups
+  && List.for_all
+       (fun rr ->
+         match
+           List.find_opt
+             (fun (g : Hydra_audit.Audit.group_stat) ->
+               g.Hydra_audit.Audit.gs_rels = rr.rr_rels)
+             groups
+         with
+         | None -> false
+         | Some g ->
+             rr.rr_ccs = g.Hydra_audit.Audit.gs_ccs
+             && rr.rr_exact = g.Hydra_audit.Audit.gs_exact
+             && rr.rr_max_abs_error = g.Hydra_audit.Audit.gs_max_abs_error)
+       vr
 
 let worst t k =
   List.stable_sort

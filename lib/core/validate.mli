@@ -27,7 +27,13 @@ type t = {
           through the obs event log for each. *)
 }
 
-val check : Hydra_engine.Database.t -> Cc.t list -> t
+val check :
+  ?audit:Hydra_audit.Audit.trail -> Hydra_engine.Database.t -> Cc.t list -> t
+(** With [?audit], every CC measurement runs through
+    [Executor.exec_audited] so the trail receives one record per plan
+    operator (expectations built from the full CC list via
+    [Workload.audit_expectation]). Auditing never changes the returned
+    report — observation is pure. *)
 
 val coverage_at : t -> float -> float
 (** Fraction of CCs with |relative error| <= threshold. *)
@@ -48,5 +54,13 @@ val by_relation : t -> relation_report list
     validation-side counterpart of the pipeline's per-view statuses.
     Emits a one-line [Warn] through {!Hydra_obs.Obs.event} for every
     relation in [uncovered_relations] instead of silently omitting it. *)
+
+val reconciles_audit : t -> Hydra_audit.Audit.group_stat list -> bool
+(** [reconciles_audit t (Audit.by_relation records)] — do the audit
+    trail's per-relation totals (group count, CCs, exact CCs, max
+    absolute relative error) agree {e exactly} with this report's
+    {!by_relation}? Both sides compute errors from the same integers
+    with the same formula, so agreement is by float equality. True for
+    any audited validation over a deduplicated CC list. *)
 
 val pp : Format.formatter -> t -> unit

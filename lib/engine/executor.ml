@@ -151,55 +151,115 @@ let scan_is_generated db rname =
   | Database.Generated _ -> true
   | Database.Stored _ -> false
 
-let rec exec db plan =
+(* ---- volumetric-accuracy accounting (hydra.audit) ----
+
+   An audited execution threads an [Audit.expectation] tree (the
+   CC-derived expected cardinality per operator edge, built by
+   Workload.audit_expectation) alongside the plan and appends one audit
+   record per operator. Recording happens after the operator's span
+   closes and never touches the rset, so audited execution returns
+   bit-identical results ("observation is pure"); unaudited [exec]
+   passes [None] and pays one match per operator. *)
+
+module Audit = Hydra_audit.Audit
+
+let record_audit ctx (e : Audit.expectation) kind observed =
+  match ctx with
+  | None -> ()
+  | Some (query, trail) ->
+      if e.Audit.exp_key <> "" then
+        Audit.record trail
+          {
+            Audit.r_query = query;
+            r_op = kind;
+            r_rels = e.Audit.exp_rels;
+            r_key = e.Audit.exp_key;
+            r_expected = e.Audit.exp_card;
+            r_observed = observed;
+          }
+
+let child1 (e : Audit.expectation) =
+  match e.Audit.exp_children with [ c ] -> c | _ -> Audit.no_expectation
+
+let child2 (e : Audit.expectation) =
+  match e.Audit.exp_children with
+  | [ a; b ] -> (a, b)
+  | _ -> (Audit.no_expectation, Audit.no_expectation)
+
+let rec exec_aux ctx db plan e =
   match plan with
   | Plan.Scan rname ->
       let generated = scan_is_generated db rname in
       let counter = if generated then m_datagen_rows else m_scan_rows in
-      op_span "exec.scan" counter ~rows_in:0 (fun () ->
-          Obs.span_attr "rel" (Obs.Str rname);
-          Obs.span_attr "source"
-            (Obs.Str (if generated then "generated" else "stored"));
-          let n = Database.nrows db rname in
-          let rset =
-            { width = n; bindings = [ (rname, Array.init n Fun.id) ] }
-          in
-          (rset, { op = "Scan(" ^ rname ^ ")"; card = n; children = [] }))
+      let res =
+        op_span "exec.scan" counter ~rows_in:0 (fun () ->
+            Obs.span_attr "rel" (Obs.Str rname);
+            Obs.span_attr "source"
+              (Obs.Str (if generated then "generated" else "stored"));
+            let n = Database.nrows db rname in
+            let rset =
+              { width = n; bindings = [ (rname, Array.init n Fun.id) ] }
+            in
+            (rset, { op = "Scan(" ^ rname ^ ")"; card = n; children = [] }))
+      in
+      record_audit ctx e
+        (if generated then Audit.Datagen_scan else Audit.Scan)
+        (fst res).width;
+      res
   | Plan.Filter (pred, child) ->
-      let child_rset, child_ann = exec db child in
-      op_span "exec.filter" m_filter_rows ~rows_in:child_rset.width (fun () ->
-          let rset = filter_rset db child_rset pred in
-          ( rset,
-            {
-              op = Format.asprintf "Filter(%a)" Predicate.pp pred;
-              card = rset.width;
-              children = [ child_ann ];
-            } ))
+      let child_rset, child_ann = exec_aux ctx db child (child1 e) in
+      let res =
+        op_span "exec.filter" m_filter_rows ~rows_in:child_rset.width
+          (fun () ->
+            let rset = filter_rset db child_rset pred in
+            ( rset,
+              {
+                op = Format.asprintf "Filter(%a)" Predicate.pp pred;
+                card = rset.width;
+                children = [ child_ann ];
+              } ))
+      in
+      record_audit ctx e Audit.Filter (fst res).width;
+      res
   | Plan.Group_by (attrs, child) ->
-      let child_rset, child_ann = exec db child in
-      op_span "exec.group_by" m_group_rows ~rows_in:child_rset.width
-        (fun () ->
-          let rset = group_rset db child_rset attrs in
-          ( rset,
-            {
-              op = Printf.sprintf "GroupBy(%s)" (String.concat "," attrs);
-              card = rset.width;
-              children = [ child_ann ];
-            } ))
+      let child_rset, child_ann = exec_aux ctx db child (child1 e) in
+      let res =
+        op_span "exec.group_by" m_group_rows ~rows_in:child_rset.width
+          (fun () ->
+            let rset = group_rset db child_rset attrs in
+            ( rset,
+              {
+                op = Printf.sprintf "GroupBy(%s)" (String.concat "," attrs);
+                card = rset.width;
+                children = [ child_ann ];
+              } ))
+      in
+      record_audit ctx e Audit.Group_by (fst res).width;
+      res
   | Plan.Join (l, r, spec) ->
-      let lres, lann = exec db l in
-      let rres, rann = exec db r in
-      op_span "exec.join" m_join_rows ~rows_in:(lres.width + rres.width)
-        (fun () ->
-          let rset = join_rset db lres rres spec in
-          ( rset,
-            {
-              op =
-                Printf.sprintf "Join(%s=%s.pk)" spec.Plan.fk_col
-                  spec.Plan.pk_rel;
-              card = rset.width;
-              children = [ lann; rann ];
-            } ))
+      let le, re = child2 e in
+      let lres, lann = exec_aux ctx db l le in
+      let rres, rann = exec_aux ctx db r re in
+      let res =
+        op_span "exec.join" m_join_rows ~rows_in:(lres.width + rres.width)
+          (fun () ->
+            let rset = join_rset db lres rres spec in
+            ( rset,
+              {
+                op =
+                  Printf.sprintf "Join(%s=%s.pk)" spec.Plan.fk_col
+                    spec.Plan.pk_rel;
+                card = rset.width;
+                children = [ lann; rann ];
+              } ))
+      in
+      record_audit ctx e Audit.Join (fst res).width;
+      res
+
+let exec db plan = exec_aux None db plan Audit.no_expectation
+
+let exec_audited ?(query = "") trail expect db plan =
+  exec_aux (Some (query, trail)) db plan expect
 
 let cardinality db plan = (snd (exec db plan)).card
 
@@ -230,6 +290,20 @@ let aggregate_sum db rname cname =
         Obs.span_attr "rows_in" (Obs.Int n);
         Obs.span_attr "rows_per_sec" (Obs.Float (float_of_int n /. dt));
         sum)
+
+let aggregate_sum_audited ?(query = "") trail ~expected db rname cname =
+  let sum = aggregate_sum db rname cname in
+  let n = Database.nrows db rname in
+  Audit.record trail
+    {
+      Audit.r_query = query;
+      r_op = Audit.Aggregate;
+      r_rels = [ rname ];
+      r_key = Printf.sprintf "aggregate(%s.%s)" rname cname;
+      r_expected = expected;
+      r_observed = n;
+    };
+  sum
 
 let rec pp_annotated fmt a =
   Format.fprintf fmt "@[<v 2>%s [card=%d]" a.op a.card;

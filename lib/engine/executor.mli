@@ -24,11 +24,35 @@ val exec : Database.t -> Plan.t -> rset * annotated
 (** Execute a plan; scans respect each relation's source (stored or
     generated). *)
 
+val exec_audited :
+  ?query:string ->
+  Hydra_audit.Audit.trail ->
+  Hydra_audit.Audit.expectation ->
+  Database.t ->
+  Plan.t ->
+  rset * annotated
+(** Like {!exec}, additionally appending one [Audit.record] per operator
+    (expected cardinality from the expectation tree vs observed output
+    width; scans over generated sources record as [Datagen_scan]).
+    Observation is pure: the result is bit-identical to {!exec}'s.
+    [?query] labels the records. *)
+
 val cardinality : Database.t -> Plan.t -> int
 (** Root output cardinality only. *)
 
 val aggregate_sum : Database.t -> string -> string -> int
 (** [aggregate_sum db rel col] streams the full relation and sums [col] —
     the aggregate-query shape of the data-supply experiment (Fig. 15). *)
+
+val aggregate_sum_audited :
+  ?query:string ->
+  Hydra_audit.Audit.trail ->
+  expected:int option ->
+  Database.t ->
+  string ->
+  string ->
+  int
+(** {!aggregate_sum} recording an [Aggregate] audit record whose
+    observed cardinality is the number of rows streamed. *)
 
 val pp_annotated : Format.formatter -> annotated -> unit

@@ -143,14 +143,25 @@ type hcell = {
   hc_buckets : int array;
 }
 
-(* per-span-name duration aggregate, fed by [with_span] *)
-type scell = { mutable sc_count : int; mutable sc_seconds : float }
+(* per-span-name aggregate, fed by [with_span]: durations plus the GC
+   allocation accrued inside the span (minor + major words, read from
+   [Gc.quick_stat] at open and close; both counters are domain-local in
+   OCaml 5, and a span opens and closes on one domain). Nested spans
+   double-count allocation exactly like they double-count seconds. *)
+type scell = {
+  mutable sc_count : int;
+  mutable sc_seconds : float;
+  mutable sc_minor_words : float;
+  mutable sc_major_words : float;
+}
 
 type open_span = {
   os_id : int;
   os_parent : int;
   os_name : string;
   os_start : float;
+  os_minor0 : float;
+  os_major0 : float;
   mutable os_attrs : attrs;
 }
 
@@ -273,7 +284,10 @@ let span_cell s name =
   match Hashtbl.find_opt s.sh_spans name with
   | Some c -> c
   | None ->
-      let c = { sc_count = 0; sc_seconds = 0.0 } in
+      let c =
+        { sc_count = 0; sc_seconds = 0.0; sc_minor_words = 0.0;
+          sc_major_words = 0.0 }
+      in
       Hashtbl.replace s.sh_spans name c;
       c
 
@@ -339,12 +353,18 @@ let close_span os =
   let agg = span_cell sh os.os_name in
   agg.sc_count <- agg.sc_count + 1;
   agg.sc_seconds <- agg.sc_seconds +. (sp.sp_end -. sp.sp_start);
+  let g = Gc.quick_stat () in
+  agg.sc_minor_words <-
+    agg.sc_minor_words +. Float.max 0.0 (g.Gc.minor_words -. os.os_minor0);
+  agg.sc_major_words <-
+    agg.sc_major_words +. Float.max 0.0 (g.Gc.major_words -. os.os_major0);
   deliver (fun s -> s.sink_span sp)
 
 let with_span ?(attrs = []) name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let sh = my_shard () in
+    let g0 = Gc.quick_stat () in
     let os =
       {
         os_id = 1 + Atomic.fetch_and_add next_id 1;
@@ -352,6 +372,8 @@ let with_span ?(attrs = []) name f =
           (match sh.sh_stack with [] -> -1 | s :: _ -> s.os_id);
         os_name = name;
         os_start = Mclock.now ();
+        os_minor0 = g0.Gc.minor_words;
+        os_major0 = g0.Gc.major_words;
         os_attrs = List.rev attrs;
       }
     in
@@ -371,7 +393,8 @@ type snapshot = {
   snap_counters : (string * int) list;
   snap_gauges : (string * float) list;
   snap_hists : (string * (int * float * int array)) list;
-  snap_spans : (string * (int * float)) list;
+  snap_spans : (string * (int * float * float * float)) list;
+      (* count, seconds, minor words, major words *)
 }
 
 let by_name (a, _) (b, _) = compare a b
@@ -430,18 +453,23 @@ let snapshot_of ss =
            (name, (!count, !sum, buckets)))
          hnames)
   in
-  let span_tbl : (string, int * float) Hashtbl.t = Hashtbl.create 32 in
+  let span_tbl : (string, int * float * float * float) Hashtbl.t =
+    Hashtbl.create 32
+  in
   List.iter
     (fun s ->
       Hashtbl.iter
         (fun name (cell : scell) ->
-          let c0, s0 =
+          let c0, s0, mn0, mj0 =
             match Hashtbl.find_opt span_tbl name with
             | Some x -> x
-            | None -> (0, 0.0)
+            | None -> (0, 0.0, 0.0, 0.0)
           in
           Hashtbl.replace span_tbl name
-            (c0 + cell.sc_count, s0 +. cell.sc_seconds))
+            ( c0 + cell.sc_count,
+              s0 +. cell.sc_seconds,
+              mn0 +. cell.sc_minor_words,
+              mj0 +. cell.sc_major_words ))
         s.sh_spans)
     ss;
   let spans = Hashtbl.fold (fun k v acc -> (k, v) :: acc) span_tbl [] in
@@ -464,7 +492,11 @@ let flatten snap =
         [ (k ^ ".count", float_of_int count); (k ^ ".sum", sum) ])
       snap.snap_hists
   @ List.concat_map
-      (fun (k, (count, seconds)) ->
+      (* allocation words are deliberately NOT flattened: [flatten] feeds
+         [diff] (per-view metric attribution) and the cross-jobs
+         determinism battery, and allocation — unlike counters — depends
+         on shard-growth and GC scheduling, so it varies across domains *)
+      (fun (k, (count, seconds, _minor, _major)) ->
         [
           ("span." ^ k ^ ".count", float_of_int count);
           ("span." ^ k ^ ".seconds", seconds);
@@ -479,6 +511,48 @@ let diff before after =
       let v0 = match List.assoc_opt k b with Some x -> x | None -> 0.0 in
       if v = v0 then None else Some (k, v -. v0))
     (flatten after)
+
+(* ---- percentile estimation over log-histogram buckets ---- *)
+
+(* rank-based estimate with linear interpolation inside the covering
+   bucket. Bucket 0's lower bound is taken as 0; the overflow bucket
+   returns its lower bound (a conservative under-estimate). Purely a
+   function of the bucket counts, hence deterministic across jobs. *)
+let percentile_of_buckets buckets q =
+  let total = Array.fold_left ( + ) 0 buckets in
+  if total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = Float.max 1.0 (q *. float_of_int total) in
+    let i = ref 0 and cum = ref 0 in
+    while
+      !i < num_buckets - 1
+      && float_of_int (!cum + buckets.(!i)) < target
+    do
+      cum := !cum + buckets.(!i);
+      Stdlib.incr i
+    done;
+    let lo = if !i = 0 then 0.0 else bucket_upper (!i - 1) in
+    if !i = num_buckets - 1 then lo
+    else begin
+      let inside = float_of_int (max 1 buckets.(!i)) in
+      let frac = (target -. float_of_int !cum) /. inside in
+      lo +. (frac *. (bucket_upper !i -. lo))
+    end
+  end
+
+let hist_percentiles (_count, _sum, buckets) =
+  ( percentile_of_buckets buckets 0.50,
+    percentile_of_buckets buckets 0.95,
+    percentile_of_buckets buckets 0.99 )
+
+let percentiles snap =
+  List.map (fun (k, h) -> (k, hist_percentiles h)) snap.snap_hists
+
+let span_alloc snap =
+  List.map
+    (fun (k, (_, _, minor, major)) -> (k, (minor, major)))
+    snap.snap_spans
 
 let snapshot_json snap =
   let buckets_json buckets =
@@ -507,23 +581,31 @@ let snapshot_json snap =
       ( "histograms",
         Json.Obj
           (List.map
-             (fun (k, (count, sum, buckets)) ->
+             (fun (k, ((count, sum, buckets) as h)) ->
+               let p50, p95, p99 = hist_percentiles h in
                ( k,
                  Json.Obj
                    [
                      ("count", Json.Int count);
                      ("sum", Json.Float sum);
+                     ("p50", Json.Float p50);
+                     ("p95", Json.Float p95);
+                     ("p99", Json.Float p99);
                      ("buckets", buckets_json buckets);
                    ] ))
              snap.snap_hists) );
       ( "spans",
         Json.Obj
           (List.map
-             (fun (k, (count, seconds)) ->
+             (fun (k, (count, seconds, minor, major)) ->
                ( k,
                  Json.Obj
-                   [ ("count", Json.Int count); ("seconds", Json.Float seconds) ]
-               ))
+                   [
+                     ("count", Json.Int count);
+                     ("seconds", Json.Float seconds);
+                     ("minor_words", Json.Float minor);
+                     ("major_words", Json.Float major);
+                   ] ))
              snap.snap_spans) );
     ]
 
@@ -621,7 +703,9 @@ let reset () =
       Hashtbl.iter
         (fun _ (cell : scell) ->
           cell.sc_count <- 0;
-          cell.sc_seconds <- 0.0)
+          cell.sc_seconds <- 0.0;
+          cell.sc_minor_words <- 0.0;
+          cell.sc_major_words <- 0.0)
         s.sh_spans)
     (all_shards ());
   Mutex.lock ring_m;

@@ -124,8 +124,8 @@ type snapshot
 
 val snapshot : unit -> snapshot
 (** Point-in-time copy of the whole registry, including per-span-name
-    duration aggregates, merged across every domain that ever
-    contributed. *)
+    duration and allocation aggregates, merged across every domain that
+    ever contributed. *)
 
 val local_snapshot : unit -> snapshot
 (** Like {!snapshot} but restricted to the calling domain's own shard —
@@ -139,7 +139,27 @@ val local_snapshot : unit -> snapshot
 val flatten : snapshot -> (string * float) list
 (** Flat metric view: counters and gauges under their own names,
     histograms as [name.count]/[name.sum], span aggregates as
-    [span.name.count]/[span.name.seconds]. Sorted by name. *)
+    [span.name.count]/[span.name.seconds]. Sorted by name. Span
+    allocation words are deliberately excluded (they are GC-schedule
+    dependent, so they would break cross-jobs metric determinism); read
+    them through {!span_alloc} or {!snapshot_json}. *)
+
+val percentile_of_buckets : int array -> float -> float
+(** [percentile_of_buckets buckets q] estimates the [q]-quantile
+    ([0..1]) of the observations summarized by a log-histogram bucket
+    array ({!bucket_of} layout): rank-based, linearly interpolated
+    inside the covering bucket, [0] when empty, and the overflow
+    bucket's lower bound when the rank lands there. Deterministic in the
+    bucket counts. *)
+
+val percentiles : snapshot -> (string * (float * float * float)) list
+(** Per-histogram [(p50, p95, p99)] estimates, in snapshot (name)
+    order. *)
+
+val span_alloc : snapshot -> (string * (float * float)) list
+(** Per-span-name [(minor_words, major_words)] allocated inside the
+    span (summed over all closings, nested spans double-counted like
+    seconds), in snapshot order. *)
 
 val diff : snapshot -> snapshot -> (string * float) list
 (** [diff before after]: flattened after-minus-before, non-zero entries

@@ -36,6 +36,17 @@ let same_expression a b =
   && Predicate.equal a.predicate b.predicate
   && a.group_by = b.group_by
 
+(* stable string form of the expression identity; audit trails use it to
+   deduplicate operator edges shared by several measured plans *)
+let key cc =
+  let base =
+    Printf.sprintf "sigma(%s)(%s)"
+      (Predicate.to_string cc.predicate)
+      (String.concat "," cc.relations)
+  in
+  if cc.group_by = [] then base
+  else Printf.sprintf "delta_{%s}(%s)" (String.concat "," cc.group_by) base
+
 let dedup ccs =
   List.fold_left
     (fun acc cc ->
@@ -59,9 +70,9 @@ let root_relation schema cc =
            (Printf.sprintf "no root relation covers join group {%s}"
               (String.concat "," cc.relations)))
 
-(* verify a CC against a live database instance *)
-let measure db cc =
-  let schema = Hydra_engine.Database.schema db in
+(* the plan a CC is verified with: left-deep PK-FK join from the root,
+   then the predicate filter, then grouping *)
+let measurement_plan schema cc =
   let root = root_relation schema cc in
   let others = List.filter (fun r -> r <> root) cc.relations in
   let joined =
@@ -78,11 +89,13 @@ let measure db cc =
     if Predicate.equal cc.predicate Predicate.true_ then joined
     else Hydra_engine.Plan.Filter (cc.predicate, joined)
   in
-  let plan =
-    if cc.group_by = [] then plan
-    else Hydra_engine.Plan.Group_by (cc.group_by, plan)
-  in
-  Hydra_engine.Executor.cardinality db plan
+  if cc.group_by = [] then plan
+  else Hydra_engine.Plan.Group_by (cc.group_by, plan)
+
+(* verify a CC against a live database instance *)
+let measure db cc =
+  Hydra_engine.Executor.cardinality db
+    (measurement_plan (Hydra_engine.Database.schema db) cc)
 
 (* relative error of a database instance w.r.t. the CC; zero-cardinality
    CCs use a +1 denominator so repair tuples register as bounded error *)

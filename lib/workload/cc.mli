@@ -26,6 +26,11 @@ val size_cc : string -> int -> t
 val same_expression : t -> t -> bool
 (** Equality of the constrained expression, ignoring the count. *)
 
+val key : t -> string
+(** Stable string form of the constrained expression (relations,
+    predicate, grouping — no count): equal keys iff {!same_expression}.
+    Audit trails use it as the operator-edge identity. *)
+
 val dedup : t list -> t list
 (** Keep the first CC of each distinct expression, preserving order. *)
 
@@ -34,6 +39,11 @@ val root_relation : Schema.t -> t -> string
     referential constraints; the preprocessor rewrites the CC as a
     selection on this relation's view (Sec. 3.2).
     @raise Schema.Schema_error when no member covers the group. *)
+
+val measurement_plan : Schema.t -> t -> Hydra_engine.Plan.t
+(** The plan {!measure} executes: a left-deep PK-FK join from
+    {!root_relation}, the predicate filter, then grouping.
+    @raise Schema.Schema_error when the join group is not connected. *)
 
 val measure : Hydra_engine.Database.t -> t -> int
 (** Execute the CC's expression against a database instance and return

@@ -54,6 +54,47 @@ let ccs_of_query db q =
   let _, _, ccs = ccs_of_node q.plan ann in
   List.rev ccs
 
+(* The audit-time mirror of [ccs_of_node]: walk a plan carrying the same
+   (relations, conjoined predicate) expression per operator edge, and
+   annotate each edge with the cardinality of the matching CC, if the
+   given CC set covers that edge. Because the walk computes expressions
+   exactly the way extraction does, an extracted workload's every edge
+   matches and an audited re-execution can compare operator-for-operator. *)
+let audit_expectation ccs plan =
+  let module Audit = Hydra_audit.Audit in
+  let annotate ?(group_by = []) rels pred children =
+    let probe = Cc.make ~group_by rels pred 0 in
+    let card =
+      match List.find_opt (Cc.same_expression probe) ccs with
+      | Some (cc : Cc.t) -> Some cc.Cc.card
+      | None -> None
+    in
+    {
+      Audit.exp_key = Cc.key probe;
+      exp_rels = probe.Cc.relations;
+      exp_card = card;
+      exp_children = children;
+    }
+  in
+  let rec walk plan =
+    match plan with
+    | Plan.Scan r -> ([ r ], Predicate.true_, annotate [ r ] Predicate.true_ [])
+    | Plan.Filter (p, child) ->
+        let rels, pred, ce = walk child in
+        let pred = Predicate.conj pred p in
+        (rels, pred, annotate rels pred [ ce ])
+    | Plan.Join (l, r, _) ->
+        let lrels, lpred, le = walk l in
+        let rrels, rpred, re = walk r in
+        let rels = lrels @ rrels and pred = Predicate.conj lpred rpred in
+        (rels, pred, annotate rels pred [ le; re ])
+    | Plan.Group_by (attrs, child) ->
+        let rels, pred, ce = walk child in
+        (rels, pred, annotate ~group_by:attrs rels pred [ ce ])
+  in
+  let _, _, e = walk plan in
+  e
+
 (* All CCs of the workload measured on [db], deduplicated across queries
    (identical subexpressions appear in many queries). Queries evaluate
    independently against the read-only client database, so they run on

@@ -16,6 +16,15 @@ val num_queries : t -> int
 val ccs_of_query : Database.t -> query -> Cc.t list
 (** CCs of one query's AQP, one per operator output edge, in plan order. *)
 
+val audit_expectation : Cc.t list -> Plan.t -> Hydra_audit.Audit.expectation
+(** Mirror a plan into the expectation tree an audited execution
+    ([Executor.exec_audited]) consumes: each operator edge carries its
+    CC expression identity ([Cc.key]) and, when some CC in the list has
+    that expression, the expected cardinality. Edges no CC covers get
+    [exp_card = None] (recorded but unannotated). The walk computes
+    edge expressions exactly as {!ccs_of_query}'s extraction does, so
+    for an extracted workload every edge is annotated. *)
+
 val extract_ccs : ?jobs:int -> Database.t -> t -> Cc.t list
 (** All CCs of the workload measured on the given (client) database,
     deduplicated across queries. [jobs] (default 1) evaluates the AQPs

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI entry point: full build, every test suite, and the bench
+# regression gate against the committed baselines.
+#
+#   scripts/ci.sh            # from the repo root
+#
+# The gate re-runs the cheap bench targets (smoke, audit) and compares
+# their fresh BENCH_<target>.json artifacts against bench/baselines/.
+# Timing/allocation fields pass within BENCH_CHECK_TOLERANCE (default
+# 8x); every other field must match exactly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune build @bench/bench-gate

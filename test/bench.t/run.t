@@ -1,0 +1,29 @@
+The bench regression gate: `hydra-bench check` compares each fresh
+BENCH_<target>.json artifact in the working directory against the
+per-target baseline JSON. Resource fields (seconds, allocation words)
+pass within a tolerance factor; every other field — cardinalities,
+fidelity, audit roll-ups — must match the baseline exactly.
+
+  $ hydra-bench audit > /dev/null
+  $ mkdir baselines && cp BENCH_audit.json baselines/audit.json
+  $ hydra-bench check
+  check audit: ok
+  bench check: 1 target(s) within tolerance 8x
+
+BENCH_BASELINES overrides the baseline directory. A perturbed baseline
+must fail the gate: deterministic fields are compared exactly.
+
+  $ mkdir perturbed && sed 's/"exact": 8/"exact": 7/' baselines/audit.json > perturbed/audit.json
+  $ BENCH_BASELINES=perturbed hydra-bench check
+  check audit: FAIL
+    audit.audit.exact: expected 7, got 8
+  [1]
+
+A baseline without a fresh artifact is a failure, not a silent skip.
+
+  $ cp baselines/audit.json baselines/smoke.json
+  $ hydra-bench check
+  check audit: ok
+  check smoke: FAIL
+    missing BENCH_smoke.json (run `hydra-bench smoke` first)
+  [1]

@@ -179,6 +179,46 @@ the default and an explicit --jobs beats it.
   $ HYDRA_JOBS=2 hydra summary toy.hydra -o env2.summary --jobs 3 --json | grep '"jobs"'
     "jobs": 3,
 
+Volumetric-accuracy auditing: --audit-out records expected vs observed
+cardinality for every plan operator of the audited validation and
+writes a machine-readable report whose per-relation roll-up reconciles
+exactly with the validate verdict. The audited execution runs on the
+dynamic generator, so the report is byte-identical at any --jobs.
+
+  $ hydra summary toy.hydra -o audited.summary --audit-out audit.json --jobs 1 | tail -1
+  audit: 10 operators (8 annotated, 8 exact), max |rel err| 0.00% -> audit.json (reconciles with validate)
+  $ grep -c '"reconciles": true' audit.json
+  1
+  $ grep -c '"op": "datagen_scan"' audit.json
+  11
+  $ hydra summary toy.hydra -o audited4.summary --audit-out audit4.json --jobs 4 > /dev/null
+  $ cmp audit.json audit4.json
+
+  $ hydra validate toy.hydra toy.summary --dynamic --audit-out vaudit.json | head -2
+  audit: 10 operators (8 annotated, 8 exact), max |rel err| 0.00% -> vaudit.json (reconciles with validate)
+  CCs: 8, exact: 100.0%, mean |err|: 0.000%, max |err|: 0.000%, negative: 0.0%
+
+--flame-out writes the span tree as folded stacks (flamegraph input);
+parent;child paths are reconstructed from the span parent links.
+
+  $ hydra summary toy.hydra -o flame.summary --flame-out flame.folded > /dev/null
+  $ grep -c '^pipeline.view;view.merge ' flame.folded
+  1
+  $ grep -c '^pipeline.assemble ' flame.folded
+  1
+
+Histogram snapshots now carry p50/p95/p99 estimates and span
+aggregates carry GC allocation words; --report prints a percentile
+section for populated histograms.
+
+  $ hydra summary toy.hydra -o pct.summary --metrics-out pmetrics.json > /dev/null
+  $ grep -q '"p50"' pmetrics.json && grep -q '"p95"' pmetrics.json && grep -q '"p99"' pmetrics.json && echo percentiles-present
+  percentiles-present
+  $ grep -q '"minor_words"' pmetrics.json && grep -q '"major_words"' pmetrics.json && echo alloc-present
+  alloc-present
+  $ hydra summary toy.hydra -o pct2.summary --report --audit-out pct2_audit.json | grep -c 'histogram percentiles (p50 / p95 / p99):'
+  1
+
 A non-positive width is a usage error, not a silent clamp.
 
   $ hydra summary toy.hydra --jobs 0

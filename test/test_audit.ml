@@ -1,0 +1,422 @@
+(* Tests for the volumetric-accuracy auditing layer (hydra.audit):
+   relative-error conventions, CC-derived expectation trees, audited
+   execution purity, exact reconciliation of the per-relation roll-up
+   with Validate, structured incident attribution in the event ring,
+   and a differential qcheck property checking that audit trails are
+   identical at jobs=1 and jobs=k on random star-schema environments. *)
+
+open Hydra_rel
+open Hydra_workload
+module Audit = Hydra_audit.Audit
+module Obs = Hydra_obs.Obs
+module Executor = Hydra_engine.Executor
+module Plan = Hydra_engine.Plan
+module Database = Hydra_engine.Database
+module Table = Hydra_rel.Table
+module Pipeline = Hydra_core.Pipeline
+module Tuple_gen = Hydra_core.Tuple_gen
+module Validate = Hydra_core.Validate
+
+let scrub () =
+  Obs.set_enabled false;
+  Obs.reset ()
+
+(* ---- relative-error conventions ---- *)
+
+let test_rel_error () =
+  Alcotest.(check (float 1e-12)) "over" 0.2
+    (Audit.rel_error ~expected:10 ~observed:12);
+  Alcotest.(check (float 1e-12)) "under (signed)" (-0.2)
+    (Audit.rel_error ~expected:10 ~observed:8);
+  Alcotest.(check (float 1e-12)) "exact" 0.0
+    (Audit.rel_error ~expected:7 ~observed:7);
+  (* zero expectation: the divisor clamps at 1, as in Validate *)
+  Alcotest.(check (float 1e-12)) "zero expected, zero observed" 0.0
+    (Audit.rel_error ~expected:0 ~observed:0);
+  Alcotest.(check (float 1e-12)) "zero expected, surplus" 5.0
+    (Audit.rel_error ~expected:0 ~observed:5)
+
+(* ---- a tiny two-relation stored environment ---- *)
+
+let attr name = { Schema.aname = name; dom_lo = 0; dom_hi = 20 }
+
+let two_rel_schema =
+  Schema.create
+    [
+      { Schema.rname = "s"; pk = "s_pk"; fks = []; attrs = [ attr "a" ] };
+      {
+        Schema.rname = "r";
+        pk = "r_pk";
+        fks = [ ("fk_s", "s") ];
+        attrs = [ attr "b" ];
+      };
+    ]
+
+let populate_two_rel () =
+  let db = Database.create two_rel_schema in
+  let s = Table.create "s" [ "s_pk"; "a" ] in
+  for i = 1 to 10 do
+    Table.add_row s [| i; i mod 20 |]
+  done;
+  Database.bind_table db s;
+  let r = Table.create "r" [ "r_pk"; "fk_s"; "b" ] in
+  for i = 1 to 40 do
+    Table.add_row r [| i; 1 + (i mod 10); (3 * i) mod 20 |]
+  done;
+  Database.bind_table db r;
+  db
+
+let sa_filter lo hi plan =
+  Plan.Filter
+    ( Predicate.of_conjuncts [ [ (Schema.qualify "s" "a", Interval.make lo hi) ] ],
+      plan )
+
+let join_plan =
+  Plan.Join
+    (Plan.Scan "r", Plan.Scan "s", { Plan.fk_col = "r.fk_s"; pk_rel = "s" })
+
+(* ---- expectation trees from CC annotations ---- *)
+
+let test_audit_expectation () =
+  let pred =
+    Predicate.atom (Schema.qualify "s" "a") (Interval.make 2 9)
+  in
+  let cc_join = Cc.make [ "r"; "s" ] pred 123 in
+  let cc_s = Cc.make [ "s" ] pred 7 in
+  let ccs = [ Cc.size_cc "r" 40; Cc.size_cc "s" 10; cc_s; cc_join ] in
+  let plan = Cc.measurement_plan two_rel_schema cc_join in
+  let exp = Workload.audit_expectation ccs plan in
+  Alcotest.(check string) "root key is the CC expression" (Cc.key cc_join)
+    exp.Audit.exp_key;
+  Alcotest.(check (option int)) "root card from the CC" (Some 123)
+    exp.Audit.exp_card;
+  Alcotest.(check (list string)) "root relations" [ "r"; "s" ]
+    exp.Audit.exp_rels;
+  (* every node of the tree got an expectation entry, and leaf scans
+     over r/s are annotated by the size CCs *)
+  let rec leaves e =
+    match e.Audit.exp_children with
+    | [] -> [ e ]
+    | cs -> List.concat_map leaves cs
+  in
+  let scan_cards =
+    List.filter_map
+      (fun e ->
+        match e.Audit.exp_rels with
+        | [ "r" ] -> Some ("r", e.Audit.exp_card)
+        | [ "s" ] -> Some ("s", e.Audit.exp_card)
+        | _ -> None)
+      (leaves exp)
+  in
+  Alcotest.(check bool) "r scan annotated" true
+    (List.mem ("r", Some 40) scan_cards);
+  Alcotest.(check bool) "s scan annotated" true
+    (List.mem ("s", Some 10) scan_cards)
+
+(* ---- audited execution: purity and per-operator records ---- *)
+
+let test_exec_audited_pure () =
+  scrub ();
+  let db = populate_two_rel () in
+  let plan = sa_filter 2 9 join_plan in
+  let pred = Predicate.atom (Schema.qualify "s" "a") (Interval.make 2 9) in
+  let cc = Cc.make [ "r"; "s" ] pred 0 in
+  let expect =
+    Workload.audit_expectation [ Cc.size_cc "r" 40; cc ] plan
+  in
+  let plain, plain_ann = Executor.exec db plan in
+  let trail = Audit.create () in
+  let audited, audited_ann = Executor.exec_audited ~query:"q" trail expect db plan in
+  Alcotest.(check int) "same width" plain.Executor.width
+    audited.Executor.width;
+  Alcotest.(check bool) "same bindings" true
+    (plain.Executor.bindings = audited.Executor.bindings);
+  Alcotest.(check bool) "same annotated tree" true (plain_ann = audited_ann);
+  let records = Audit.records trail in
+  (* filter + join + two scans *)
+  Alcotest.(check int) "one record per operator" 4 (List.length records);
+  let kinds = List.map (fun r -> r.Audit.r_op) records in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Audit.op_name k ^ " recorded") true
+        (List.mem k kinds))
+    [ Audit.Scan; Audit.Join; Audit.Filter ];
+  (* observed cardinalities are the engine's own output widths *)
+  List.iter
+    (fun (r : Audit.record) ->
+      Alcotest.(check bool) "observed non-negative" true (r.Audit.r_observed >= 0))
+    records;
+  (* the filter record is annotated by the CC and measures observed =
+     what the plain execution computed *)
+  match
+    List.find_opt (fun r -> r.Audit.r_op = Audit.Filter) records
+  with
+  | None -> Alcotest.fail "no filter record"
+  | Some r ->
+      Alcotest.(check int) "filter observed = root width"
+        plain.Executor.width r.Audit.r_observed;
+      Alcotest.(check string) "filter key is the CC expression" (Cc.key cc)
+        r.Audit.r_key
+
+let test_datagen_scan_kind () =
+  scrub ();
+  (* regenerate a one-relation environment, then audit a scan over the
+     dynamic (generated) source: the scan must record as Datagen_scan *)
+  let schema =
+    Schema.create
+      [ { Schema.rname = "r"; pk = "r_pk"; fks = []; attrs = [ attr "a" ] } ]
+  in
+  let ccs = [ Cc.size_cc "r" 50 ] in
+  let result = Pipeline.regenerate schema ccs in
+  let dyn = Tuple_gen.dynamic result.Pipeline.summary in
+  let trail = Audit.create () in
+  let expect = Workload.audit_expectation ccs (Plan.Scan "r") in
+  let rset, _ = Executor.exec_audited trail expect dyn (Plan.Scan "r") in
+  Alcotest.(check int) "generated rows" 50 rset.Executor.width;
+  match Audit.records trail with
+  | [ r ] ->
+      Alcotest.(check string) "kind" "datagen_scan" (Audit.op_name r.Audit.r_op);
+      Alcotest.(check (option int)) "expected from size CC" (Some 50)
+        r.Audit.r_expected;
+      Alcotest.(check int) "observed" 50 r.Audit.r_observed
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
+
+(* ---- audited validation reconciles with Validate ---- *)
+
+let toy_ccs =
+  let pred = Predicate.atom (Schema.qualify "s" "a") (Interval.make 2 9) in
+  [
+    Cc.size_cc "r" 40;
+    Cc.size_cc "s" 10;
+    Cc.make [ "s" ] pred 4;
+    Cc.make [ "r"; "s" ] pred 16;
+  ]
+
+let test_validate_audit_reconciles () =
+  scrub ();
+  let db = populate_two_rel () in
+  let plain = Validate.check db toy_ccs in
+  let trail = Audit.create () in
+  let audited = Validate.check ~audit:trail db toy_ccs in
+  Alcotest.(check bool) "audit does not change the verdict" true
+    (plain = audited);
+  let groups = Audit.by_relation (Audit.records trail) in
+  Alcotest.(check bool) "roll-up reconciles field-for-field" true
+    (Validate.reconciles_audit audited groups);
+  (* and the summary stats see every annotated edge exactly once *)
+  let _ops, annotated, _exact, _max = Audit.summary_stats (Audit.records trail) in
+  Alcotest.(check int) "annotated distinct edges" (List.length toy_ccs)
+    annotated
+
+(* ---- incident attribution: degraded views carry view + rung ---- *)
+
+let attr_of e name =
+  List.assoc_opt name e.Obs.ev_attrs
+
+let test_incident_attribution () =
+  scrub ();
+  let schema =
+    Schema.create
+      [ { Schema.rname = "r"; pk = "r_pk"; fks = []; attrs = [ attr "a" ] } ]
+  in
+  let ccs = [ Cc.size_cc "r" 100 ] in
+  (* an already-expired deadline forces the fallback rung *)
+  let result = Pipeline.regenerate ~deadline_s:0.0 schema ccs in
+  Alcotest.(check int) "view fell back" 1
+    result.Pipeline.diagnostics.Pipeline.fallback_views;
+  let incident =
+    List.find_opt
+      (fun e -> attr_of e "view" = Some (Obs.Str "r"))
+      (Obs.recent_events ())
+  in
+  match incident with
+  | None -> Alcotest.fail "no event in the ring names the degraded view"
+  | Some e ->
+      Alcotest.(check bool) "rung attr present" true
+        (attr_of e "rung" = Some (Obs.Str "fallback"));
+      (* the structured report renders both fields *)
+      let doc = Audit.report_json ~reconciles:true ~incidents:[ e ] [] in
+      let s = Hydra_obs.Json.to_string_pretty doc in
+      let contains sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "report carries the view" true
+        (contains "\"view\": \"r\"");
+      Alcotest.(check bool) "report carries the rung" true
+        (contains "\"rung\": \"fallback\"")
+
+(* ---- property: audit trails are jobs-invariant and reconcile ---- *)
+
+let cases =
+  match Option.bind (Sys.getenv_opt "HYDRA_AUDIT_CASES") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 25
+
+let par_jobs = 3
+let attr_count = 2
+
+let env_gen =
+  let open QCheck.Gen in
+  let* ndims = int_range 1 2 in
+  let* dim_sizes = list_size (return ndims) (int_range 3 25) in
+  let* fact_size = int_range 20 150 in
+  let* nqueries = int_range 1 3 in
+  let* seed = int_range 0 10000 in
+  let* query_specs =
+    list_size (return nqueries)
+      (list_size (return (ndims + 1))
+         (option
+            (pair (int_range 0 (attr_count - 1))
+               (pair (int_range 0 15) (int_range 1 8)))))
+  in
+  return (dim_sizes, fact_size, query_specs, seed)
+
+let build_env (dim_sizes, fact_size, query_specs, seed) =
+  let dims = List.mapi (fun i n -> (Printf.sprintf "d%d" i, n)) dim_sizes in
+  let mk_attrs prefix =
+    List.init attr_count (fun i ->
+        {
+          Schema.aname = Printf.sprintf "%s%d" prefix i;
+          dom_lo = 0;
+          dom_hi = 20;
+        })
+  in
+  let relations =
+    List.map
+      (fun (name, _) ->
+        {
+          Schema.rname = name;
+          pk = name ^ "_pk";
+          fks = [];
+          attrs = mk_attrs name;
+        })
+      dims
+    @ [
+        {
+          Schema.rname = "fact";
+          pk = "fact_pk";
+          fks = List.map (fun (d, _) -> ("fk_" ^ d, d)) dims;
+          attrs = mk_attrs "f";
+        };
+      ]
+  in
+  let schema = Schema.create relations in
+  let rel_names = "fact" :: List.map fst dims in
+  let queries =
+    List.map
+      (fun filters ->
+        List.map2
+          (fun rel f ->
+            match f with
+            | None -> (rel, None)
+            | Some (ai, (lo, w)) ->
+                let attr_prefix = if rel = "fact" then "f" else rel in
+                let q =
+                  Schema.qualify rel (Printf.sprintf "%s%d" attr_prefix ai)
+                in
+                let lo = min lo 18 in
+                let hi = min 20 (lo + w) in
+                (rel, Some (Predicate.atom q (Interval.make lo hi))))
+          rel_names filters)
+      query_specs
+  in
+  (schema, dims, fact_size, queries, seed)
+
+let populate (schema, dims, fact_size, _queries, seed) =
+  let db = Database.create schema in
+  let rng = ref (seed + 7) in
+  let next () =
+    rng := (!rng * 0x343FD) + 0x269EC3;
+    (!rng lsr 8) land 0xFFFFFF
+  in
+  List.iter
+    (fun r ->
+      let rname = r.Schema.rname in
+      let n = if rname = "fact" then fact_size else List.assoc rname dims in
+      let t = Table.create rname (Schema.columns r) in
+      for row = 1 to n do
+        let fks =
+          List.map
+            (fun (_, tgt) -> 1 + (next () mod List.assoc tgt dims))
+            r.Schema.fks
+        in
+        let attrs = List.map (fun _ -> next () mod 20) r.Schema.attrs in
+        Table.add_row t (Array.of_list ((row :: fks) @ attrs))
+      done;
+      Database.bind_table db t)
+    (Schema.relations schema);
+  db
+
+let workload_of (schema, _dims, _fact, queries, _seed) =
+  Workload.create
+    (List.mapi
+       (fun i parts ->
+         {
+           Workload.qname = Printf.sprintf "q%d" i;
+           plan = Workload.left_deep_plan schema parts;
+         })
+       queries)
+
+let sizes_of (schema, _, _, _, _) db =
+  List.map
+    (fun r -> (r.Schema.rname, Database.nrows db r.Schema.rname))
+    (Schema.relations schema)
+
+(* one full run at a given width, audited validation at the end; the
+   record list (all ints and strings) must be a pure function of the
+   inputs, so it must match across jobs *)
+let run_at ~jobs env =
+  let (schema, _, _, _, _) = env in
+  let db = populate env in
+  let wl = workload_of env in
+  let ccs = Workload.extract_ccs ~jobs db wl in
+  let result =
+    Pipeline.regenerate ~sizes:(sizes_of env db) ~jobs schema ccs
+  in
+  let mdb = Tuple_gen.materialize ~jobs result.Pipeline.summary in
+  let trail = Audit.create () in
+  let v = Validate.check ~audit:trail mdb ccs in
+  (Audit.records trail, v)
+
+let prop_audit_jobs_invariant =
+  QCheck.Test.make
+    ~name:"audit trail reconciles with Validate and is jobs-invariant"
+    ~count:cases (QCheck.make env_gen) (fun raw ->
+      let env = build_env raw in
+      scrub ();
+      let rec1, v1 = run_at ~jobs:1 env in
+      let reck, vk = run_at ~jobs:par_jobs env in
+      if not (Validate.reconciles_audit v1 (Audit.by_relation rec1)) then
+        QCheck.Test.fail_report "jobs=1 roll-up does not reconcile";
+      if not (Validate.reconciles_audit vk (Audit.by_relation reck)) then
+        QCheck.Test.fail_reportf "jobs=%d roll-up does not reconcile" par_jobs;
+      if rec1 <> reck then
+        QCheck.Test.fail_report "audit records differ across jobs";
+      true)
+
+let suite =
+  [
+    ( "audit-core",
+      [
+        Alcotest.test_case "relative-error conventions" `Quick test_rel_error;
+        Alcotest.test_case "expectation tree from CCs" `Quick
+          test_audit_expectation;
+        Alcotest.test_case "audited execution is pure" `Quick
+          test_exec_audited_pure;
+        Alcotest.test_case "dynamic scans record as datagen_scan" `Quick
+          test_datagen_scan_kind;
+      ] );
+    ( "audit-reconcile",
+      [
+        Alcotest.test_case "Validate.check ~audit reconciles" `Quick
+          test_validate_audit_reconciles;
+        Alcotest.test_case "incident attribution carries view + rung" `Quick
+          test_incident_attribution;
+      ] );
+    ( "audit-properties",
+      [ QCheck_alcotest.to_alcotest prop_audit_jobs_invariant ] );
+  ]
+
+let () = Alcotest.run "hydra-audit" suite

@@ -9,6 +9,7 @@ open Hydra_workload
 module Obs = Hydra_obs.Obs
 module Mclock = Hydra_obs.Mclock
 module Json = Hydra_obs.Json
+module Flame = Hydra_obs.Flame
 module Pipeline = Hydra_core.Pipeline
 
 (* every test leaves the global registry disabled and zeroed *)
@@ -241,6 +242,97 @@ let test_metrics_json_roundtrip () =
           | _ -> Alcotest.fail "counters.simplex.iterations missing")
       | None -> Alcotest.fail "counters object missing")
 
+(* ---- percentile estimation over the log-scaled buckets ---- *)
+
+let test_percentiles () =
+  (* empty histogram: every percentile is 0 *)
+  let empty = Array.make Obs.num_buckets 0 in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0
+    (Obs.percentile_of_buckets empty 0.5);
+  (* all 100 observations in bucket 20, which covers (0.5, 1.0]:
+     linear interpolation inside the bucket gives p50 = 0.75 *)
+  let b = Array.make Obs.num_buckets 0 in
+  let i10 = Obs.bucket_of 1.0 in
+  b.(i10) <- 100;
+  Alcotest.(check (float 1e-9)) "p50 mid-bucket" 0.75
+    (Obs.percentile_of_buckets b 0.5);
+  Alcotest.(check (float 1e-9)) "p95" 0.975 (Obs.percentile_of_buckets b 0.95);
+  Alcotest.(check (float 1e-9)) "p99" 0.995 (Obs.percentile_of_buckets b 0.99);
+  (* mass split across two buckets: p50 exhausts the first bucket *)
+  let b2 = Array.make Obs.num_buckets 0 in
+  b2.(i10) <- 50;
+  b2.(i10 + 1) <- 50;
+  Alcotest.(check (float 1e-9)) "p50 at bucket boundary" 1.0
+    (Obs.percentile_of_buckets b2 0.5);
+  Alcotest.(check bool) "p95 lands in the second bucket" true
+    (Obs.percentile_of_buckets b2 0.95 > 1.0);
+  (* percentiles surface through a live snapshot *)
+  scrub ();
+  Obs.set_enabled true;
+  let h = Obs.histogram "t.pct" in
+  List.iter (Obs.observe h) [ 0.75; 0.75; 0.75 ];
+  let pcts = Obs.percentiles (Obs.snapshot ()) in
+  scrub ();
+  match List.assoc_opt "t.pct" pcts with
+  | None -> Alcotest.fail "t.pct missing from percentiles"
+  | Some (p50, p95, p99) ->
+      Alcotest.(check bool) "snapshot percentiles inside bucket 20" true
+        (p50 > 0.5 && p50 <= 1.0 && p95 >= p50 && p99 >= p95)
+
+(* ---- folded-stack export on a hand-built span tree ---- *)
+
+let mk_span ?(attrs = []) id parent name s e =
+  {
+    Obs.sp_id = id;
+    sp_parent = parent;
+    sp_name = name;
+    sp_start = s;
+    sp_end = e;
+    sp_attrs = attrs;
+  }
+
+let test_folded_stacks () =
+  (* a (10ms) with two b children (2ms each), one of which holds a
+     c grandchild (1ms): self times are a=6ms, b=3ms total, c=1ms *)
+  let spans =
+    [
+      mk_span 4 2 "c" 0.0015 0.0025;
+      mk_span 2 1 "b" 0.001 0.003;
+      mk_span 3 1 "b" 0.004 0.006;
+      mk_span 1 (-1) "a" 0.0 0.010;
+    ]
+  in
+  let folded = Flame.folded spans in
+  Alcotest.(check (list (pair string int)))
+    "aggregated self-time paths"
+    [ ("a", 6000); ("a;b", 3000); ("a;b;c", 1000) ]
+    folded;
+  (* completion order must not matter *)
+  Alcotest.(check (list (pair string int)))
+    "order-insensitive" folded
+    (Flame.folded (List.rev spans));
+  (* a span whose parent is missing from the list roots at its own name *)
+  Alcotest.(check (list (pair string int)))
+    "orphan becomes a root"
+    [ ("lost", 1000) ]
+    (Flame.folded [ mk_span 7 99 "lost" 0.0 0.001 ]);
+  Alcotest.(check string) "rendered lines" "a 6000\na;b 3000\na;b;c 1000\n"
+    (Flame.folded_string spans)
+
+let test_flame_collector () =
+  scrub ();
+  let c = Flame.create () in
+  Obs.add_sink (Flame.sink c);
+  Obs.set_enabled true;
+  ignore (Obs.with_span "outer" (fun () -> Obs.with_span "inner" (fun () -> 7)));
+  let folded = Flame.folded (Flame.spans c) in
+  scrub ();
+  Alcotest.(check (list string))
+    "collector paths" [ "outer"; "outer;inner" ]
+    (List.map fst folded);
+  Alcotest.(check bool) "self times non-negative" true
+    (List.for_all (fun (_, v) -> v >= 0) folded)
+
 (* ---- property: observation never changes what is computed ---- *)
 
 let obs_env_gen =
@@ -310,6 +402,10 @@ let suite =
           test_counter_reset_and_disabled;
         Alcotest.test_case "event ring always on" `Quick
           test_event_ring_always_on;
+        Alcotest.test_case "histogram percentiles" `Quick test_percentiles;
+        Alcotest.test_case "folded stacks on a known tree" `Quick
+          test_folded_stacks;
+        Alcotest.test_case "flame collector sink" `Quick test_flame_collector;
       ] );
     ( "obs-pipeline",
       [
