@@ -38,6 +38,12 @@ let time f =
   let v = f () in
   (v, Mclock.now () -. t0)
 
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let header title paper =
   Printf.printf "\n==== %s ====\n" title;
   Printf.printf "paper: %s\n%!" paper
@@ -685,6 +691,86 @@ let par () =
   in
   [ ("jobs_curve", Json.List curve) ]
 
+(* ---- Cache: cold vs warm incremental regeneration (hydra.cache) ---- *)
+
+let cache_bench () =
+  header "Cache: content-addressed solve cache, cold vs warm (WLs)"
+    "not in the paper: re-running an unchanged workload replays every \
+     per-view solve from the on-disk cache — 100% hits, byte-identical \
+     summary, no solver work";
+  let module Cache = Hydra_cache.Cache in
+  let ccs = Lazy.force wls_ccs in
+  let sizes = Lazy.force tpcds_sizes in
+  let dir = Filename.temp_file "hydra_bench_cache" "" in
+  Sys.remove dir;
+  let cache = Cache.create ~dir in
+  let summary_bytes s =
+    let path = Filename.temp_file "hydra_bench_cache" ".summary" in
+    Summary.save path s;
+    let b = slurp path in
+    Sys.remove path;
+    b
+  in
+  let statuses (r : Pipeline.result) =
+    List.map
+      (fun (v : Pipeline.view_stats) ->
+        ( v.Pipeline.rel,
+          match v.Pipeline.status with
+          | Pipeline.Exact -> "exact"
+          | Pipeline.Relaxed _ -> "relaxed"
+          | Pipeline.Fallback _ -> "fallback" ))
+      r.Pipeline.views
+  in
+  let run () = Pipeline.regenerate ~sizes ~cache T.schema ccs in
+  let cold, cold_t = time run in
+  let after_cold = Cache.stats cache in
+  let warm, warm_t = time run in
+  let after_warm = Cache.stats cache in
+  let warm_hits = after_warm.Cache.hits - after_cold.Cache.hits in
+  let warm_misses = after_warm.Cache.misses - after_cold.Cache.misses in
+  let identical =
+    summary_bytes cold.Pipeline.summary = summary_bytes warm.Pipeline.summary
+    && statuses cold = statuses warm
+  in
+  Printf.printf "cold: %.3fs  (%d misses, %d entries stored)\n" cold_t
+    after_cold.Cache.misses after_cold.Cache.stores;
+  Printf.printf "warm: %.3fs  (%d hits, %d misses)  speedup %.1fx\n" warm_t
+    warm_hits warm_misses
+    (cold_t /. Float.max warm_t 1e-9);
+  Printf.printf "warm summary %s\n"
+    (if identical then "byte-identical to cold" else "DIVERGED from cold");
+  (* best-effort cleanup of the scratch cache directory *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat dir f))
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with _ -> ());
+  if not identical then begin
+    Printf.eprintf
+      "cache: warm regeneration diverged from cold — replay contract broken\n";
+    exit 1
+  end;
+  if warm_misses > 0 || warm_hits <> after_cold.Cache.misses then begin
+    Printf.eprintf
+      "cache: warm run was not served entirely from the cache (%d hits, %d \
+       misses; cold had %d misses)\n"
+      warm_hits warm_misses after_cold.Cache.misses;
+    exit 1
+  end;
+  (* cold/warm seconds are resource-keyed (bounded, not exact) in the
+     gate; the hit/miss/store tallies and the identity flag are exact *)
+  [
+    ("cold", Json.Obj [ ("seconds", Json.Float cold_t) ]);
+    ("warm", Json.Obj [ ("seconds", Json.Float warm_t) ]);
+    ("views", Json.Int (List.length cold.Pipeline.views));
+    ("cold_misses", Json.Int after_cold.Cache.misses);
+    ("cold_stores", Json.Int after_cold.Cache.stores);
+    ("warm_hits", Json.Int warm_hits);
+    ("warm_misses", Json.Int warm_misses);
+    ("identical", Json.Bool identical);
+  ]
+
 (* ---- Smoke: CI-sized end-to-end run validating the obs contract ---- *)
 
 let smoke () =
@@ -888,7 +974,7 @@ let targets =
     ("fig17", plain fig17); ("ablation", plain ablation);
     ("correlation", plain correlation); ("robust", plain robust);
     ("par", par); ("micro", plain micro); ("smoke", plain smoke);
-    ("audit", audit);
+    ("audit", audit); ("cache", cache_bench);
   ]
 
 (* ---- regression gate: compare fresh artifacts against baselines ---- *)
@@ -905,12 +991,6 @@ let check_tolerance () =
   match Sys.getenv_opt "BENCH_CHECK_TOLERANCE" with
   | Some s -> ( try float_of_string s with _ -> 8.0)
   | None -> 8.0
-
-let slurp path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 let json_kind = function
   | Json.Null -> "null"

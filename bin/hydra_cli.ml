@@ -148,7 +148,8 @@ let or_die = function
      3   summary degraded: some views Relaxed
      4   summary degraded: some views Fallback
      10  preprocessing error        11  LP formulation error
-     12  summary assembly error     13  align-and-merge error *)
+     12  summary assembly error     13  align-and-merge error
+     14  malformed annotated plan (harvest error) *)
 let protecting f x =
   let die code m =
     prerr_endline ("hydra: " ^ m);
@@ -160,9 +161,35 @@ let protecting f x =
   | Hydra_core.Preprocess.Preprocess_error m -> die 10 ("preprocess: " ^ m)
   | Hydra_core.Formulate.Formulation_error m -> die 11 ("formulation: " ^ m)
   | Hydra_core.Align.Align_error m -> die 13 ("alignment: " ^ m)
+  | Hydra_workload.Workload.Harvest_error f ->
+      die 14 ("harvest: " ^ Hydra_workload.Workload.harvest_fault_message f)
   | Hydra_workload.Cc_parser.Parse_error m -> die 1 ("parse: " ^ m)
   | Invalid_argument m -> die 1 m
   | Sys_error m -> die 1 m
+
+(* solve cache: --cache-dir beats HYDRA_CACHE; absent both, no caching.
+   The directory is created on first use. *)
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ]
+        ~env:(Cmd.Env.info "HYDRA_CACHE") ~docv:"DIR"
+        ~doc:
+          "Content-addressed solve cache directory. Each view's LP solve \
+           is keyed by a fingerprint of its formulated problem and solver \
+           budgets; re-running an unchanged spec replays the stored \
+           solutions (and reports the same per-view outcomes) without \
+           touching the solver. Corrupt or foreign entries are treated as \
+           misses. Defaults to $(b,HYDRA_CACHE) when set.")
+
+let open_cache = Option.map (fun d -> Hydra_cache.Cache.create ~dir:d)
+
+let disposition_word = function
+  | Hydra_core.Formulate.Cache_off -> "off"
+  | Hydra_core.Formulate.Cache_bypass -> "bypass"
+  | Hydra_core.Formulate.Cache_hit -> "hit"
+  | Hydra_core.Formulate.Cache_miss -> "miss"
 
 let spec_arg =
   let doc = "Spec file with table and cc declarations." in
@@ -191,7 +218,8 @@ let status_word (v : Hydra_core.Pipeline.view_stats) =
 
 (* machine-readable run report: the whole pipeline result plus the final
    metrics snapshot, as one JSON object on stdout *)
-let run_report_json ?audit ~jobs out (result : Hydra_core.Pipeline.result) =
+let run_report_json ?audit ?cache ~jobs out (result : Hydra_core.Pipeline.result)
+    =
   let open Hydra_core.Pipeline in
   let summary = result.summary in
   let metrics_obj kvs =
@@ -226,9 +254,26 @@ let run_report_json ?audit ~jobs out (result : Hydra_core.Pipeline.result) =
         ("lp_vars", Json.Int v.num_lp_vars);
         ("lp_constraints", Json.Int v.num_lp_constraints);
         ("solve_seconds", Json.Float v.solve_seconds);
+        ("cache", Json.String (disposition_word v.cache));
         ("violations", violations);
         ("metrics", metrics_obj v.metrics);
       ]
+  in
+  let cache_json =
+    match cache with
+    | None -> []
+    | Some c ->
+        let s = Hydra_cache.Cache.stats c in
+        [
+          ( "cache",
+            Json.Obj
+              [
+                ("dir", Json.String (Hydra_cache.Cache.dir c));
+                ("hits", Json.Int s.Hydra_cache.Cache.hits);
+                ("misses", Json.Int s.Hydra_cache.Cache.misses);
+                ("stores", Json.Int s.Hydra_cache.Cache.stores);
+              ] );
+        ]
   in
   let d = result.diagnostics in
   Json.Obj
@@ -262,6 +307,7 @@ let run_report_json ?audit ~jobs out (result : Hydra_core.Pipeline.result) =
           ] );
       ("metrics", Obs.metrics_json ());
     ]
+    @ cache_json
     @ match audit with Some a -> [ ("audit", a) ] | None -> [])
 
 (* text rendering of the metrics registry, aligned name/value pairs *)
@@ -327,15 +373,16 @@ let summary_cmd =
              of the human-readable lines (implies metric collection). The \
              summary file is still written.")
   in
-  let run spec_path out deadline_s max_nodes jobs trace metrics_out audit_out
-      flame_out report json =
+  let run spec_path out deadline_s max_nodes jobs cache_dir trace metrics_out
+      audit_out flame_out report json =
     setup_obs trace metrics_out;
     setup_flame flame_out;
     if report || json || audit_out <> None then Obs.set_enabled true;
     let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
+    let cache = open_cache cache_dir in
     let result =
-      Hydra_core.Pipeline.regenerate ?deadline_s ~max_nodes ~jobs
+      Hydra_core.Pipeline.regenerate ?deadline_s ~max_nodes ~jobs ?cache
         spec.Hydra_workload.Cc_parser.schema spec.Hydra_workload.Cc_parser.ccs
     in
     let summary = result.Hydra_core.Pipeline.summary in
@@ -364,7 +411,8 @@ let summary_cmd =
           audit
       in
       print_endline
-        (Json.to_string_pretty (run_report_json ?audit:audit_json ~jobs out result))
+        (Json.to_string_pretty
+           (run_report_json ?audit:audit_json ?cache ~jobs out result))
     end
     else begin
       Printf.printf "summary: %d rows covering %d tuples -> %s (%.2fs)\n"
@@ -373,10 +421,13 @@ let summary_cmd =
         out result.Hydra_core.Pipeline.total_seconds;
       List.iter
         (fun (v : Hydra_core.Pipeline.view_stats) ->
-          Printf.printf "  view %-20s %6d LP vars %5d constraints %.2fs  %s\n"
+          Printf.printf "  view %-20s %6d LP vars %5d constraints %.2fs  %s%s\n"
             v.Hydra_core.Pipeline.rel v.Hydra_core.Pipeline.num_lp_vars
             v.Hydra_core.Pipeline.num_lp_constraints
-            v.Hydra_core.Pipeline.solve_seconds (status_line v);
+            v.Hydra_core.Pipeline.solve_seconds (status_line v)
+            (match v.Hydra_core.Pipeline.cache with
+            | Hydra_core.Formulate.Cache_hit -> " [cached]"
+            | _ -> "");
           match v.Hydra_core.Pipeline.status with
           | Hydra_core.Pipeline.Relaxed vs ->
               List.iter
@@ -397,6 +448,18 @@ let summary_cmd =
           if n > 0 then
             Printf.printf "  +%d integrity-repair tuples in %s\n" n r)
         summary.Hydra_core.Summary.extra_tuples;
+      (match cache with
+      | Some c ->
+          let s = Hydra_cache.Cache.stats c in
+          Printf.printf "  cache: %d hit%s, %d miss%s, %d store%s -> %s\n"
+            s.Hydra_cache.Cache.hits
+            (if s.Hydra_cache.Cache.hits = 1 then "" else "s")
+            s.Hydra_cache.Cache.misses
+            (if s.Hydra_cache.Cache.misses = 1 then "" else "es")
+            s.Hydra_cache.Cache.stores
+            (if s.Hydra_cache.Cache.stores = 1 then "" else "s")
+            (Hydra_cache.Cache.dir c)
+      | None -> ());
       match audit with
       | Some (records, reconciles, path) ->
           print_audit_line records reconciles path
@@ -410,10 +473,11 @@ let summary_cmd =
   let doc = "Build a database summary from a schema + CC spec." in
   Cmd.v (Cmd.info "summary" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k ->
-          protecting (run a b c d e f g h i j) k)
-      $ spec_arg $ out $ deadline $ max_nodes $ jobs_arg $ trace_arg
-      $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ report $ json)
+      const (fun a b c d e f g h i j k l ->
+          protecting (run a b c d e f g h i j k) l)
+      $ spec_arg $ out $ deadline $ max_nodes $ jobs_arg $ cache_dir_arg
+      $ trace_arg $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ report
+      $ json)
 
 (* ---- materialize ---- *)
 

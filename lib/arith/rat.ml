@@ -22,6 +22,31 @@ let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
 let num x = x.num
 let den x = x.den
 
+let pow2 e =
+  let two = Bigint.of_int 2 in
+  let rec go acc e = if e = 0 then acc else go (Bigint.mul acc two) (e - 1) in
+  go Bigint.one e
+
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Rat.of_float: not finite";
+  if Float.equal f 0.0 then zero
+  else begin
+    (* f = m * 2^e with m in [0.5, 1); m * 2^53 is an exact integer *)
+    let m, e = Float.frexp f in
+    let mant = Bigint.of_string (Int64.to_string (Int64.of_float (Float.ldexp m 53))) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (Bigint.mul mant (pow2 e))
+    else make mant (pow2 (-e))
+  end
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+      make
+        (Bigint.of_string (String.sub s 0 i))
+        (Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+
 let add a b =
   make
     (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))

@@ -17,6 +17,17 @@ val of_int : int -> t
 val of_bigint : Bigint.t -> t
 val of_ints : int -> int -> t
 
+val of_float : float -> t
+(** Exact conversion: every finite float is a dyadic rational, so no
+    precision is lost (unlike converting through a decimal rendering).
+    @raise Invalid_argument on nan or infinities. *)
+
+val of_string : string -> t
+(** Parses the {!to_string} form — an optional sign, decimal digits, and
+    an optional [/denominator].
+    @raise Invalid_argument on malformed input.
+    @raise Division_by_zero on a zero denominator. *)
+
 val num : t -> Bigint.t
 val den : t -> Bigint.t
 

@@ -1,0 +1,142 @@
+(* Content-addressed entry store. On-disk layout: one file per key,
+   <dir>/<key>.entry, holding a three-line header followed by the raw
+   payload bytes:
+
+     hydra-cache <format_version> <key>
+     payload <byte length> <md5 hex of payload>
+     <payload...>
+
+   Reads re-derive every header field and the payload digest; any
+   disagreement (or any exception at all) is a miss. Writes go through a
+   unique temporary file in the same directory and a rename, which POSIX
+   makes atomic — a reader sees either no entry or a complete one. *)
+
+module Obs = Hydra_obs.Obs
+
+let format_version = 1
+
+let m_hit = Obs.counter "cache.hit"
+let m_miss = Obs.counter "cache.miss"
+let m_store = Obs.counter "cache.store"
+
+type t = {
+  cache_dir : string;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_stores : int Atomic.t;
+}
+
+type stats = { hits : int; misses : int; stores : int }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  (try mkdir_p dir
+   with Unix.Unix_error (e, _, _) ->
+     raise
+       (Sys_error
+          (Printf.sprintf "cache directory %s: %s" dir (Unix.error_message e))));
+  {
+    cache_dir = dir;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_stores = Atomic.make 0;
+  }
+
+let dir t = t.cache_dir
+
+(* keys are caller-computed hex digests; refuse anything that could
+   escape the cache directory or collide with temp files *)
+let valid_key key =
+  key <> ""
+  && String.for_all
+       (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
+       key
+
+let entry_path t ~key =
+  Filename.concat t.cache_dir
+    ((if valid_key key then key else Digest.to_hex (Digest.string key))
+    ^ ".entry")
+
+let read_entry path key =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = input_line ic in
+      match String.split_on_char ' ' header with
+      | [ "hydra-cache"; version; k ]
+        when int_of_string_opt version = Some format_version && k = key ->
+          let meta = input_line ic in
+          (match String.split_on_char ' ' meta with
+          | [ "payload"; len; digest ] -> (
+              match int_of_string_opt len with
+              | Some len when len >= 0 ->
+                  let payload = really_input_string ic len in
+                  (* trailing bytes mean a corrupt or foreign file *)
+                  if
+                    pos_in ic = in_channel_length ic
+                    && Digest.to_hex (Digest.string payload) = digest
+                  then Some payload
+                  else None
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+
+let find t ~key =
+  let result =
+    let path = entry_path t ~key in
+    if not (Sys.file_exists path) then None
+    else
+      (* any read failure — truncation, garbage, a vanished file — is a
+         miss; the cache never propagates its own faults to the solve *)
+      try read_entry path key with _ -> None
+  in
+  (match result with
+  | Some _ ->
+      Atomic.incr t.n_hits;
+      Obs.incr m_hit 1
+  | None ->
+      Atomic.incr t.n_misses;
+      Obs.incr m_miss 1);
+  result
+
+let store t ~key payload =
+  try
+    let path = entry_path t ~key in
+    let tmp =
+      Filename.temp_file ~temp_dir:t.cache_dir ".hydra-cache-" ".tmp"
+    in
+    let ok =
+      try
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            Printf.fprintf oc "hydra-cache %d %s\n" format_version key;
+            Printf.fprintf oc "payload %d %s\n" (String.length payload)
+              (Digest.to_hex (Digest.string payload));
+            output_string oc payload);
+        Sys.rename tmp path;
+        true
+      with e ->
+        (try Sys.remove tmp with _ -> ());
+        raise e
+    in
+    if ok then begin
+      Atomic.incr t.n_stores;
+      Obs.incr m_store 1
+    end
+  with _ -> () (* best-effort: a failed store only shrinks the cache *)
+
+let stats t =
+  {
+    hits = Atomic.get t.n_hits;
+    misses = Atomic.get t.n_misses;
+    stores = Atomic.get t.n_stores;
+  }

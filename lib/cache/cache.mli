@@ -1,0 +1,48 @@
+(** Content-addressed on-disk store for solver results.
+
+    A cache maps fingerprint keys (hex digests of a canonical problem
+    rendering, computed by the caller) to opaque string payloads. The
+    design contract mirrors the pipeline's degradation ladder:
+
+    - {b corruption-tolerant}: a truncated, garbled or concurrently
+      half-written entry is a miss, never an exception. [find] validates
+      a per-entry magic line, format version, key echo and payload
+      digest before returning anything.
+    - {b atomic}: [store] writes to a temporary file in the cache
+      directory and renames it into place, so concurrent writers (e.g.
+      pooled view solves) can only ever race to publish identical bytes.
+    - {b versioned}: entries carry a format version; bumping
+      {!format_version} invalidates every existing entry wholesale.
+
+    Keys are content hashes, so invalidation is by construction: any
+    input change produces a different key and therefore a miss. *)
+
+val format_version : int
+
+type t
+
+val create : dir:string -> t
+(** Open (creating directories as needed) a cache rooted at [dir].
+    @raise Sys_error when the directory cannot be created. *)
+
+val dir : t -> string
+
+val find : t -> key:string -> string option
+(** The payload stored under [key], or [None] for absent, corrupt or
+    version-mismatched entries. Updates hit/miss counters. *)
+
+val store : t -> key:string -> string -> unit
+(** Persist [payload] under [key] atomically. Best-effort: an I/O
+    failure (disk full, permissions) is swallowed — the cache degrades
+    to a smaller cache, it never fails the solve that produced the
+    payload. *)
+
+type stats = { hits : int; misses : int; stores : int }
+
+val stats : t -> stats
+(** This instance's counters (domain-safe; pooled solves share one [t]).
+    The global [cache.hit] / [cache.miss] / [cache.store] Obs counters
+    aggregate the same events across all instances. *)
+
+val entry_path : t -> key:string -> string
+(** Where [key]'s entry lives on disk. Exposed for corruption tests. *)

@@ -9,11 +9,19 @@ let create ~factor =
   if factor <= 0.0 then invalid_arg "Scaling.create: factor must be positive";
   { factor }
 
+(* Exact rational product (the float factor denotes a dyadic rational),
+   rounded half-up, saturated at max_int. The former float path lost
+   integer precision beyond 2^53 — exabyte-scale counts are exactly the
+   regime this module exists for — and [int_of_float] truncated toward
+   zero, deflating every fractional product. *)
 let scale_count t n =
-  let scaled = float_of_int n *. t.factor in
-  (* saturate at max_int rather than wrap; exabyte counts fit in 63 bits *)
-  if scaled >= float_of_int max_int then max_int
-  else int_of_float scaled
+  let open Hydra_arith in
+  let exact =
+    Rat.round_nearest (Rat.mul (Rat.of_int n) (Rat.of_float t.factor))
+  in
+  match Bigint.to_int exact with
+  | Some n -> max 0 n
+  | None -> if Bigint.sign exact < 0 then 0 else max_int
 
 let scale_metadata t (md : Metadata.t) =
   {

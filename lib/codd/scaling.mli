@@ -9,7 +9,11 @@ val create : factor:float -> t
 (** @raise Invalid_argument on a non-positive factor. *)
 
 val scale_count : t -> int -> int
-(** Scales a row count, saturating at [max_int] rather than overflowing. *)
+(** Scales a row count in exact rational arithmetic (the factor is taken
+    as the dyadic rational the float denotes), rounding half-up and
+    saturating at [max_int] rather than overflowing. Counts beyond 2^53
+    scale without float precision loss: [scale_count 1.0] is the
+    identity everywhere, and integer factors multiply exactly. *)
 
 val scale_metadata : t -> Metadata.t -> Metadata.t
 val scale_ccs : t -> Hydra_workload.Cc.t list -> Hydra_workload.Cc.t list

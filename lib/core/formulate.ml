@@ -14,6 +14,7 @@
 open Hydra_rel
 open Hydra_lp
 module Obs = Hydra_obs.Obs
+module Cache = Hydra_cache.Cache
 
 type subview_problem = {
   sp_node : Viewgraph.tree_node;
@@ -325,6 +326,8 @@ type outcome =
   | Relaxed of view_result * Hydra_arith.Rat.t
   | Failed of string
 
+type cache_disposition = Cache_off | Cache_bypass | Cache_hit | Cache_miss
+
 (* Violating a consistency constraint makes sub-view marginals disagree,
    which can defeat align-and-merge entirely; a violated CC merely skews
    one count. The relaxation therefore pays 1024x more for consistency
@@ -332,10 +335,123 @@ type outcome =
    whenever the consistency subsystem alone is satisfiable. *)
 let consistency_weight = Hydra_arith.Rat.of_int 1024
 
-let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline
+(* ---- content-addressed solve cache ----
+
+   The key is a canonical rendering of everything the solve depends on:
+   the view signature (relation, attributes, domains, CC rows with their
+   RHS cardinalities, grouping CCs, clique-tree structure) plus the full
+   formulated LP and the solver budgets. Preprocess emits CCs in
+   canonical order, so textually-reordered but equivalent workloads hash
+   identically; any CC/schema/budget change alters the rendering and
+   therefore the key — invalidation by construction. The wall-clock
+   [deadline] is deliberately excluded: it selects which rung a solve
+   lands on, never what a given rung's solution is, and keying on real
+   time would make warm runs miss spuriously. *)
+
+let fingerprint_version = 1
+
+let render_fingerprint buf ~max_nodes ~retries (view : Preprocess.view) lp
+    n_cc_constraints =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "hydra-fingerprint %d\n" fingerprint_version;
+  add "view %s\n" view.Preprocess.vrel;
+  add "attrs %s\n" (String.concat "," view.Preprocess.vattrs);
+  List.iter
+    (fun (a, (iv : Interval.t)) ->
+      add "domain %s [%d,%d)\n" a iv.Interval.lo iv.Interval.hi)
+    view.Preprocess.domains;
+  add "total %d\n" view.Preprocess.total;
+  List.iter
+    (fun (vc : Preprocess.view_cc) ->
+      add "cc %s = %d\n" (Predicate.to_string vc.Preprocess.pred)
+        vc.Preprocess.card)
+    view.Preprocess.view_ccs;
+  List.iter
+    (fun (gc : Preprocess.group_cc) ->
+      add "group %s / %s = %d\n"
+        (String.concat "," gc.Preprocess.g_attrs)
+        (Predicate.to_string gc.Preprocess.g_pred)
+        gc.Preprocess.g_card)
+    view.Preprocess.group_ccs;
+  List.iter
+    (fun (n : Viewgraph.tree_node) ->
+      add "clique %s sep %s parent %s\n"
+        (String.concat "," n.Viewgraph.clique)
+        (String.concat "," n.Viewgraph.separator)
+        (match n.Viewgraph.parent with
+        | Some p -> string_of_int p
+        | None -> "-"))
+    view.Preprocess.subviews;
+  add "budget max_nodes=%d retries=%d\n" max_nodes retries;
+  add "lp vars=%d constraints=%d cc_constraints=%d\n" (Lp.num_vars lp)
+    (Lp.num_constraints lp) n_cc_constraints;
+  add "%s" (Format.asprintf "%a" Lp.pp lp)
+
+let fingerprint_of_lp ~max_nodes ~retries view lp n_cc_constraints =
+  let buf = Buffer.create 4096 in
+  render_fingerprint buf ~max_nodes ~retries view lp n_cc_constraints;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let fingerprint ?(max_nodes = 2000) ?(retries = 1) (view : Preprocess.view) =
+  if view.Preprocess.subviews = [] then
+    fingerprint_of_lp ~max_nodes ~retries view (Lp.create ()) 0
+  else
+    let _, lp, n_cc = formulate view in
+    fingerprint_of_lp ~max_nodes ~retries view lp n_cc
+
+(* The raw solver verdict, before variable-indexed counts are expanded
+   into per-region solutions — the unit the cache persists. [Raw_failed]
+   is never stored: a failure reflects the budget/deadline of the run
+   that produced it, not the problem content. *)
+type raw_solve =
+  | Raw_exact of Hydra_arith.Bigint.t array
+  | Raw_relaxed of Hydra_arith.Bigint.t array * Hydra_arith.Rat.t
+  | Raw_failed of string
+
+let entry_version = 1
+
+let encode_entry raw =
+  match raw with
+  | Raw_failed _ -> None
+  | Raw_exact x ->
+      Some
+        (Printf.sprintf "hydra-solve %d\nrung exact\n%s\n" entry_version
+           (Lp.vector_to_string x))
+  | Raw_relaxed (x, violation) ->
+      Some
+        (Printf.sprintf "hydra-solve %d\nrung relaxed %s\n%s\n" entry_version
+           (Hydra_arith.Rat.to_string violation)
+           (Lp.vector_to_string x))
+
+(* [None] on any malformation; length and (for exact entries) feasibility
+   are re-checked against the freshly formulated LP, so even a key
+   collision cannot replay a wrong solution as Exact. *)
+let decode_entry lp payload =
+  match String.split_on_char '\n' payload with
+  | header :: rung :: vector :: rest
+    when header = Printf.sprintf "hydra-solve %d" entry_version
+         && List.for_all (fun l -> String.trim l = "") rest -> (
+      match Lp.vector_of_string vector with
+      | Some x when Array.length x = Lp.num_vars lp -> (
+          match String.split_on_char ' ' rung with
+          | [ "rung"; "exact" ] ->
+              if Int_feasible.check lp x then Some (Raw_exact x) else None
+          | [ "rung"; "relaxed"; violation ] -> (
+              try Some (Raw_relaxed (x, Hydra_arith.Rat.of_string violation))
+              with Invalid_argument _ | Division_by_zero | Failure _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
     (view : Preprocess.view) =
+  let off_or_bypass =
+    match cache with None -> Cache_off | Some _ -> Cache_bypass
+  in
   try
-    if view.Preprocess.subviews = [] then Exact (trivial_result view)
+    if view.Preprocess.subviews = [] then
+      (* nothing was solved, so there is nothing worth caching *)
+      (Exact (trivial_result view), off_or_bypass)
     else begin
       let problems, lp, n_cc_constraints =
         Obs.with_span "view.formulate" (fun () -> formulate view)
@@ -351,19 +467,16 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline
                 ~weight lp)
         with
         | Relax.Relaxed { x; total_violation; _ } ->
-            Relaxed
-              ( result_of_counts view problems lp (counts_of_bigint x),
-                total_violation )
-        | Relax.Timeout -> Failed (reason ^ "; relaxation hit the deadline")
-        | Relax.Failed m -> Failed (reason ^ "; relaxation failed: " ^ m)
+            Raw_relaxed (x, total_violation)
+        | Relax.Timeout -> Raw_failed (reason ^ "; relaxation hit the deadline")
+        | Relax.Failed m -> Raw_failed (reason ^ "; relaxation failed: " ^ m)
       in
       let rec attempt budget tries_left =
         match
           Obs.with_span "view.solve" (fun () ->
               Int_feasible.solve ~max_nodes:budget ?deadline lp)
         with
-        | Int_feasible.Solution x ->
-            Exact (result_of_counts view problems lp (counts_of_bigint x))
+        | Int_feasible.Solution x -> Raw_exact x
         | Int_feasible.Gave_up when tries_left > 0 ->
             (* escalate before degrading: a budget that was merely tight
                often succeeds with a modest multiplier *)
@@ -375,9 +488,32 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline
         | Int_feasible.Timeout -> relax "solve deadline exceeded"
         | Int_feasible.Infeasible -> relax "infeasible cardinality constraints"
       in
-      attempt max_nodes retries
+      let finish raw =
+        match raw with
+        | Raw_exact x ->
+            Exact (result_of_counts view problems lp (counts_of_bigint x))
+        | Raw_relaxed (x, violation) ->
+            Relaxed
+              ( result_of_counts view problems lp (counts_of_bigint x),
+                violation )
+        | Raw_failed m -> Failed m
+      in
+      match cache with
+      | None -> (finish (attempt max_nodes retries), Cache_off)
+      | Some cache -> (
+          let key =
+            fingerprint_of_lp ~max_nodes ~retries view lp n_cc_constraints
+          in
+          match
+            Option.bind (Cache.find cache ~key) (decode_entry lp)
+          with
+          | Some raw -> (finish raw, Cache_hit)
+          | None ->
+              let raw = attempt max_nodes retries in
+              Option.iter (Cache.store cache ~key) (encode_entry raw);
+              (finish raw, Cache_miss))
     end
   with
-  | Formulation_error m -> Failed m
-  | Preprocess.Preprocess_error m -> Failed m
-  | e -> Failed (Printexc.to_string e)
+  | Formulation_error m -> (Failed m, off_or_bypass)
+  | Preprocess.Preprocess_error m -> (Failed m, off_or_bypass)
+  | e -> (Failed (Printexc.to_string e), off_or_bypass)

@@ -58,14 +58,45 @@ type outcome =
       (** nothing usable could be produced (relaxation timed out or an
           internal error); the reason is an actionable one-liner *)
 
+type cache_disposition =
+  | Cache_off  (** no cache was supplied *)
+  | Cache_bypass
+      (** a cache was supplied but this solve is not cacheable (trivial
+          views with no sub-views, or a pre-formulation error) *)
+  | Cache_hit  (** the solution was replayed from a stored entry *)
+  | Cache_miss  (** solved fresh; the result was offered to the store *)
+
+val fingerprint :
+  ?max_nodes:int -> ?retries:int -> Preprocess.view -> string
+(** Content address of a view's solve: a hex digest of a canonical
+    rendering of the view signature (relation, attributes, domains, CCs
+    with their cardinalities, grouping CCs, clique-tree structure), the
+    fully formulated LP, and the solver budgets ([max_nodes], [retries]).
+    Because {!Preprocess} emits CCs in canonical order, textually
+    reordered but equivalent workloads fingerprint identically, while any
+    change to a CC, the schema, or the budgets changes the digest —
+    cache invalidation is by construction. The wall-clock [deadline] is
+    deliberately not part of the key.
+    @raise Formulation_error if the view cannot be formulated. *)
+
 val solve_view_robust :
   ?max_nodes:int ->
   ?retries:int ->
   ?deadline:float ->
-  Preprocess.view -> outcome
+  ?cache:Hydra_cache.Cache.t ->
+  Preprocess.view ->
+  outcome * cache_disposition
 (** Like {!solve_view} but never raises. On budget exhaustion the node
     budget is escalated 4x up to [retries] times (default 1); on
     infeasibility — or exhaustion after all retries — the system is
     re-solved by {!Relax} with consistency constraints weighted 1024x so
     violations concentrate on the data CCs. [deadline] bounds the whole
-    attempt ladder in wall-clock time. *)
+    attempt ladder in wall-clock time.
+
+    With [?cache], the solve is keyed by {!fingerprint}: a valid stored
+    entry short-circuits the whole ladder and replays the recorded
+    solution vector (re-validated against the freshly formulated LP —
+    length always, integer feasibility for exact entries — so corrupt or
+    colliding entries degrade to misses). Fresh [Exact]/[Relaxed]
+    outcomes are stored; [Failed] outcomes never are, since failure
+    reflects the budget of the run that produced it. *)

@@ -47,6 +47,7 @@ type view_stats = {
       (* per-view delta of the obs registry (solver counters, phase span
          durations); [] when tracing is disabled *)
   status : view_status;
+  cache : Formulate.cache_disposition;
 }
 
 type diagnostics = {
@@ -169,11 +170,12 @@ let exn_message = function
   | Formulate.Formulation_error m -> "formulation: " ^ m
   | Preprocess.Preprocess_error m -> "preprocess: " ^ m
   | Summary.Summary_error m -> "summary: " ^ m
+  | Workload.Harvest_error f -> "harvest: " ^ Workload.harvest_fault_message f
   | Invalid_argument m -> m
   | e -> Printexc.to_string e
 
 let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
-    ?(histograms = []) ?deadline_s ?(retries = 1) ?(jobs = 1) schema ccs =
+    ?(histograms = []) ?deadline_s ?(retries = 1) ?(jobs = 1) ?cache schema ccs =
   let jobs = max 1 jobs in
   let t0 = Mclock.now () in
   (* deadlines live on the monotonic timeline, so a wall-clock step can
@@ -217,7 +219,10 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
     in
     Obs.with_span ~attrs:[ ("rel", Obs.Str rname) ] "pipeline.view"
       (fun () ->
-        let fallback reason =
+        let cache_off =
+          match cache with None -> Formulate.Cache_off | Some _ -> Formulate.Cache_bypass
+        in
+        let fallback ?(disposition = cache_off) reason =
           (* structured view/rung/reason attrs, not just the message:
              audit reports join incidents to views through them *)
           Obs.event ~level:Obs.Warn
@@ -240,13 +245,15 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
               solve_seconds = Mclock.now () -. t;
               metrics = view_metrics ();
               status = Fallback reason;
+              cache = disposition;
             },
             [] )
         in
         match res with
         | Error m -> fallback m
         | Ok view -> (
-            let finish (r : Formulate.view_result) status_of_merged =
+            let finish (r : Formulate.view_result) disposition status_of_merged
+                =
               (* merge sub-view solutions, then enforce grouping CCs by
                  value spreading and optional client histograms *)
               let merged, status =
@@ -291,6 +298,7 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
                   solve_seconds = Mclock.now () -. t;
                   metrics = view_metrics ();
                   status;
+                  cache = disposition;
                 },
                 view_residuals )
             in
@@ -299,17 +307,19 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
                never kill the batch *)
             try
               match
-                Formulate.solve_view_robust ~max_nodes ~retries ?deadline view
+                Formulate.solve_view_robust ~max_nodes ~retries ?deadline
+                  ?cache view
               with
-              | Formulate.Exact r -> (
-                  try finish r (fun _ -> Exact)
+              | Formulate.Exact r, disposition -> (
+                  try finish r disposition (fun _ -> Exact)
                   with e -> fallback (exn_message e))
-              | Formulate.Relaxed (r, _total) -> (
+              | Formulate.Relaxed (r, _total), disposition -> (
                   try
-                    finish r (fun merged ->
+                    finish r disposition (fun merged ->
                         Relaxed (view_violations view merged))
                   with e -> fallback (exn_message e))
-              | Formulate.Failed m -> fallback m
+              | Formulate.Failed m, disposition ->
+                  fallback ~disposition m
             with e -> fallback (exn_message e)))
   in
   let processed =

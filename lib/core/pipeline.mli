@@ -45,6 +45,9 @@ type view_stats = {
           durations ([span.view.solve.seconds], …) accrued while this
           view was processed. Empty when tracing is disabled. *)
   status : view_status;
+  cache : Formulate.cache_disposition;
+      (** how the solve cache served this view ({!Formulate.Cache_off}
+          when {!regenerate} was called without [?cache]) *)
 }
 
 type diagnostics = {
@@ -76,6 +79,12 @@ type result = {
 val degraded : diagnostics -> bool
 (** Any view below {!Exact}? *)
 
+val exn_message : exn -> string
+(** Human-readable one-liner for the pipeline's known exception families
+    (align/formulation/preprocess/summary/harvest errors), falling back
+    to [Printexc.to_string]. This is the string that lands in
+    {!Fallback} reasons and [diagnostics.notes]. *)
+
 val complete_size_ccs :
   Schema.t -> Cc.t list -> (string * int) list -> Cc.t list
 (** Append [|R| = n] constraints from the fallback size table (metadata
@@ -89,6 +98,7 @@ val regenerate :
   ?deadline_s:float ->
   ?retries:int ->
   ?jobs:int ->
+  ?cache:Hydra_cache.Cache.t ->
   Schema.t -> Cc.t list -> result
 (** Preprocess, formulate and solve every view, align-and-merge, build the
     summary. [sizes] supplies fallback relation sizes; [max_nodes] bounds
@@ -99,7 +109,11 @@ val regenerate :
     the solvers; [retries] is the number of 4x node-budget escalations
     attempted before a view degrades (default 1); [jobs] (default 1)
     solves views concurrently on a {!Hydra_par.Pool} of that many
-    domains.
+    domains; [cache] short-circuits per-view solves through the
+    content-addressed {!Hydra_cache.Cache} (see
+    {!Formulate.solve_view_robust}) — a warm cache replays the exact
+    per-view outcomes of the run that populated it, so hit-served runs
+    report byte-identical summaries and statuses.
 
     Determinism contract: for any [jobs] count the summary, the per-view
     statuses and the grouping residuals are identical — each view is a

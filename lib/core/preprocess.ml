@@ -146,6 +146,30 @@ let build_view schema route rname =
         })
       grouped
   in
+  (* Canonical CC order: textually reordered but equivalent workloads
+     must produce the identical formulation — same region partitions,
+     same LP variable numbering — both for determinism and so the solve
+     cache can key entries by content (Formulate.fingerprint) and replay
+     variable-indexed solution vectors safely. *)
+  let view_ccs =
+    List.sort
+      (fun a b ->
+        match compare (Predicate.to_string a.pred) (Predicate.to_string b.pred)
+        with
+        | 0 -> compare a.card b.card
+        | c -> c)
+      view_ccs
+  in
+  let group_ccs =
+    List.sort
+      (fun a b ->
+        match
+          compare (Predicate.to_string a.g_pred) (Predicate.to_string b.g_pred)
+        with
+        | 0 -> compare (a.g_attrs, a.g_card) (b.g_attrs, b.g_card)
+        | c -> c)
+      group_ccs
+  in
   (* view-graph decomposition into ordered sub-views; grouping predicates
      and attributes participate so region boxes align with them *)
   let cc_attr_sets =

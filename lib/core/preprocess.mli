@@ -21,10 +21,17 @@ type view = {
   vrel : string;  (** owning relation *)
   vattrs : string list;  (** qualified names, own attributes first *)
   domains : (string * Interval.t) list;
-  view_ccs : view_cc list;  (** tuple-count CCs, clamped to finite domains *)
+  view_ccs : view_cc list;
+      (** tuple-count CCs, clamped to finite domains, in canonical
+          (predicate-string, cardinality) order — textually reordered
+          but equivalent workloads build the identical view, which makes
+          the downstream LP formulation (variable numbering included) a
+          pure function of the CC {e set} and lets the solve cache key
+          entries by content *)
   group_ccs : group_cc list;
       (** grouping CCs: shape the partition, enforced post-LP by value
-          spreading (see {!Grouping}) *)
+          spreading (see {!Grouping}); canonically ordered like
+          [view_ccs] *)
   total : int;  (** the relation's size constraint |R| *)
   subviews : Viewgraph.tree_node list;
       (** clique-tree DFS preorder: parents precede children *)

@@ -225,7 +225,28 @@ let total_rows t =
 let summary_rows t =
   List.fold_left (fun acc r -> acc + Array.length r.rs_rows) 0 t.relations
 
-(* ---- text serialization (the artifact the vendor ships around) ---- *)
+(* ---- text serialization (the artifact the vendor ships around) ----
+
+   Three block kinds, relations first (tools that only want the shipped
+   tables read a prefix), then the view summaries they were extracted
+   from, then the per-relation RI-repair tallies:
+
+     relation R (col,...)      view R (qualified.attr,...)
+     v,... : count             v,... : count
+     end                       end
+                               extra R : n
+
+   [load] is the exact inverse of [save]; files written before views and
+   extras were persisted simply have no such blocks and load with both
+   fields empty. *)
+
+let write_rows oc rows =
+  List.iter
+    (fun (v, c) ->
+      Printf.fprintf oc "%s : %d\n"
+        (String.concat "," (Array.to_list (Array.map string_of_int v)))
+        c)
+    rows
 
 let save path t =
   let oc = open_out path in
@@ -236,81 +257,113 @@ let save path t =
         (fun r ->
           Printf.fprintf oc "relation %s (%s)\n" r.rs_rel
             (String.concat "," (Array.to_list r.rs_cols));
-          Array.iter
-            (fun (v, c) ->
-              Printf.fprintf oc "%s : %d\n"
-                (String.concat ","
-                   (Array.to_list (Array.map string_of_int v)))
-                c)
-            r.rs_rows;
+          write_rows oc (Array.to_list r.rs_rows);
           Printf.fprintf oc "end\n")
-        t.relations)
+        t.relations;
+      List.iter
+        (fun vs ->
+          Printf.fprintf oc "view %s (%s)\n" vs.vs_rel
+            (String.concat "," (Array.to_list vs.vs_attrs));
+          write_rows oc vs.vs_rows;
+          Printf.fprintf oc "end\n")
+        t.views;
+      List.iter
+        (fun (rname, n) -> Printf.fprintf oc "extra %s : %d\n" rname n)
+        t.extra_tuples)
 
 let load path schema =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let relations = ref [] in
+      let parse_header kind line rest =
+        match String.index_opt rest '(' with
+        | Some i ->
+            let name = String.trim (String.sub rest 0 i) in
+            let inner = String.sub rest (i + 1) (String.length rest - i - 2) in
+            ( name,
+              if inner = "" then [||]
+              else Array.of_list (String.split_on_char ',' inner) )
+        | None -> err "malformed summary %s header: %s" kind line
+      in
+      let read_rows () =
+        let rows = ref [] in
+        let rec go () =
+          let l = input_line ic in
+          if l <> "end" then begin
+            match String.index_opt l ':' with
+            | Some i ->
+                let vals = String.trim (String.sub l 0 i) in
+                let count =
+                  int_of_string
+                    (String.trim (String.sub l (i + 1) (String.length l - i - 1)))
+                in
+                let v =
+                  if vals = "" then [||]
+                  else
+                    Array.of_list
+                      (List.map int_of_string (String.split_on_char ',' vals))
+                in
+                rows := (v, count) :: !rows;
+                go ()
+            | None -> err "malformed summary row: %s" l
+          end
+        in
+        go ();
+        List.rev !rows
+      in
+      let strip prefix line =
+        let n = String.length prefix in
+        if String.length line > n && String.sub line 0 n = prefix then
+          Some (String.sub line n (String.length line - n))
+        else None
+      in
+      let relations = ref [] and views = ref [] and extras = ref [] in
       (try
          while true do
            let line = input_line ic in
-           if String.length line > 9 && String.sub line 0 9 = "relation " then begin
-             let rest = String.sub line 9 (String.length line - 9) in
-             let name, cols =
-               match String.index_opt rest '(' with
-               | Some i ->
-                   let name = String.trim (String.sub rest 0 i) in
-                   let inner =
-                     String.sub rest (i + 1) (String.length rest - i - 2)
-                   in
-                   ( name,
-                     if inner = "" then [||]
-                     else Array.of_list (String.split_on_char ',' inner) )
-               | None -> err "malformed summary header: %s" line
-             in
-             let rows = ref [] in
-             let rec read_rows () =
-               let l = input_line ic in
-               if l <> "end" then begin
-                 match String.index_opt l ':' with
-                 | Some i ->
-                     let vals = String.trim (String.sub l 0 i) in
-                     let count =
-                       int_of_string
-                         (String.trim
-                            (String.sub l (i + 1) (String.length l - i - 1)))
-                     in
-                     let v =
-                       if vals = "" then [||]
-                       else
-                         Array.of_list
-                           (List.map int_of_string
-                              (String.split_on_char ',' vals))
-                     in
-                     rows := (v, count) :: !rows;
-                     read_rows ()
-                 | None -> err "malformed summary row: %s" l
-               end
-             in
-             read_rows ();
-             let rs_rows = Array.of_list (List.rev !rows) in
-             relations :=
-               {
-                 rs_rel = name;
-                 rs_cols = cols;
-                 rs_rows;
-                 rs_total = Array.fold_left (fun acc (_, c) -> acc + c) 0 rs_rows;
-               }
-               :: !relations
-           end
+           match strip "relation " line with
+           | Some rest ->
+               let name, cols = parse_header "relation" line rest in
+               let rs_rows = Array.of_list (read_rows ()) in
+               relations :=
+                 {
+                   rs_rel = name;
+                   rs_cols = cols;
+                   rs_rows;
+                   rs_total =
+                     Array.fold_left (fun acc (_, c) -> acc + c) 0 rs_rows;
+                 }
+                 :: !relations
+           | None -> (
+               match strip "view " line with
+               | Some rest ->
+                   let name, attrs = parse_header "view" line rest in
+                   views :=
+                     { vs_rel = name; vs_attrs = attrs; vs_rows = read_rows () }
+                     :: !views
+               | None -> (
+                   match strip "extra " line with
+                   | Some rest -> (
+                       match String.index_opt rest ':' with
+                       | Some i ->
+                           let name = String.trim (String.sub rest 0 i) in
+                           let n =
+                             int_of_string
+                               (String.trim
+                                  (String.sub rest (i + 1)
+                                     (String.length rest - i - 1)))
+                           in
+                           extras := (name, n) :: !extras
+                       | None -> err "malformed summary extra line: %s" line)
+                   | None -> ()))
          done
        with End_of_file -> ());
       {
         schema;
-        views = [];
+        views = List.rev !views;
         relations = List.rev !relations;
-        extra_tuples = [];
+        extra_tuples = List.rev !extras;
       })
 
 let pp fmt t =

@@ -67,9 +67,14 @@ val summary_rows : t -> int
 (** Rows in the summary itself (the artifact's size). *)
 
 val save : string -> t -> unit
-(** Text serialization — the artifact shipped between sites. *)
+(** Text serialization — the artifact shipped between sites. Persists
+    the relation summaries, the view summaries, and the per-relation
+    RI-repair tallies ([extra_tuples]). *)
 
 val load : string -> Schema.t -> t
-(** Inverse of {!save}; [views] and [extra_tuples] are not persisted. *)
+(** Exact inverse of {!save}: a loaded summary round-trips every field,
+    including [views] and [extra_tuples] (both were silently dropped
+    before). Files written by older versions load with those fields
+    empty. *)
 
 val pp : Format.formatter -> t -> unit

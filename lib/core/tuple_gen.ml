@@ -181,15 +181,27 @@ let row_source (rs : Summary.relation_summary) =
     Array.blit values 0 tuple 1 ncols;
     tuple
 
-(* mixed binding: the `datagen` property can be toggled per relation *)
-let with_datagen (summary : Summary.t) ~dynamic_relations =
-  let db = Database.create summary.Summary.schema in
-  List.iter
-    (fun rs ->
-      if List.mem rs.Summary.rs_rel dynamic_relations then
-        Database.bind db rs.Summary.rs_rel
-          (Database.Generated (generated_relation summary.Summary.schema rs))
-      else
-        Database.bind_table db (materialize_relation summary.Summary.schema rs))
-    summary.Summary.relations;
-  db
+(* mixed binding: the `datagen` property can be toggled per relation.
+   Static relations go through the same sharded fill as [materialize] —
+   the mixed path used to drop the pool and fill sequentially, making
+   mostly-static bindings scale with zero of the jobs given to it. *)
+let with_datagen ?(jobs = 1) ?pool (summary : Summary.t) ~dynamic_relations =
+  let build pool =
+    let db = Database.create summary.Summary.schema in
+    List.iter
+      (fun rs ->
+        if List.mem rs.Summary.rs_rel dynamic_relations then
+          Database.bind db rs.Summary.rs_rel
+            (Database.Generated (generated_relation summary.Summary.schema rs))
+        else
+          Database.bind_table db
+            (materialize_relation ?pool summary.Summary.schema rs))
+      summary.Summary.relations;
+    db
+  in
+  match pool with
+  | Some _ -> build pool
+  | None ->
+      let jobs = max 1 jobs in
+      if jobs = 1 then build None
+      else Pool.with_pool jobs (fun pool -> build (Some pool))

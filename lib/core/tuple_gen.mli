@@ -36,6 +36,15 @@ val row_source : Summary.relation_summary -> int -> int array
 (** Full-tuple supply, exactly the Sec. 6 procedure — the unit of work a
     tuple-at-a-time executor requests from the scan operator (Fig. 15). *)
 
-val with_datagen : Summary.t -> dynamic_relations:string list -> Database.t
+val with_datagen :
+  ?jobs:int ->
+  ?pool:Hydra_par.Pool.t ->
+  Summary.t ->
+  dynamic_relations:string list ->
+  Database.t
 (** Mixed binding: the [datagen] property toggled per relation, as in the
-    PostgreSQL integration. *)
+    PostgreSQL integration. Static relations materialize through the same
+    sharded column fill as {!materialize}: pass [pool] to reuse a live
+    pool, or [jobs] (default 1) to spin one up for the call ([pool]
+    wins when both are given). The database contents are identical for
+    any jobs count. *)

@@ -74,6 +74,30 @@ let check lp x =
 
 let residuals lp x = List.map (fun c -> residual c x) (constraints lp)
 
+(* solution-vector codec: "<n> v0 v1 ... v(n-1)". The length prefix lets
+   the reader reject truncated payloads without guessing. *)
+let vector_to_string (x : Bigint.t array) =
+  let buf = Buffer.create (16 * (Array.length x + 1)) in
+  Buffer.add_string buf (string_of_int (Array.length x));
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Bigint.to_string v))
+    x;
+  Buffer.contents buf
+
+let vector_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [] -> None
+  | n :: rest -> (
+      match int_of_string_opt n with
+      | None -> None
+      | Some n ->
+          if n < 0 || List.length rest <> n then None
+          else (
+            try Some (Array.of_list (List.map Bigint.of_string rest))
+            with Invalid_argument _ | Failure _ -> None))
+
 let pp fmt lp =
   Format.fprintf fmt "@[<v>LP with %d vars, %d constraints@," lp.nvars
     lp.nconstrs;

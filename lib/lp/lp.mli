@@ -49,4 +49,14 @@ val check : t -> Rat.t array -> bool
 val residuals : t -> Rat.t array -> Rat.t list
 (** Signed violation of each constraint under [x] (zero when satisfied). *)
 
+val vector_to_string : Bigint.t array -> string
+(** Compact text form of an integer solution vector — length-prefixed,
+    space-separated decimals — the payload of persisted solve-cache
+    entries. *)
+
+val vector_of_string : string -> Bigint.t array option
+(** Inverse of {!vector_to_string}. [None] on any malformation
+    (wrong length prefix, non-numeric component, trailing garbage):
+    corrupt cache entries must read as misses, never raise. *)
+
 val pp : Format.formatter -> t -> unit

@@ -13,6 +13,35 @@ let create queries = { queries }
 let queries t = t.queries
 let num_queries t = List.length t.queries
 
+(* Harvesting walks a plan and its AQP annotation in lockstep; the two
+   trees must be congruent. An annotation whose child arity disagrees
+   with its operator is a malformed AQP (hand-built, corrupted in
+   transit, or produced by a foreign executor), and it must surface as a
+   typed, per-query fault the pipeline can isolate — not an assertion
+   crash that kills the whole extraction. *)
+type harvest_fault = { hf_op : string; hf_expected : int; hf_got : int }
+
+exception Harvest_error of harvest_fault
+
+let harvest_fault_message f =
+  Printf.sprintf
+    "malformed annotated plan: %s node carries %d child annotation%s, \
+     expected %d"
+    f.hf_op f.hf_got
+    (if f.hf_got = 1 then "" else "s")
+    f.hf_expected
+
+let () =
+  Printexc.register_printer (function
+    | Harvest_error f -> Some ("Harvest_error: " ^ harvest_fault_message f)
+    | _ -> None)
+
+let harvest_children op expected (ann : Executor.annotated) =
+  let got = List.length ann.Executor.children in
+  if got <> expected then
+    raise (Harvest_error { hf_op = op; hf_expected = expected; hf_got = got });
+  ann.Executor.children
+
 (* Convert one plan with its measured cardinalities into CCs: every
    operator output edge contributes one constraint (Fig. 1d). The walk
    carries the relation set and the conjunction of filter predicates seen
@@ -20,11 +49,12 @@ let num_queries t = List.length t.queries
 let rec ccs_of_node plan (ann : Executor.annotated) =
   match plan with
   | Plan.Scan r ->
+      ignore (harvest_children "Scan" 0 ann);
       let cc = Cc.make [ r ] Predicate.true_ ann.Executor.card in
       ([ r ], Predicate.true_, [ cc ])
   | Plan.Filter (p, child) ->
       let child_ann =
-        match ann.Executor.children with [ c ] -> c | _ -> assert false
+        match harvest_children "Filter" 1 ann with [ c ] -> c | _ -> assert false
       in
       let rels, pred, acc = ccs_of_node child child_ann in
       let pred = Predicate.conj pred p in
@@ -32,7 +62,7 @@ let rec ccs_of_node plan (ann : Executor.annotated) =
       (rels, pred, cc :: acc)
   | Plan.Join (l, r, _) ->
       let lann, rann =
-        match ann.Executor.children with
+        match harvest_children "Join" 2 ann with
         | [ a; b ] -> (a, b)
         | _ -> assert false
       in
@@ -43,16 +73,21 @@ let rec ccs_of_node plan (ann : Executor.annotated) =
       (rels, pred, cc :: (lacc @ racc))
   | Plan.Group_by (attrs, child) ->
       let child_ann =
-        match ann.Executor.children with [ c ] -> c | _ -> assert false
+        match harvest_children "Group_by" 1 ann with
+        | [ c ] -> c
+        | _ -> assert false
       in
       let rels, pred, acc = ccs_of_node child child_ann in
       let cc = Cc.make ~group_by:attrs rels pred ann.Executor.card in
       (rels, pred, cc :: acc)
 
+let ccs_of_aqp plan ann =
+  let _, _, ccs = ccs_of_node plan ann in
+  List.rev ccs
+
 let ccs_of_query db q =
   let _, ann = Executor.exec db q.plan in
-  let _, _, ccs = ccs_of_node q.plan ann in
-  List.rev ccs
+  ccs_of_aqp q.plan ann
 
 (* The audit-time mirror of [ccs_of_node]: walk a plan carrying the same
    (relations, conjoined predicate) expression per operator edge, and
@@ -109,12 +144,26 @@ let extract_ccs ?(jobs = 1) db t =
   in
   List.concat (Array.to_list per_query) |> Cc.dedup
 
-(* uniform scaling of constraint counts: the CODD-based procedure of
-   Sec. 7.4 (run plans at small scale, multiply intermediate counts) *)
+(* Uniform scaling of constraint counts: the CODD-based procedure of
+   Sec. 7.4 (run plans at small scale, multiply intermediate counts).
+   The product is computed in exact rational arithmetic — the float
+   factor is converted to the dyadic rational it denotes — because
+   [float_of_int card *. factor] loses integer precision beyond 2^53 and
+   truncates toward zero, which deflates every scaled CC by up to one
+   tuple and large ones by arbitrarily many. Round half-up, saturate to
+   [max_int]. *)
+let scale_card factor card =
+  let open Hydra_arith in
+  let exact =
+    Rat.round_nearest (Rat.mul (Rat.of_int card) (Rat.of_float factor))
+  in
+  match Bigint.to_int exact with
+  | Some n -> max 0 n
+  | None -> if Bigint.sign exact < 0 then 0 else max_int
+
 let scale_ccs factor ccs =
   List.map
-    (fun (cc : Cc.t) ->
-      { cc with Cc.card = int_of_float (float_of_int cc.Cc.card *. factor) })
+    (fun (cc : Cc.t) -> { cc with Cc.card = scale_card factor cc.Cc.card })
     ccs
 
 (* left-deep plan construction shared with the parser and CC measurement *)

@@ -13,6 +13,26 @@ val create : query list -> t
 val queries : t -> query list
 val num_queries : t -> int
 
+type harvest_fault = {
+  hf_op : string;  (** offending operator ([Scan] / [Filter] / …) *)
+  hf_expected : int;  (** child annotations its arity requires *)
+  hf_got : int;  (** child annotations actually present *)
+}
+(** A malformed annotated plan: an annotation node whose child arity
+    disagrees with its plan operator. *)
+
+exception Harvest_error of harvest_fault
+
+val harvest_fault_message : harvest_fault -> string
+(** Actionable one-liner naming the operator and both arities. *)
+
+val ccs_of_aqp : Plan.t -> Hydra_engine.Executor.annotated -> Cc.t list
+(** Harvest CCs from an already-annotated plan (one per operator output
+    edge, in plan order) without re-executing it — the entry point for
+    AQPs produced elsewhere (a foreign executor, a serialized trace).
+    @raise Harvest_error when the annotation tree is not congruent with
+    the plan; never asserts. *)
+
 val ccs_of_query : Database.t -> query -> Cc.t list
 (** CCs of one query's AQP, one per operator output edge, in plan order. *)
 
@@ -33,7 +53,10 @@ val extract_ccs : ?jobs:int -> Database.t -> t -> Cc.t list
 
 val scale_ccs : float -> Cc.t list -> Cc.t list
 (** Multiply every cardinality by a factor — the CODD-based scaling
-    procedure of Sec. 7.4. *)
+    procedure of Sec. 7.4. Computed in exact rational arithmetic (the
+    float factor is taken as the dyadic rational it denotes), rounded
+    half-up, clamped to [[0, max_int]] — so counts beyond 2^53 scale
+    without float precision loss. *)
 
 val left_deep_plan : Schema.t -> (string * Predicate.t option) list -> Plan.t
 (** Build a left-deep join plan over the given relations (first element

@@ -4,8 +4,9 @@
 #
 #   scripts/ci.sh            # from the repo root
 #
-# The gate re-runs the cheap bench targets (smoke, audit) and compares
-# their fresh BENCH_<target>.json artifacts against bench/baselines/.
+# The gate re-runs the cheap bench targets (smoke, audit, cache) and
+# compares their fresh BENCH_<target>.json artifacts against
+# bench/baselines/.
 # Timing/allocation fields pass within BENCH_CHECK_TOLERANCE (default
 # 8x); every other field must match exactly.
 set -eu

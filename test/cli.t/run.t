@@ -227,3 +227,48 @@ A non-positive width is a usage error, not a silent clamp.
   $ hydra materialize toy.hydra toy.summary --jobs=-2
   hydra: --jobs must be at least 1 (got -2)
   [1]
+
+Warm regeneration: --cache-dir (or HYDRA_CACHE) keys each view's solve
+by a content fingerprint of its formulated LP and replays stored
+solutions on later runs. A warm run is served entirely from the cache
+and reproduces the cold summary byte for byte; corrupt entries degrade
+to misses and are re-stored.
+
+  $ hydra summary toy.hydra -o cold.summary --cache-dir solvecache | grep 'cache:'
+    cache: 0 hits, 3 misses, 3 stores -> solvecache
+
+  $ hydra summary toy.hydra -o warm.summary --cache-dir solvecache > warm.out
+  $ grep 'cache:' warm.out
+    cache: 3 hits, 0 misses, 0 stores -> solvecache
+  $ grep -c '\[cached\]' warm.out
+  3
+  $ cmp cold.summary warm.summary
+
+  $ HYDRA_CACHE=solvecache hydra summary toy.hydra -o envwarm.summary | grep 'cache:'
+    cache: 3 hits, 0 misses, 0 stores -> solvecache
+  $ cmp cold.summary envwarm.summary
+
+A pooled warm run replays the same bytes (the cache key is independent
+of the execution width).
+
+  $ hydra summary toy.hydra -o parwarm.summary --cache-dir solvecache --jobs 4 > /dev/null
+  $ cmp cold.summary parwarm.summary
+
+The JSON run report carries the per-view disposition and the aggregate
+tallies.
+
+  $ hydra summary toy.hydra -o jsonwarm.summary --cache-dir solvecache --json > cache_report.json
+  $ grep -c '"cache": "hit"' cache_report.json
+  3
+  $ grep -c '"hits": 3' cache_report.json
+  1
+
+Garbling every entry on disk turns hits back into misses -- never an
+error -- and the re-solve repairs the cache.
+
+  $ for f in solvecache/*; do printf garbage > "$f"; done
+  $ hydra summary toy.hydra -o repaired.summary --cache-dir solvecache | grep 'cache:'
+    cache: 0 hits, 3 misses, 3 stores -> solvecache
+  $ cmp cold.summary repaired.summary
+  $ hydra summary toy.hydra -o rewarmed.summary --cache-dir solvecache | grep 'cache:'
+    cache: 3 hits, 0 misses, 0 stores -> solvecache

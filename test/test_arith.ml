@@ -220,6 +220,64 @@ let prop_rat_floor_bound =
       let f = Rat.of_bigint (Rat.floor r) in
       Rat.compare f r <= 0 && Rat.compare r (Rat.add f Rat.one) < 0)
 
+let test_rat_of_float () =
+  (* dyadic rationals convert exactly *)
+  Alcotest.(check string) "0.5" "1/2" (Rat.to_string (Rat.of_float 0.5));
+  Alcotest.(check string) "-0.75" "-3/4" (Rat.to_string (Rat.of_float (-0.75)));
+  Alcotest.(check string) "1.0" "1" (Rat.to_string (Rat.of_float 1.0));
+  Alcotest.(check string) "0.0" "0" (Rat.to_string (Rat.of_float 0.0));
+  Alcotest.(check string) "2.5" "5/2" (Rat.to_string (Rat.of_float 2.5));
+  (* 0.1 is NOT 1/10 in binary; the conversion must be exact, i.e. return
+     the true dyadic value of the nearest double *)
+  Alcotest.(check string) "0.1 is the exact double"
+    "3602879701896397/36028797018963968"
+    (Rat.to_string (Rat.of_float 0.1));
+  (* integers up to and beyond 2^53 survive (the motivating bug: the old
+     float path truncated cardinalities above 2^53) *)
+  let big = 9007199254740992.0 (* 2^53 *) in
+  Alcotest.(check string) "2^53" "9007199254740992"
+    (Rat.to_string (Rat.of_float big));
+  Alcotest.(check string) "2^60" "1152921504606846976"
+    (Rat.to_string (Rat.of_float 1152921504606846976.0));
+  (* round-trip through to_float for values a double can represent *)
+  Alcotest.(check (float 0.0)) "to_float inverse" 123.4375
+    (Rat.to_float (Rat.of_float 123.4375));
+  (match Rat.of_float Float.nan with
+  | _ -> Alcotest.fail "nan must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match Rat.of_float Float.infinity with
+  | _ -> Alcotest.fail "infinity must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let test_rat_of_string () =
+  let rt r =
+    Alcotest.(check string)
+      ("roundtrip " ^ Rat.to_string r)
+      (Rat.to_string r)
+      (Rat.to_string (Rat.of_string (Rat.to_string r)))
+  in
+  rt (Rat.of_ints 3 2);
+  rt (Rat.of_ints (-7) 3);
+  rt Rat.zero;
+  rt (Rat.of_float 0.1);
+  Alcotest.(check string) "plain integer" "42" (Rat.to_string (Rat.of_string "42"));
+  Alcotest.(check string) "normalizes" "1/2" (Rat.to_string (Rat.of_string "2/4"));
+  (match Rat.of_string "abc" with
+  | _ -> Alcotest.fail "garbage must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Rat.of_string "1/0" with
+  | _ -> Alcotest.fail "zero denominator must be rejected"
+  | exception Division_by_zero -> ()
+
+let prop_rat_of_float_exact =
+  QCheck.Test.make ~name:"of_float is exact on doubles" ~count:300
+    QCheck.(float_range (-1e18) 1e18)
+    (fun f -> Rat.to_float (Rat.of_float f) = f)
+
+let prop_rat_string_roundtrip =
+  QCheck.Test.make ~name:"of_string inverts to_string" ~count:300 rat_arb
+    (fun r -> Rat.equal r (Rat.of_string (Rat.to_string r)))
+
 let qsuite props = List.map QCheck_alcotest.to_alcotest props
 
 let suite =
@@ -250,8 +308,17 @@ let suite =
         Alcotest.test_case "normalization" `Quick test_rat_normalization;
         Alcotest.test_case "arithmetic" `Quick test_rat_arith;
         Alcotest.test_case "floor/ceil/round" `Quick test_rat_floor_ceil;
+        Alcotest.test_case "of_float exact" `Quick test_rat_of_float;
+        Alcotest.test_case "of_string roundtrip" `Quick test_rat_of_string;
       ]
-      @ qsuite [ prop_rat_field; prop_rat_order; prop_rat_floor_bound ] );
+      @ qsuite
+          [
+            prop_rat_field;
+            prop_rat_order;
+            prop_rat_floor_bound;
+            prop_rat_of_float_exact;
+            prop_rat_string_roundtrip;
+          ] );
   ]
 
 let () = Alcotest.run "hydra-arith" suite

@@ -227,6 +227,61 @@ let test_toy_summary_roundtrip () =
   Alcotest.(check bool) "loaded summary still valid" true
     (v.Validate.max_abs_error < 0.01)
 
+let test_summary_load_is_exact_inverse () =
+  (* regression: load used to drop [views] and [extra_tuples], so a
+     saved-then-loaded summary failed Validate.check_summary and could
+     not seed dynamic regeneration. load must now invert save exactly. *)
+  let result = Pipeline.regenerate toy_schema toy_ccs in
+  let summary = result.Pipeline.summary in
+  Alcotest.(check bool) "toy summary has views" true
+    (summary.Summary.views <> []);
+  let path = Filename.temp_file "hydra" ".summary" in
+  Summary.save path summary;
+  let loaded = Summary.load path toy_schema in
+  Alcotest.(check int) "view count survives"
+    (List.length summary.Summary.views)
+    (List.length loaded.Summary.views);
+  List.iter2
+    (fun (a : Summary.view_summary) (b : Summary.view_summary) ->
+      Alcotest.(check string) "view relation" a.Summary.vs_rel b.Summary.vs_rel;
+      Alcotest.(check (array string)) "view attrs" a.Summary.vs_attrs
+        b.Summary.vs_attrs;
+      Alcotest.(check (list (pair (array int) int)))
+        "view rows" a.Summary.vs_rows b.Summary.vs_rows)
+    summary.Summary.views loaded.Summary.views;
+  Alcotest.(check (list (pair string int)))
+    "extra_tuples survives" summary.Summary.extra_tuples
+    loaded.Summary.extra_tuples;
+  (* old-format files (relations only) still load, with the new fields
+     empty *)
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let relations_only =
+    String.split_on_char '\n' text
+    |> List.to_seq
+    |> Seq.take_while (fun line ->
+           not
+             (String.length line >= 5
+             && (String.sub line 0 5 = "view " || String.sub line 0 5 = "extra")))
+    |> List.of_seq |> String.concat "\n"
+  in
+  let oc = open_out path in
+  output_string oc relations_only;
+  close_out oc;
+  let old = Summary.load path toy_schema in
+  Sys.remove path;
+  Alcotest.(check int) "old format: relations intact"
+    (List.length summary.Summary.relations)
+    (List.length old.Summary.relations);
+  Alcotest.(check int) "old format: no views" 0
+    (List.length old.Summary.views);
+  Alcotest.(check int) "old format: no extras" 0
+    (List.length old.Summary.extra_tuples)
+
 (* ---- viewgraph ---- *)
 
 let test_viewgraph_cliques () =
@@ -669,6 +724,8 @@ let suite =
         Alcotest.test_case "toy end-to-end (Fig. 1)" `Quick test_toy_pipeline;
         Alcotest.test_case "dynamic = static" `Quick test_toy_dynamic_matches_static;
         Alcotest.test_case "summary roundtrip" `Quick test_toy_summary_roundtrip;
+        Alcotest.test_case "load inverts save (views, extras)" `Quick
+          test_summary_load_is_exact_inverse;
         Alcotest.test_case "validate helpers" `Quick test_validate_helpers;
       ] );
   ]

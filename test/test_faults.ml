@@ -378,6 +378,55 @@ let prop_robust_regenerate =
       check_status_consistent ccs result;
       true)
 
+(* ---- malformed annotated plans ----
+
+   Regression: plan harvesting used to [assert false] when an annotated
+   tree's child arity disagreed with the plan shape (a malformed AQP
+   import). It must now raise the typed [Workload.Harvest_error], which
+   the CLI maps to its own exit code and [Pipeline.exn_message] renders. *)
+
+let test_harvest_error_typed () =
+  let module Executor = Hydra_engine.Executor in
+  let module Plan = Hydra_engine.Plan in
+  let ann op card children = { Executor.op; card; children } in
+  let pred = atom "a" 0 10 in
+  (* Filter node annotated with no children (expects 1) *)
+  let plan = Plan.Filter (pred, Plan.Scan "r") in
+  let bad = ann "filter" 5 [] in
+  (match Workload.ccs_of_aqp plan bad with
+  | _ -> Alcotest.fail "malformed tree must raise"
+  | exception Workload.Harvest_error f ->
+      Alcotest.(check string) "op" "Filter" f.Workload.hf_op;
+      Alcotest.(check int) "expected" 1 f.Workload.hf_expected;
+      Alcotest.(check int) "got" 0 f.Workload.hf_got;
+      let msg = Workload.harvest_fault_message f in
+      Alcotest.(check bool) "message names the operator" true
+        (contains msg "Filter");
+      Alcotest.(check bool) "pipeline renders it" true
+        (contains (Pipeline.exn_message (Workload.Harvest_error f)) "harvest"));
+  (* Join node annotated with one child (expects 2) *)
+  let jplan =
+    Plan.Join
+      (Plan.Scan "r", Plan.Scan "r", { Plan.fk_col = "r.r_pk"; pk_rel = "r" })
+  in
+  let bad_join = ann "join" 5 [ ann "scan r" 5 [] ] in
+  (match Workload.ccs_of_aqp jplan bad_join with
+  | _ -> Alcotest.fail "malformed join must raise"
+  | exception Workload.Harvest_error f ->
+      Alcotest.(check string) "join op" "Join" f.Workload.hf_op;
+      Alcotest.(check int) "join expected" 2 f.Workload.hf_expected;
+      Alcotest.(check int) "join got" 1 f.Workload.hf_got);
+  (* Scan node annotated with children (expects 0) *)
+  (match Workload.ccs_of_aqp (Plan.Scan "r") (ann "scan" 5 [ ann "x" 1 [] ]) with
+  | _ -> Alcotest.fail "malformed scan must raise"
+  | exception Workload.Harvest_error f ->
+      Alcotest.(check string) "scan op" "Scan" f.Workload.hf_op;
+      Alcotest.(check int) "scan got" 1 f.Workload.hf_got);
+  (* a well-formed tree still harvests *)
+  let ok = ann "filter" 5 [ ann "scan r" 20 [] ] in
+  Alcotest.(check int) "well-formed tree harvests" 2
+    (List.length (Workload.ccs_of_aqp plan ok))
+
 let suite =
   [
     ( "fault-injection",
@@ -398,6 +447,8 @@ let suite =
           test_per_view_isolation;
         Alcotest.test_case "uncovered relation warns through obs" `Quick
           test_uncovered_relation_warns;
+        Alcotest.test_case "malformed annotated plan raises Harvest_error"
+          `Quick test_harvest_error_typed;
       ] );
     ( "fault-parallel",
       [

@@ -462,6 +462,43 @@ let test_ring_two_domain_smash () =
     evs;
   Obs.reset ()
 
+(* regression: [Tuple_gen.with_datagen] ignored [?jobs]/[?pool] and always
+   materialized static relations sequentially. It now routes them through
+   the same sharded fill as [materialize]; the mixed-binding database
+   must be identical at any width, pooled or not. *)
+let test_with_datagen_jobs_invariant () =
+  let spec =
+    Cc_parser.parse
+      {|
+table S (A int [0,100), B int [0,50));
+table T (C int [0,10));
+table R (S_fk -> S, T_fk -> T);
+cc |R| = 80000; cc |S| = 700; cc |T| = 1500;
+cc |sigma(S.A in [20,60))(S)| = 400;
+cc |sigma(T.C in [2,3))(T)| = 900;
+cc |sigma(S.A in [20,60))(R join S)| = 50000;
+|}
+  in
+  let schema = spec.Cc_parser.schema in
+  let result = Pipeline.regenerate schema spec.Cc_parser.ccs in
+  let summary = result.Pipeline.summary in
+  let dyn = [ "R" ] in
+  let db1 = Tuple_gen.with_datagen summary ~dynamic_relations:dyn in
+  let dbk =
+    Tuple_gen.with_datagen ~jobs:par_jobs summary ~dynamic_relations:dyn
+  in
+  let dbp =
+    Pool.with_pool par_jobs (fun pool ->
+        Tuple_gen.with_datagen ~pool summary ~dynamic_relations:dyn)
+  in
+  Alcotest.(check bool) "jobs=k identical to sequential" true
+    (dbs_equal schema db1 dbk);
+  Alcotest.(check bool) "explicit pool identical to sequential" true
+    (dbs_equal schema db1 dbp);
+  (* the dynamic relation really is generated, at the right cardinality *)
+  Alcotest.(check int) "dynamic relation cardinality" 80000
+    (Database.nrows dbk "R")
+
 let suite =
   [
     ( "pool",
@@ -481,7 +518,11 @@ let suite =
           test_default_jobs_env;
       ] );
     ( "determinism",
-      List.map QCheck_alcotest.to_alcotest [ prop_jobs_invariant ] );
+      [
+        Alcotest.test_case "with_datagen mixed binding is jobs-invariant"
+          `Quick test_with_datagen_jobs_invariant;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest [ prop_jobs_invariant ] );
     ( "lp-oracle", List.map QCheck_alcotest.to_alcotest [ prop_lp_oracle ] );
     ( "obs-domains",
       [

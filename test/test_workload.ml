@@ -305,6 +305,41 @@ let test_scaling_ccs () =
         (cc.Cc.card > 2_000_000_000_000_000)
   | _ -> Alcotest.fail "one cc"
 
+let test_scaling_exact () =
+  (* regression: both scaling paths used to go through a single float
+     multiply, which silently truncates above 2^53. They now use exact
+     rational arithmetic; 1.0 is the identity everywhere and integer
+     factors multiply exactly. *)
+  let two53 = 9007199254740992 (* 2^53 *) in
+  let odd = two53 + 1 in
+  (* 2^53 + 1 is not representable as a double: the float path mapped it
+     to 2^53 *)
+  let sc1 = Hydra_codd.Scaling.create ~factor:1.0 in
+  Alcotest.(check int) "codd: 1.0 is the identity above 2^53" odd
+    (Hydra_codd.Scaling.scale_count sc1 odd);
+  (match Workload.scale_ccs 1.0 [ Cc.size_cc "fact" odd ] with
+  | [ cc ] -> Alcotest.(check int) "workload: 1.0 identity" odd cc.Cc.card
+  | _ -> Alcotest.fail "one cc");
+  (* integer factors are exact even when the product crosses 2^53 *)
+  let sc2 = Hydra_codd.Scaling.create ~factor:2.0 in
+  Alcotest.(check int) "codd: 2x exact across 2^53"
+    ((two53 / 2 * 2) + 6)
+    (Hydra_codd.Scaling.scale_count sc2 ((two53 / 2) + 3));
+  (* fractional factors round half away from zero *)
+  let sc15 = Hydra_codd.Scaling.create ~factor:1.5 in
+  Alcotest.(check int) "codd: rounds half up" 8
+    (Hydra_codd.Scaling.scale_count sc15 5);
+  (match Workload.scale_ccs 0.5 [ Cc.size_cc "fact" 5 ] with
+  | [ cc ] -> Alcotest.(check int) "workload: rounds half up" 3 cc.Cc.card
+  | _ -> Alcotest.fail "one cc");
+  (* saturation, not wraparound *)
+  (match Workload.scale_ccs 1e30 [ Cc.size_cc "fact" 50 ] with
+  | [ cc ] -> Alcotest.(check int) "workload: saturates" max_int cc.Cc.card
+  | _ -> Alcotest.fail "one cc");
+  match Workload.scale_ccs 3.0 [ Cc.size_cc "fact" 0 ] with
+  | [ cc ] -> Alcotest.(check int) "zero stays zero" 0 cc.Cc.card
+  | _ -> Alcotest.fail "one cc"
+
 let suite =
   [
     ( "cc",
@@ -328,6 +363,7 @@ let suite =
       [
         Alcotest.test_case "capture and scale" `Quick test_metadata_capture_and_scale;
         Alcotest.test_case "cc scaling" `Quick test_scaling_ccs;
+        Alcotest.test_case "exact scaling across 2^53" `Quick test_scaling_exact;
       ] );
   ]
 
