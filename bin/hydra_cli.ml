@@ -11,6 +11,8 @@ module Obs = Hydra_obs.Obs
 module Json = Hydra_obs.Json
 module Mclock = Hydra_obs.Mclock
 module Pool = Hydra_par.Pool
+module Supervisor = Hydra_par.Supervisor
+module Chaos = Hydra_chaos.Chaos
 
 (* shared parallelism knob: --jobs beats HYDRA_JOBS beats the machine's
    recommended domain count. Output is identical for any value (the
@@ -148,8 +150,10 @@ let or_die = function
      3   summary degraded: some views Relaxed
      4   summary degraded: some views Fallback
      10  preprocessing error        11  LP formulation error
-     12  summary assembly error     13  align-and-merge error
-     14  malformed annotated plan (harvest error) *)
+     12  summary assembly error, or a corrupt summary/durable artifact
+     13  align-and-merge error
+     14  malformed annotated plan (harvest error)
+     70  simulated chaos crash (matches the Kill injection's exit code) *)
 let protecting f x =
   let die code m =
     prerr_endline ("hydra: " ^ m);
@@ -158,12 +162,34 @@ let protecting f x =
   try f x with
   | Hydra_rel.Schema.Schema_error m -> die 1 ("schema: " ^ m)
   | Hydra_core.Summary.Summary_error m -> die 12 ("summary: " ^ m)
+  | Hydra_core.Summary.Corrupt c ->
+      die 12
+        (Printf.sprintf "summary: %s is corrupt (line %d: %s)"
+           c.Hydra_core.Summary.sum_path c.Hydra_core.Summary.sum_line
+           c.Hydra_core.Summary.sum_reason)
+  | Hydra_durable.Durable_io.Corrupt c ->
+      die 12
+        (Printf.sprintf "corrupt artifact: %s (offset %d: %s)"
+           c.Hydra_durable.Durable_io.dur_path
+           c.Hydra_durable.Durable_io.dur_offset
+           c.Hydra_durable.Durable_io.dur_reason)
   | Hydra_core.Preprocess.Preprocess_error m -> die 10 ("preprocess: " ^ m)
   | Hydra_core.Formulate.Formulation_error m -> die 11 ("formulation: " ^ m)
   | Hydra_core.Align.Align_error m -> die 13 ("alignment: " ^ m)
   | Hydra_workload.Workload.Harvest_error f ->
       die 14 ("harvest: " ^ Hydra_workload.Workload.harvest_fault_message f)
   | Hydra_workload.Cc_parser.Parse_error m -> die 1 ("parse: " ^ m)
+  | Chaos.Crashed site ->
+      die Chaos.kill_exit_code ("chaos: simulated crash at site " ^ site)
+  | Pool.Batch_failure fs ->
+      die 1
+        ("parallel batch failed: "
+        ^ String.concat "; "
+            (List.map
+               (fun (f : Pool.failure) ->
+                 Printf.sprintf "task %d: %s" f.Pool.f_index
+                   (Printexc.to_string f.Pool.f_exn))
+               fs))
   | Invalid_argument m -> die 1 m
   | Sys_error m -> die 1 m
 
@@ -184,6 +210,71 @@ let cache_dir_arg =
            misses. Defaults to $(b,HYDRA_CACHE) when set.")
 
 let open_cache = Option.map (fun d -> Hydra_cache.Cache.create ~dir:d)
+
+(* crash-safe runs: --state-dir journals every solved view write-ahead,
+   so re-running the same command after a crash replays completed views
+   and re-solves only the rest *)
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ]
+        ~env:(Cmd.Env.info "HYDRA_STATE") ~docv:"DIR"
+        ~doc:
+          "Run-journal directory for crash-safe regeneration. Every \
+           solved view is durably journaled (write-ahead, fsynced) under \
+           $(docv)/run.journal before the run proceeds; re-running after \
+           a crash or kill replays the journaled views and re-solves \
+           only the missing ones, producing a byte-identical summary. \
+           Corrupt or torn journal records are skipped, never fatal. \
+           Defaults to $(b,HYDRA_STATE) when set.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ]
+        ~env:(Cmd.Env.info "HYDRA_CHAOS") ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault injection (testing). $(docv) is \
+           comma-separated key=value pairs: $(b,site)=<name> (required; \
+           one of solve, pool.task, cache.read, cache.write, \
+           journal.append, summary.save, materialize.shard), \
+           $(b,kind)=transient|crash|kill (default crash), \
+           $(b,after)=N (fire on the N-th pass, default 1), \
+           $(b,times)=N (consecutive passes that fire, default 1, 0 = \
+           unlimited). Example: --chaos site=solve,kind=kill,after=2.")
+
+let arm_chaos = function
+  | None -> ()
+  | Some spec -> (
+      match Chaos.parse spec with
+      | Ok plan -> Chaos.arm plan
+      | Error m -> or_die (Error m))
+
+let task_retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "task-retries" ] ~docv:"N"
+        ~doc:
+          "Supervised retries for transient task failures in the solve \
+           pool (0 disables retry). Retries only affect timing, never \
+           output.")
+
+let task_backoff_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "task-backoff" ] ~docv:"SECONDS"
+        ~doc:
+          "Base backoff before the first supervised retry; doubles per \
+           attempt (capped), with deterministic jitter.")
+
+let supervision_of ~task_retries ~task_backoff =
+  {
+    Supervisor.default_policy with
+    Supervisor.max_retries = max 0 task_retries;
+    base_backoff_s = max 0.0 task_backoff;
+  }
 
 let disposition_word = function
   | Hydra_core.Formulate.Cache_off -> "off"
@@ -255,6 +346,8 @@ let run_report_json ?audit ?cache ~jobs out (result : Hydra_core.Pipeline.result
         ("lp_constraints", Json.Int v.num_lp_constraints);
         ("solve_seconds", Json.Float v.solve_seconds);
         ("cache", Json.String (disposition_word v.cache));
+        ("journal", Json.String (disposition_word v.journal));
+        ("attempts", Json.Int v.attempts);
         ("violations", violations);
         ("metrics", metrics_obj v.metrics);
       ]
@@ -373,17 +466,21 @@ let summary_cmd =
              of the human-readable lines (implies metric collection). The \
              summary file is still written.")
   in
-  let run spec_path out deadline_s max_nodes jobs cache_dir trace metrics_out
-      audit_out flame_out report json =
+  let run spec_path out deadline_s max_nodes jobs cache_dir state_dir chaos
+      task_retries task_backoff trace metrics_out audit_out flame_out report
+      json =
     setup_obs trace metrics_out;
     setup_flame flame_out;
     if report || json || audit_out <> None then Obs.set_enabled true;
+    arm_chaos chaos;
     let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
     let cache = open_cache cache_dir in
+    let supervision = supervision_of ~task_retries ~task_backoff in
     let result =
       Hydra_core.Pipeline.regenerate ?deadline_s ~max_nodes ~jobs ?cache
-        spec.Hydra_workload.Cc_parser.schema spec.Hydra_workload.Cc_parser.ccs
+        ?state_dir ~supervision spec.Hydra_workload.Cc_parser.schema
+        spec.Hydra_workload.Cc_parser.ccs
     in
     let summary = result.Hydra_core.Pipeline.summary in
     Hydra_core.Summary.save out summary;
@@ -425,9 +522,16 @@ let summary_cmd =
             v.Hydra_core.Pipeline.rel v.Hydra_core.Pipeline.num_lp_vars
             v.Hydra_core.Pipeline.num_lp_constraints
             v.Hydra_core.Pipeline.solve_seconds (status_line v)
-            (match v.Hydra_core.Pipeline.cache with
-            | Hydra_core.Formulate.Cache_hit -> " [cached]"
-            | _ -> "");
+            ((match v.Hydra_core.Pipeline.journal with
+             | Hydra_core.Formulate.Cache_hit -> " [replayed]"
+             | _ -> "")
+            ^ (match v.Hydra_core.Pipeline.cache with
+              | Hydra_core.Formulate.Cache_hit -> " [cached]"
+              | _ -> "")
+            ^
+            if v.Hydra_core.Pipeline.attempts > 1 then
+              Printf.sprintf " [%d attempts]" v.Hydra_core.Pipeline.attempts
+            else "");
           match v.Hydra_core.Pipeline.status with
           | Hydra_core.Pipeline.Relaxed vs ->
               List.iter
@@ -473,9 +577,10 @@ let summary_cmd =
   let doc = "Build a database summary from a schema + CC spec." in
   Cmd.v (Cmd.info "summary" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k l ->
-          protecting (run a b c d e f g h i j k) l)
+      const (fun a b c d e f g h i j k l m n o p ->
+          protecting (run a b c d e f g h i j k l m n o) p)
       $ spec_arg $ out $ deadline $ max_nodes $ jobs_arg $ cache_dir_arg
+      $ state_dir_arg $ chaos_arg $ task_retries_arg $ task_backoff_arg
       $ trace_arg $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ report
       $ json)
 
@@ -648,6 +753,48 @@ let extract_cmd =
       const (fun a b c d -> protecting (run a b c) d)
       $ spec_arg $ data_dir $ out $ jobs_arg)
 
+(* ---- cache maintenance ---- *)
+
+let cache_scrub_cmd =
+  let delete =
+    Arg.(
+      value & flag
+      & info [ "delete" ]
+          ~doc:"Remove every corrupt or version-mismatched entry found.")
+  in
+  let run cache_dir delete =
+    let dir =
+      match cache_dir with
+      | Some d -> d
+      | None ->
+          or_die (Error "cache scrub: --cache-dir (or HYDRA_CACHE) is required")
+    in
+    let r = Hydra_cache.Cache.scrub ~delete ~dir () in
+    List.iter
+      (fun (b : Hydra_cache.Cache.bad_entry) ->
+        Printf.printf "  bad: %s (%s)%s\n" b.Hydra_cache.Cache.be_file
+          b.Hydra_cache.Cache.be_problem
+          (if delete then " [deleted]" else ""))
+      r.Hydra_cache.Cache.sr_bad;
+    Printf.printf "cache scrub: %d entries, %d ok, %d bad, %d deleted -> %s\n"
+      r.Hydra_cache.Cache.sr_total r.Hydra_cache.Cache.sr_ok
+      (List.length r.Hydra_cache.Cache.sr_bad)
+      r.Hydra_cache.Cache.sr_deleted dir;
+    (* bad entries left behind signal scripts to re-run with --delete *)
+    if r.Hydra_cache.Cache.sr_bad <> [] && not delete then exit 2
+  in
+  let doc =
+    "Walk a solve-cache directory, report corrupt or version-mismatched \
+     entries (silent misses otherwise), and optionally delete them."
+  in
+  Cmd.v (Cmd.info "scrub" ~doc)
+    Term.(
+      const (fun a b -> protecting (run a) b) $ cache_dir_arg $ delete)
+
+let cache_cmd =
+  let doc = "Solve-cache maintenance." in
+  Cmd.group (Cmd.info "cache" ~doc) [ cache_scrub_cmd ]
+
 (* ---- inspect ---- *)
 
 let inspect_cmd =
@@ -666,10 +813,16 @@ let main =
   let doc = "workload-dependent database regeneration (HYDRA, EDBT 2018)" in
   Cmd.group
     (Cmd.info "hydra" ~version:"1.0.0" ~doc)
-    [ summary_cmd; extract_cmd; materialize_cmd; validate_cmd; inspect_cmd ]
+    [
+      summary_cmd; extract_cmd; materialize_cmd; validate_cmd; inspect_cmd;
+      cache_cmd;
+    ]
 
 let () =
   Obs.init_from_env ();
+  (* HYDRA_CHAOS arms fault injection for every subcommand, including
+     those without a --chaos flag (e.g. materialize) *)
+  Chaos.init_from_env ();
   (* metrics files must land even on the degraded-summary exit codes *)
   at_exit Obs.finish;
   exit (Cmd.eval main)

@@ -7,11 +7,14 @@
      <payload...>
 
    Reads re-derive every header field and the payload digest; any
-   disagreement (or any exception at all) is a miss. Writes go through a
-   unique temporary file in the same directory and a rename, which POSIX
-   makes atomic — a reader sees either no entry or a complete one. *)
+   disagreement (or any exception at all) is a miss. Writes go through
+   Durable_io.write_atomic (unique temp file in the same directory +
+   rename), which POSIX makes atomic — a reader sees either no entry or
+   a complete one. *)
 
 module Obs = Hydra_obs.Obs
+module Chaos = Hydra_chaos.Chaos
+module Durable_io = Hydra_durable.Durable_io
 
 let format_version = 1
 
@@ -28,15 +31,8 @@ type t = {
 
 type stats = { hits : int; misses : int; stores : int }
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755
-    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
 let create ~dir =
-  (try mkdir_p dir
+  (try Durable_io.mkdir_p dir
    with Unix.Unix_error (e, _, _) ->
      raise
        (Sys_error
@@ -63,39 +59,56 @@ let entry_path t ~key =
     ((if valid_key key then key else Digest.to_hex (Digest.string key))
     ^ ".entry")
 
-let read_entry path key =
+(* [Ok payload] or [Error reason]; callers that only care about
+   hit-or-miss collapse the reason, scrub reports it *)
+let parse_entry path ~key =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let header = input_line ic in
       match String.split_on_char ' ' header with
-      | [ "hydra-cache"; version; k ]
-        when int_of_string_opt version = Some format_version && k = key ->
-          let meta = input_line ic in
-          (match String.split_on_char ' ' meta with
-          | [ "payload"; len; digest ] -> (
-              match int_of_string_opt len with
-              | Some len when len >= 0 ->
-                  let payload = really_input_string ic len in
-                  (* trailing bytes mean a corrupt or foreign file *)
-                  if
-                    pos_in ic = in_channel_length ic
-                    && Digest.to_hex (Digest.string payload) = digest
-                  then Some payload
-                  else None
-              | _ -> None)
-          | _ -> None)
-      | _ -> None)
+      | [ "hydra-cache"; version; k ] -> (
+          if int_of_string_opt version <> Some format_version then
+            Error
+              (Printf.sprintf "format version %s (expected %d)" version
+                 format_version)
+          else if (match key with Some key -> k <> key | None -> false) then
+            Error (Printf.sprintf "key echo %s does not match" k)
+          else
+            let meta = input_line ic in
+            match String.split_on_char ' ' meta with
+            | [ "payload"; len; digest ] -> (
+                match int_of_string_opt len with
+                | Some len when len >= 0 -> (
+                    match really_input_string ic len with
+                    | payload ->
+                        (* trailing bytes mean a corrupt or foreign file *)
+                        if pos_in ic <> in_channel_length ic then
+                          Error "trailing bytes after payload"
+                        else if
+                          Digest.to_hex (Digest.string payload) <> digest
+                        then Error "payload digest mismatch"
+                        else Ok payload
+                    | exception End_of_file -> Error "truncated payload")
+                | _ -> Error "malformed payload length")
+            | _ -> Error "malformed payload header")
+      | _ -> Error "bad magic line")
+
+let read_entry path key =
+  match parse_entry path ~key:(Some key) with
+  | Ok payload -> Some payload
+  | Error _ -> None
 
 let find t ~key =
   let result =
+    Chaos.tap "cache.read";
     let path = entry_path t ~key in
     if not (Sys.file_exists path) then None
     else
       (* any read failure — truncation, garbage, a vanished file — is a
          miss; the cache never propagates its own faults to the solve *)
-      try read_entry path key with _ -> None
+      try read_entry path key with e when not (Chaos.is_injected e) -> None
   in
   (match result with
   | Some _ ->
@@ -108,31 +121,19 @@ let find t ~key =
 
 let store t ~key payload =
   try
+    Chaos.tap "cache.write";
     let path = entry_path t ~key in
-    let tmp =
-      Filename.temp_file ~temp_dir:t.cache_dir ".hydra-cache-" ".tmp"
-    in
-    let ok =
-      try
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            Printf.fprintf oc "hydra-cache %d %s\n" format_version key;
-            Printf.fprintf oc "payload %d %s\n" (String.length payload)
-              (Digest.to_hex (Digest.string payload));
-            output_string oc payload);
-        Sys.rename tmp path;
-        true
-      with e ->
-        (try Sys.remove tmp with _ -> ());
-        raise e
-    in
-    if ok then begin
-      Atomic.incr t.n_stores;
-      Obs.incr m_store 1
-    end
-  with _ -> () (* best-effort: a failed store only shrinks the cache *)
+    Durable_io.write_atomic ~fsync:false path (fun buf ->
+        Buffer.add_string buf
+          (Printf.sprintf "hydra-cache %d %s\n" format_version key);
+        Buffer.add_string buf
+          (Printf.sprintf "payload %d %s\n" (String.length payload)
+             (Digest.to_hex (Digest.string payload)));
+        Buffer.add_string buf payload);
+    Atomic.incr t.n_stores;
+    Obs.incr m_store 1
+  with e when not (Chaos.is_injected e) ->
+    () (* best-effort: a failed store only shrinks the cache *)
 
 let stats t =
   {
@@ -140,3 +141,50 @@ let stats t =
     misses = Atomic.get t.n_misses;
     stores = Atomic.get t.n_stores;
   }
+
+(* ---- scrub ---- *)
+
+type bad_entry = { be_file : string; be_problem : string }
+
+type scrub_report = {
+  sr_total : int;
+  sr_ok : int;
+  sr_bad : bad_entry list;
+  sr_deleted : int;
+}
+
+let scrub ?(delete = false) ~dir () =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "cache directory %s: not a directory" dir));
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".entry")
+    |> List.sort String.compare
+  in
+  let total = ref 0 and ok = ref 0 and deleted = ref 0 in
+  let bad = ref [] in
+  List.iter
+    (fun file ->
+      incr total;
+      let path = Filename.concat dir file in
+      let stem = Filename.chop_suffix file ".entry" in
+      let key = if valid_key stem then Some stem else None in
+      let problem =
+        match parse_entry path ~key with
+        | Ok _ when key = None -> Some "file name is not a valid key"
+        | Ok _ -> None
+        | Error reason -> Some reason
+        | exception e when not (Chaos.is_injected e) ->
+            Some (Printexc.to_string e)
+      in
+      match problem with
+      | None -> incr ok
+      | Some be_problem ->
+          bad := { be_file = file; be_problem } :: !bad;
+          if delete then begin
+            (try Sys.remove path with Sys_error _ -> ());
+            incr deleted
+          end)
+    files;
+  { sr_total = !total; sr_ok = !ok; sr_bad = List.rev !bad;
+    sr_deleted = !deleted }

@@ -46,3 +46,27 @@ val stats : t -> stats
 
 val entry_path : t -> key:string -> string
 (** Where [key]'s entry lives on disk. Exposed for corruption tests. *)
+
+(** {2 Scrub}
+
+    [find] deliberately treats corrupt and version-mismatched entries
+    as silent misses, so without maintenance they would stay on disk —
+    and stay misses — forever. [scrub] is that maintenance pass. *)
+
+type bad_entry = {
+  be_file : string;  (** basename within the cache directory *)
+  be_problem : string;  (** human-readable diagnosis *)
+}
+
+type scrub_report = {
+  sr_total : int;  (** [.entry] files examined *)
+  sr_ok : int;
+  sr_bad : bad_entry list;  (** sorted by file name *)
+  sr_deleted : int;
+}
+
+val scrub : ?delete:bool -> dir:string -> unit -> scrub_report
+(** Walk every [.entry] file under [dir], re-validating magic, format
+    version, key echo, payload length and digest. [?delete] (default
+    [false]) removes each bad entry. @raise Sys_error when [dir] is not
+    a directory. *)

@@ -15,6 +15,7 @@ open Hydra_rel
 open Hydra_lp
 module Obs = Hydra_obs.Obs
 module Cache = Hydra_cache.Cache
+module Chaos = Hydra_chaos.Chaos
 
 type subview_problem = {
   sp_node : Viewgraph.tree_node;
@@ -328,6 +329,11 @@ type outcome =
 
 type cache_disposition = Cache_off | Cache_bypass | Cache_hit | Cache_miss
 
+type provenance = {
+  via_cache : cache_disposition;
+  via_journal : cache_disposition;
+}
+
 (* Violating a consistency constraint makes sub-view marginals disagree,
    which can defeat align-and-merge entirely; a violated CC merely skews
    one count. The relaxation therefore pays 1024x more for consistency
@@ -423,6 +429,21 @@ let encode_entry raw =
            (Hydra_arith.Rat.to_string violation)
            (Lp.vector_to_string x))
 
+(* The run journal persists every outcome — including [Raw_failed],
+   which the shared cache refuses: within one run (same budgets, same
+   deadline discipline) replaying a recorded failure is what keeps a
+   resumed run byte-identical to the uninterrupted one, instead of
+   burning the deadline again and maybe landing on a different rung. *)
+let sanitize_reason m =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) m
+
+let encode_raw raw =
+  match raw with
+  | Raw_failed m ->
+      Printf.sprintf "hydra-solve %d\nrung failed %s\n\n" entry_version
+        (sanitize_reason m)
+  | Raw_exact _ | Raw_relaxed _ -> Option.get (encode_entry raw)
+
 (* [None] on any malformation; length and (for exact entries) feasibility
    are re-checked against the freshly formulated LP, so even a key
    collision cannot replay a wrong solution as Exact. *)
@@ -443,15 +464,35 @@ let decode_entry lp payload =
       | _ -> None)
   | _ -> None
 
+(* journal decode: everything [decode_entry] accepts, plus recorded
+   failures *)
+let decode_raw lp payload =
+  let failed_prefix = "rung failed " in
+  match String.split_on_char '\n' payload with
+  | header :: rung :: rest
+    when header = Printf.sprintf "hydra-solve %d" entry_version
+         && String.length rung >= String.length failed_prefix
+         && String.sub rung 0 (String.length failed_prefix) = failed_prefix
+         && List.for_all (fun l -> String.trim l = "") rest ->
+      Some
+        (Raw_failed
+           (String.sub rung
+              (String.length failed_prefix)
+              (String.length rung - String.length failed_prefix)))
+  | _ -> decode_entry lp payload
+
 let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
-    (view : Preprocess.view) =
-  let off_or_bypass =
-    match cache with None -> Cache_off | Some _ -> Cache_bypass
+    ?journal (view : Preprocess.view) =
+  let off_or_bypass opt =
+    match opt with None -> Cache_off | Some _ -> Cache_bypass
+  in
+  let bypass_prov =
+    { via_cache = off_or_bypass cache; via_journal = off_or_bypass journal }
   in
   try
     if view.Preprocess.subviews = [] then
       (* nothing was solved, so there is nothing worth caching *)
-      (Exact (trivial_result view), off_or_bypass)
+      (Exact (trivial_result view), bypass_prov)
     else begin
       let problems, lp, n_cc_constraints =
         Obs.with_span "view.formulate" (fun () -> formulate view)
@@ -474,6 +515,7 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
       let rec attempt budget tries_left =
         match
           Obs.with_span "view.solve" (fun () ->
+              Chaos.tap "solve";
               Int_feasible.solve ~max_nodes:budget ?deadline lp)
         with
         | Int_feasible.Solution x -> Raw_exact x
@@ -498,22 +540,63 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
                 violation )
         | Raw_failed m -> Failed m
       in
-      match cache with
-      | None -> (finish (attempt max_nodes retries), Cache_off)
-      | Some cache -> (
-          let key =
-            fingerprint_of_lp ~max_nodes ~retries view lp n_cc_constraints
-          in
-          match
-            Option.bind (Cache.find cache ~key) (decode_entry lp)
-          with
-          | Some raw -> (finish raw, Cache_hit)
-          | None ->
-              let raw = attempt max_nodes retries in
-              Option.iter (Cache.store cache ~key) (encode_entry raw);
-              (finish raw, Cache_miss))
+      if cache = None && journal = None then
+        ( finish (attempt max_nodes retries),
+          { via_cache = Cache_off; via_journal = Cache_off } )
+      else begin
+        let key =
+          fingerprint_of_lp ~max_nodes ~retries view lp n_cc_constraints
+        in
+        let journal_append raw =
+          Option.iter
+            (fun j ->
+              Journal.append j ~view:view.Preprocess.vrel ~key
+                (encode_raw raw))
+            journal
+        in
+        (* journal first: it is run-scoped truth (and also records
+           failures), the shared cache is only an optimization *)
+        match
+          Option.bind journal (fun j ->
+              Option.bind (Journal.find j ~key) (decode_raw lp))
+        with
+        | Some raw ->
+            ( finish raw,
+              { via_cache = off_or_bypass cache; via_journal = Cache_hit } )
+        | None -> (
+            let journal_miss_or_off =
+              match journal with None -> Cache_off | Some _ -> Cache_miss
+            in
+            match
+              Option.bind cache (fun c ->
+                  Option.bind (Cache.find c ~key) (decode_entry lp))
+            with
+            | Some raw ->
+                (* record the replay so a later resume does not depend
+                   on the shared cache still holding this entry *)
+                journal_append raw;
+                ( finish raw,
+                  { via_cache = Cache_hit; via_journal = journal_miss_or_off }
+                )
+            | None ->
+                let raw = attempt max_nodes retries in
+                journal_append raw;
+                Option.iter
+                  (fun c ->
+                    Option.iter (Cache.store c ~key) (encode_entry raw))
+                  cache;
+                ( finish raw,
+                  {
+                    via_cache =
+                      (match cache with
+                      | None -> Cache_off
+                      | Some _ -> Cache_miss);
+                    via_journal = journal_miss_or_off;
+                  } ))
+      end
     end
   with
-  | Formulation_error m -> (Failed m, off_or_bypass)
-  | Preprocess.Preprocess_error m -> (Failed m, off_or_bypass)
-  | e -> (Failed (Printexc.to_string e), off_or_bypass)
+  | Formulation_error m -> (Failed m, bypass_prov)
+  | Preprocess.Preprocess_error m -> (Failed m, bypass_prov)
+  | e when not (Chaos.is_injected e) ->
+      (Failed (Printexc.to_string e), bypass_prov)

@@ -66,6 +66,14 @@ type cache_disposition =
   | Cache_hit  (** the solution was replayed from a stored entry *)
   | Cache_miss  (** solved fresh; the result was offered to the store *)
 
+type provenance = {
+  via_cache : cache_disposition;
+  via_journal : cache_disposition;
+      (** same vocabulary, applied to the [--state-dir] run journal:
+          [Cache_hit] means the view was replayed from a prior
+          (interrupted) run's record *)
+}
+
 val fingerprint :
   ?max_nodes:int -> ?retries:int -> Preprocess.view -> string
 (** Content address of a view's solve: a hex digest of a canonical
@@ -84,8 +92,9 @@ val solve_view_robust :
   ?retries:int ->
   ?deadline:float ->
   ?cache:Hydra_cache.Cache.t ->
+  ?journal:Journal.t ->
   Preprocess.view ->
-  outcome * cache_disposition
+  outcome * provenance
 (** Like {!solve_view} but never raises. On budget exhaustion the node
     budget is escalated 4x up to [retries] times (default 1); on
     infeasibility — or exhaustion after all retries — the system is
@@ -99,4 +108,10 @@ val solve_view_robust :
     length always, integer feasibility for exact entries — so corrupt or
     colliding entries degrade to misses). Fresh [Exact]/[Relaxed]
     outcomes are stored; [Failed] outcomes never are, since failure
-    reflects the budget of the run that produced it. *)
+    reflects the budget of the run that produced it.
+
+    With [?journal], the same key consults the [--state-dir] run
+    journal {e before} the cache, and every outcome — including
+    [Failed] — is appended after the fact, so a resumed run replays
+    the interrupted run's exact per-view rungs rather than re-rolling
+    the dice against budgets and deadlines. *)

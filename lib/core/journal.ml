@@ -1,0 +1,193 @@
+(* Append-only, line-oriented, per-record-verified journal.
+
+   Record line:  hydra-journal <md5hex> <key>\t<view>\t<payload>
+   where the three fields are tab-joined after escaping (backslash,
+   tab, newline, CR), and the digest covers exactly the tab-joined
+   fields. Everything that fails to parse or verify — including the
+   torn final line a crash mid-append leaves behind — is skipped and
+   counted, never raised. *)
+
+module Chaos = Hydra_chaos.Chaos
+module Durable_io = Hydra_durable.Durable_io
+
+type t = {
+  jpath : string;
+  tbl : (string, string) Hashtbl.t;  (* fingerprint -> payload *)
+  m : Mutex.t;
+  mutable oc : out_channel option;  (* append channel, opened lazily *)
+  mutable loaded : int;
+  mutable skipped : int;
+  replayed : int Atomic.t;
+  mutable appended : int;
+}
+
+type stats = {
+  j_loaded : int;
+  j_skipped : int;
+  j_replayed : int;
+  j_appended : int;
+}
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else if s.[i] <> '\\' then begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+    else if i + 1 >= n then None (* dangling escape *)
+    else begin
+      (match s.[i + 1] with
+      | '\\' -> Buffer.add_char buf '\\'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | _ -> raise Exit);
+      go (i + 2)
+    end
+  in
+  try go 0 with Exit -> None
+
+let magic = "hydra-journal"
+
+let render ~view ~key payload =
+  let fields =
+    String.concat "\t" [ escape key; escape view; escape payload ]
+  in
+  Printf.sprintf "%s %s %s\n" magic
+    (Digest.to_hex (Digest.string fields))
+    fields
+
+(* [Some (key, payload)] for a valid record line, [None] otherwise *)
+let parse_line line =
+  match String.index_opt line ' ' with
+  | Some sp1 when String.sub line 0 sp1 = magic -> (
+      match String.index_from_opt line (sp1 + 1) ' ' with
+      | Some sp2 -> (
+          let digest = String.sub line (sp1 + 1) (sp2 - sp1 - 1) in
+          let fields =
+            String.sub line (sp2 + 1) (String.length line - sp2 - 1)
+          in
+          if Digest.to_hex (Digest.string fields) <> digest then None
+          else
+            match String.split_on_char '\t' fields with
+            | [ key; _view; payload ] -> (
+                match (unescape key, unescape payload) with
+                | Some key, Some payload -> Some (key, payload)
+                | _ -> None)
+            | _ -> None)
+      | None -> None)
+  | _ -> None
+
+let load t =
+  if Sys.file_exists t.jpath then begin
+    let ic = open_in_bin t.jpath in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line = "" then ()
+            else
+              match parse_line line with
+              | Some (key, payload) ->
+                  Hashtbl.replace t.tbl key payload;
+                  t.loaded <- t.loaded + 1
+              | None -> t.skipped <- t.skipped + 1
+          done
+        with End_of_file -> ())
+  end
+
+let open_ ~dir =
+  Durable_io.mkdir_p dir;
+  let t =
+    {
+      jpath = Filename.concat dir "run.journal";
+      tbl = Hashtbl.create 64;
+      m = Mutex.create ();
+      oc = None;
+      loaded = 0;
+      skipped = 0;
+      replayed = Atomic.make 0;
+      appended = 0;
+    }
+  in
+  load t;
+  t
+
+let path t = t.jpath
+
+let find t ~key =
+  let r = Mutex.protect t.m (fun () -> Hashtbl.find_opt t.tbl key) in
+  if r <> None then Atomic.incr t.replayed;
+  r
+
+let channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+      (* a crash mid-append can leave a torn, newline-less tail; start a
+         fresh line so the next record cannot fuse with the debris *)
+      let needs_nl =
+        Sys.file_exists t.jpath
+        && (let ic = open_in_bin t.jpath in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                let n = in_channel_length ic in
+                n > 0
+                && (seek_in ic (n - 1);
+                    input_char ic <> '\n')))
+      in
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.jpath
+      in
+      if needs_nl then output_char oc '\n';
+      t.oc <- Some oc;
+      oc
+
+let append t ~view ~key payload =
+  Mutex.protect t.m (fun () ->
+      (* the tap sits before any byte is written: a crash here loses
+         the record, which resume handles by re-solving the view *)
+      Chaos.tap "journal.append";
+      let oc = channel t in
+      output_string oc (render ~view ~key payload);
+      flush oc;
+      (try Unix.fsync (Unix.descr_of_out_channel oc)
+       with Unix.Unix_error (_, _, _) -> ());
+      Hashtbl.replace t.tbl key payload;
+      t.appended <- t.appended + 1)
+
+let stats t =
+  Mutex.protect t.m (fun () ->
+      {
+        j_loaded = t.loaded;
+        j_skipped = t.skipped;
+        j_replayed = Atomic.get t.replayed;
+        j_appended = t.appended;
+      })
+
+let close t =
+  Mutex.protect t.m (fun () ->
+      match t.oc with
+      | Some oc ->
+          t.oc <- None;
+          close_out_noerr oc
+      | None -> ())

@@ -1,0 +1,45 @@
+(** Write-ahead run journal: the durability layer behind [--state-dir].
+
+    One record per completed view solve, appended {e before} the run
+    moves on, keyed by {!Formulate.fingerprint}. A resumed run looks
+    every view up by fingerprint and replays recorded outcomes instead
+    of re-solving, so a crash costs only the views that had not been
+    journaled yet — and because fingerprints are content addresses,
+    a resume after {e any} input change simply misses and re-solves
+    (no invalidation logic to get wrong).
+
+    Records are self-verifying lines ([hydra-journal <md5> <fields>]);
+    a torn tail line from a crash mid-append, or any corrupt line, is
+    skipped on load and counted in {!stats} — corruption is never
+    fatal. Appends are mutex-serialized (pool workers share one
+    journal), flushed and fsynced per record. *)
+
+type t
+
+type stats = {
+  j_loaded : int;  (** valid records found on open *)
+  j_skipped : int;  (** corrupt/torn lines ignored on open *)
+  j_replayed : int;  (** successful {!find} lookups this run *)
+  j_appended : int;  (** records written this run *)
+}
+
+val open_ : dir:string -> t
+(** Open (creating [dir] as needed) the journal at [dir]/run.journal,
+    loading every valid existing record. *)
+
+val path : t -> string
+
+val find : t -> key:string -> string option
+(** The recorded payload for fingerprint [key], if any; counts a
+    replay when found. *)
+
+val append : t -> view:string -> key:string -> string -> unit
+(** Durably record [payload] for [key] (fsync before returning); the
+    [view] name is carried for human inspection of the journal. Also
+    serves subsequent {!find}s in this process. *)
+
+val stats : t -> stats
+
+val close : t -> unit
+(** Flush and close the append channel. Idempotent; {!find} keeps
+    working afterwards, {!append} reopens. *)

@@ -20,6 +20,8 @@ open Hydra_workload
 module Obs = Hydra_obs.Obs
 module Mclock = Hydra_obs.Mclock
 module Pool = Hydra_par.Pool
+module Supervisor = Hydra_par.Supervisor
+module Chaos = Hydra_chaos.Chaos
 
 (* degradation-ladder rung counters, aggregated across the whole run *)
 let m_exact = Obs.counter "pipeline.views.exact"
@@ -48,6 +50,11 @@ type view_stats = {
          durations); [] when tracing is disabled *)
   status : view_status;
   cache : Formulate.cache_disposition;
+  journal : Formulate.cache_disposition;
+  attempts : int;
+      (* pool attempts this view consumed (1 = first try succeeded;
+         higher counts come from supervised retries of transient
+         failures) *)
 }
 
 type diagnostics = {
@@ -175,12 +182,16 @@ let exn_message = function
   | e -> Printexc.to_string e
 
 let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
-    ?(histograms = []) ?deadline_s ?(retries = 1) ?(jobs = 1) ?cache schema ccs =
+    ?(histograms = []) ?deadline_s ?(retries = 1) ?(jobs = 1) ?cache
+    ?state_dir ?(supervision = Supervisor.default_policy) schema ccs =
   let jobs = max 1 jobs in
   let t0 = Mclock.now () in
   (* deadlines live on the monotonic timeline, so a wall-clock step can
      neither expire nor extend a run's budget *)
   let deadline = Option.map (fun s -> t0 +. s) deadline_s in
+  let journal = Option.map (fun dir -> Journal.open_ ~dir) state_dir in
+  Fun.protect ~finally:(fun () -> Option.iter Journal.close journal)
+  @@ fun () ->
   let ccs, views, route_notes =
     Obs.with_span "pipeline.preprocess" (fun () ->
         let ccs = complete_size_ccs schema ccs sizes in
@@ -219,10 +230,18 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
     in
     Obs.with_span ~attrs:[ ("rel", Obs.Str rname) ] "pipeline.view"
       (fun () ->
-        let cache_off =
-          match cache with None -> Formulate.Cache_off | Some _ -> Formulate.Cache_bypass
+        let off_or_bypass opt =
+          match opt with
+          | None -> Formulate.Cache_off
+          | Some _ -> Formulate.Cache_bypass
         in
-        let fallback ?(disposition = cache_off) reason =
+        let bypass_prov =
+          {
+            Formulate.via_cache = off_or_bypass cache;
+            via_journal = off_or_bypass journal;
+          }
+        in
+        let fallback ?(prov = bypass_prov) reason =
           (* structured view/rung/reason attrs, not just the message:
              audit reports join incidents to views through them *)
           Obs.event ~level:Obs.Warn
@@ -245,15 +264,17 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
               solve_seconds = Mclock.now () -. t;
               metrics = view_metrics ();
               status = Fallback reason;
-              cache = disposition;
+              cache = prov.Formulate.via_cache;
+              journal = prov.Formulate.via_journal;
+              attempts = 1;
             },
             [] )
         in
         match res with
         | Error m -> fallback m
         | Ok view -> (
-            let finish (r : Formulate.view_result) disposition status_of_merged
-                =
+            let finish (r : Formulate.view_result) (prov : Formulate.provenance)
+                status_of_merged =
               (* merge sub-view solutions, then enforce grouping CCs by
                  value spreading and optional client histograms *)
               let merged, status =
@@ -298,32 +319,63 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
                   solve_seconds = Mclock.now () -. t;
                   metrics = view_metrics ();
                   status;
-                  cache = disposition;
+                  cache = prov.Formulate.via_cache;
+                  journal = prov.Formulate.via_journal;
+                  attempts = 1;
                 },
                 view_residuals )
             in
             (* a catch-all around the whole solve: an exception escaping a
                pooled view task must land on that view's Fallback rung,
-               never kill the batch *)
+               never kill the batch. Injected chaos faults are the one
+               exception to the exception — they exist to exercise the
+               supervisor and the crash path, so absorbing them here
+               would defeat the harness *)
             try
               match
                 Formulate.solve_view_robust ~max_nodes ~retries ?deadline
-                  ?cache view
+                  ?cache ?journal view
               with
-              | Formulate.Exact r, disposition -> (
-                  try finish r disposition (fun _ -> Exact)
-                  with e -> fallback (exn_message e))
-              | Formulate.Relaxed (r, _total), disposition -> (
+              | Formulate.Exact r, prov -> (
+                  try finish r prov (fun _ -> Exact)
+                  with e when not (Chaos.is_injected e) ->
+                    fallback (exn_message e))
+              | Formulate.Relaxed (r, _total), prov -> (
                   try
-                    finish r disposition (fun merged ->
+                    finish r prov (fun merged ->
                         Relaxed (view_violations view merged))
-                  with e -> fallback (exn_message e))
-              | Formulate.Failed m, disposition ->
-                  fallback ~disposition m
-            with e -> fallback (exn_message e)))
+                  with e when not (Chaos.is_injected e) ->
+                    fallback (exn_message e))
+              | Formulate.Failed m, prov -> fallback ~prov m
+            with e when not (Chaos.is_injected e) ->
+              fallback (exn_message e)))
   in
+  (* Supervised execution: every view task runs under the retry
+     supervisor, so a transient worker failure (an interrupted syscall,
+     an injected chaos fault) is retried with backoff instead of
+     degrading the view. A view whose retries are exhausted — or whose
+     failure is classified fatal — degrades to its Fallback rung right
+     here, preserving regenerate's never-raises contract (simulated
+     [Chaos.Crashed] deaths excepted, by design). *)
+  let views_arr = Array.of_list views in
   let processed =
-    Pool.with_pool jobs (fun pool -> Pool.map_list pool process_view views)
+    Pool.with_pool jobs (fun pool ->
+        let results, attempts =
+          Supervisor.map_range supervision pool (Array.length views_arr)
+            (fun i -> process_view views_arr.(i))
+        in
+        Array.to_list
+          (Array.mapi
+             (fun i r ->
+               let sol, st, res =
+                 match r with
+                 | Ok v -> v
+                 | Error (f : Pool.failure) ->
+                     let rname = fst views_arr.(i) in
+                     process_view (rname, Error (exn_message f.Pool.f_exn))
+               in
+               (sol, { st with attempts = attempts.(i) }, res))
+             results))
   in
   let view_solutions = List.map (fun (s, _, _) -> s) processed in
   let stats = List.map (fun (_, st, _) -> st) processed in
@@ -361,6 +413,21 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
   in
   let assemble_seconds = Mclock.now () -. assemble_t in
   let count f = List.length (List.filter f stats) in
+  let journal_notes =
+    match journal with
+    | None -> []
+    | Some j ->
+        let js = Journal.stats j in
+        if js.Journal.j_loaded = 0 && js.Journal.j_appended = 0 then []
+        else
+          [
+            Printf.sprintf
+              "journal: %d record(s) on open (%d corrupt skipped), %d \
+               view(s) replayed, %d appended (%s)"
+              js.Journal.j_loaded js.Journal.j_skipped js.Journal.j_replayed
+              js.Journal.j_appended (Journal.path j);
+          ]
+  in
   let diagnostics =
     {
       exact_views = count (fun s -> s.status = Exact);
@@ -368,7 +435,7 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
         count (fun s -> match s.status with Relaxed _ -> true | _ -> false);
       fallback_views =
         count (fun s -> match s.status with Fallback _ -> true | _ -> false);
-      notes = route_notes @ assembly_notes;
+      notes = route_notes @ journal_notes @ assembly_notes;
     }
   in
   {

@@ -48,6 +48,13 @@ type view_stats = {
   cache : Formulate.cache_disposition;
       (** how the solve cache served this view ({!Formulate.Cache_off}
           when {!regenerate} was called without [?cache]) *)
+  journal : Formulate.cache_disposition;
+      (** how the [--state-dir] run journal served this view:
+          [Cache_hit] means the view was replayed from an interrupted
+          run's record instead of being re-solved *)
+  attempts : int;
+      (** pool attempts this view consumed (1 = first try succeeded;
+          more means the supervisor retried transient failures) *)
 }
 
 type diagnostics = {
@@ -99,6 +106,8 @@ val regenerate :
   ?retries:int ->
   ?jobs:int ->
   ?cache:Hydra_cache.Cache.t ->
+  ?state_dir:string ->
+  ?supervision:Hydra_par.Supervisor.policy ->
   Schema.t -> Cc.t list -> result
 (** Preprocess, formulate and solve every view, align-and-merge, build the
     summary. [sizes] supplies fallback relation sizes; [max_nodes] bounds
@@ -115,6 +124,16 @@ val regenerate :
     per-view outcomes of the run that populated it, so hit-served runs
     report byte-identical summaries and statuses.
 
+    [state_dir] makes the run {e resumable}: every solved view is
+    journaled (write-ahead, fsynced, self-verifying records) under
+    [state_dir/run.journal] keyed by {!Formulate.fingerprint}, and a
+    later run with the same [state_dir] replays recorded outcomes —
+    including failures — instead of re-solving, so a run killed at any
+    point resumes to a byte-identical summary. [supervision] tunes the
+    {!Hydra_par.Supervisor} retry policy for transient task failures
+    (default: 2 retries, 50ms exponential backoff with deterministic
+    jitter).
+
     Determinism contract: for any [jobs] count the summary, the per-view
     statuses and the grouping residuals are identical — each view is a
     pure function of its inputs, results are slotted in view order, and
@@ -125,6 +144,8 @@ val regenerate :
 
     Never raises: per-view faults — including exceptions escaping a
     pooled view task — surface as {!Relaxed} / {!Fallback} statuses and
-    cross-view incidents as [diagnostics.notes]. *)
+    cross-view incidents as [diagnostics.notes]. The one deliberate
+    exception: a simulated [Hydra_chaos.Chaos.Crashed] death unwinds
+    to the caller, as the fault-injection harness requires. *)
 
 val total_lp_vars : result -> int

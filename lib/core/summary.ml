@@ -29,6 +29,21 @@ exception Summary_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Summary_error s)) fmt
 
+module Chaos = Hydra_chaos.Chaos
+module Durable_io = Hydra_durable.Durable_io
+
+type corruption = { sum_path : string; sum_line : int; sum_reason : string }
+
+exception Corrupt of corruption
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt c ->
+        Some
+          (Printf.sprintf "Summary.Corrupt(%s:%d: %s)" c.sum_path c.sum_line
+             c.sum_reason)
+    | _ -> None)
+
 (* ---- instantiation (Sec. 5.2): assign every region's cardinality to one
    deterministic point of its representative box ----
 
@@ -240,131 +255,158 @@ let summary_rows t =
    extras were persisted simply have no such blocks and load with both
    fields empty. *)
 
-let write_rows oc rows =
+let write_rows buf rows =
   List.iter
     (fun (v, c) ->
-      Printf.fprintf oc "%s : %d\n"
-        (String.concat "," (Array.to_list (Array.map string_of_int v)))
-        c)
+      Buffer.add_string buf
+        (Printf.sprintf "%s : %d\n"
+           (String.concat "," (Array.to_list (Array.map string_of_int v)))
+           c))
     rows
 
 let save path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  (* the tap precedes any filesystem effect, and write_atomic publishes
+     by rename — so a crash while saving always leaves the previous
+     summary (or its absence) fully intact *)
+  Chaos.tap "summary.save";
+  Durable_io.write_atomic ~digest:true path (fun buf ->
       List.iter
         (fun r ->
-          Printf.fprintf oc "relation %s (%s)\n" r.rs_rel
-            (String.concat "," (Array.to_list r.rs_cols));
-          write_rows oc (Array.to_list r.rs_rows);
-          Printf.fprintf oc "end\n")
+          Buffer.add_string buf
+            (Printf.sprintf "relation %s (%s)\n" r.rs_rel
+               (String.concat "," (Array.to_list r.rs_cols)));
+          write_rows buf (Array.to_list r.rs_rows);
+          Buffer.add_string buf "end\n")
         t.relations;
       List.iter
         (fun vs ->
-          Printf.fprintf oc "view %s (%s)\n" vs.vs_rel
-            (String.concat "," (Array.to_list vs.vs_attrs));
-          write_rows oc vs.vs_rows;
-          Printf.fprintf oc "end\n")
+          Buffer.add_string buf
+            (Printf.sprintf "view %s (%s)\n" vs.vs_rel
+               (String.concat "," (Array.to_list vs.vs_attrs)));
+          write_rows buf vs.vs_rows;
+          Buffer.add_string buf "end\n")
         t.views;
       List.iter
-        (fun (rname, n) -> Printf.fprintf oc "extra %s : %d\n" rname n)
+        (fun (rname, n) ->
+          Buffer.add_string buf (Printf.sprintf "extra %s : %d\n" rname n))
         t.extra_tuples)
 
 let load path schema =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let parse_header kind line rest =
-        match String.index_opt rest '(' with
+  let corrupt line fmt =
+    Printf.ksprintf
+      (fun sum_reason ->
+        raise (Corrupt { sum_path = path; sum_line = line; sum_reason }))
+      fmt
+  in
+  let text =
+    match Durable_io.read_verified path with
+    | t -> t
+    | exception Durable_io.Corrupt c -> corrupt 0 "%s" c.Durable_io.dur_reason
+  in
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let nlines = Array.length lines in
+  let pos = ref 0 in
+  let parse_int s ~line ~what =
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> corrupt line "malformed %s: %S" what (String.trim s)
+  in
+  let parse_header kind rest lineno =
+    let n = String.length rest in
+    match String.index_opt rest '(' with
+    | Some i when n > 0 && rest.[n - 1] = ')' && i <= n - 2 ->
+        let name = String.trim (String.sub rest 0 i) in
+        let inner = String.sub rest (i + 1) (n - i - 2) in
+        ( name,
+          if inner = "" then [||]
+          else Array.of_list (String.split_on_char ',' inner) )
+    | _ -> corrupt lineno "malformed %s header" kind
+  in
+  let read_rows block =
+    let rows = ref [] in
+    let rec go () =
+      if !pos >= nlines then
+        corrupt nlines "unterminated %s block (missing 'end')" block;
+      let lineno = !pos + 1 in
+      let l = lines.(!pos) in
+      incr pos;
+      if l <> "end" then begin
+        (match String.index_opt l ':' with
         | Some i ->
-            let name = String.trim (String.sub rest 0 i) in
-            let inner = String.sub rest (i + 1) (String.length rest - i - 2) in
-            ( name,
-              if inner = "" then [||]
-              else Array.of_list (String.split_on_char ',' inner) )
-        | None -> err "malformed summary %s header: %s" kind line
-      in
-      let read_rows () =
-        let rows = ref [] in
-        let rec go () =
-          let l = input_line ic in
-          if l <> "end" then begin
-            match String.index_opt l ':' with
-            | Some i ->
-                let vals = String.trim (String.sub l 0 i) in
-                let count =
-                  int_of_string
-                    (String.trim (String.sub l (i + 1) (String.length l - i - 1)))
-                in
-                let v =
-                  if vals = "" then [||]
-                  else
-                    Array.of_list
-                      (List.map int_of_string (String.split_on_char ',' vals))
-                in
-                rows := (v, count) :: !rows;
-                go ()
-            | None -> err "malformed summary row: %s" l
-          end
-        in
-        go ();
-        List.rev !rows
-      in
-      let strip prefix line =
-        let n = String.length prefix in
-        if String.length line > n && String.sub line 0 n = prefix then
-          Some (String.sub line n (String.length line - n))
-        else None
-      in
-      let relations = ref [] and views = ref [] and extras = ref [] in
-      (try
-         while true do
-           let line = input_line ic in
-           match strip "relation " line with
-           | Some rest ->
-               let name, cols = parse_header "relation" line rest in
-               let rs_rows = Array.of_list (read_rows ()) in
-               relations :=
-                 {
-                   rs_rel = name;
-                   rs_cols = cols;
-                   rs_rows;
-                   rs_total =
-                     Array.fold_left (fun acc (_, c) -> acc + c) 0 rs_rows;
-                 }
-                 :: !relations
-           | None -> (
-               match strip "view " line with
-               | Some rest ->
-                   let name, attrs = parse_header "view" line rest in
-                   views :=
-                     { vs_rel = name; vs_attrs = attrs; vs_rows = read_rows () }
-                     :: !views
-               | None -> (
-                   match strip "extra " line with
-                   | Some rest -> (
-                       match String.index_opt rest ':' with
-                       | Some i ->
-                           let name = String.trim (String.sub rest 0 i) in
-                           let n =
-                             int_of_string
-                               (String.trim
-                                  (String.sub rest (i + 1)
-                                     (String.length rest - i - 1)))
-                           in
-                           extras := (name, n) :: !extras
-                       | None -> err "malformed summary extra line: %s" line)
-                   | None -> ()))
-         done
-       with End_of_file -> ());
-      {
-        schema;
-        views = List.rev !views;
-        relations = List.rev !relations;
-        extra_tuples = List.rev !extras;
-      })
+            let vals = String.trim (String.sub l 0 i) in
+            let count =
+              parse_int
+                (String.sub l (i + 1) (String.length l - i - 1))
+                ~line:lineno ~what:"row count"
+            in
+            let v =
+              if vals = "" then [||]
+              else
+                Array.of_list
+                  (List.map
+                     (fun s -> parse_int s ~line:lineno ~what:"row value")
+                     (String.split_on_char ',' vals))
+            in
+            rows := (v, count) :: !rows
+        | None -> corrupt lineno "malformed summary row: %s" l);
+        go ()
+      end
+    in
+    go ();
+    List.rev !rows
+  in
+  let strip prefix line =
+    let n = String.length prefix in
+    if String.length line > n && String.sub line 0 n = prefix then
+      Some (String.sub line n (String.length line - n))
+    else None
+  in
+  let relations = ref [] and views = ref [] and extras = ref [] in
+  while !pos < nlines do
+    let lineno = !pos + 1 in
+    let line = lines.(!pos) in
+    incr pos;
+    match strip "relation " line with
+    | Some rest ->
+        let name, cols = parse_header "relation" rest lineno in
+        let rs_rows = Array.of_list (read_rows "relation") in
+        relations :=
+          {
+            rs_rel = name;
+            rs_cols = cols;
+            rs_rows;
+            rs_total = Array.fold_left (fun acc (_, c) -> acc + c) 0 rs_rows;
+          }
+          :: !relations
+    | None -> (
+        match strip "view " line with
+        | Some rest ->
+            let name, attrs = parse_header "view" rest lineno in
+            views :=
+              { vs_rel = name; vs_attrs = attrs; vs_rows = read_rows "view" }
+              :: !views
+        | None -> (
+            match strip "extra " line with
+            | Some rest -> (
+                match String.index_opt rest ':' with
+                | Some i ->
+                    let name = String.trim (String.sub rest 0 i) in
+                    let n =
+                      parse_int
+                        (String.sub rest (i + 1)
+                           (String.length rest - i - 1))
+                        ~line:lineno ~what:"extra count"
+                    in
+                    extras := (name, n) :: !extras
+                | None -> corrupt lineno "malformed summary extra line: %s" line)
+            | None -> () (* unknown lines are reserved for future blocks *)))
+  done;
+  {
+    schema;
+    views = List.rev !views;
+    relations = List.rev !relations;
+    extra_tuples = List.rev !extras;
+  }
 
 let pp fmt t =
   List.iter

@@ -66,15 +66,32 @@ val total_rows : t -> int
 val summary_rows : t -> int
 (** Rows in the summary itself (the artifact's size). *)
 
+type corruption = {
+  sum_path : string;
+  sum_line : int;  (** 1-based line of the offending content, 0 = whole file *)
+  sum_reason : string;
+}
+
+exception Corrupt of corruption
+(** A summary file that cannot be trusted: truncated block, garbage
+    row, digest-trailer mismatch. Typed so callers (the CLI maps it to
+    its own exit code) can distinguish a damaged artifact from a
+    missing or unreadable one. *)
+
 val save : string -> t -> unit
 (** Text serialization — the artifact shipped between sites. Persists
     the relation summaries, the view summaries, and the per-relation
-    RI-repair tallies ([extra_tuples]). *)
+    RI-repair tallies ([extra_tuples]). Written atomically (temp file +
+    rename via [Durable_io]) with a digest trailer, so a crash mid-save
+    leaves the previous file intact and silent corruption is detected
+    at load. *)
 
 val load : string -> Schema.t -> t
 (** Exact inverse of {!save}: a loaded summary round-trips every field,
     including [views] and [extra_tuples] (both were silently dropped
-    before). Files written by older versions load with those fields
-    empty. *)
+    before). Files written by older versions — without views, extras,
+    or the digest trailer — still load, with the missing fields empty.
+    @raise Corrupt on truncated or garbled content (never a raw
+    [End_of_file]/[Failure]). *)
 
 val pp : Format.formatter -> t -> unit

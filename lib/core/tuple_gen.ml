@@ -64,9 +64,12 @@ let materialize_relation ?pool schema (rs : Summary.relation_summary) =
       let nshards = Pool.jobs pool in
       let per = (total + nshards - 1) / nshards in
       Pool.iter_range pool nshards (fun s ->
+          Hydra_chaos.Chaos.tap "materialize.shard";
           let lo = s * per and hi = min total ((s + 1) * per) in
           if lo < hi then fill_range rs starts value_cols lo hi)
-  | _ -> fill_range rs starts value_cols 0 total);
+  | _ ->
+      Hydra_chaos.Chaos.tap "materialize.shard";
+      fill_range rs starts value_cols 0 total);
   Table.of_columns rs.Summary.rs_rel (Schema.columns r)
     (pk_col :: Array.to_list value_cols)
 

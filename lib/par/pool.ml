@@ -12,6 +12,29 @@
    schedule. Only per-task side effects (obs metrics, which accumulate
    per-domain and merge commutatively) see the interleaving. *)
 
+module Chaos = Hydra_chaos.Chaos
+
+type failure = {
+  f_index : int;
+  f_exn : exn;
+  f_backtrace : Printexc.raw_backtrace;
+}
+
+exception Batch_failure of failure list
+
+let () =
+  Printexc.register_printer (function
+    | Batch_failure fs ->
+        Some
+          (Printf.sprintf "Pool.Batch_failure [%s]"
+             (String.concat "; "
+                (List.map
+                   (fun f ->
+                     Printf.sprintf "%d: %s" f.f_index
+                       (Printexc.to_string f.f_exn))
+                   fs)))
+    | _ -> None)
+
 type batch = {
   bn : int;
   brun : int -> unit;  (* wrapped task: never raises *)
@@ -139,27 +162,25 @@ let with_pool width f =
   let t = create width in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let map_range (type a) t n (f : int -> a) : a array =
-  if n < 0 then invalid_arg "Pool.map_range: negative range";
+let guarded f i =
+  try
+    Chaos.tap "pool.task";
+    Ok (f i)
+  with e ->
+    Error { f_index = i; f_exn = e; f_backtrace = Printexc.get_raw_backtrace () }
+
+let map_range_result (type a) t n (f : int -> a) :
+    (a, failure) result array =
+  if n < 0 then invalid_arg "Pool.map_range_result: negative range";
   if n = 0 then [||]
-  else if t.width <= 1 || n = 1 || Domain.DLS.get in_worker then begin
-    (* inline: same claim order (ascending), no domains involved *)
-    let first = f 0 in
-    let results = Array.make n first in
-    for i = 1 to n - 1 do
-      results.(i) <- f i
-    done;
-    results
-  end
+  else if t.width <= 1 || n = 1 || Domain.DLS.get in_worker then
+    (* inline: same claim order (ascending), no domains involved. Every
+       index still runs — a failure settles into its slot instead of
+       aborting the batch, matching the parallel path. *)
+    Array.init n (guarded f)
   else begin
-    let results :
-        (a, exn * Printexc.raw_backtrace) result option array =
-      Array.make n None
-    in
-    let run i =
-      let r = try Ok (f i) with e -> Error (e, Printexc.get_raw_backtrace ()) in
-      results.(i) <- Some r
-    in
+    let results : (a, failure) result option array = Array.make n None in
+    let run i = results.(i) <- Some (guarded f i) in
     let b = { bn = n; brun = run; bnext = 0; bdone = 0 } in
     Mutex.lock t.m;
     Queue.push b t.queue;
@@ -172,19 +193,33 @@ let map_range (type a) t n (f : int -> a) : a array =
       Condition.wait t.finished t.m
     done;
     Mutex.unlock t.m;
-    (* re-raise the lowest-index failure only after every slot settled,
-       so an exception never leaves half a batch running *)
-    Array.iter
-      (function
-        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | Some (Ok _) | None -> ())
-      results;
     Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error _) | None -> assert false (* settled above *))
+      (function Some r -> r | None -> assert false (* settled above *))
       results
   end
+
+let failures_of results =
+  Array.to_seq results
+  |> Seq.filter_map (function Error f -> Some f | Ok _ -> None)
+  |> List.of_seq
+
+let raise_failures = function
+  | [] -> ()
+  | fs -> (
+      (* a simulated crash ends the run as itself — it must reach the
+         harness (or the CLI's exit-70 mapping) unwrapped, like a real
+         kill would. Only after every slot settled, so an exception
+         never leaves half a batch running. *)
+      match List.find_opt (fun f -> Chaos.is_injected f.f_exn) fs with
+      | Some f when (match f.f_exn with Chaos.Crashed _ -> true | _ -> false)
+        ->
+          Printexc.raise_with_backtrace f.f_exn f.f_backtrace
+      | _ -> raise (Batch_failure fs))
+
+let map_range t n f =
+  let results = map_range_result t n f in
+  raise_failures (failures_of results);
+  Array.map (function Ok v -> v | Error _ -> assert false) results
 
 let iter_range t n f = ignore (map_range t n f)
 

@@ -13,10 +13,12 @@
     one mutex) but result placement is static, so only timing — never
     output — depends on the interleaving.
 
-    Exceptions raised by a task are captured per index; after the whole
-    batch has finished, the exception of the lowest raising index is
-    re-raised with its backtrace. A batch that raises leaves the pool
-    fully reusable.
+    Exceptions raised by tasks are captured per index; after the whole
+    batch has settled, {e all} of them are re-raised together as
+    {!Batch_failure} (ascending index order), so no worker's diagnosis
+    is lost. A batch that raises leaves the pool fully reusable.
+    {!map_range_result} exposes the same run without raising, for
+    callers — like [Supervisor] — that want to retry selectively.
 
     A pool with [jobs <= 1] spawns no domains and runs every batch inline
     on the caller, so sequential mode pays nothing and shares the exact
@@ -25,6 +27,15 @@
     safe instead of a deadlock. *)
 
 type t
+
+type failure = {
+  f_index : int;  (** the batch index whose task raised *)
+  f_exn : exn;
+  f_backtrace : Printexc.raw_backtrace;
+}
+
+exception Batch_failure of failure list
+(** Every failure of a settled batch, ascending by index. *)
 
 val create : int -> t
 (** [create jobs] spawns [jobs - 1] worker domains (the caller
@@ -40,8 +51,15 @@ val default_jobs : unit -> int
 
 val map_range : t -> int -> (int -> 'a) -> 'a array
 (** [map_range pool n f] computes [f i] for [0 <= i < n], each index
-    exactly once, and returns the results in index order. Re-raises the
-    lowest-index exception after the batch completes. *)
+    exactly once, and returns the results in index order. When tasks
+    raised, raises {!Batch_failure} with every captured failure after
+    the batch settles — except a simulated [Chaos.Crashed], which is
+    re-raised as itself (lowest index) so crash tests observe it
+    unwrapped. *)
+
+val map_range_result : t -> int -> (int -> 'a) -> ('a, failure) result array
+(** Like {!map_range} but never raises: each slot carries its task's
+    result or captured failure. *)
 
 val iter_range : t -> int -> (int -> unit) -> unit
 

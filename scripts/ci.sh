@@ -4,9 +4,16 @@
 #
 #   scripts/ci.sh            # from the repo root
 #
-# The gate re-runs the cheap bench targets (smoke, audit, cache) and
-# compares their fresh BENCH_<target>.json artifacts against
-# bench/baselines/.
+# `dune runtest` includes the crash-safety battery (test_chaos.ml: the
+# fault-injection sweep proving crash/resume byte-identity at every
+# registered site) and the chaos.t cram test (a real `kill` through the
+# CLI, resumed from the run journal).
+#
+# The gate re-runs the cheap bench targets (smoke, audit, cache,
+# robust) and compares their fresh BENCH_<target>.json artifacts
+# against bench/baselines/. robust asserts the crash-safety invariants
+# end to end: retried_tasks, replayed_views, retry_identical and
+# resume_identical must match the baseline exactly.
 # Timing/allocation fields pass within BENCH_CHECK_TOLERANCE (default
 # 8x); every other field must match exactly.
 set -eu

@@ -270,9 +270,18 @@ let test_pool_survives_raising_tasks () =
            Pool.map_range p 12 (fun i ->
                if i mod 5 = 2 then raise (Mid_solve i) else i * round)
          with
-        | _ -> Alcotest.fail "expected Mid_solve"
-        | exception Mid_solve i ->
-            Alcotest.(check int) "lowest failing index" 2 i);
+        | _ -> Alcotest.fail "expected Batch_failure"
+        | exception Pool.Batch_failure fs ->
+            Alcotest.(check (list int))
+              "every failing index aggregated" [ 2; 7 ]
+              (List.map (fun (f : Pool.failure) -> f.Pool.f_index) fs);
+            List.iter
+              (fun (f : Pool.failure) ->
+                match f.Pool.f_exn with
+                | Mid_solve i ->
+                    Alcotest.(check int) "payload matches index" f.Pool.f_index i
+                | e -> Alcotest.fail ("unexpected exn: " ^ Printexc.to_string e))
+              fs);
         let ok = Pool.map_range p 6 (fun i -> i * round) in
         Alcotest.(check (array int))
           (Printf.sprintf "pool reusable after failure, round %d" round)

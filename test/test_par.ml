@@ -71,10 +71,19 @@ exception Boom of int
 
 let test_exception_propagates_pool_reusable () =
   Pool.with_pool 4 (fun p ->
-      (* two failing indices: the lowest one must be the one re-raised *)
+      (* two failing indices: the aggregate carries both, in index order *)
       (match Pool.map_range p 10 (fun i -> if i = 3 || i = 7 then raise (Boom i) else i) with
-      | _ -> Alcotest.fail "expected Boom"
-      | exception Boom i -> Alcotest.(check int) "lowest failing index" 3 i);
+      | _ -> Alcotest.fail "expected Batch_failure"
+      | exception Pool.Batch_failure fs ->
+          Alcotest.(check (list int))
+            "all failing indices" [ 3; 7 ]
+            (List.map (fun (f : Pool.failure) -> f.Pool.f_index) fs);
+          List.iter
+            (fun (f : Pool.failure) ->
+              match f.Pool.f_exn with
+              | Boom i -> Alcotest.(check int) "payload matches index" f.Pool.f_index i
+              | e -> Alcotest.fail ("unexpected exn: " ^ Printexc.to_string e))
+            fs);
       (* the failed batch fully settled: the pool keeps working *)
       let r = Pool.map_range p 5 (fun i -> i + 1) in
       Alcotest.(check (array int)) "pool reusable" [| 1; 2; 3; 4; 5 |] r)
