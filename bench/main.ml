@@ -853,6 +853,133 @@ let cache_bench () =
     ("identical", Json.Bool identical);
   ]
 
+(* ---- Obs: exporter-stack overhead, enabled vs disabled ---- *)
+
+let obs_bench () =
+  header "Obs: exporter-stack overhead, enabled vs disabled (WLs)"
+    "not in the paper: the observation-is-pure contract, priced — run \
+     ledger, progress ticker, Prometheus export and span collection must \
+     cost a bounded factor and change no output byte";
+  let module Ledger = Hydra_obs.Ledger in
+  let module Progress = Hydra_obs.Progress in
+  let module Flame = Hydra_obs.Flame in
+  let module Durable_io = Hydra_durable.Durable_io in
+  let ccs = Lazy.force wls_ccs in
+  let sizes = Lazy.force tpcds_sizes in
+  let summary_bytes s =
+    let path = Filename.temp_file "hydra_bench_obs" ".summary" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Summary.save path s;
+        slurp path)
+  in
+  let run () = Pipeline.regenerate ~sizes T.schema ccs in
+  let best f =
+    let t = ref infinity and v = ref None in
+    for _ = 1 to 2 do
+      let x, dt = time f in
+      v := Some x;
+      if dt < !t then t := dt
+    done;
+    (Option.get !v, !t)
+  in
+  (* baseline: the registry off entirely (the shipping default) *)
+  Obs.set_enabled false;
+  let off, off_t = best run in
+  (* full stack: span collector sink, live Prometheus ticker, and a
+     ledger archive of the run — everything `--obs-dir --progress
+     --chrome-out` would turn on *)
+  Obs.set_enabled true;
+  let collector = Flame.create () in
+  Obs.add_sink (Flame.sink collector);
+  let scratch = Filename.temp_file "hydra_bench_obs" "" in
+  Sys.remove scratch;
+  Durable_io.mkdir_p scratch;
+  let cleanup () =
+    try
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat scratch f))
+        (Sys.readdir scratch);
+      Unix.rmdir scratch
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let prom = Filename.concat scratch "metrics.prom" in
+      let ticker = Progress.start ~prom_out:prom ~period_s:0.05 () in
+      let on, on_t = best run in
+      Progress.stop ticker;
+      let prom_written = Sys.file_exists prom in
+      let subcommand = "bench-obs" in
+      let id =
+        Ledger.record ~dir:scratch
+          {
+            Ledger.r_subcommand = subcommand;
+            r_config_digest = Ledger.config_digest ~subcommand [ "wls" ];
+            r_spec_digest = "wls";
+            r_jobs = 1;
+            r_exit = 0;
+            r_seconds = on_t;
+            r_views =
+              List.map
+                (fun (v : Pipeline.view_stats) ->
+                  {
+                    Ledger.v_rel = v.Pipeline.rel;
+                    v_status =
+                      (match v.Pipeline.status with
+                      | Pipeline.Exact -> "exact"
+                      | Pipeline.Relaxed _ -> "relaxed"
+                      | Pipeline.Fallback _ -> "fallback");
+                    v_fingerprint = v.Pipeline.fingerprint;
+                    v_cache = "";
+                    v_journal = "";
+                    v_seconds = v.Pipeline.solve_seconds;
+                  })
+                on.Pipeline.views;
+            r_journal = [];
+            r_metrics = Obs.metrics_json ();
+            r_events = Obs.recent_events ();
+            r_folded = Flame.folded_string (Flame.spans collector);
+          }
+      in
+      let listing = Ledger.runs ~dir:scratch in
+      let archived =
+        List.exists
+          (fun (e : Ledger.entry) -> e.Ledger.e_id = id)
+          listing.Ledger.l_entries
+        && listing.Ledger.l_corrupt = []
+      in
+      let identical = summary_bytes off.Pipeline.summary
+                      = summary_bytes on.Pipeline.summary in
+      let ratio = on_t /. Float.max off_t 1e-9 in
+      Printf.printf "disabled: %.3fs   enabled (full stack): %.3fs\n" off_t
+        on_t;
+      Printf.printf "overhead: %.2fx   summary %s\n" ratio
+        (if identical then "byte-identical" else "DIVERGED");
+      Printf.printf "ledger: run %s archived and re-listed: %b   %s: %b\n" id
+        archived "metrics.prom written" prom_written;
+      if not identical then begin
+        Printf.eprintf
+          "obs: enabling the exporter stack changed the summary — \
+           observation-is-pure contract broken\n";
+        exit 1
+      end;
+      if not (archived && prom_written) then begin
+        Printf.eprintf "obs: exporter stack did not produce its artifacts\n";
+        exit 1
+      end;
+      (* the ratio is a resource key: `bench check` bounds it against the
+         committed baseline instead of demanding an exact match *)
+      [
+        ("disabled", Json.Obj [ ("seconds", Json.Float off_t) ]);
+        ("enabled", Json.Obj [ ("seconds", Json.Float on_t) ]);
+        ("overhead_ratio", Json.Float ratio);
+        ("views", Json.Int (List.length on.Pipeline.views));
+        ("identical", Json.Bool identical);
+        ("archived", Json.Bool archived);
+        ("prom_written", Json.Bool prom_written);
+      ])
+
 (* ---- Smoke: CI-sized end-to-end run validating the obs contract ---- *)
 
 let smoke () =
@@ -1056,7 +1183,7 @@ let targets =
     ("fig17", plain fig17); ("ablation", plain ablation);
     ("correlation", plain correlation); ("robust", robust);
     ("par", par); ("micro", plain micro); ("smoke", plain smoke);
-    ("audit", audit); ("cache", cache_bench);
+    ("audit", audit); ("cache", cache_bench); ("obs", obs_bench);
   ]
 
 (* ---- regression gate: compare fresh artifacts against baselines ---- *)
@@ -1066,7 +1193,8 @@ let targets =
    deterministic and must match the baseline exactly *)
 let resource_key k =
   match k with
-  | "seconds" | "minor_words" | "major_words" | "speedup" -> true
+  | "seconds" | "minor_words" | "major_words" | "speedup"
+  | "overhead_ratio" -> true
   | _ -> false
 
 let check_tolerance () =

@@ -10,6 +10,9 @@ open Cmdliner
 module Obs = Hydra_obs.Obs
 module Json = Hydra_obs.Json
 module Mclock = Hydra_obs.Mclock
+module Flame = Hydra_obs.Flame
+module Ledger = Hydra_obs.Ledger
+module Progress = Hydra_obs.Progress
 module Pool = Hydra_par.Pool
 module Supervisor = Hydra_par.Supervisor
 module Chaos = Hydra_chaos.Chaos
@@ -77,14 +80,94 @@ let flame_out_arg =
            $(i,path value_us) line per distinct span path) to $(docv) when \
            the command exits (implies metric collection).")
 
-(* the flame sink writes on close, which [at_exit Obs.finish] triggers —
-   so the profile survives the degraded exit codes 3/4, like metrics *)
-let setup_flame flame_out =
-  match flame_out with
-  | None -> ()
-  | Some path ->
-      Obs.add_sink (Hydra_obs.Flame.sink ~out:path (Hydra_obs.Flame.create ()));
-      Obs.set_enabled true
+let chrome_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON timeline of every span to \
+           $(docv) when the command exits — opens directly in Perfetto, \
+           chrome://tracing or speedscope; concurrent domains land in \
+           separate lanes (implies metric collection).")
+
+(* one shared span collector feeds --flame-out, --chrome-out and the run
+   ledger's folded stacks. The sinks write on close, which
+   [at_exit Obs.finish] triggers — so the exports survive the degraded
+   exit codes 3/4, like metrics *)
+let setup_span_exports ?(need_collector = false) flame_out chrome_out =
+  if flame_out = None && chrome_out = None && not need_collector then None
+  else begin
+    let c = Flame.create () in
+    Obs.add_sink (Flame.sink ?out:flame_out c);
+    (match chrome_out with
+    | None -> ()
+    | Some path ->
+        (* piggybacks on the collector above instead of collecting a
+           second span list; only the close action differs *)
+        Obs.add_sink
+          {
+            Obs.sink_span = (fun _ -> ());
+            sink_event = (fun _ -> ());
+            sink_close =
+              (fun () -> Hydra_obs.Trace_event.write path (Flame.spans c));
+          });
+    Obs.set_enabled true;
+    Some c
+  end
+
+(* run telemetry ledger: --obs-dir beats HYDRA_OBS_DIR; absent both, no
+   archiving. Shared by the recording commands and the `hydra obs`
+   analysis family. *)
+let obs_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-dir" ]
+        ~env:(Cmd.Env.info "HYDRA_OBS_DIR") ~docv:"DIR"
+        ~doc:
+          "Run telemetry ledger directory. Each instrumented run archives \
+           one atomic, digest-checked record (configuration fingerprints, \
+           per-view outcomes, the final metrics snapshot with \
+           percentiles, the event log, folded stacks) under $(docv); \
+           $(b,hydra obs list/show/diff/top/prune) analyze them. Defaults \
+           to $(b,HYDRA_OBS_DIR) when set.")
+
+let progress_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "progress" ] ~docv:"SECONDS"
+        ~doc:
+          "Live progress export every $(docv) seconds: a one-line \
+           heartbeat on stderr (views done/total, rung split, cache \
+           hits, retries) and an atomically rewritten Prometheus-text \
+           $(i,metrics.prom) (in --obs-dir if given, else the working \
+           directory). A final tick fires at exit. Also available as a \
+           $(b,progress=N) token in $(b,HYDRA_OBS).")
+
+let progress_ticker : Progress.t option ref = ref None
+
+let start_progress ?obs_dir period =
+  match !progress_ticker with
+  | Some _ -> () (* one ticker per process, flag beats env by order *)
+  | None ->
+      Obs.set_enabled true;
+      let prom_out =
+        match obs_dir with
+        | Some d ->
+            Hydra_durable.Durable_io.mkdir_p d;
+            Filename.concat d "metrics.prom"
+        | None -> "metrics.prom"
+      in
+      let t =
+        Progress.start ~heartbeat:stderr ~prom_out ~period_s:period ()
+      in
+      progress_ticker := Some t;
+      (* runs before the [at_exit Obs.finish] registered at startup
+         (reverse registration order), so the final prom rewrite still
+         sees every sink open *)
+      at_exit (fun () -> Progress.stop t)
 
 let audit_out_arg =
   Arg.(
@@ -149,6 +232,7 @@ let or_die = function
      2   validation threshold exceeded
      3   summary degraded: some views Relaxed
      4   summary degraded: some views Fallback
+     5   obs diff: a gated metric regressed between two ledger runs
      10  preprocessing error        11  LP formulation error
      12  summary assembly error, or a corrupt summary/durable artifact
      13  align-and-merge error
@@ -403,8 +487,11 @@ let run_report_json ?audit ?cache ~jobs out (result : Hydra_core.Pipeline.result
     @ cache_json
     @ match audit with Some a -> [ ("audit", a) ] | None -> [])
 
-(* text rendering of the metrics registry, aligned name/value pairs *)
-let print_metrics_report () =
+(* text rendering of the metrics registry, aligned name/value pairs;
+   with [?result]/[?cache], the resume story of the run (how the journal
+   and the solve cache served it) follows the tables — the same counts
+   --json always carried *)
+let print_metrics_report ?cache ?result () =
   let snap = Obs.snapshot () in
   let kvs = Obs.flatten snap in
   print_string "metrics report:\n";
@@ -424,7 +511,91 @@ let print_metrics_report () =
       (fun (k, (p50, p95, p99)) ->
         Printf.printf "  %-44s %.6f / %.6f / %.6f\n" k p50 p95 p99)
       populated
-  end
+  end;
+  match result with
+  | None -> ()
+  | Some (r : Hydra_core.Pipeline.result) ->
+      let views = r.Hydra_core.Pipeline.views in
+      let nj d =
+        List.length
+          (List.filter
+             (fun (v : Hydra_core.Pipeline.view_stats) ->
+               v.Hydra_core.Pipeline.journal = d)
+             views)
+      in
+      print_string "resume story:\n";
+      if
+        List.exists
+          (fun (v : Hydra_core.Pipeline.view_stats) ->
+            v.Hydra_core.Pipeline.journal <> Hydra_core.Formulate.Cache_off)
+          views
+      then
+        Printf.printf "  journal: %d view(s) replayed, %d solved fresh\n"
+          (nj Hydra_core.Formulate.Cache_hit)
+          (nj Hydra_core.Formulate.Cache_miss)
+      else print_string "  journal: off\n";
+      (match cache with
+      | Some c ->
+          let s = Hydra_cache.Cache.stats c in
+          Printf.printf "  cache: %d hit(s), %d miss(es), %d store(s)\n"
+            s.Hydra_cache.Cache.hits s.Hydra_cache.Cache.misses
+            s.Hydra_cache.Cache.stores
+      | None -> print_string "  cache: off\n")
+
+(* archive the finished run in the --obs-dir ledger; the confirmation
+   goes to stderr so --json stdout stays parseable *)
+let record_obs_run ~dir ~subcommand ~spec_path ~jobs ~exit_code ~collector
+    ~state_dir (result : Hydra_core.Pipeline.result) =
+  let open Hydra_core.Pipeline in
+  let spec_digest =
+    try Digest.to_hex (Digest.file spec_path) with Sys_error _ -> ""
+  in
+  let views =
+    List.map
+      (fun (v : view_stats) ->
+        {
+          Ledger.v_rel = v.rel;
+          v_status = status_word v;
+          v_fingerprint = v.fingerprint;
+          v_cache = disposition_word v.cache;
+          v_journal = disposition_word v.journal;
+          v_seconds = v.solve_seconds;
+        })
+      result.views
+  in
+  let nj d =
+    List.length
+      (List.filter (fun (v : view_stats) -> v.journal = d) result.views)
+  in
+  let journal =
+    match state_dir with
+    | None -> []
+    | Some _ ->
+        [
+          ("replayed", nj Hydra_core.Formulate.Cache_hit);
+          ("solved", nj Hydra_core.Formulate.Cache_miss);
+        ]
+  in
+  let run =
+    {
+      Ledger.r_subcommand = subcommand;
+      r_config_digest = Ledger.config_digest ~subcommand [ spec_digest ];
+      r_spec_digest = spec_digest;
+      r_jobs = jobs;
+      r_exit = exit_code;
+      r_seconds = result.total_seconds;
+      r_views = views;
+      r_journal = journal;
+      r_metrics = Obs.metrics_json ();
+      r_events = Obs.recent_events ();
+      r_folded =
+        (match collector with
+        | Some c -> Flame.folded_string (Flame.spans c)
+        | None -> "");
+    }
+  in
+  let id = Ledger.record ~dir run in
+  Printf.eprintf "obs: run %s archived -> %s\n%!" id dir
 
 let summary_cmd =
   let out =
@@ -467,11 +638,16 @@ let summary_cmd =
              summary file is still written.")
   in
   let run spec_path out deadline_s max_nodes jobs cache_dir state_dir chaos
-      task_retries task_backoff trace metrics_out audit_out flame_out report
-      json =
+      task_retries task_backoff trace metrics_out audit_out flame_out
+      chrome_out obs_dir progress report json =
     setup_obs trace metrics_out;
-    setup_flame flame_out;
-    if report || json || audit_out <> None then Obs.set_enabled true;
+    let collector =
+      setup_span_exports ~need_collector:(obs_dir <> None) flame_out
+        chrome_out
+    in
+    (match progress with Some p -> start_progress ?obs_dir p | None -> ());
+    if report || json || audit_out <> None || obs_dir <> None then
+      Obs.set_enabled true;
     arm_chaos chaos;
     let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
@@ -569,20 +745,29 @@ let summary_cmd =
           print_audit_line records reconciles path
       | None -> ()
     end;
-    if report && not json then print_metrics_report ();
+    if report && not json then print_metrics_report ?cache ~result ();
     let d = result.Hydra_core.Pipeline.diagnostics in
-    if d.Hydra_core.Pipeline.fallback_views > 0 then exit 4
-    else if d.Hydra_core.Pipeline.relaxed_views > 0 then exit 3
+    let exit_code =
+      if d.Hydra_core.Pipeline.fallback_views > 0 then 4
+      else if d.Hydra_core.Pipeline.relaxed_views > 0 then 3
+      else 0
+    in
+    (match obs_dir with
+    | Some dir ->
+        record_obs_run ~dir ~subcommand:"summary" ~spec_path ~jobs
+          ~exit_code ~collector ~state_dir result
+    | None -> ());
+    if exit_code <> 0 then exit exit_code
   in
   let doc = "Build a database summary from a schema + CC spec." in
   Cmd.v (Cmd.info "summary" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k l m n o p ->
-          protecting (run a b c d e f g h i j k l m n o) p)
+      const (fun a b c d e f g h i j k l m n o p q r s ->
+          protecting (run a b c d e f g h i j k l m n o p q r) s)
       $ spec_arg $ out $ deadline $ max_nodes $ jobs_arg $ cache_dir_arg
       $ state_dir_arg $ chaos_arg $ task_retries_arg $ task_backoff_arg
-      $ trace_arg $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ report
-      $ json)
+      $ trace_arg $ metrics_out_arg $ audit_out_arg $ flame_out_arg
+      $ chrome_out_arg $ obs_dir_arg $ progress_arg $ report $ json)
 
 (* ---- materialize ---- *)
 
@@ -632,9 +817,9 @@ let validate_cmd =
              materialized tables.")
   in
   let run spec_path summary_path dynamic jobs trace metrics_out audit_out
-      flame_out =
+      flame_out chrome_out =
     setup_obs trace metrics_out;
-    setup_flame flame_out;
+    ignore (setup_span_exports flame_out chrome_out);
     if audit_out <> None then Obs.set_enabled true;
     let jobs = resolve_jobs jobs in
     let spec = or_die (read_spec spec_path) in
@@ -680,9 +865,9 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc)
     Term.(
-      const (fun a b c d e f g h -> protecting (run a b c d e f g) h)
+      const (fun a b c d e f g h i -> protecting (run a b c d e f g h) i)
       $ spec_arg $ summary_pos_arg $ dynamic $ jobs_arg $ trace_arg
-      $ metrics_out_arg $ audit_out_arg $ flame_out_arg)
+      $ metrics_out_arg $ audit_out_arg $ flame_out_arg $ chrome_out_arg)
 
 (* ---- extract (the client-site flow of Fig. 2) ---- *)
 
@@ -795,6 +980,318 @@ let cache_cmd =
   let doc = "Solve-cache maintenance." in
   Cmd.group (Cmd.info "cache" ~doc) [ cache_scrub_cmd ]
 
+(* ---- obs: run-ledger analysis ---- *)
+
+let require_obs_dir = function
+  | Some d -> d
+  | None -> or_die (Error "obs: --obs-dir (or HYDRA_OBS_DIR) is required")
+
+let run_ref_arg idx docv =
+  let doc =
+    "Ledger run reference: a sequence number (e.g. $(b,2)), a full run \
+     id, or an unambiguous id prefix."
+  in
+  Arg.(required & pos idx (some string) None & info [] ~docv ~doc)
+
+let doc_str doc name =
+  match Json.member name doc with Some (Json.String s) -> s | _ -> ""
+
+let doc_int doc name =
+  match Json.member name doc with Some (Json.Int i) -> i | _ -> 0
+
+let doc_float doc name =
+  match Json.member name doc with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> 0.0
+
+let doc_list doc name =
+  match Json.member name doc with Some (Json.List l) -> l | _ -> []
+
+(* exact/relaxed/fallback tally of a run document's views *)
+let rung_tally doc =
+  List.fold_left
+    (fun (e, r, f) v ->
+      match doc_str v "status" with
+      | "exact" -> (e + 1, r, f)
+      | "relaxed" -> (e, r + 1, f)
+      | "fallback" -> (e, r, f + 1)
+      | _ -> (e, r, f))
+    (0, 0, 0) (doc_list doc "views")
+
+(* resource metrics carry wall-clock time, so they are only gated by an
+   explicit per-metric threshold, never by --default-threshold *)
+let resource_metric k =
+  let ends suffix = String.ends_with ~suffix k in
+  ends ".seconds" || ends ".sum" || ends ".p50" || ends ".p95"
+  || ends ".p99"
+
+let obs_list_cmd =
+  let run obs_dir =
+    let dir = require_obs_dir obs_dir in
+    let l = Ledger.runs ~dir in
+    List.iter
+      (fun (e : Ledger.entry) ->
+        let ex, rx, fb = rung_tally e.Ledger.e_doc in
+        Printf.printf "%s  %-10s jobs %-3d exit %d  views %d/%d/%d\n"
+          e.Ledger.e_id
+          (doc_str e.Ledger.e_doc "subcommand")
+          (doc_int e.Ledger.e_doc "jobs")
+          (doc_int e.Ledger.e_doc "exit")
+          ex rx fb)
+      l.Ledger.l_entries;
+    List.iter
+      (fun (fn, reason) -> Printf.printf "  corrupt: %s (%s)\n" fn reason)
+      l.Ledger.l_corrupt;
+    Printf.printf "%d run(s)%s -> %s\n"
+      (List.length l.Ledger.l_entries)
+      (match l.Ledger.l_corrupt with
+      | [] -> ""
+      | c -> Printf.sprintf ", %d corrupt skipped" (List.length c))
+      dir
+  in
+  let doc =
+    "List the archived runs of a ledger directory (views column is \
+     exact/relaxed/fallback); corrupt records are reported and skipped."
+  in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(const (fun a -> protecting run a) $ obs_dir_arg)
+
+let obs_show_cmd =
+  let events_n =
+    Arg.(
+      value & opt int 10
+      & info [ "events" ] ~docv:"N"
+          ~doc:"Show the last $(docv) archived events (0 hides them).")
+  in
+  let run obs_dir ref_ events_n =
+    let dir = require_obs_dir obs_dir in
+    let e = or_die (Ledger.find ~dir ref_) in
+    let doc = e.Ledger.e_doc in
+    let ex, rx, fb = rung_tally doc in
+    Printf.printf "run %s\n" e.Ledger.e_id;
+    Printf.printf "  subcommand    %s\n" (doc_str doc "subcommand");
+    Printf.printf "  config digest %s\n" (doc_str doc "config_digest");
+    Printf.printf "  spec digest   %s\n" (doc_str doc "spec_digest");
+    Printf.printf "  jobs          %d\n" (doc_int doc "jobs");
+    Printf.printf "  exit          %d\n" (doc_int doc "exit");
+    Printf.printf "  seconds       %.6f\n" (doc_float doc "seconds");
+    Printf.printf "  views         %d exact, %d relaxed, %d fallback\n" ex rx
+      fb;
+    List.iter
+      (fun v ->
+        let fp = doc_str v "fingerprint" in
+        let fp = if fp = "" then "-" else String.sub fp 0 (min 12 (String.length fp)) in
+        Printf.printf "    %-20s %-8s cache %-6s journal %-8s lp %s  %.6fs\n"
+          (doc_str v "rel") (doc_str v "status") (doc_str v "cache")
+          (doc_str v "journal") fp (doc_float v "seconds"))
+      (doc_list doc "views");
+    (match Json.member "journal" doc with
+    | Some (Json.Obj (_ :: _ as fields)) ->
+        Printf.printf "  journal       %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (k, v) ->
+                  Printf.sprintf "%d %s"
+                    (match v with Json.Int i -> i | _ -> 0)
+                    k)
+                fields))
+    | _ -> ());
+    let kvs = Ledger.metric_kvs doc in
+    if kvs <> [] then begin
+      print_string "  metrics:\n";
+      List.iter
+        (fun (k, v) ->
+          if Float.is_integer v && Float.abs v < 1e15 then
+            Printf.printf "    %-44s %d\n" k (int_of_float v)
+          else Printf.printf "    %-44s %.6f\n" k v)
+        kvs
+    end;
+    if events_n > 0 then begin
+      let evs = doc_list doc "events" in
+      let skip = max 0 (List.length evs - events_n) in
+      let evs = List.filteri (fun i _ -> i >= skip) evs in
+      if evs <> [] then begin
+        print_string "  events:\n";
+        List.iter
+          (fun ev ->
+            Printf.printf "    [%s] %s\n" (doc_str ev "level")
+              (doc_str ev "msg"))
+          evs
+      end
+    end
+  in
+  let doc = "Render one archived run's full report." in
+  Cmd.v (Cmd.info "show" ~doc)
+    Term.(
+      const (fun a b c -> protecting (run a b) c)
+      $ obs_dir_arg
+      $ run_ref_arg 0 "RUN"
+      $ events_n)
+
+let obs_diff_cmd =
+  let thresholds =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string float) []
+      & info [ "threshold" ] ~docv:"METRIC=RATIO"
+          ~doc:
+            "Gate $(i,METRIC): fail when the second run's value exceeds \
+             $(i,RATIO) times the first run's. Repeatable; explicit \
+             thresholds also gate time-based metrics.")
+  in
+  let default_threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-threshold" ] ~docv:"RATIO"
+          ~doc:
+            "Gate every deterministic metric (counters, gauges, span and \
+             histogram counts — everything except wall-clock seconds, \
+             sums and percentiles) at $(i,RATIO). $(b,1.0) means: no \
+             deterministic metric may grow at all.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print every changed metric.")
+  in
+  let run obs_dir a_ref b_ref thresholds default_threshold verbose =
+    let dir = require_obs_dir obs_dir in
+    let ea = or_die (Ledger.find ~dir a_ref) in
+    let eb = or_die (Ledger.find ~dir b_ref) in
+    let ka = Ledger.metric_kvs ea.Ledger.e_doc in
+    let kb = Ledger.metric_kvs eb.Ledger.e_doc in
+    let names = List.sort_uniq compare (List.map fst ka @ List.map fst kb) in
+    let value l n = Option.value ~default:0.0 (List.assoc_opt n l) in
+    let eps = 1e-9 in
+    let regressions = ref [] in
+    List.iter
+      (fun name ->
+        let before = value ka name and after = value kb name in
+        if verbose && before <> after then
+          Printf.printf "  %-44s %g -> %g\n" name before after;
+        let threshold =
+          match List.assoc_opt name thresholds with
+          | Some r -> Some r
+          | None -> if resource_metric name then None else default_threshold
+        in
+        match threshold with
+        | Some r when after > (r *. before) +. eps ->
+            regressions := (name, before, after, r) :: !regressions
+        | _ -> ())
+      names;
+    List.iter
+      (fun (n, b, a, r) ->
+        Printf.printf "REGRESSION %-36s %g -> %g (threshold %gx)\n" n b a r)
+      (List.rev !regressions);
+    Printf.printf "diff %s .. %s: %d metric(s) compared, %d regression(s)\n"
+      ea.Ledger.e_id eb.Ledger.e_id (List.length names)
+      (List.length !regressions);
+    (* non-zero so CI pipelines can gate on a run-over-run regression *)
+    if !regressions <> [] then exit 5
+  in
+  let doc =
+    "Diff two archived runs' metrics and percentiles; exits 5 when a \
+     gated metric regressed (grew past its threshold ratio)."
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const (fun a b c d e f -> protecting (run a b c d e) f)
+      $ obs_dir_arg
+      $ run_ref_arg 0 "RUN_A"
+      $ run_ref_arg 1 "RUN_B"
+      $ thresholds $ default_threshold $ verbose)
+
+let obs_top_cmd =
+  let top_n =
+    Arg.(
+      value & opt int 10
+      & info [ "n" ] ~docv:"N" ~doc:"Entries per ranking (default 10).")
+  in
+  let run obs_dir ref_ top_n =
+    let dir = require_obs_dir obs_dir in
+    let e = or_die (Ledger.find ~dir ref_) in
+    let kvs = Ledger.metric_kvs e.Ledger.e_doc in
+    let take n l = List.filteri (fun i _ -> i < n) l in
+    let desc (_, a) (_, b) = compare (b : float) a in
+    let spans =
+      List.filter_map
+        (fun (k, v) ->
+          if
+            String.starts_with ~prefix:"span." k
+            && String.ends_with ~suffix:".seconds" k
+          then Some (String.sub k 5 (String.length k - 13), v)
+          else None)
+        kvs
+    in
+    Printf.printf "slowest spans of %s:\n" e.Ledger.e_id;
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-28s %.6fs\n" k v)
+      (take top_n (List.sort desc spans));
+    let views =
+      List.map
+        (fun v -> ((doc_str v "rel", doc_str v "status"), doc_float v "seconds"))
+        (doc_list e.Ledger.e_doc "views")
+    in
+    print_string "slowest views:\n";
+    List.iter
+      (fun ((rel, status), v) ->
+        Printf.printf "  %-20s %-8s %.6fs\n" rel status v)
+      (take top_n (List.sort desc views))
+  in
+  let doc = "Rank an archived run's slowest spans and views." in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const (fun a b c -> protecting (run a b) c)
+      $ obs_dir_arg
+      $ run_ref_arg 0 "RUN"
+      $ top_n)
+
+let obs_prune_cmd =
+  let keep =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keep" ] ~docv:"N" ~doc:"Keep only the newest $(docv) runs.")
+  in
+  let before =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "before" ] ~docv:"SEQ"
+          ~doc:"Delete every run with a sequence number below $(docv).")
+  in
+  let run obs_dir keep before =
+    let dir = require_obs_dir obs_dir in
+    (match (keep, before) with
+    | Some k, _ when k < 0 -> or_die (Error "obs prune: --keep must be >= 0")
+    | _ -> ());
+    let removed, corrupt =
+      Ledger.prune ~dir ?before ?keep ()
+    in
+    List.iter (fun id -> Printf.printf "  pruned: %s\n" id) removed;
+    List.iter
+      (fun fn -> Printf.printf "  removed corrupt: %s\n" fn)
+      corrupt;
+    Printf.printf "obs prune: %d run(s), %d corrupt file(s) removed -> %s\n"
+      (List.length removed) (List.length corrupt) dir
+  in
+  let doc =
+    "Delete archived runs by age ($(b,--before) a sequence number) \
+     and/or count ($(b,--keep) the newest N); corrupt record files are \
+     always removed."
+  in
+  Cmd.v (Cmd.info "prune" ~doc)
+    Term.(
+      const (fun a b c -> protecting (run a b) c)
+      $ obs_dir_arg $ keep $ before)
+
+let obs_cmd =
+  let doc = "Analyze the run telemetry ledger (list, show, diff, top, prune)." in
+  Cmd.group (Cmd.info "obs" ~doc)
+    [ obs_list_cmd; obs_show_cmd; obs_diff_cmd; obs_top_cmd; obs_prune_cmd ]
+
 (* ---- inspect ---- *)
 
 let inspect_cmd =
@@ -815,11 +1312,16 @@ let main =
     (Cmd.info "hydra" ~version:"1.0.0" ~doc)
     [
       summary_cmd; extract_cmd; materialize_cmd; validate_cmd; inspect_cmd;
-      cache_cmd;
+      cache_cmd; obs_cmd;
     ]
 
 let () =
   Obs.init_from_env ();
+  (* HYDRA_OBS progress=N starts the live exporter even for subcommands
+     without a --progress flag; HYDRA_OBS_DIR routes metrics.prom there *)
+  (match Progress.period_from_env () with
+  | Some p -> start_progress ?obs_dir:(Sys.getenv_opt "HYDRA_OBS_DIR") p
+  | None -> ());
   (* HYDRA_CHAOS arms fault injection for every subcommand, including
      those without a --chaos flag (e.g. materialize) *)
   Chaos.init_from_env ();

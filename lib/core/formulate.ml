@@ -332,6 +332,7 @@ type cache_disposition = Cache_off | Cache_bypass | Cache_hit | Cache_miss
 type provenance = {
   via_cache : cache_disposition;
   via_journal : cache_disposition;
+  via_fingerprint : string;
 }
 
 (* Violating a consistency constraint makes sub-view marginals disagree,
@@ -487,7 +488,8 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
     match opt with None -> Cache_off | Some _ -> Cache_bypass
   in
   let bypass_prov =
-    { via_cache = off_or_bypass cache; via_journal = off_or_bypass journal }
+    { via_cache = off_or_bypass cache; via_journal = off_or_bypass journal;
+      via_fingerprint = "" }
   in
   try
     if view.Preprocess.subviews = [] then
@@ -496,6 +498,11 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
     else begin
       let problems, lp, n_cc_constraints =
         Obs.with_span "view.formulate" (fun () -> formulate view)
+      in
+      (* the content address is reported in every provenance (the run
+         ledger archives it), not just when a cache/journal consumes it *)
+      let key =
+        fingerprint_of_lp ~max_nodes ~retries view lp n_cc_constraints
       in
       let relax reason =
         let weight i =
@@ -542,11 +549,9 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
       in
       if cache = None && journal = None then
         ( finish (attempt max_nodes retries),
-          { via_cache = Cache_off; via_journal = Cache_off } )
+          { via_cache = Cache_off; via_journal = Cache_off;
+            via_fingerprint = key } )
       else begin
-        let key =
-          fingerprint_of_lp ~max_nodes ~retries view lp n_cc_constraints
-        in
         let journal_append raw =
           Option.iter
             (fun j ->
@@ -562,7 +567,8 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
         with
         | Some raw ->
             ( finish raw,
-              { via_cache = off_or_bypass cache; via_journal = Cache_hit } )
+              { via_cache = off_or_bypass cache; via_journal = Cache_hit;
+                via_fingerprint = key } )
         | None -> (
             let journal_miss_or_off =
               match journal with None -> Cache_off | Some _ -> Cache_miss
@@ -576,8 +582,8 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
                    on the shared cache still holding this entry *)
                 journal_append raw;
                 ( finish raw,
-                  { via_cache = Cache_hit; via_journal = journal_miss_or_off }
-                )
+                  { via_cache = Cache_hit; via_journal = journal_miss_or_off;
+                    via_fingerprint = key } )
             | None ->
                 let raw = attempt max_nodes retries in
                 journal_append raw;
@@ -592,6 +598,7 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
                       | None -> Cache_off
                       | Some _ -> Cache_miss);
                     via_journal = journal_miss_or_off;
+                    via_fingerprint = key;
                   } ))
       end
     end

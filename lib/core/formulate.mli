@@ -72,6 +72,11 @@ type provenance = {
       (** same vocabulary, applied to the [--state-dir] run journal:
           [Cache_hit] means the view was replayed from a prior
           (interrupted) run's record *)
+  via_fingerprint : string;
+      (** the {!fingerprint} this solve is addressed by — reported even
+          when no cache/journal consumed it (the run ledger archives
+          it); [""] when the view never reached formulation (trivial
+          views, pre-formulation errors) *)
 }
 
 val fingerprint :

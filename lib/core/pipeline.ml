@@ -28,6 +28,14 @@ let m_exact = Obs.counter "pipeline.views.exact"
 let m_relaxed = Obs.counter "pipeline.views.relaxed"
 let m_fallback = Obs.counter "pipeline.views.fallback"
 
+(* live-progress feed for the heartbeat/Prometheus exporter: how many
+   views this run will process, and how many have finished (any rung).
+   Both are jobs-invariant — the total is set once on the main domain
+   and the done counter sums to the view count at quiescence — so they
+   are safe under the cross-jobs metric-determinism battery. *)
+let g_total_views = Obs.gauge "pipeline.progress.total_views"
+let m_done_views = Obs.counter "pipeline.progress.done_views"
+
 type violation = {
   v_pred : Predicate.t;
   v_expected : int;
@@ -51,6 +59,9 @@ type view_stats = {
   status : view_status;
   cache : Formulate.cache_disposition;
   journal : Formulate.cache_disposition;
+  fingerprint : string;
+      (* the view's [Formulate.fingerprint] content address; "" when the
+         view never reached formulation *)
   attempts : int;
       (* pool attempts this view consumed (1 = first try succeeded;
          higher counts come from supervised retries of transient
@@ -207,6 +218,7 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
         (ccs, views, route_notes))
   in
   let preprocess_seconds = Mclock.now () -. t0 in
+  Obs.set_gauge g_total_views (float_of_int (List.length views));
   (* Per-view processing is a pure function of (schema, ccs, view) plus
      the solver budgets, so the views can be solved on any domain of the
      hydra.par pool. Each task returns its solution, stats and grouping
@@ -228,8 +240,9 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
       | None -> []
       | Some b -> Obs.diff b (Obs.local_snapshot ())
     in
-    Obs.with_span ~attrs:[ ("rel", Obs.Str rname) ] "pipeline.view"
-      (fun () ->
+    let out =
+      Obs.with_span ~attrs:[ ("rel", Obs.Str rname) ] "pipeline.view"
+      @@ fun () ->
         let off_or_bypass opt =
           match opt with
           | None -> Formulate.Cache_off
@@ -239,6 +252,7 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
           {
             Formulate.via_cache = off_or_bypass cache;
             via_journal = off_or_bypass journal;
+            via_fingerprint = "";
           }
         in
         let fallback ?(prov = bypass_prov) reason =
@@ -266,6 +280,7 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
               status = Fallback reason;
               cache = prov.Formulate.via_cache;
               journal = prov.Formulate.via_journal;
+              fingerprint = prov.Formulate.via_fingerprint;
               attempts = 1;
             },
             [] )
@@ -321,6 +336,7 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
                   status;
                   cache = prov.Formulate.via_cache;
                   journal = prov.Formulate.via_journal;
+                  fingerprint = prov.Formulate.via_fingerprint;
                   attempts = 1;
                 },
                 view_residuals )
@@ -348,7 +364,12 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
                     fallback (exn_message e))
               | Formulate.Failed m, prov -> fallback ~prov m
             with e when not (Chaos.is_injected e) ->
-              fallback (exn_message e)))
+              fallback (exn_message e))
+    in
+    (* counted only on normal completion: a raising attempt is retried
+       (or re-processed below), so each view lands here exactly once *)
+    Obs.incr m_done_views 1;
+    out
   in
   (* Supervised execution: every view task runs under the retry
      supervisor, so a transient worker failure (an interrupted syscall,

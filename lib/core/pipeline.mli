@@ -52,6 +52,10 @@ type view_stats = {
       (** how the [--state-dir] run journal served this view:
           [Cache_hit] means the view was replayed from an interrupted
           run's record instead of being re-solved *)
+  fingerprint : string;
+      (** the view's {!Formulate.fingerprint} content address, archived
+          by the run ledger; [""] when the view never reached
+          formulation (trivial views, pre-formulation errors) *)
   attempts : int;
       (** pool attempts this view consumed (1 = first try succeeded;
           more means the supervisor retried transient failures) *)

@@ -29,6 +29,15 @@ let level_name = function
   | Warn -> "warn"
   | Error -> "error"
 
+let level_of_name = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
@@ -61,6 +70,12 @@ type sink = {
    mutex so concurrent domains never interleave inside one sink write *)
 let sinks : sink list ref = ref []
 let sinks_m = Mutex.create ()
+
+(* events below this level are kept out of the sinks (the ring still
+   records them — suppression is a presentation choice, not a loss) *)
+let sink_level_v = Atomic.make Debug
+let set_sink_level l = Atomic.set sink_level_v l
+let sink_level () = Atomic.get sink_level_v
 
 let add_sink s =
   Mutex.lock sinks_m;
@@ -309,7 +324,10 @@ let event ?(level = Info) ?(attrs = []) msg =
   ring_next := (!ring_next + 1) mod ring_capacity;
   if !ring_count < ring_capacity then Stdlib.incr ring_count;
   Mutex.unlock ring_m;
-  if Atomic.get enabled_flag then deliver (fun s -> s.sink_event ev)
+  if
+    Atomic.get enabled_flag
+    && level_rank level >= level_rank (Atomic.get sink_level_v)
+  then deliver (fun s -> s.sink_event ev)
 
 let recent_events () =
   Mutex.lock ring_m;
@@ -483,6 +501,11 @@ let snapshot_of ss =
 let snapshot () = snapshot_of (all_shards ())
 
 let local_snapshot () = snapshot_of [ my_shard () ]
+
+let snapshot_counters snap = snap.snap_counters
+let snapshot_gauges snap = snap.snap_gauges
+let snapshot_hists snap = snap.snap_hists
+let snapshot_spans snap = snap.snap_spans
 
 let flatten snap =
   List.map (fun (k, v) -> (k, float_of_int v)) snap.snap_counters
@@ -753,6 +776,10 @@ let init_from_env () =
               | "metrics" ->
                   set_metrics_out v;
                   set_enabled true
+              | "level" -> (
+                  match level_of_name v with
+                  | Some l -> set_sink_level l
+                  | None -> ())
               | _ -> ())
           | None -> (
               match tok with

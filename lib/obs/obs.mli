@@ -32,6 +32,12 @@ type level = Debug | Info | Warn | Error
 
 val level_name : level -> string
 
+val level_of_name : string -> level option
+(** Inverse of {!level_name}; [None] for unknown names. *)
+
+val value_json : value -> Json.t
+(** Attribute value as JSON (used by the trace/ledger exporters). *)
+
 (* ---- global switch ---- *)
 
 val enabled : unit -> bool
@@ -118,6 +124,14 @@ val text_sink : out_channel -> sink
 val jsonl_sink : string -> sink
 (** One JSON object per finished span / event, appended to the file. *)
 
+val set_sink_level : level -> unit
+(** Minimum level an event must have to be forwarded to sinks (default
+    [Debug], i.e. everything). The always-on ring buffer is unaffected —
+    suppressed events are still recorded and visible through
+    {!recent_events}; spans are unaffected too. *)
+
+val sink_level : unit -> level
+
 (* ---- snapshots ---- *)
 
 type snapshot
@@ -135,6 +149,20 @@ val local_snapshot : unit -> snapshot
     individual views under parallel regeneration (each view runs whole
     on one domain). On a program that never spawned domains it equals
     {!snapshot}. *)
+
+val snapshot_counters : snapshot -> (string * int) list
+(** Counter totals by name, sorted. *)
+
+val snapshot_gauges : snapshot -> (string * float) list
+(** Gauge values by name (cross-domain maximum), sorted. *)
+
+val snapshot_hists : snapshot -> (string * (int * float * int array)) list
+(** Histograms by name as [(count, sum, buckets)] ({!bucket_of}
+    layout), sorted. *)
+
+val snapshot_spans : snapshot -> (string * (int * float * float * float)) list
+(** Span aggregates by name as
+    [(count, seconds, minor_words, major_words)], sorted. *)
 
 val flatten : snapshot -> (string * float) list
 (** Flat metric view: counters and gauges under their own names,
@@ -183,8 +211,10 @@ val write_metrics : string -> unit
 
 val init_from_env : unit -> unit
 (** Parse [HYDRA_OBS] — comma-separated [on], [text], [trace=FILE],
-    [metrics=FILE] — and enable the corresponding sinks. Unknown tokens
-    are ignored. *)
+    [metrics=FILE], [level=LEVEL] — and enable the corresponding sinks.
+    [level=] only sets the sink threshold ({!set_sink_level}); it does
+    not enable tracing by itself. Unknown tokens are ignored (the CLI
+    reads [progress=N] from the same variable). *)
 
 val finish : unit -> unit
 (** Write the pending metrics file (if {!set_metrics_out} was called),

@@ -10,12 +10,18 @@
 # CLI, resumed from the run journal).
 #
 # The gate re-runs the cheap bench targets (smoke, audit, cache,
-# robust) and compares their fresh BENCH_<target>.json artifacts
+# robust, obs) and compares their fresh BENCH_<target>.json artifacts
 # against bench/baselines/. robust asserts the crash-safety invariants
 # end to end: retried_tasks, replayed_views, retry_identical and
-# resume_identical must match the baseline exactly.
+# resume_identical must match the baseline exactly; obs bounds the
+# exporter-stack overhead_ratio and requires observation to stay pure.
 # Timing/allocation fields pass within BENCH_CHECK_TOLERANCE (default
 # 8x); every other field must match exactly.
+#
+# The tail is a run-ledger smoke: two archived regenerations of the
+# same spec, listed and diffed — the diff must pass clean under the
+# strictest deterministic gate and fail (exit 5) under an impossible
+# injected threshold, proving the CI regression hook end to end.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,3 +29,40 @@ cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
 dune build @bench/bench-gate
+
+# ---- hydra obs end-to-end smoke ----
+
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+
+hydra=_build/default/bin/hydra_cli.exe
+cat > "$obs_tmp/ci.hydra" <<'SPEC'
+table S (A int [0,100), B int [0,50));
+table T (C int [0,10));
+cc |S| = 700;
+cc |T| = 1500;
+cc |sigma(S.A in [20,60))(S)| = 400;
+SPEC
+
+"$hydra" summary "$obs_tmp/ci.hydra" -o "$obs_tmp/a.summary" \
+  --obs-dir "$obs_tmp/ledger" --progress 60 > /dev/null 2>&1
+"$hydra" summary "$obs_tmp/ci.hydra" -o "$obs_tmp/b.summary" \
+  --obs-dir "$obs_tmp/ledger" > /dev/null 2>&1
+cmp "$obs_tmp/a.summary" "$obs_tmp/b.summary"
+
+runs=$("$hydra" obs list --obs-dir "$obs_tmp/ledger" | grep -c '^run-')
+[ "$runs" -eq 2 ] || { echo "obs smoke: expected 2 ledger runs, got $runs" >&2; exit 1; }
+
+# identical runs under the strictest deterministic gate: clean pass
+"$hydra" obs diff --obs-dir "$obs_tmp/ledger" 1 2 --default-threshold 1.0 > /dev/null
+
+# an impossible threshold must trip the gate with the CI exit code (5)
+if "$hydra" obs diff --obs-dir "$obs_tmp/ledger" 1 2 \
+     --threshold simplex.iterations=0.5 > /dev/null 2>&1; then
+  echo "obs smoke: injected regression was not detected" >&2; exit 1
+else
+  rc=$?
+  [ "$rc" -eq 5 ] || { echo "obs smoke: expected exit 5, got $rc" >&2; exit 1; }
+fi
+
+echo "obs smoke: ledger, list and gated diff ok"

@@ -1,0 +1,123 @@
+The run telemetry ledger: every instrumented run is archived under an
+--obs-dir (or HYDRA_OBS_DIR), and `hydra obs` analyzes the archive
+after the processes are gone.
+
+  $ cat > toy.hydra <<'SPEC'
+  > table S (A int [0,100), B int [0,50));
+  > table T (C int [0,10));
+  > table R (S_fk -> S, T_fk -> T);
+  > cc |R| = 80000;
+  > cc |S| = 700;
+  > cc |T| = 1500;
+  > cc |sigma(S.A in [20,60))(S)| = 400;
+  > cc |sigma(T.C in [2,3))(T)| = 900;
+  > SPEC
+
+A run with the full exporter stack on: ledger record, final heartbeat,
+live Prometheus file and Chrome trace. The archive confirmation and the
+heartbeat go to stderr so --json stdout stays machine-parseable.
+
+  $ hydra summary toy.hydra -o a.summary --obs-dir ledger --progress 60 --chrome-out trace.json > a.out 2> a.err
+  $ head -1 a.out | sed 's/(.*s)/(_s)/'
+  summary: 5 rows covering 82200 tuples -> a.summary (_s)
+  $ cat a.err
+  obs: run run-000001-26764c84 archived -> ledger
+  [hydra] views 3/3 exact 3 relaxed 0 fallback 0 | cache hits 0 | retries 0
+
+Run ids are wall-time-free: a monotonic sequence plus a digest of the
+run configuration (subcommand + spec digest; the jobs width is
+deliberately excluded). A second identical run gets sequence 2 with
+the same digest suffix.
+
+  $ hydra summary toy.hydra -o b.summary --obs-dir ledger > /dev/null 2> b.err
+  $ cat b.err
+  obs: run run-000002-26764c84 archived -> ledger
+
+  $ hydra obs list --obs-dir ledger
+  run-000001-26764c84  summary    jobs 1   exit 0  views 3/0/0
+  run-000002-26764c84  summary    jobs 1   exit 0  views 3/0/0
+  2 run(s) -> ledger
+
+Diffing two identical runs under the strictest default threshold finds
+nothing: every deterministic metric is unchanged (wall-clock seconds,
+sums and percentiles are exempt from the default gate).
+
+  $ hydra obs diff --obs-dir ledger 1 2 --default-threshold 1.0
+  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 0 regression(s)
+
+An injected regression gate trips deterministically: requiring the
+simplex iteration count to shrink by half fails on identical runs, and
+the non-zero exit makes the gate usable from CI.
+
+  $ hydra obs diff --obs-dir ledger 1 2 --threshold simplex.iterations=0.5
+  REGRESSION simplex.iterations                   11 -> 11 (threshold 0.5x)
+  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 1 regression(s)
+  [5]
+
+Observation is pure: the summary is byte-identical with the whole
+exporter stack on or off, and at any --jobs width. The parallel run's
+heartbeat reports the same totals (progress metrics are
+jobs-invariant), and its run id carries the same config digest.
+
+  $ hydra summary toy.hydra -o plain.summary > /dev/null
+  $ cmp a.summary plain.summary
+  $ hydra summary toy.hydra -o par.summary --jobs 4 --obs-dir ledger --progress 60 > /dev/null 2> par.err
+  $ cat par.err
+  obs: run run-000003-26764c84 archived -> ledger
+  [hydra] views 3/3 exact 3 relaxed 0 fallback 0 | cache hits 0 | retries 0
+  $ cmp a.summary par.summary
+
+  $ hydra obs list --obs-dir ledger
+  run-000001-26764c84  summary    jobs 1   exit 0  views 3/0/0
+  run-000002-26764c84  summary    jobs 1   exit 0  views 3/0/0
+  run-000003-26764c84  summary    jobs 4   exit 0  views 3/0/0
+  3 run(s) -> ledger
+
+The archived record renders back as a report (timings vary run to run,
+so they are masked here).
+
+  $ hydra obs show --obs-dir ledger 1 --events 0 | head -8 | sed 's/[0-9][0-9]*\.[0-9]*s*$/_/'
+  run run-000001-26764c84
+    subcommand    summary
+    config digest 26764c84086d7f798069828a402350a9
+    spec digest   c9e3b73dc030315e70f34ed3cb6393d4
+    jobs          1
+    exit          0
+    seconds       _
+    views         3 exact, 0 relaxed, 0 fallback
+
+  $ hydra obs top --obs-dir ledger 1 -n 2 > /dev/null
+
+The Chrome trace is a single JSON document of complete ("X") events
+(schema well-formedness is covered in test_obs.ml); the Prometheus
+file is rewritten atomically on every tick.
+
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ grep -o '"ph":"X"' trace.json | head -1
+  "ph":"X"
+  $ grep -c '^hydra_pipeline_progress_done_views_total 3$' ledger/metrics.prom
+  1
+
+The resume story lands in the human report: journal replay and cache
+aggregate counts.
+
+  $ hydra summary toy.hydra -o c.summary --state-dir st --cache-dir cd --report 2> /dev/null | tail -3
+  resume story:
+    journal: 0 view(s) replayed, 3 solved fresh
+    cache: 0 hit(s), 3 miss(es), 3 store(s)
+  $ hydra summary toy.hydra -o d.summary --state-dir st --cache-dir cd --report 2> /dev/null | tail -3
+  resume story:
+    journal: 3 view(s) replayed, 0 solved fresh
+    cache: 0 hit(s), 0 miss(es), 0 store(s)
+
+Prune keeps the newest runs.
+
+  $ hydra obs prune --obs-dir ledger --keep 1
+    pruned: run-000001-26764c84
+    pruned: run-000002-26764c84
+  obs prune: 2 run(s), 0 corrupt file(s) removed -> ledger
+
+  $ hydra obs list --obs-dir ledger
+  run-000003-26764c84  summary    jobs 4   exit 0  views 3/0/0
+  1 run(s) -> ledger

@@ -10,6 +10,10 @@ module Obs = Hydra_obs.Obs
 module Mclock = Hydra_obs.Mclock
 module Json = Hydra_obs.Json
 module Flame = Hydra_obs.Flame
+module Prom = Hydra_obs.Prom
+module Trace_event = Hydra_obs.Trace_event
+module Ledger = Hydra_obs.Ledger
+module Progress = Hydra_obs.Progress
 module Pipeline = Hydra_core.Pipeline
 
 (* every test leaves the global registry disabled and zeroed *)
@@ -333,6 +337,433 @@ let test_flame_collector () =
   Alcotest.(check bool) "self times non-negative" true
     (List.for_all (fun (_, v) -> v >= 0) folded)
 
+(* ---- sink level: Debug/Info suppressed at sinks, ring unaffected ---- *)
+
+let test_sink_level_threshold () =
+  scrub ();
+  let delivered = ref [] in
+  Obs.add_sink
+    {
+      Obs.sink_span = ignore;
+      sink_event = (fun e -> delivered := e.Obs.ev_msg :: !delivered);
+      sink_close = ignore;
+    };
+  Obs.set_enabled true;
+  Obs.set_sink_level Obs.Warn;
+  Obs.event ~level:Obs.Debug "lvl dbg";
+  Obs.event ~level:Obs.Info "lvl info";
+  Obs.event ~level:Obs.Warn "lvl warn";
+  Obs.event ~level:Obs.Error "lvl err";
+  let ring_has m =
+    List.exists (fun (e : Obs.event) -> e.Obs.ev_msg = m) (Obs.recent_events ())
+  in
+  let ring_all =
+    List.for_all ring_has [ "lvl dbg"; "lvl info"; "lvl warn"; "lvl err" ]
+  in
+  Obs.set_sink_level Obs.Debug;
+  scrub ();
+  Alcotest.(check (list string))
+    "only warn and above reach sinks" [ "lvl warn"; "lvl err" ]
+    (List.rev !delivered);
+  Alcotest.(check bool) "the ring keeps everything" true ring_all;
+  Alcotest.(check (option string))
+    "level names parse" (Some "warn")
+    (Option.map Obs.level_name (Obs.level_of_name "warn"));
+  Alcotest.(check bool) "unknown level rejected" true
+    (Obs.level_of_name "loud" = None)
+
+(* ---- Prometheus text rendering ---- *)
+
+let test_prom_render () =
+  scrub ();
+  Obs.set_enabled true;
+  Obs.incr (Obs.counter "prom.test_counter") 7;
+  Obs.set_gauge (Obs.gauge "prom.test-gauge") 2.5;
+  let h = Obs.histogram "prom.hist" in
+  List.iter (Obs.observe h) [ 0.75; 0.75; 2.0 ];
+  ignore (Obs.with_span "prom.span" (fun () -> ()));
+  let text = Prom.render (Obs.snapshot ()) in
+  scrub ();
+  let has needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter family" true
+    (has "# TYPE hydra_prom_test_counter_total counter"
+    && has "hydra_prom_test_counter_total 7");
+  Alcotest.(check bool) "gauge name sanitized" true
+    (has "hydra_prom_test_gauge 2.5");
+  Alcotest.(check bool) "histogram is cumulative with +Inf" true
+    (has "hydra_prom_hist_bucket{le=\"+Inf\"} 3"
+    && has "hydra_prom_hist_count 3"
+    && has "hydra_prom_hist_sum 3.5");
+  Alcotest.(check bool) "span families carry a span label" true
+    (has "hydra_span_count_total{span=\"prom.span\"} 1"
+    && has "hydra_span_seconds_total{span=\"prom.span\"}");
+  (* byte-stable: each section (counters, gauges, ...) sorted by name *)
+  Alcotest.(check bool) "sorted by name within each kind" true
+    (let lines = String.split_on_char '\n' text in
+     let names_of kind =
+       List.filter_map
+         (fun l ->
+           match String.split_on_char ' ' l with
+           | [ "#"; "TYPE"; name; k ] when k = kind -> Some name
+           | _ -> None)
+         lines
+     in
+     let strip_total n =
+       if String.ends_with ~suffix:"_total" n then
+         String.sub n 0 (String.length n - 6)
+       else n
+     in
+     List.for_all
+       (fun kind ->
+         (* counters sort by source name (before the _total suffix); the
+            span label-families are their own trailing section *)
+         let names =
+           List.filter
+             (fun n -> not (String.starts_with ~prefix:"hydra_span_" n))
+             (List.map strip_total (names_of kind))
+         in
+         names = List.sort compare names)
+       [ "counter"; "gauge"; "histogram" ])
+
+(* ---- heartbeat line and HYDRA_OBS progress parsing ---- *)
+
+let test_heartbeat_line () =
+  scrub ();
+  Obs.set_enabled true;
+  Obs.set_gauge (Obs.gauge "pipeline.progress.total_views") 5.0;
+  Obs.incr (Obs.counter "pipeline.progress.done_views") 3;
+  Obs.incr (Obs.counter "pipeline.views.exact") 2;
+  Obs.incr (Obs.counter "pipeline.views.relaxed") 1;
+  Obs.incr (Obs.counter "cache.hit") 4;
+  let line = Progress.heartbeat_line (Obs.snapshot ()) in
+  scrub ();
+  Alcotest.(check string) "heartbeat rendering"
+    "[hydra] views 3/5 exact 2 relaxed 1 fallback 0 | cache hits 4 | retries 0"
+    line
+
+let test_progress_spec_parsing () =
+  Alcotest.(check (option (float 0.0)))
+    "plain token" (Some 2.0)
+    (Progress.period_of_spec "progress=2");
+  Alcotest.(check (option (float 1e-9)))
+    "fractional, other tokens around" (Some 0.25)
+    (Progress.period_of_spec "level=warn,progress=0.25,jsonl=x.jsonl");
+  Alcotest.(check (option (float 0.0)))
+    "absent" None
+    (Progress.period_of_spec "level=debug");
+  Alcotest.(check (option (float 0.0)))
+    "non-positive rejected" None
+    (Progress.period_of_spec "progress=0");
+  Alcotest.(check (option (float 0.0)))
+    "garbage rejected" None
+    (Progress.period_of_spec "progress=fast")
+
+(* ---- Chrome trace-event export ---- *)
+
+(* minimal schema check: the properties Perfetto / chrome://tracing
+   require of a complete ("X") event *)
+let check_trace_doc doc n_spans =
+  (match Json.member "displayTimeUnit" doc with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.fail "displayTimeUnit missing");
+  match Json.member "traceEvents" doc with
+  | Some (Json.List evs) ->
+      Alcotest.(check int) "one event per span" n_spans (List.length evs);
+      List.iter
+        (fun ev ->
+          let str n =
+            match Json.member n ev with
+            | Some (Json.String s) -> s
+            | _ -> Alcotest.failf "event field %s missing or not a string" n
+          in
+          let num n =
+            match Json.member n ev with
+            | Some (Json.Float f) -> f
+            | Some (Json.Int i) -> float_of_int i
+            | _ -> Alcotest.failf "event field %s missing or not numeric" n
+          in
+          Alcotest.(check string) "complete-event phase" "X" (str "ph");
+          Alcotest.(check bool) "named" true (str "name" <> "");
+          Alcotest.(check bool) "timestamps sane" true
+            (num "ts" >= 0.0 && num "dur" >= 0.0);
+          Alcotest.(check bool) "pid/tid present" true
+            (num "pid" >= 1.0 && num "tid" >= 1.0))
+        evs;
+      evs
+  | _ -> Alcotest.fail "traceEvents missing"
+
+let test_trace_event_json () =
+  (* two overlapping root trees (must land on distinct lanes) plus an
+     orphan whose parent id is absent (roots itself on its own lane) *)
+  let spans =
+    [
+      mk_span 1 (-1) "root_a" 0.000 0.010;
+      mk_span 2 1 "leaf" 0.001 0.003 ~attrs:[ ("rel", Obs.Str "r") ];
+      mk_span 3 (-1) "root_b" 0.002 0.012;
+      mk_span 9 77 "orphan" 0.004 0.005;
+    ]
+  in
+  let s = Trace_event.to_string spans in
+  match Json.parse s with
+  | Error m -> Alcotest.failf "trace JSON does not parse: %s" m
+  | Ok doc ->
+      let evs = check_trace_doc doc 4 in
+      let tid name =
+        let ev =
+          List.find
+            (fun ev -> Json.member "name" ev = Some (Json.String name))
+            evs
+        in
+        match Json.member "tid" ev with
+        | Some (Json.Int i) -> i
+        | Some (Json.Float f) -> int_of_float f
+        | _ -> Alcotest.failf "tid missing on %s" name
+      in
+      Alcotest.(check bool) "overlapping roots on distinct lanes" true
+        (tid "root_a" <> tid "root_b");
+      Alcotest.(check int) "child shares its root's lane" (tid "root_a")
+        (tid "leaf");
+      Alcotest.(check bool) "overlapping orphan gets its own lane" true
+        (tid "orphan" <> tid "root_a" && tid "orphan" <> tid "root_b")
+
+let test_trace_event_live_collector () =
+  scrub ();
+  let c = Flame.create () in
+  Obs.add_sink (Flame.sink c);
+  Obs.set_enabled true;
+  ignore (Pipeline.regenerate two_rel_schema two_rel_ccs);
+  let spans = Flame.spans c in
+  scrub ();
+  match Json.parse (Trace_event.to_string spans) with
+  | Error m -> Alcotest.failf "live trace does not parse: %s" m
+  | Ok doc -> ignore (check_trace_doc doc (List.length spans))
+
+(* ---- run ledger ---- *)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hydra-obs-test-%d" (Unix.getpid ()))
+  in
+  let rec scrub_dir d =
+    if Sys.file_exists d then begin
+      Array.iter
+        (fun fn ->
+          let p = Filename.concat d fn in
+          if Sys.is_directory p then scrub_dir p else Sys.remove p)
+        (Sys.readdir d);
+      Unix.rmdir d
+    end
+  in
+  scrub_dir dir;
+  Fun.protect ~finally:(fun () -> scrub_dir dir) (fun () -> f dir)
+
+let mk_run ?(subcommand = "summary") ?(jobs = 1) ?(views = []) () =
+  {
+    Ledger.r_subcommand = subcommand;
+    r_config_digest = Ledger.config_digest ~subcommand [ "specdigest" ];
+    r_spec_digest = "specdigest";
+    r_jobs = jobs;
+    r_exit = 0;
+    r_seconds = 0.5;
+    r_views = views;
+    r_journal = [ ("replayed", 1); ("solved", 2) ];
+    r_metrics = Obs.metrics_json ();
+    r_events = [];
+    r_folded = "a;b 10\n";
+  }
+
+let test_ledger_roundtrip () =
+  with_tmp_dir @@ fun dir ->
+  let id1 = Ledger.record ~dir (mk_run ()) in
+  let id2 = Ledger.record ~dir (mk_run ~jobs:4 ()) in
+  (* ids are monotonic and wall-time-free: same config -> same digest8 *)
+  Alcotest.(check bool) "seq 1 then 2" true
+    (String.sub id1 0 11 = "run-000001-" && String.sub id2 0 11 = "run-000002-");
+  Alcotest.(check string) "same config, same digest8"
+    (String.sub id1 11 8) (String.sub id2 11 8);
+  let l = Ledger.runs ~dir in
+  Alcotest.(check int) "two entries" 2 (List.length l.Ledger.l_entries);
+  Alcotest.(check (list string))
+    "ascending ids" [ id1; id2 ]
+    (List.map (fun e -> e.Ledger.e_id) l.Ledger.l_entries);
+  (* find: by sequence number, by full id, by unique prefix *)
+  let ok = function
+    | Ok e -> e.Ledger.e_id
+    | Error m -> Alcotest.failf "find failed: %s" m
+  in
+  Alcotest.(check string) "by seq" id1 (ok (Ledger.find ~dir "1"));
+  Alcotest.(check string) "by id" id2 (ok (Ledger.find ~dir id2));
+  Alcotest.(check string) "by prefix" id2
+    (ok (Ledger.find ~dir "run-000002"));
+  (match Ledger.find ~dir "run-" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ambiguous prefix must not resolve");
+  (match Ledger.find ~dir "99" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown seq must not resolve");
+  (* run parameters survive the round trip *)
+  let e2 = List.nth l.Ledger.l_entries 1 in
+  Alcotest.(check bool) "jobs archived" true
+    (Json.member "jobs" e2.Ledger.e_doc = Some (Json.Int 4));
+  Alcotest.(check bool) "journal aggregates archived" true
+    (match Json.member "journal" e2.Ledger.e_doc with
+    | Some j -> Json.member "replayed" j = Some (Json.Int 1)
+    | None -> false)
+
+let test_ledger_metric_kvs () =
+  scrub ();
+  Obs.set_enabled true;
+  Obs.incr (Obs.counter "kv.counter") 3;
+  let h = Obs.histogram "kv.hist" in
+  Obs.observe h 0.75;
+  with_tmp_dir @@ fun dir ->
+  let id = Ledger.record ~dir (mk_run ()) in
+  scrub ();
+  let e =
+    match Ledger.find ~dir id with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "find: %s" m
+  in
+  let kvs = Ledger.metric_kvs e.Ledger.e_doc in
+  Alcotest.(check (option (float 0.0)))
+    "counter surfaces" (Some 3.0)
+    (List.assoc_opt "kv.counter" kvs);
+  List.iter
+    (fun suffix ->
+      Alcotest.(check bool)
+        ("histogram ." ^ suffix ^ " surfaces")
+        true
+        (List.mem_assoc ("kv.hist." ^ suffix) kvs))
+    [ "count"; "sum"; "p50"; "p95"; "p99" ];
+  Alcotest.(check bool) "sorted by name" true
+    (let names = List.map fst kvs in
+     names = List.sort compare names)
+
+let test_ledger_corrupt_tolerance () =
+  with_tmp_dir @@ fun dir ->
+  let id = Ledger.record ~dir (mk_run ()) in
+  (* a torn record: valid digest trailer syntax, body truncated *)
+  let good_path = Filename.concat dir (id ^ ".json") in
+  let good = In_channel.with_open_bin good_path In_channel.input_all in
+  Out_channel.with_open_bin (Filename.concat dir "run-000007-deadbeef.json")
+    (fun oc ->
+      Out_channel.output_string oc
+        (String.sub good 10 (String.length good - 10)));
+  (* not a ledger record at all, but named like one *)
+  Out_channel.with_open_bin (Filename.concat dir "run-000008-0badf00d.json")
+    (fun oc -> Out_channel.output_string oc "{\"format\": \"something-else\"}");
+  let l = Ledger.runs ~dir in
+  Alcotest.(check (list string))
+    "the intact record still lists" [ id ]
+    (List.map (fun e -> e.Ledger.e_id) l.Ledger.l_entries);
+  Alcotest.(check (list string))
+    "both bad files reported, never raised"
+    [ "run-000007-deadbeef.json"; "run-000008-0badf00d.json" ]
+    (List.map fst l.Ledger.l_corrupt);
+  (* corrupt files occupy their sequence: the next record skips past *)
+  let id2 = Ledger.record ~dir (mk_run ()) in
+  Alcotest.(check string) "seq resumes after the corrupt files"
+    "run-000009-" (String.sub id2 0 11);
+  (* prune removes the corrupt files alongside aged runs *)
+  let removed, corrupt = Ledger.prune ~dir ~before:9 () in
+  Alcotest.(check (list string)) "aged run pruned" [ id ] removed;
+  Alcotest.(check int) "corrupt files removed" 2 (List.length corrupt);
+  let l2 = Ledger.runs ~dir in
+  Alcotest.(check (list string))
+    "only the fresh run survives" [ id2 ]
+    (List.map (fun e -> e.Ledger.e_id) l2.Ledger.l_entries);
+  Alcotest.(check int) "no corrupt files left" 0
+    (List.length l2.Ledger.l_corrupt)
+
+let test_ledger_prune_keep () =
+  with_tmp_dir @@ fun dir ->
+  let ids = List.init 4 (fun _ -> Ledger.record ~dir (mk_run ())) in
+  let removed, _ = Ledger.prune ~dir ~keep:2 () in
+  Alcotest.(check (list string))
+    "oldest two removed"
+    [ List.nth ids 0; List.nth ids 1 ]
+    removed;
+  Alcotest.(check (list string))
+    "newest two kept"
+    [ List.nth ids 2; List.nth ids 3 ]
+    (List.map
+       (fun e -> e.Ledger.e_id)
+       (Ledger.runs ~dir).Ledger.l_entries)
+
+(* ---- property: folded stacks are order- and partition-insensitive ---- *)
+
+(* a random span forest as a parallel run would produce it: spans from
+   several domains interleaved, some subtrees, some spans whose parents
+   are missing from the collected list (e.g. a sink attached mid-run) *)
+let span_forest_gen =
+  let open QCheck.Gen in
+  let* n = int_range 1 24 in
+  let* spans =
+    flatten_l
+      (List.init n (fun i ->
+           let id = i + 1 in
+           let* parent =
+             if i = 0 then return (-1)
+             else
+               frequency
+                 [
+                   (2, return (-1));
+                   (5, int_range 1 i);
+                   (1, return (1000 + id));
+                 ]
+           in
+           let* name = oneofl [ "alpha"; "beta"; "gamma"; "delta" ] in
+           let* start_us = int_range 0 10_000 in
+           let* dur_us = int_range 0 5_000 in
+           let s = float_of_int start_us *. 1e-6 in
+           return (mk_span id parent name s (s +. (float_of_int dur_us *. 1e-6)))))
+  in
+  return spans
+
+(* deterministic shuffle: key each span by a hash of its id *)
+let shuffle spans =
+  List.map (fun sp -> ((sp.Obs.sp_id * 2654435761) land 0xFFFFFF, sp)) spans
+  |> List.sort compare |> List.map snd
+
+let prop_folded_insensitive =
+  QCheck.Test.make
+    ~name:"folded stacks ignore completion order and domain partition"
+    ~count:100 (QCheck.make span_forest_gen) (fun spans ->
+      let reference = Flame.folded_string spans in
+      (* order-insensitive: reversal and a hash shuffle *)
+      reference = Flame.folded_string (List.rev spans)
+      && reference = Flame.folded_string (shuffle spans)
+      && (* partition-insensitive: split as if collected from two domains
+            and concatenated in either order *)
+      (let a, b =
+         List.partition (fun sp -> sp.Obs.sp_id mod 2 = 0) spans
+       in
+       reference = Flame.folded_string (a @ b)
+       && reference = Flame.folded_string (b @ a))
+      &&
+      (* orphans root themselves: every path's head is a span whose
+         parent is absent from the list *)
+      let ids = List.map (fun sp -> sp.Obs.sp_id) spans in
+      let root_names =
+        List.filter_map
+          (fun sp ->
+            if List.mem sp.Obs.sp_parent ids then None
+            else Some sp.Obs.sp_name)
+          spans
+      in
+      List.for_all
+        (fun (path, _) ->
+          match String.split_on_char ';' path with
+          | head :: _ -> List.mem head root_names
+          | [] -> false)
+        (Flame.folded spans))
+
 (* ---- property: observation never changes what is computed ---- *)
 
 let obs_env_gen =
@@ -416,8 +847,34 @@ let suite =
         Alcotest.test_case "metrics JSON round-trip" `Quick
           test_metrics_json_roundtrip;
       ] );
+    ( "obs-export",
+      [
+        Alcotest.test_case "sink level threshold" `Quick
+          test_sink_level_threshold;
+        Alcotest.test_case "prometheus rendering" `Quick test_prom_render;
+        Alcotest.test_case "heartbeat line" `Quick test_heartbeat_line;
+        Alcotest.test_case "HYDRA_OBS progress parsing" `Quick
+          test_progress_spec_parsing;
+        Alcotest.test_case "chrome trace JSON well-formedness" `Quick
+          test_trace_event_json;
+        Alcotest.test_case "chrome trace from a live run" `Quick
+          test_trace_event_live_collector;
+      ] );
+    ( "obs-ledger",
+      [
+        Alcotest.test_case "record / list / find round-trip" `Quick
+          test_ledger_roundtrip;
+        Alcotest.test_case "metric flattening for diff" `Quick
+          test_ledger_metric_kvs;
+        Alcotest.test_case "corrupt records tolerated" `Quick
+          test_ledger_corrupt_tolerance;
+        Alcotest.test_case "prune by count" `Quick test_ledger_prune_keep;
+      ] );
     ( "obs-properties",
-      [ QCheck_alcotest.to_alcotest prop_observation_is_pure ] );
+      [
+        QCheck_alcotest.to_alcotest prop_folded_insensitive;
+        QCheck_alcotest.to_alcotest prop_observation_is_pure;
+      ] );
   ]
 
 let () = Alcotest.run "hydra-obs" suite
