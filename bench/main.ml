@@ -980,6 +980,59 @@ let obs_bench () =
         ("prom_written", Json.Bool prom_written);
       ])
 
+(* ---- Synth: solve-time distribution over synthesized workloads ---- *)
+
+let synth_bench () =
+  header "Synth: regeneration cost over a seeded synthesized sweep"
+    "not in the paper: the hydra.synth generator feeding `hydra fuzz`; \
+     per-workload solve-time distribution plus the sweep's deterministic \
+     identity (shapes, CC counts, spec digests)";
+  let module Synth = Hydra_synth.Synth in
+  let module Rng = Hydra_synth.Rng in
+  let count = 40 and sweep_seed = 1 in
+  let star = ref 0 and snowflake = ref 0 and chain = ref 0 in
+  let total_ccs = ref 0 in
+  let digest_buf = Buffer.create (count * 32) in
+  let times =
+    List.init count (fun i ->
+        let t = Synth.generate ~seed:(Rng.mix2 sweep_seed i) () in
+        (match t.Synth.shape_drawn with
+        | Synth.Star -> incr star
+        | Synth.Snowflake -> incr snowflake
+        | Synth.Chain -> incr chain);
+        total_ccs := !total_ccs + List.length t.Synth.ccs;
+        Buffer.add_string digest_buf (Synth.digest t);
+        let _, dt =
+          time (fun () -> Pipeline.regenerate t.Synth.schema t.Synth.ccs)
+        in
+        dt)
+  in
+  let sorted = List.sort compare times in
+  let arr = Array.of_list sorted in
+  let pct p = arr.(min (count - 1) (p * count / 100)) in
+  let total_t = List.fold_left ( +. ) 0.0 times in
+  (* the sweep's identity: one digest over every workload's spec digest *)
+  let sweep_digest = Digest.to_hex (Digest.string (Buffer.contents digest_buf)) in
+  Printf.printf
+    "%d workloads (sweep seed %d): %d star, %d snowflake, %d chain; %d CCs\n"
+    count sweep_seed !star !snowflake !chain !total_ccs;
+  Printf.printf
+    "regenerate: p50 %.4fs  p95 %.4fs  max %.4fs  total %.2fs\n"
+    (pct 50) (pct 95) arr.(count - 1) total_t;
+  Printf.printf "sweep digest: %s\n" sweep_digest;
+  [
+    ("workloads", Json.Int count);
+    ("shape_star", Json.Int !star);
+    ("shape_snowflake", Json.Int !snowflake);
+    ("shape_chain", Json.Int !chain);
+    ("total_ccs", Json.Int !total_ccs);
+    ("sweep_digest", Json.String sweep_digest);
+    ("p50_seconds", Json.Float (pct 50));
+    ("p95_seconds", Json.Float (pct 95));
+    ("max_seconds", Json.Float arr.(count - 1));
+    ("total_seconds", Json.Float total_t);
+  ]
+
 (* ---- Smoke: CI-sized end-to-end run validating the obs contract ---- *)
 
 let smoke () =
@@ -1184,6 +1237,7 @@ let targets =
     ("correlation", plain correlation); ("robust", robust);
     ("par", par); ("micro", plain micro); ("smoke", plain smoke);
     ("audit", audit); ("cache", cache_bench); ("obs", obs_bench);
+    ("synth", synth_bench);
   ]
 
 (* ---- regression gate: compare fresh artifacts against baselines ---- *)
@@ -1195,7 +1249,10 @@ let resource_key k =
   match k with
   | "seconds" | "minor_words" | "major_words" | "speedup"
   | "overhead_ratio" -> true
-  | _ -> false
+  | _ ->
+      (* p50_seconds, total_seconds, ... — any wall-clock field *)
+      String.length k > 8
+      && String.sub k (String.length k - 8) 8 = "_seconds"
 
 let check_tolerance () =
   match Sys.getenv_opt "BENCH_CHECK_TOLERANCE" with

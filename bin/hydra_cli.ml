@@ -233,6 +233,7 @@ let or_die = function
      3   summary degraded: some views Relaxed
      4   summary degraded: some views Fallback
      5   obs diff: a gated metric regressed between two ledger runs
+     6   fuzz: an end-to-end invariant failed (reproducer written)
      10  preprocessing error        11  LP formulation error
      12  summary assembly error, or a corrupt summary/durable artifact
      13  align-and-merge error
@@ -1157,6 +1158,26 @@ let obs_diff_cmd =
       & info [ "v"; "verbose" ] ~doc:"Print every changed metric.")
   in
   let run obs_dir a_ref b_ref thresholds default_threshold verbose =
+    (* a zero, negative or non-finite ratio would make every metric (or
+       none) a regression; reject it as a usage error before touching
+       the ledger *)
+    let check_ratio label r =
+      if not (Float.is_finite r) || r <= 0.0 then
+        or_die
+          (Error
+             (Printf.sprintf
+                "obs diff: %s: ratio must be a finite positive number" label))
+    in
+    List.iter
+      (fun (n, r) ->
+        check_ratio (Printf.sprintf "--threshold %s=%g" n r) r)
+      thresholds;
+    Option.iter
+      (fun r -> check_ratio (Printf.sprintf "--default-threshold %g" r) r)
+      default_threshold;
+    (* a repeated --threshold for one metric: the last occurrence wins,
+       matching how flags usually override earlier ones *)
+    let thresholds = List.rev thresholds in
     let dir = require_obs_dir obs_dir in
     let ea = or_die (Ledger.find ~dir a_ref) in
     let eb = or_die (Ledger.find ~dir b_ref) in
@@ -1292,6 +1313,158 @@ let obs_cmd =
   Cmd.group (Cmd.info "obs" ~doc)
     [ obs_list_cmd; obs_show_cmd; obs_diff_cmd; obs_top_cmd; obs_prune_cmd ]
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let open Hydra_synth in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Sweep seed. Workload $(i,i) of the sweep is synthesized from \
+             the derived seed $(b,mix2)(S, i), so its identity is \
+             independent of $(b,--count); equal seeds produce \
+             byte-identical workload specs and pipeline outputs.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Number of workloads to synthesize and fuzz (default 25).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "fuzz-reproducers"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Directory for minimal reproducer specs (created on first \
+             failure; untouched otherwise). Each failure writes \
+             $(docv)/fuzz-<seed>-w<index>.hydra, replayable with \
+             $(b,--replay).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SPEC"
+          ~doc:
+            "Skip synthesis and run the invariant battery on the schema \
+             and CCs of $(docv) — a reproducer written by a previous fuzz \
+             run, or any hand-written spec.")
+  in
+  let shape_arg =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:
+            "Join-shape template: $(b,star), $(b,snowflake), $(b,chain), \
+             or $(b,mixed) (drawn per seed; default).")
+  in
+  let knob name default doc =
+    Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
+  in
+  let d = Synth.default_config in
+  let relations_arg =
+    knob "relations" d.Synth.max_relations
+      "Upper bound on relations per schema (fact/chain head included)."
+  in
+  let queries_arg =
+    knob "queries" d.Synth.max_queries "Upper bound on queries per workload."
+  in
+  let fact_rows_arg =
+    knob "fact-rows" d.Synth.max_fact_rows
+      "Upper bound on client-side fact rows — against the fixed attribute \
+       domains this sets the fact-grid/region pressure."
+  in
+  let filter_width_arg =
+    knob "filter-width" d.Synth.max_filter_width
+      "Widest generated range atom."
+  in
+  let or_arms_arg =
+    knob "or-arms" d.Synth.max_or_arms
+      "Upper bound on disjuncts per OR-heavy predicate."
+  in
+  let group_pct_arg =
+    knob "group-pct" d.Synth.group_by_pct
+      "Chance (0-100) a query aggregates (distinct-count head)."
+  in
+  let scale_arg =
+    knob "max-scale" d.Synth.max_scale
+      "Upper bound on the integer CODD scale factor applied after \
+       measurement."
+  in
+  let config shape relations queries fact_rows filter_width or_arms group_pct
+      scale =
+    let shape = or_die (Synth.shape_of_string shape) in
+    let pos name v =
+      if v < 1 then
+        invalid_arg (Printf.sprintf "--%s must be at least 1 (got %d)" name v)
+    in
+    pos "relations" relations;
+    pos "queries" queries;
+    pos "fact-rows" fact_rows;
+    pos "filter-width" filter_width;
+    pos "or-arms" or_arms;
+    pos "max-scale" scale;
+    if group_pct < 0 || group_pct > 100 then
+      invalid_arg
+        (Printf.sprintf "--group-pct must be in 0..100 (got %d)" group_pct);
+    {
+      d with
+      Synth.shape;
+      max_relations = relations;
+      max_queries = queries;
+      max_fact_rows = fact_rows;
+      max_filter_width = filter_width;
+      max_or_arms = or_arms;
+      group_by_pct = group_pct;
+      max_scale = scale;
+    }
+  in
+  let run seed count out replay shape relations queries fact_rows filter_width
+      or_arms group_pct scale =
+    match replay with
+    | Some path ->
+        Fuzz.with_tmp_root ~prefix:"hydra-fuzz" (fun tmp_root ->
+            match Fuzz.replay ~tmp_root ~path with
+            | Ok digest -> Printf.printf "replay %s: ok digest=%s\n" path digest
+            | Error f ->
+                Printf.printf "replay %s: FAIL %s: %s\n" path f.Fuzz.f_invariant
+                  f.Fuzz.f_detail;
+                exit 6)
+    | None ->
+        let cfg =
+          config shape relations queries fact_rows filter_width or_arms
+            group_pct scale
+        in
+        if count < 1 then invalid_arg "--count must be at least 1";
+        let sweep =
+          Fuzz.with_tmp_root ~prefix:"hydra-fuzz" (fun tmp_root ->
+              Fuzz.run_sweep ~config:cfg ~out_dir:out ~tmp_root ~seed ~count
+                ~emit:print_endline ())
+        in
+        Printf.printf "fuzz: %d/%d workload(s) passed (seed %d)\n"
+          sweep.Fuzz.sw_passed count seed;
+        if sweep.Fuzz.sw_failures <> [] then exit 6
+  in
+  let doc =
+    "Synthesize seeded random workloads and fuzz the whole pipeline end to \
+     end: per workload, assert that regeneration never raises, the summary \
+     round-trips save/load, output is byte-identical across $(b,--jobs), \
+     cache-warm and journal-resume replays, audited validation reconciles, \
+     and fully-exact runs validate with zero error. Failures shrink to a \
+     minimal reproducer spec (exit 6)."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const (fun a b c dd e f g h i j k l ->
+          protecting (run a b c dd e f g h i j k) l)
+      $ seed_arg $ count_arg $ out_arg $ replay_arg $ shape_arg $ relations_arg
+      $ queries_arg $ fact_rows_arg $ filter_width_arg $ or_arms_arg
+      $ group_pct_arg $ scale_arg)
+
 (* ---- inspect ---- *)
 
 let inspect_cmd =
@@ -1312,7 +1485,7 @@ let main =
     (Cmd.info "hydra" ~version:"1.0.0" ~doc)
     [
       summary_cmd; extract_cmd; materialize_cmd; validate_cmd; inspect_cmd;
-      cache_cmd; obs_cmd;
+      cache_cmd; obs_cmd; fuzz_cmd;
     ]
 
 let () =

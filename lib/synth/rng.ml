@@ -1,0 +1,63 @@
+(* Splitmix64 (Steele, Lea & Flood 2014): a tiny, statistically solid
+   generator whose output is a pure function of the seed. Arithmetic is
+   on Int64 so every platform produces the identical stream — OCaml's
+   native int is 63-bit and [Random] gives no cross-version guarantee,
+   and the fuzz harness needs reproducer seeds to mean the same workload
+   forever. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let mix2 a b =
+  (* one mix round over the concatenated halves, folded to a
+     non-negative native int *)
+  let z =
+    mix64 (Int64.add (mix64 (Int64.of_int a)) (Int64.of_int b))
+  in
+  Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* modulo over 63 uniform bits: the bias is < bound/2^63, irrelevant
+     for workload synthesis *)
+  let z = Int64.logand (next t) Int64.max_int in
+  Int64.to_int (Int64.rem z (Int64.of_int bound))
+
+let between t lo hi =
+  if hi < lo then invalid_arg "Rng.between: empty range";
+  lo + int t (hi - lo + 1)
+
+let chance t pct =
+  if pct <= 0 then false else if pct >= 100 then true else int t 100 < pct
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

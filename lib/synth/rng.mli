@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random stream for workload synthesis.
+
+    A splitmix64 generator: the entire stream is a pure function of the
+    creation seed, with no dependence on [Random]'s global state, word
+    size quirks, or platform — the property the synthesizer's
+    determinism contract ((seed, config) -> byte-identical workload
+    spec) rests on. *)
+
+type t
+
+val create : int -> t
+(** A fresh stream; equal seeds produce equal streams. *)
+
+val mix2 : int -> int -> int
+(** Stable combination of two seeds (e.g. a sweep seed and a workload
+    index) into one derived seed — the substream discipline of
+    [hydra fuzz]: workload [i] of sweep [s] is generated from
+    [create (mix2 s i)] and is therefore independent of how many
+    workloads preceded it. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val between : t -> int -> int -> int
+(** [between t lo hi] is uniform in [[lo, hi]] (inclusive).
+    @raise Invalid_argument when [hi < lo]. *)
+
+val chance : t -> int -> bool
+(** [chance t pct] is true with probability [pct]/100 (clamped). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element. @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates permutation driven by the stream. *)

@@ -1,0 +1,368 @@
+(* Rule-based workload synthesis. The grammar has three layers:
+
+     schema   := star | snowflake | chain        (join-shape templates)
+     query    := connected relation subset, per-relation filter?,
+                 optional distinct-count (group-by) head
+     filter   := OR of conjuncts; atom := bounded range | one-sided
+
+   Instantiation draws every choice from one seeded splitmix64 stream
+   (Rng), populates a client database from the same stream, executes
+   the queries and harvests the measured CCs — so the constraint
+   system is satisfiable by construction and the whole workload is a
+   pure function of (seed, config). *)
+
+open Hydra_rel
+open Hydra_engine
+module Workload = Hydra_workload.Workload
+module Cc = Hydra_workload.Cc
+module Cc_parser = Hydra_workload.Cc_parser
+
+type shape = Star | Snowflake | Chain
+
+let shape_name = function
+  | Star -> "star"
+  | Snowflake -> "snowflake"
+  | Chain -> "chain"
+
+let shape_of_string = function
+  | "star" -> Ok (Some Star)
+  | "snowflake" -> Ok (Some Snowflake)
+  | "chain" -> Ok (Some Chain)
+  | "mixed" -> Ok None
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown shape %S (expected star, snowflake, chain or mixed)" s)
+
+type config = {
+  shape : shape option;
+  max_relations : int;
+  max_queries : int;
+  attrs_per_relation : int;
+  domain_width : int;
+  max_dim_rows : int;
+  max_fact_rows : int;
+  filter_pct : int;
+  max_filter_width : int;
+  max_or_arms : int;
+  group_by_pct : int;
+  max_scale : int;
+}
+
+let default_config =
+  {
+    shape = None;
+    max_relations = 5;
+    max_queries = 4;
+    attrs_per_relation = 2;
+    domain_width = 16;
+    max_dim_rows = 24;
+    max_fact_rows = 160;
+    filter_pct = 60;
+    max_filter_width = 8;
+    max_or_arms = 3;
+    group_by_pct = 25;
+    max_scale = 3;
+  }
+
+type t = {
+  config : config;
+  seed : int;
+  shape_drawn : shape;
+  schema : Schema.t;
+  queries : Workload.query list;
+  ccs : Cc.t list;
+  sizes : (string * int) list;
+  scale_factor : int;
+}
+
+(* ---- schema templates ---- *)
+
+let mk_attrs cfg prefix =
+  List.init cfg.attrs_per_relation (fun i ->
+      {
+        Schema.aname = Printf.sprintf "%s%d" prefix i;
+        dom_lo = 0;
+        dom_hi = cfg.domain_width;
+      })
+
+let dim_relation cfg name =
+  { Schema.rname = name; pk = name ^ "_pk"; fks = []; attrs = mk_attrs cfg name }
+
+(* Star: fact references every dimension. The query template joins the
+   fact to a drawn subset of dims, so single-relation and full-star CCs
+   both appear. *)
+let star_schema cfg rng =
+  let ndims = Rng.between rng 1 (max 1 (cfg.max_relations - 1)) in
+  let dims = List.init ndims (fun i -> Printf.sprintf "d%d" i) in
+  let relations =
+    List.map (dim_relation cfg) dims
+    @ [
+        {
+          Schema.rname = "fact";
+          pk = "fact_pk";
+          fks = List.map (fun d -> ("fk_" ^ d, d)) dims;
+          attrs = mk_attrs cfg "f";
+        };
+      ]
+  in
+  (* per dim: the chain of relations a query must include contiguously *)
+  (Schema.create relations, List.map (fun d -> [ d ]) dims)
+
+(* Snowflake: dimensions may extend into outrigger chains
+   (dim -> sub -> subsub), consuming the relation budget dims-first. *)
+let snowflake_schema cfg rng =
+  let budget = max 1 (cfg.max_relations - 1) in
+  let ndims = Rng.between rng 1 (max 1 (min 3 budget)) in
+  let left = ref (budget - ndims) in
+  let paths =
+    List.init ndims (fun i ->
+        let base = Printf.sprintf "d%d" i in
+        let depth =
+          if !left > 0 then Rng.between rng 0 (min 2 !left) else 0
+        in
+        left := !left - depth;
+        base :: List.init depth (fun j -> Printf.sprintf "%s_s%d" base j))
+  in
+  let dim_rels =
+    List.concat_map
+      (fun path ->
+        (* each element references the next (outer references inner) *)
+        List.mapi
+          (fun i name ->
+            let fks =
+              match List.nth_opt path (i + 1) with
+              | Some tgt -> [ ("fk_" ^ tgt, tgt) ]
+              | None -> []
+            in
+            { (dim_relation cfg name) with Schema.fks })
+          path)
+      paths
+  in
+  let relations =
+    dim_rels
+    @ [
+        {
+          Schema.rname = "fact";
+          pk = "fact_pk";
+          fks = List.map (fun path -> ("fk_" ^ List.hd path, List.hd path)) paths;
+          attrs = mk_attrs cfg "f";
+        };
+      ]
+  in
+  (Schema.create relations, paths)
+
+(* Chain: c0 <- c1 <- ... <- c_{n-1}; queries join contiguous segments. *)
+let chain_schema cfg rng =
+  let n = Rng.between rng 2 (max 2 cfg.max_relations) in
+  let names = List.init n (fun i -> Printf.sprintf "c%d" i) in
+  let relations =
+    List.mapi
+      (fun i name ->
+        let fks =
+          if i = 0 then []
+          else [ ("fk_c" ^ string_of_int (i - 1), Printf.sprintf "c%d" (i - 1)) ]
+        in
+        { (dim_relation cfg name) with Schema.fks })
+      names
+  in
+  (Schema.create relations, [ names ])
+
+(* ---- client database ---- *)
+
+let populate cfg rng schema =
+  let db = Database.create schema in
+  let rels = Schema.relations schema in
+  (* referenced relations are dimension-sized; referencing heads (the
+     fact, the chain tail) are fact-sized *)
+  let referenced =
+    List.concat_map (fun r -> List.map snd r.Schema.fks) rels
+  in
+  let sizes =
+    List.map
+      (fun r ->
+        let n =
+          if List.mem r.Schema.rname referenced then
+            Rng.between rng 2 (max 2 cfg.max_dim_rows)
+          else Rng.between rng 5 (max 5 cfg.max_fact_rows)
+        in
+        (r.Schema.rname, n))
+      rels
+  in
+  List.iter
+    (fun r ->
+      let n = List.assoc r.Schema.rname sizes in
+      let t = Table.create r.Schema.rname (Schema.columns r) in
+      for row = 1 to n do
+        let fks =
+          List.map
+            (fun (_, tgt) -> 1 + Rng.int rng (List.assoc tgt sizes))
+            r.Schema.fks
+        in
+        let attrs =
+          List.map (fun _ -> Rng.int rng cfg.domain_width) r.Schema.attrs
+        in
+        Table.add_row t (Array.of_list ((row :: fks) @ attrs))
+      done;
+      Database.bind_table db t)
+    rels;
+  db
+
+(* ---- filter and query templates ---- *)
+
+let gen_atom cfg rng (r : Schema.relation) =
+  let a = Rng.pick rng r.Schema.attrs in
+  let q = Schema.qualify r.Schema.rname a.Schema.aname in
+  let lo = Rng.int rng cfg.domain_width in
+  match Rng.int rng 10 with
+  | 0 -> (q, Interval.make lo max_int) (* one-sided: attr >= lo *)
+  | 1 -> (q, Interval.make min_int (max 1 lo)) (* one-sided: attr < lo *)
+  | _ ->
+      let w = Rng.between rng 1 (max 1 cfg.max_filter_width) in
+      (q, Interval.make lo (lo + w))
+
+(* OR of conjuncts; a conjunct may draw the same attribute twice, in
+   which case normalization intersects (possibly to a contradiction and
+   drops the arm) — deliberately kept, it is how zero-cardinality and
+   even all-false predicates enter the fuzz corpus *)
+let gen_filter cfg rng (r : Schema.relation) =
+  let arms = Rng.between rng 1 (max 1 cfg.max_or_arms) in
+  let conjuncts =
+    List.init arms (fun _ ->
+        let natoms = Rng.between rng 1 (min 2 (max 1 cfg.attrs_per_relation)) in
+        List.init natoms (fun _ -> gen_atom cfg rng r))
+  in
+  Predicate.of_conjuncts conjuncts
+
+(* one query: a connected relation subset in join order, each relation
+   optionally filtered, the whole optionally under a distinct-count *)
+let gen_query cfg rng shape schema paths qidx =
+  let parts_names =
+    match shape with
+    | Star | Snowflake ->
+        (* draw a prefix of each dimension path independently; empty
+           draw on all paths degenerates to a single-relation query *)
+        let chosen =
+          List.concat_map
+            (fun path ->
+              let take = Rng.int rng (List.length path + 1) in
+              List.filteri (fun i _ -> i < take) path)
+            paths
+        in
+        if chosen = [] then
+          if Rng.chance rng 50 then [ "fact" ]
+          else [ List.hd (Rng.pick rng paths) ]
+        else "fact" :: chosen
+    | Chain ->
+        let names = List.concat paths in
+        let n = List.length names in
+        let i = Rng.int rng n in
+        let j = Rng.between rng i (n - 1) in
+        (* outermost first: each next relation is the one it references *)
+        List.rev (List.filteri (fun k _ -> k >= i && k <= j) names)
+  in
+  let parts =
+    List.map
+      (fun rname ->
+        let r = Schema.find schema rname in
+        let filter =
+          if r.Schema.attrs <> [] && Rng.chance rng cfg.filter_pct then
+            Some (gen_filter cfg rng r)
+          else None
+        in
+        (rname, filter))
+      parts_names
+  in
+  let plan = Workload.left_deep_plan schema parts in
+  let plan =
+    if Rng.chance rng cfg.group_by_pct then begin
+      let candidates =
+        List.concat_map
+          (fun (rname, _) ->
+            let r = Schema.find schema rname in
+            List.map
+              (fun (a : Schema.attr) -> Schema.qualify rname a.Schema.aname)
+              r.Schema.attrs)
+          parts
+      in
+      let n = Rng.between rng 1 (min 2 (List.length candidates)) in
+      let attrs =
+        List.sort_uniq compare
+          (List.init n (fun _ -> Rng.pick rng candidates))
+      in
+      Plan.Group_by (attrs, plan)
+    end
+    else plan
+  in
+  { Workload.qname = Printf.sprintf "q%d" qidx; plan }
+
+(* ---- instantiation ---- *)
+
+let generate ?(config = default_config) ~seed () =
+  let cfg = config in
+  let rng = Rng.create seed in
+  let shape =
+    match cfg.shape with
+    | Some s -> s
+    | None -> Rng.pick rng [ Star; Snowflake; Chain ]
+  in
+  let schema, paths =
+    match shape with
+    | Star -> star_schema cfg rng
+    | Snowflake -> snowflake_schema cfg rng
+    | Chain -> chain_schema cfg rng
+  in
+  let db = populate cfg rng schema in
+  let nqueries =
+    (* a few percent of workloads carry no queries at all: the pipeline
+       then runs on size constraints alone *)
+    if Rng.chance rng 5 then 0 else Rng.between rng 1 (max 1 cfg.max_queries)
+  in
+  let queries =
+    List.init nqueries (fun qidx -> gen_query cfg rng shape schema paths qidx)
+  in
+  let wl = Workload.create queries in
+  let measured = Workload.extract_ccs db wl in
+  let sizes =
+    List.map
+      (fun (r : Schema.relation) ->
+        (r.Schema.rname, Database.nrows db r.Schema.rname))
+      (Schema.relations schema)
+  in
+  let ccs = Hydra_core.Pipeline.complete_size_ccs schema measured sizes in
+  let scale_factor = Rng.between rng 1 (max 1 cfg.max_scale) in
+  let ccs, sizes =
+    if scale_factor = 1 then (ccs, sizes)
+    else
+      ( Workload.scale_ccs (float_of_int scale_factor) ccs,
+        List.map (fun (r, n) -> (r, n * scale_factor)) sizes )
+  in
+  { config = cfg; seed; shape_drawn = shape; schema; queries; ccs; sizes;
+    scale_factor }
+
+let describe t =
+  Printf.sprintf "%s r%d q%d ccs=%d scale=%d"
+    (shape_name t.shape_drawn)
+    (List.length (Schema.relations t.schema))
+    (List.length t.queries) (List.length t.ccs) t.scale_factor
+
+let spec_text t =
+  let cfg = t.config in
+  let header =
+    Printf.sprintf
+      "# hydra.synth workload\n\
+       # seed %d\n\
+       # config shape=%s relations<=%d queries<=%d attrs=%d dom=%d \
+       dims<=%d fact<=%d filter%%=%d width<=%d arms<=%d group%%=%d \
+       scale<=%d\n\
+       # drawn %s\n"
+      t.seed
+      (match cfg.shape with None -> "mixed" | Some s -> shape_name s)
+      cfg.max_relations cfg.max_queries cfg.attrs_per_relation
+      cfg.domain_width cfg.max_dim_rows cfg.max_fact_rows cfg.filter_pct
+      cfg.max_filter_width cfg.max_or_arms cfg.group_by_pct cfg.max_scale
+      (describe t)
+  in
+  header ^ Cc_parser.emit t.schema t.ccs
+
+let digest t = Digest.to_hex (Digest.string (spec_text t))

@@ -1,0 +1,81 @@
+(** Rule-based workload synthesizer (the SynQL/ResQ idea applied to
+    regeneration): a template grammar over generated schemas —
+    star/snowflake/chain join shapes, OR-heavy and one-sided range
+    filters, group-by aggregates — instantiated into a schema, a
+    deterministic client database, a query workload, and the measured
+    cardinality constraints the vendor-side pipeline consumes.
+
+    Determinism contract: a synthesized workload is a pure function of
+    [(seed, config)]. The generator draws every choice from a seeded
+    {!Rng} stream and measures CCs on a client database populated from
+    the same stream, so equal inputs produce byte-identical
+    {!spec_text} — and, the pipeline itself being deterministic,
+    byte-identical regeneration outputs. Because the CCs are {e
+    measured} (and scaled only by exact integer factors), every
+    synthesized constraint system is satisfiable, which is what lets
+    the fuzz battery ({!Fuzz}) demand exactness rather than mere
+    survival. *)
+
+open Hydra_rel
+
+type shape = Star | Snowflake | Chain
+
+val shape_name : shape -> string
+val shape_of_string : string -> (shape option, string) result
+(** ["star"|"snowflake"|"chain"] to a fixed shape, ["mixed"] to [None]
+    (per-seed choice); anything else is [Error]. *)
+
+type config = {
+  shape : shape option;  (** [None] = mixed: drawn per seed *)
+  max_relations : int;  (** total relations (fact/chain head included) *)
+  max_queries : int;
+  attrs_per_relation : int;  (** non-key attributes per relation *)
+  domain_width : int;  (** attribute domains are [[0, domain_width)) *)
+  max_dim_rows : int;  (** client-side dimension sizes, >= 2 *)
+  max_fact_rows : int;
+      (** client-side fact size — with [domain_width] this sets the
+          fact-grid/region pressure: more rows against narrower domains
+          pack more CC mass into fewer cells *)
+  filter_pct : int;  (** chance (0-100) a scanned relation is filtered *)
+  max_filter_width : int;  (** widest generated range atom *)
+  max_or_arms : int;  (** disjuncts per OR-heavy predicate *)
+  group_by_pct : int;  (** chance a query aggregates (distinct-count) *)
+  max_scale : int;
+      (** CODD-style post-measurement scale factor is drawn from
+          [1..max_scale]; integer factors keep measured CC systems
+          exactly consistent *)
+}
+
+val default_config : config
+(** Small enough that a full fuzz battery runs in milliseconds per
+    workload: at most 5 relations, 4 queries, 2 attributes each. *)
+
+type t = {
+  config : config;
+  seed : int;
+  shape_drawn : shape;
+  schema : Schema.t;
+  queries : Hydra_workload.Workload.query list;
+  ccs : Hydra_workload.Cc.t list;
+      (** measured on the synthetic client database, completed with
+          size CCs for every relation, scaled by [scale_factor] — the
+          exact input [Pipeline.regenerate] takes *)
+  sizes : (string * int) list;  (** scaled relation sizes *)
+  scale_factor : int;
+}
+
+val generate : ?config:config -> seed:int -> unit -> t
+(** Synthesize one workload. Pure in [(seed, config)]. *)
+
+val describe : t -> string
+(** One deterministic line: shape, relation/query/CC counts, scale. *)
+
+val spec_text : t -> string
+(** The workload as a `.hydra` spec (schema + CCs, via [Cc_parser.emit])
+    under a comment header recording seed, config knobs and {!describe}.
+    Parses back with [Cc_parser.parse]; this is the reproducer format
+    [hydra fuzz] writes and [--replay] consumes. *)
+
+val digest : t -> string
+(** md5 hex of {!spec_text} — the byte-determinism witness printed by
+    [hydra fuzz] and pinned by the bench baseline. *)

@@ -104,8 +104,14 @@ let int_lit s =
   | _ -> fail "expected integer literal"
 
 (* predicate := conj { 'or' conj } ; conj := primary { 'and' primary }
-   primary := '(' predicate ')' | atom
-   atom := qname 'in' '[' int ',' int ')' | qname (< | <= | > | >= | =) int *)
+   primary := '(' predicate ')' | 'true' | 'false' | atom
+   atom := qname 'in' '[' int ',' int ')' | qname (< | <= | > | >= | =) int
+
+   The true/false literals exist because DNF normalization can collapse
+   a predicate to either constant (e.g. an OR whose every arm carries
+   contradictory ranges on one attribute) and [emit] must round-trip
+   those CCs — a fuzzer-found gap: FALSE used to emit as the
+   unparseable [sigma()(...)]. *)
 let rec parse_predicate s =
   let d = parse_conj s in
   match peek s with
@@ -129,6 +135,12 @@ and parse_primary s =
       let p = parse_predicate s in
       expect s RPAREN ")";
       p
+  | IDENT "true" ->
+      advance s;
+      Predicate.true_
+  | IDENT "false" ->
+      advance s;
+      Predicate.false_
   | IDENT name ->
       advance s;
       (match peek s with
@@ -396,6 +408,11 @@ let emit_atom buf (a, (iv : Interval.t)) =
       (Printf.sprintf "%s in [%d,%d)" a iv.Interval.lo iv.Interval.hi)
 
 let emit_predicate buf (p : Predicate.t) =
+  (* the two DNF constants have no atoms to print; emit their literals
+     ([[]] = TRUE can only reach here inside delta, see [emit_cc]) *)
+  if Predicate.equal p Predicate.false_ then Buffer.add_string buf "false"
+  else if Predicate.equal p Predicate.true_ then Buffer.add_string buf "true"
+  else
   List.iteri
     (fun i conjunct ->
       if i > 0 then Buffer.add_string buf " or ";

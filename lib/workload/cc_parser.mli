@@ -14,8 +14,9 @@ query q1: R join S join T where S.A in [20,60) and T.C >= 2;
 
     [delta(attrs)(...)] declares a grouping (distinct-count) constraint.
     Primary keys are implicit (named ["<relation>_pk"]); predicates accept
-    [in [lo,hi)], [<], [<=], [>], [>=], [=] atoms combined with [and]/[or]
-    and parentheses, and are normalized to DNF. [#] starts a comment.
+    [in [lo,hi)], [<], [<=], [>], [>=], [=] atoms plus the [true]/[false]
+    constants, combined with [and]/[or] and parentheses, and are
+    normalized to DNF. [#] starts a comment.
     Conjunctive query filters are pushed onto base-table scans. *)
 
 open Hydra_rel

@@ -162,6 +162,19 @@ let scale_card factor card =
   | None -> if Bigint.sign exact < 0 then 0 else max_int
 
 let scale_ccs factor ccs =
+  (* validate up front: a nan/infinite factor used to bubble up as
+     [Rat.of_float]'s raw message (or only on the first non-empty list),
+     and a negative one silently clamped every count to zero *)
+  if not (Float.is_finite factor) then
+    invalid_arg
+      (Printf.sprintf
+         "Workload.scale_ccs: scale factor must be finite (got %s)"
+         (string_of_float factor));
+  if factor < 0.0 then
+    invalid_arg
+      (Printf.sprintf
+         "Workload.scale_ccs: scale factor must be non-negative (got %s)"
+         (string_of_float factor));
   List.map
     (fun (cc : Cc.t) -> { cc with Cc.card = scale_card factor cc.Cc.card })
     ccs

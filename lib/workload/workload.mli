@@ -56,7 +56,9 @@ val scale_ccs : float -> Cc.t list -> Cc.t list
     procedure of Sec. 7.4. Computed in exact rational arithmetic (the
     float factor is taken as the dyadic rational it denotes), rounded
     half-up, clamped to [[0, max_int]] — so counts beyond 2^53 scale
-    without float precision loss. *)
+    without float precision loss.
+    @raise Invalid_argument on a non-finite or negative factor (checked
+    up front, even for an empty CC list). *)
 
 val left_deep_plan : Schema.t -> (string * Predicate.t option) list -> Plan.t
 (** Build a left-deep join plan over the given relations (first element

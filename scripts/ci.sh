@@ -18,10 +18,13 @@
 # Timing/allocation fields pass within BENCH_CHECK_TOLERANCE (default
 # 8x); every other field must match exactly.
 #
-# The tail is a run-ledger smoke: two archived regenerations of the
+# The tail is a run-ledger smoke (two archived regenerations of the
 # same spec, listed and diffed — the diff must pass clean under the
 # strictest deterministic gate and fail (exit 5) under an impossible
-# injected threshold, proving the CI regression hook end to end.
+# injected threshold) followed by a fixed-seed `hydra fuzz` smoke:
+# 25 synthesized workloads through the full invariant battery, run
+# twice to assert the sweep itself is byte-deterministic. The
+# nightly-sized sweep is `dune build @fuzz` (100 workloads).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -66,3 +69,16 @@ else
 fi
 
 echo "obs smoke: ledger, list and gated diff ok"
+
+# ---- hydra fuzz fixed-seed smoke ----
+
+"$hydra" fuzz --seed 1 --count 25 --out "$obs_tmp/fuzz-reproducers" \
+  > "$obs_tmp/fuzz.a"
+"$hydra" fuzz --seed 1 --count 25 --out "$obs_tmp/fuzz-reproducers" \
+  > "$obs_tmp/fuzz.b"
+cmp "$obs_tmp/fuzz.a" "$obs_tmp/fuzz.b" \
+  || { echo "fuzz smoke: sweep output is not deterministic" >&2; exit 1; }
+grep -q '^fuzz: 25/25 workload(s) passed' "$obs_tmp/fuzz.a" \
+  || { echo "fuzz smoke: sweep did not pass clean" >&2; cat "$obs_tmp/fuzz.a" >&2; exit 1; }
+
+echo "fuzz smoke: 25/25 workloads passed, sweep deterministic"

@@ -54,6 +54,48 @@ the non-zero exit makes the gate usable from CI.
   diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 1 regression(s)
   [5]
 
+Threshold parsing is strict. A zero, negative or non-finite ratio is a
+usage error (exit 1) caught before the ledger is opened; a non-numeric
+one is rejected by the option parser itself (exit 124).
+
+  $ hydra obs diff --obs-dir ledger 1 2 --threshold simplex.iterations=0
+  hydra: obs diff: --threshold simplex.iterations=0: ratio must be a finite positive number
+  [1]
+  $ hydra obs diff --obs-dir ledger 1 2 --threshold simplex.iterations=-0.5
+  hydra: obs diff: --threshold simplex.iterations=-0.5: ratio must be a finite positive number
+  [1]
+  $ hydra obs diff --obs-dir ledger 1 2 --default-threshold nan
+  hydra: obs diff: --default-threshold nan: ratio must be a finite positive number
+  [1]
+  $ hydra obs diff --obs-dir ledger 1 2 --threshold simplex.iterations=fast 2> parse.err
+  [124]
+  $ head -1 parse.err
+  hydra: option '--threshold': invalid element in pair
+
+Repeating --threshold for the same metric: the last occurrence wins,
+so a pipeline can append an override to an inherited flag list. Here
+the strict 0.5x gate is overridden by a permissive 10x one — and in
+the reversed order the strict gate trips.
+
+  $ hydra obs diff --obs-dir ledger 1 2 --threshold simplex.iterations=0.5 --threshold simplex.iterations=10
+  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 0 regression(s)
+  $ hydra obs diff --obs-dir ledger 1 2 --threshold simplex.iterations=10 --threshold simplex.iterations=0.5
+  REGRESSION simplex.iterations                   11 -> 11 (threshold 0.5x)
+  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 1 regression(s)
+  [5]
+
+Resource metrics (wall-clock seconds, sums, percentiles) are exempt
+from --default-threshold — that is why 1.0 finds nothing above — but an
+explicit --threshold still gates them: the exempt list yields to the
+operator. A sub-epsilon ratio on a span duration must trip on any pair
+of real runs (timings vary, so the values are masked).
+
+  $ hydra obs diff --obs-dir ledger 1 2 --default-threshold 1.0 --threshold span.view.merge.seconds=0.0000001 > gated.out; echo "exit=$?"
+  exit=5
+  $ sed -E 's/[0-9][0-9.e+-]* -> [0-9][0-9.e+-]*/_ -> _/' gated.out
+  REGRESSION span.view.merge.seconds              _ -> _ (threshold 1e-07x)
+  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 1 regression(s)
+
 Observation is pure: the summary is byte-identical with the whole
 exporter stack on or off, and at any --jobs width. The parallel run's
 heartbeat reports the same totals (progress metrics are

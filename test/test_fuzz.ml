@@ -1,0 +1,226 @@
+(* The workload synthesizer and the end-to-end fuzz battery, tested at
+   three levels: the PRNG's cross-platform stream contract, the
+   synthesizer's (seed, config) determinism, and the full invariant
+   ladder over qcheck-drawn seeds — the in-tree half of `hydra fuzz`. *)
+
+open Hydra_synth
+module Schema = Hydra_rel.Schema
+module Cc = Hydra_workload.Cc
+module Cc_parser = Hydra_workload.Cc_parser
+
+(* ---- rng ---- *)
+
+let test_rng_stream () =
+  (* splitmix64 golden values: the derived-seed discipline means a
+     reproducer seed must denote the same workload on every platform
+     and OCaml version, forever — pin the stream bytes *)
+  Alcotest.(check int) "mix2 1 0" 4230021382080445053 (Rng.mix2 1 0);
+  Alcotest.(check int) "mix2 1 1" 1855227758250264918 (Rng.mix2 1 1);
+  Alcotest.(check int) "mix2 42 7" 2150068287570678059 (Rng.mix2 42 7);
+  let r = Rng.create 1 in
+  let d1 = Rng.int r 100 in
+  let d2 = Rng.int r 100 in
+  let d3 = Rng.int r 100 in
+  Alcotest.(check (list int))
+    "first int-100 draws of seed 1" [ 62; 95; 27 ] [ d1; d2; d3 ];
+  (* equal seeds, equal streams *)
+  let a = Rng.create 99 and b = Rng.create 99 in
+  for i = 0 to 50 do
+    Alcotest.(check int)
+      (Printf.sprintf "draw %d agrees" i)
+      (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_ranges () =
+  let r = Rng.create 7 in
+  for _ = 1 to 200 do
+    let v = Rng.between r 3 9 in
+    if v < 3 || v > 9 then Alcotest.failf "between out of range: %d" v
+  done;
+  (match Rng.int r 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "int 0 must be rejected");
+  (match Rng.between r 5 4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty between must be rejected");
+  Alcotest.(check bool) "chance 0 never" false (Rng.chance r 0);
+  Alcotest.(check bool) "chance 100 always" true (Rng.chance r 100);
+  let l = [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int))
+    "shuffle is a permutation" l
+    (List.sort compare (Rng.shuffle r l))
+
+(* ---- synthesizer ---- *)
+
+let test_synth_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Synth.generate ~seed () and b = Synth.generate ~seed () in
+      Alcotest.(check string)
+        (Printf.sprintf "spec bytes of seed %d" seed)
+        (Synth.spec_text a) (Synth.spec_text b);
+      Alcotest.(check string)
+        (Printf.sprintf "digest of seed %d" seed)
+        (Synth.digest a) (Synth.digest b))
+    [ 0; 1; 17; 123456 ]
+
+let test_synth_spec_parses_back () =
+  List.iter
+    (fun seed ->
+      let t = Synth.generate ~seed () in
+      let spec = Cc_parser.parse (Synth.spec_text t) in
+      Alcotest.(check int)
+        (Printf.sprintf "relations of seed %d" seed)
+        (List.length (Schema.relations t.Synth.schema))
+        (List.length (Schema.relations spec.Cc_parser.schema));
+      List.iter2
+        (fun (a : Cc.t) (b : Cc.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cc of seed %d preserved" seed)
+            true
+            (Cc.same_expression a b && a.Cc.card = b.Cc.card))
+        t.Synth.ccs spec.Cc_parser.ccs)
+    [ 2; 3; 5; 8; 13 ]
+
+let test_synth_respects_knobs () =
+  let config =
+    { Synth.default_config with max_relations = 3; max_queries = 2;
+      max_scale = 1; shape = Some Synth.Chain }
+  in
+  for seed = 0 to 30 do
+    let t = Synth.generate ~config ~seed () in
+    let nrels = List.length (Schema.relations t.Synth.schema) in
+    if nrels > 3 then Alcotest.failf "seed %d: %d relations" seed nrels;
+    if List.length t.Synth.queries > 2 then
+      Alcotest.failf "seed %d: too many queries" seed;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d scale pinned" seed)
+      1 t.Synth.scale_factor;
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d shape pinned" seed)
+      "chain"
+      (Synth.shape_name t.Synth.shape_drawn);
+    (* every relation carries a size CC: the system is complete *)
+    List.iter
+      (fun (r : Schema.relation) ->
+        if
+          not
+            (List.exists
+               (fun (cc : Cc.t) ->
+                 cc.Cc.relations = [ r.Schema.rname ]
+                 && Hydra_rel.Predicate.equal cc.Cc.predicate
+                      Hydra_rel.Predicate.true_
+                 && cc.Cc.group_by = [])
+               t.Synth.ccs)
+        then Alcotest.failf "seed %d: no size cc for %s" seed r.Schema.rname)
+      (Schema.relations t.Synth.schema)
+  done
+
+let test_shape_of_string () =
+  Alcotest.(check bool) "star" true (Synth.shape_of_string "star" = Ok (Some Synth.Star));
+  Alcotest.(check bool) "mixed" true (Synth.shape_of_string "mixed" = Ok None);
+  match Synth.shape_of_string "ring" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown shape must be rejected"
+
+(* ---- the battery ---- *)
+
+let prop_battery_holds =
+  QCheck.Test.make ~name:"invariant battery holds on synthesized workloads"
+    ~count:8
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      Fuzz.with_tmp_root ~prefix:"hydra-test-fuzz" (fun tmp_root ->
+          match Fuzz.run_workload ~tmp_root ~seed () with
+          | Fuzz.Passed _ -> true
+          | Fuzz.Failed f ->
+              QCheck.Test.fail_reportf "seed %d: %s: %s@.%s" seed
+                f.Fuzz.f_invariant f.Fuzz.f_detail f.Fuzz.f_spec))
+
+let test_sweep_deterministic_and_prefix_stable () =
+  let lines_of count =
+    let lines = ref [] in
+    Fuzz.with_tmp_root ~prefix:"hydra-test-sweep" (fun tmp_root ->
+        let sweep =
+          Fuzz.run_sweep ~tmp_root ~seed:1 ~count
+            ~emit:(fun l -> lines := l :: !lines)
+            ()
+        in
+        Alcotest.(check int) "all passed" count sweep.Fuzz.sw_passed;
+        Alcotest.(check int) "no failures" 0
+          (List.length sweep.Fuzz.sw_failures));
+    List.rev !lines
+  in
+  let three = lines_of 3 and five = lines_of 5 in
+  Alcotest.(check (list string))
+    "workload identity independent of --count" three
+    (List.filteri (fun i _ -> i < 3) five);
+  Alcotest.(check (list string)) "sweep is reproducible" five (lines_of 5)
+
+let test_replay_roundtrip () =
+  (* a passing workload's spec replays to a pass, through the same file
+     format `hydra fuzz --replay` reads *)
+  let t = Synth.generate ~seed:11 () in
+  let path = Filename.temp_file "hydra_fuzz" ".hydra" in
+  let oc = open_out path in
+  output_string oc (Synth.spec_text t);
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Fuzz.with_tmp_root ~prefix:"hydra-test-replay" (fun tmp_root ->
+          match Fuzz.replay ~tmp_root ~path with
+          | Ok digest ->
+              Alcotest.(check bool) "digest nonempty" true (digest <> "")
+          | Error f ->
+              Alcotest.failf "replay failed: %s: %s" f.Fuzz.f_invariant
+                f.Fuzz.f_detail))
+
+let test_shrink_keeps_passing_system () =
+  (* shrinking is keyed to the original invariant: when no candidate
+     reproduces it, the CC list is returned untouched *)
+  let t = Synth.generate ~seed:4 () in
+  Fuzz.with_tmp_root ~prefix:"hydra-test-shrink" (fun tmp_root ->
+      let kept =
+        Fuzz.shrink ~dir:tmp_root ~invariant:"no-such-invariant"
+          t.Synth.schema t.Synth.ccs
+      in
+      Alcotest.(check int) "nothing dropped" (List.length t.Synth.ccs)
+        (List.length kept))
+
+let test_tmp_root_cleanup () =
+  let remembered = ref "" in
+  Fuzz.with_tmp_root ~prefix:"hydra-test-cleanup" (fun tmp_root ->
+      remembered := tmp_root;
+      Alcotest.(check bool) "exists inside" true (Sys.file_exists tmp_root));
+  Alcotest.(check bool) "removed after" false (Sys.file_exists !remembered)
+
+let suite =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "golden stream values" `Quick test_rng_stream;
+        Alcotest.test_case "range contracts" `Quick test_rng_ranges;
+      ] );
+    ( "synth",
+      [
+        Alcotest.test_case "deterministic in seed" `Quick
+          test_synth_deterministic;
+        Alcotest.test_case "spec parses back" `Quick
+          test_synth_spec_parses_back;
+        Alcotest.test_case "knobs respected" `Quick test_synth_respects_knobs;
+        Alcotest.test_case "shape names" `Quick test_shape_of_string;
+      ] );
+    ( "fuzz",
+      [
+        QCheck_alcotest.to_alcotest prop_battery_holds;
+        Alcotest.test_case "sweep determinism and prefix stability" `Quick
+          test_sweep_deterministic_and_prefix_stable;
+        Alcotest.test_case "replay round-trip" `Quick test_replay_roundtrip;
+        Alcotest.test_case "shrink leaves passing systems alone" `Quick
+          test_shrink_keeps_passing_system;
+        Alcotest.test_case "tmp root cleanup" `Quick test_tmp_root_cleanup;
+      ] );
+  ]
+
+let () = Alcotest.run "hydra-fuzz" suite

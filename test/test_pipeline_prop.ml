@@ -226,6 +226,65 @@ let prop_scale_free_summary =
       Hydra_core.Summary.summary_rows r1.Hydra_core.Pipeline.summary
       = Hydra_core.Summary.summary_rows r2.Hydra_core.Pipeline.summary)
 
+(* Differential property over synthesized workloads: the pipeline orders
+   CCs canonically (PR 5), so permuting the input CC list must leave the
+   summary byte-identical — and therefore the audited validation report
+   (per-CC expectations, per-relation roll-ups, reconciliation verdict)
+   unchanged up to CC order. *)
+let prop_cc_permutation =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let summary_bytes result =
+    let path = Filename.temp_file "hydra_perm" ".summary" in
+    Hydra_core.Summary.save path result.Hydra_core.Pipeline.summary;
+    let bytes = read_file path in
+    Sys.remove path;
+    bytes
+  in
+  let audited result ccs =
+    let db = Hydra_core.Tuple_gen.dynamic result.Hydra_core.Pipeline.summary in
+    let trail = Hydra_audit.Audit.create () in
+    let v = Hydra_core.Validate.check ~audit:trail db ccs in
+    (v, Hydra_audit.Audit.records trail)
+  in
+  let sorted_reports (v : Hydra_core.Validate.t) =
+    List.sort compare
+      (List.map
+         (fun (r : Hydra_core.Validate.cc_report) ->
+           (Cc.key r.Hydra_core.Validate.cc, r.Hydra_core.Validate.expected,
+            r.Hydra_core.Validate.actual))
+         v.Hydra_core.Validate.reports)
+  in
+  QCheck.Test.make ~name:"audit report invariant under CC permutation"
+    ~count:20
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let module Synth = Hydra_synth.Synth in
+      let module Rng = Hydra_synth.Rng in
+      let t = Synth.generate ~seed () in
+      let ccs = t.Synth.ccs in
+      let shuffled = Rng.shuffle (Rng.create (seed + 1)) ccs in
+      let r1 = Hydra_core.Pipeline.regenerate t.Synth.schema ccs in
+      let r2 = Hydra_core.Pipeline.regenerate t.Synth.schema shuffled in
+      (* the artifact itself is permutation-invariant... *)
+      summary_bytes r1 = summary_bytes r2
+      &&
+      (* ...and so is the audited validation over it, each run audited
+         with its own CC order *)
+      let v1, rec1 = audited r1 ccs in
+      let v2, rec2 = audited r2 shuffled in
+      Hydra_core.Validate.reconciles_audit v1
+        (Hydra_audit.Audit.by_relation rec1)
+      && Hydra_core.Validate.reconciles_audit v2
+           (Hydra_audit.Audit.by_relation rec2)
+      && sorted_reports v1 = sorted_reports v2
+      && Hydra_audit.Audit.summary_stats rec1
+         = Hydra_audit.Audit.summary_stats rec2)
+
 let suite =
   [
     ( "pipeline-properties",
@@ -235,6 +294,7 @@ let suite =
           prop_dynamic_equals_static;
           prop_summary_roundtrip;
           prop_scale_free_summary;
+          prop_cc_permutation;
         ] );
   ]
 

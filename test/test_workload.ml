@@ -89,6 +89,28 @@ let test_scale_ccs () =
   | [ cc ] -> Alcotest.(check int) "scaled" 25 cc.Cc.card
   | _ -> Alcotest.fail "one cc expected"
 
+let test_scale_ccs_invalid () =
+  (* fuzzer-found: non-finite factors used to escape as Rat.of_float's
+     raw Invalid_argument — and only once a CC was actually mapped, so
+     an empty list silently accepted nan. Both are typed up front now. *)
+  let expects_invalid label factor ccs =
+    match Workload.scale_ccs factor ccs with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+    | exception Invalid_argument m ->
+        Alcotest.(check bool)
+          (label ^ ": message names scale_ccs")
+          true
+          (String.length m >= 18 && String.sub m 0 18 = "Workload.scale_ccs")
+  in
+  expects_invalid "nan" Float.nan [ Cc.size_cc "dim" 10 ];
+  expects_invalid "inf" Float.infinity [ Cc.size_cc "dim" 10 ];
+  expects_invalid "negative" (-2.0) [ Cc.size_cc "dim" 10 ];
+  expects_invalid "nan on empty list" Float.nan [];
+  (* zero stays a valid (if drastic) factor *)
+  match Workload.scale_ccs 0.0 [ Cc.size_cc "dim" 10 ] with
+  | [ cc ] -> Alcotest.(check int) "zero factor" 0 cc.Cc.card
+  | _ -> Alcotest.fail "one cc expected"
+
 let test_histogram () =
   let ccs =
     [ Cc.size_cc "dim" 0; Cc.size_cc "dim" 5; Cc.size_cc "dim" 50;
@@ -206,6 +228,62 @@ cc |delta(X.a)(sigma(X.a < 30 or X.a >= 70)(X))| = 9;
         true
         (Cc.same_expression a b && a.Cc.card = b.Cc.card))
     spec3.Cc_parser.ccs spec4.Cc_parser.ccs
+
+let test_emit_constant_predicates () =
+  (* fuzzer-found: DNF normalization can collapse a predicate to FALSE
+     (every OR arm contradictory) or TRUE, and FALSE used to emit as the
+     unparseable [sigma()(...)]. Both constants now have literals. *)
+  let contradiction =
+    Predicate.of_conjuncts [ [ ("X.a", iv 0 5); ("X.a", iv 50 60) ] ]
+  in
+  Alcotest.(check bool)
+    "contradictory ranges normalize to false" true
+    (Predicate.equal contradiction Predicate.false_);
+  let x = { Schema.rname = "X"; pk = "X_pk"; fks = [];
+            attrs = [ { Schema.aname = "a"; dom_lo = 0; dom_hi = 100 } ] } in
+  let sc = Schema.create [ x ] in
+  let ccs =
+    [ Cc.make [ "X" ] Predicate.false_ 0;
+      Cc.make ~group_by:[ "X.a" ] [ "X" ] Predicate.false_ 0;
+      (* TRUE under delta forces the sigma-less grouping form *)
+      Cc.make ~group_by:[ "X.a" ] [ "X" ] Predicate.true_ 7 ]
+  in
+  let text = Cc_parser.emit sc ccs in
+  let spec = Cc_parser.parse text in
+  Alcotest.(check int) "all ccs parse back" 3 (List.length spec.Cc_parser.ccs);
+  List.iter2
+    (fun (a : Cc.t) (b : Cc.t) ->
+      Alcotest.(check bool)
+        (Format.asprintf "constant-predicate cc preserved: %a" Cc.pp a)
+        true
+        (Cc.same_expression a b && a.Cc.card = b.Cc.card))
+    ccs spec.Cc_parser.ccs;
+  (* and the literals are accepted in hand-written specs, also within
+     larger formulas *)
+  let spec2 =
+    Cc_parser.parse
+      {|
+table X (a int [0,100));
+cc |sigma(false)(X)| = 0;
+cc |sigma(true)(X)| = 9;
+cc |sigma(false or X.a < 10)(X)| = 3;
+cc |sigma(true and X.a < 10)(X)| = 3;
+|}
+  in
+  Alcotest.(check int) "literal ccs" 4 (List.length spec2.Cc_parser.ccs);
+  (match spec2.Cc_parser.ccs with
+  | [ f; t; disj; conj ] ->
+      Alcotest.(check bool) "false literal" true
+        (Predicate.equal f.Cc.predicate Predicate.false_);
+      Alcotest.(check bool) "true literal" true
+        (Predicate.equal t.Cc.predicate Predicate.true_);
+      Alcotest.(check bool) "false is or-identity" true
+        (Predicate.equal disj.Cc.predicate
+           (Predicate.atom "X.a" (iv min_int 10)));
+      Alcotest.(check bool) "true is and-identity" true
+        (Predicate.equal conj.Cc.predicate
+           (Predicate.atom "X.a" (iv min_int 10)))
+  | _ -> Alcotest.fail "four ccs expected")
 
 let test_parser_query_group_by () =
   let spec =
@@ -348,6 +426,8 @@ let suite =
         Alcotest.test_case "dedup and measure" `Quick test_cc_dedup_and_measure;
         Alcotest.test_case "root relation" `Quick test_cc_root_relation;
         Alcotest.test_case "scaling" `Quick test_scale_ccs;
+        Alcotest.test_case "scaling rejects bad factors" `Quick
+          test_scale_ccs_invalid;
         Alcotest.test_case "histogram" `Quick test_histogram;
       ] );
     ( "parser",
@@ -355,6 +435,8 @@ let suite =
         Alcotest.test_case "full spec" `Quick test_parser_full_spec;
         Alcotest.test_case "comparison operators" `Quick test_parser_operators;
         Alcotest.test_case "emit roundtrip" `Quick test_emit_roundtrip;
+        Alcotest.test_case "constant predicates round-trip" `Quick
+          test_emit_constant_predicates;
         Alcotest.test_case "query group by" `Quick test_parser_query_group_by;
         Alcotest.test_case "errors" `Quick test_parser_errors;
       ] );
