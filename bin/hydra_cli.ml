@@ -13,6 +13,8 @@ module Mclock = Hydra_obs.Mclock
 module Flame = Hydra_obs.Flame
 module Ledger = Hydra_obs.Ledger
 module Progress = Hydra_obs.Progress
+module Resource = Hydra_obs.Resource
+module Serve = Hydra_obs.Serve
 module Pool = Hydra_par.Pool
 module Supervisor = Hydra_par.Supervisor
 module Chaos = Hydra_chaos.Chaos
@@ -146,6 +148,20 @@ let progress_arg =
            directory). A final tick fires at exit. Also available as a \
            $(b,progress=N) token in $(b,HYDRA_OBS).")
 
+(* the resource sampler rides along with every live-observation mode
+   (--progress, --serve): its gauges (process.rss_bytes, gc.*_words)
+   are what make a mid-run scrape worth taking *)
+let resource_sampler : Resource.t option ref = ref None
+
+let start_resource_sampler () =
+  match !resource_sampler with
+  | Some _ -> ()
+  | None ->
+      Obs.set_enabled true;
+      let t = Resource.start () in
+      resource_sampler := Some t;
+      at_exit (fun () -> Resource.stop t)
+
 let progress_ticker : Progress.t option ref = ref None
 
 let start_progress ?obs_dir period =
@@ -153,6 +169,7 @@ let start_progress ?obs_dir period =
   | Some _ -> () (* one ticker per process, flag beats env by order *)
   | None ->
       Obs.set_enabled true;
+      start_resource_sampler ();
       let prom_out =
         match obs_dir with
         | Some d ->
@@ -224,6 +241,65 @@ let or_die = function
       prerr_endline ("hydra: " ^ m);
       exit 1
 
+(* ---- live telemetry endpoint (hydra.net / Hydra_obs.Serve) ---- *)
+
+let serve_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Serve live telemetry on http://127.0.0.1:$(docv) while the run \
+           executes: $(b,/healthz), $(b,/metrics) (Prometheus text), \
+           $(b,/progress), $(b,/runs), $(b,/runs/current/trace). Port 0 \
+           picks an ephemeral port (printed on stderr). After the run \
+           completes the final state stays up until SIGTERM/SIGINT. \
+           Scraping never changes the output — summaries are \
+           byte-identical with or without a scraper attached. Also \
+           available as a $(b,serve=PORT) token in $(b,HYDRA_OBS).")
+
+let live_server : Serve.t option ref = ref None
+
+let start_live_serve ?obs_dir ?spans port =
+  match !live_server with
+  | Some _ -> () (* one endpoint per process, same rule as the ticker *)
+  | None -> (
+      Obs.set_enabled true;
+      start_resource_sampler ();
+      match Serve.start ?obs_dir ?spans ~live:true ~port () with
+      | Ok s ->
+          live_server := Some s;
+          Printf.eprintf "obs serve: listening on http://127.0.0.1:%d\n%!"
+            (Serve.port s)
+      | Error m -> or_die (Error ("serve: " ^ m)))
+
+(* block until SIGTERM/SIGINT; exit stays clean (the caller's exit code,
+   not a signal death), so `kill && wait` in scripts sees 0 *)
+let wait_for_shutdown () =
+  let stop = Atomic.make false in
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  (try Sys.set_signal Sys.sigterm handle with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint handle with Invalid_argument _ -> ());
+  while not (Atomic.get stop) do
+    try Unix.sleepf 0.05 with Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+(* the "final state served until shutdown" half of --serve/serve=PORT;
+   called after the run (and its ledger record) completes, and again as
+   a no-op from the main wrapper for non-summary subcommands *)
+let serve_linger () =
+  match !live_server with
+  | None -> ()
+  | Some s ->
+      live_server := None;
+      Printf.eprintf
+        "obs serve: run complete; serving final state on \
+         http://127.0.0.1:%d until SIGTERM\n\
+         %!"
+        (Serve.port s);
+      wait_for_shutdown ();
+      Serve.stop s
+
 (* uniform rendering of domain errors raised below the command layer: one
    actionable line on stderr, no OCaml backtrace, and a distinct exit code
    per error family so scripts can tell a bad spec from a solver fault.
@@ -234,6 +310,7 @@ let or_die = function
      4   summary degraded: some views Fallback
      5   obs diff: a gated metric regressed between two ledger runs
      6   fuzz: an end-to-end invariant failed (reproducer written)
+     7   obs get: the endpoint answered with a non-2xx status
      10  preprocessing error        11  LP formulation error
      12  summary assembly error, or a corrupt summary/durable artifact
      13  align-and-merge error
@@ -640,13 +717,19 @@ let summary_cmd =
   in
   let run spec_path out deadline_s max_nodes jobs cache_dir state_dir chaos
       task_retries task_backoff trace metrics_out audit_out flame_out
-      chrome_out obs_dir progress report json =
+      chrome_out obs_dir progress serve report json =
     setup_obs trace metrics_out;
     let collector =
-      setup_span_exports ~need_collector:(obs_dir <> None) flame_out
-        chrome_out
+      setup_span_exports
+        ~need_collector:(obs_dir <> None || serve <> None)
+        flame_out chrome_out
     in
     (match progress with Some p -> start_progress ?obs_dir p | None -> ());
+    (match serve with
+    | Some port ->
+        let spans = Option.map (fun c () -> Flame.spans c) collector in
+        start_live_serve ?obs_dir ?spans port
+    | None -> ());
     if report || json || audit_out <> None || obs_dir <> None then
       Obs.set_enabled true;
     arm_chaos chaos;
@@ -661,6 +744,10 @@ let summary_cmd =
     in
     let summary = result.Hydra_core.Pipeline.summary in
     Hydra_core.Summary.save out summary;
+    (* resource gauges (RSS, GC words) land in the --report table, the
+       metrics snapshot and the ledger record even without a sampler
+       running; one post-run sample is enough for a batch run *)
+    if Obs.enabled () then Resource.sample ();
     (* audited validation runs against the dynamic generator: the same
        tuples materialization would produce, with no storage and no
        jobs-dependence, so the report is byte-identical across --jobs *)
@@ -758,17 +845,21 @@ let summary_cmd =
         record_obs_run ~dir ~subcommand:"summary" ~spec_path ~jobs
           ~exit_code ~collector ~state_dir result
     | None -> ());
+    (* with --serve attached, keep the final state scrapeable until the
+       operator (or the test harness) sends SIGTERM *)
+    serve_linger ();
     if exit_code <> 0 then exit exit_code
   in
   let doc = "Build a database summary from a schema + CC spec." in
   Cmd.v (Cmd.info "summary" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k l m n o p q r s ->
-          protecting (run a b c d e f g h i j k l m n o p q r) s)
+      const (fun a b c d e f g h i j k l m n o p q r s t ->
+          protecting (run a b c d e f g h i j k l m n o p q r s) t)
       $ spec_arg $ out $ deadline $ max_nodes $ jobs_arg $ cache_dir_arg
       $ state_dir_arg $ chaos_arg $ task_retries_arg $ task_backoff_arg
       $ trace_arg $ metrics_out_arg $ audit_out_arg $ flame_out_arg
-      $ chrome_out_arg $ obs_dir_arg $ progress_arg $ report $ json)
+      $ chrome_out_arg $ obs_dir_arg $ progress_arg $ serve_arg $ report
+      $ json)
 
 (* ---- materialize ---- *)
 
@@ -1020,12 +1111,13 @@ let rung_tally doc =
       | _ -> (e, r, f))
     (0, 0, 0) (doc_list doc "views")
 
-(* resource metrics carry wall-clock time, so they are only gated by an
-   explicit per-metric threshold, never by --default-threshold *)
+(* resource metrics carry wall-clock time or process state (RSS, GC
+   words), so they are only gated by an explicit per-metric threshold,
+   never by --default-threshold *)
 let resource_metric k =
   let ends suffix = String.ends_with ~suffix k in
   ends ".seconds" || ends ".sum" || ends ".p50" || ends ".p95"
-  || ends ".p99"
+  || ends ".p99" || ends "_bytes" || ends "_words"
 
 let obs_list_cmd =
   let run obs_dir =
@@ -1149,8 +1241,9 @@ let obs_diff_cmd =
           ~doc:
             "Gate every deterministic metric (counters, gauges, span and \
              histogram counts — everything except wall-clock seconds, \
-             sums and percentiles) at $(i,RATIO). $(b,1.0) means: no \
-             deterministic metric may grow at all.")
+             sums, percentiles and the process/GC resource gauges) at \
+             $(i,RATIO). $(b,1.0) means: no deterministic metric may \
+             grow at all.")
   in
   let verbose =
     Arg.(
@@ -1308,10 +1401,82 @@ let obs_prune_cmd =
       const (fun a b c -> protecting (run a b) c)
       $ obs_dir_arg $ keep $ before)
 
+let obs_serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "TCP port on 127.0.0.1; $(b,0) (the default) picks an \
+             ephemeral port. The bound port is printed on startup.")
+  in
+  let run obs_dir port =
+    let dir = require_obs_dir obs_dir in
+    match Serve.start ~obs_dir:dir ~port () with
+    | Error m -> or_die (Error ("obs serve: " ^ m))
+    | Ok s ->
+        Printf.printf "obs serve: listening on http://127.0.0.1:%d (ledger %s)\n%!"
+          (Serve.port s) dir;
+        wait_for_shutdown ();
+        Serve.stop s
+  in
+  let doc =
+    "Serve an archived run ledger over HTTP: $(b,/healthz), \
+     $(b,/metrics) (latest run as Prometheus text), $(b,/progress), \
+     $(b,/runs), $(b,/runs/ID). Runs until SIGTERM/SIGINT; a busy port \
+     is a clean error (exit 1), not a backtrace."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const (fun a b -> protecting (run a) b) $ obs_dir_arg $ port)
+
+let obs_get_cmd =
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port of the endpoint.")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Endpoint host.")
+  in
+  let path =
+    Arg.(
+      value & pos 0 string "/healthz"
+      & info [] ~docv:"PATH" ~doc:"Request path (default /healthz).")
+  in
+  let run host port path =
+    match Hydra_net.Client.get ~host ~port path with
+    | Error m -> or_die (Error ("obs get: " ^ m))
+    | Ok (status, body) ->
+        print_string body;
+        if status < 200 || status > 299 then begin
+          flush stdout;
+          Printf.eprintf "hydra: obs get %s: HTTP %d %s\n%!" path status
+            (Hydra_net.Http.reason status);
+          exit 7
+        end
+  in
+  let doc =
+    "Scrape one path from a telemetry endpoint (a $(b,--serve) run or \
+     $(b,hydra obs serve)) and print the body — a built-in, \
+     curl-independent client for tests and CI. Non-2xx responses print \
+     the body, report the status on stderr and exit 7."
+  in
+  Cmd.v (Cmd.info "get" ~doc)
+    Term.(const (fun a b c -> protecting (run a b) c) $ host $ port $ path)
+
 let obs_cmd =
-  let doc = "Analyze the run telemetry ledger (list, show, diff, top, prune)." in
+  let doc =
+    "Analyze the run telemetry ledger (list, show, diff, top, prune) or \
+     serve it live (serve, get)."
+  in
   Cmd.group (Cmd.info "obs" ~doc)
-    [ obs_list_cmd; obs_show_cmd; obs_diff_cmd; obs_top_cmd; obs_prune_cmd ]
+    [
+      obs_list_cmd; obs_show_cmd; obs_diff_cmd; obs_top_cmd; obs_prune_cmd;
+      obs_serve_cmd; obs_get_cmd;
+    ]
 
 (* ---- fuzz ---- *)
 
@@ -1495,9 +1660,20 @@ let () =
   (match Progress.period_from_env () with
   | Some p -> start_progress ?obs_dir:(Sys.getenv_opt "HYDRA_OBS_DIR") p
   | None -> ());
+  (* HYDRA_OBS serve=PORT attaches the live endpoint to any subcommand;
+     no span collector exists this early, so /runs/current/trace is
+     only populated by the --serve flag *)
+  (match Serve.port_from_env () with
+  | Some port ->
+      start_live_serve ?obs_dir:(Sys.getenv_opt "HYDRA_OBS_DIR") port
+  | None -> ());
   (* HYDRA_CHAOS arms fault injection for every subcommand, including
      those without a --chaos flag (e.g. materialize) *)
   Chaos.init_from_env ();
   (* metrics files must land even on the degraded-summary exit codes *)
   at_exit Obs.finish;
-  exit (Cmd.eval main)
+  let code = Cmd.eval main in
+  (* env-attached endpoints on subcommands without their own linger
+     call (everything but summary) keep the final state up here *)
+  serve_linger ();
+  exit code

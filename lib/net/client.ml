@@ -1,0 +1,86 @@
+(* Blocking one-shot GET. Reads to EOF (the server closes after each
+   response), then splits head from body and parses the status line. *)
+
+let read_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+  in
+  go ()
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      if w > 0 then go (off + w)
+  in
+  go 0
+
+let split_response raw =
+  let find_sub sub from =
+    let n = String.length raw and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub raw i m = sub then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  match find_sub "\r\n\r\n" 0 with
+  | Some i ->
+      Some (String.sub raw 0 i, String.sub raw (i + 4) (String.length raw - i - 4))
+  | None -> (
+      match find_sub "\n\n" 0 with
+      | Some i ->
+          Some
+            (String.sub raw 0 i, String.sub raw (i + 2) (String.length raw - i - 2))
+      | None -> None)
+
+let parse_status head =
+  match String.split_on_char ' ' head with
+  | version :: code :: _
+    when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+      int_of_string_opt code
+  | _ -> None
+
+let get ?(host = "127.0.0.1") ?(timeout_s = 5.0) ~port path =
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ -> Error (Printf.sprintf "invalid host %s" host)
+  | addr -> (
+      let sock = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          try
+            Unix.setsockopt_float sock SO_RCVTIMEO timeout_s;
+            Unix.setsockopt_float sock SO_SNDTIMEO timeout_s;
+            Unix.connect sock (ADDR_INET (addr, port));
+            write_all sock
+              (Printf.sprintf
+                 "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+                 path host);
+            let raw = read_all sock in
+            match split_response raw with
+            | None -> Error "malformed HTTP response"
+            | Some (head, body) -> (
+                let status_line =
+                  match String.index_opt head '\n' with
+                  | Some i -> String.trim (String.sub head 0 i)
+                  | None -> String.trim head
+                in
+                match parse_status status_line with
+                | Some status -> Ok (status, body)
+                | None -> Error "malformed HTTP status line")
+          with Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "GET http://%s:%d%s: %s" host port path
+                 (Unix.error_message e))))

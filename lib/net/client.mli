@@ -1,0 +1,12 @@
+(** Minimal blocking HTTP/1.1 GET client for scraping {!Server}
+    endpoints from tests, cram scripts and CI without depending on an
+    external [curl]. One request per connection ([Connection: close]);
+    the whole exchange is bounded by {!Server.read_timeout_s}-style
+    socket timeouts so a wedged server cannot hang a test forever. *)
+
+val get :
+  ?host:string -> ?timeout_s:float -> port:int -> string -> (int * string, string) result
+(** [get ~port path] connects to [host] (default [127.0.0.1]),
+    requests [path] and returns [(status, body)]. Connection, timeout
+    and malformed-response failures come back as [Error msg] — never an
+    exception — so CLI callers can print one clean line. *)

@@ -1,0 +1,118 @@
+(* Minimal HTTP/1.1 message layer. One request per connection,
+   Connection: close — the simplest protocol subset that Prometheus
+   scrapers and curl both speak. Parsing is bounded everywhere so a
+   hostile peer cannot balloon memory. *)
+
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  headers : (string * string) list;
+}
+
+type response = { status : int; content_type : string; body : string }
+
+exception Bad_request of string
+
+let max_head_bytes = 16 * 1024
+let max_target_bytes = 2048
+let max_headers = 64
+
+let reason status =
+  match status with
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    body =
+  { status; content_type; body }
+
+let text ?status body = response ?status body
+let json ?status body = response ?status ~content_type:"application/json" body
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let not_found msg =
+  json ~status:404 (Printf.sprintf "{\"error\": \"%s\"}\n" (json_escape msg))
+
+let header req name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name req.headers
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+(* Split on '\n', trimming a trailing '\r' from each line: accepts both
+   CRLF (spec) and bare LF (printf-over-netcat testing). *)
+let lines_of head =
+  String.split_on_char '\n' head
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+      if meth = "" || not (String.for_all (fun c -> c >= 'A' && c <= 'Z') meth)
+      then bad "malformed method in request line";
+      if String.length target > max_target_bytes then
+        bad "request target too long";
+      if target = "" || target.[0] <> '/' then bad "malformed request target";
+      if not (String.length version >= 7 && String.sub version 0 7 = "HTTP/1.")
+      then bad "unsupported protocol version";
+      (meth, target)
+  | _ -> bad "malformed request line"
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None | Some 0 -> bad "malformed header field"
+  | Some i ->
+      let name = String.lowercase_ascii (String.sub line 0 i) in
+      let value =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      (name, value)
+
+let parse_request head =
+  if String.length head > max_head_bytes then bad "request head too large";
+  match lines_of head with
+  | [] | [ "" ] -> bad "empty request"
+  | req_line :: rest ->
+      let meth, target = parse_request_line req_line in
+      let headers =
+        rest
+        |> List.filter (fun l -> l <> "")
+        |> List.map parse_header
+      in
+      if List.length headers > max_headers then bad "too many header fields";
+      let path =
+        match String.index_opt target '?' with
+        | Some i -> String.sub target 0 i
+        | None -> target
+      in
+      { meth; target; path; headers }
+
+let render_response r =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    r.status (reason r.status) r.content_type
+    (String.length r.body)
+    r.body

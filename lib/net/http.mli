@@ -1,0 +1,64 @@
+(** Minimal HTTP/1.1 message layer: bounded request parsing and
+    response rendering, shared by {!Server} and {!Client}. Zero
+    dependencies beyond the stdlib — this is deliberately a small,
+    auditable subset of the protocol (one request per connection,
+    [Connection: close] semantics), not a general web stack.
+
+    Parsing is defensive: the request head is capped at
+    {!max_head_bytes}, the request target at {!max_target_bytes}, and
+    header count at {!max_headers}. Anything outside the subset raises
+    {!Bad_request} with a human-readable reason; servers map that to a
+    400 response rather than a backtrace. *)
+
+type request = {
+  meth : string;  (** Request method, uppercased by convention (GET). *)
+  target : string;  (** Raw request target as sent, query included. *)
+  path : string;  (** [target] with any [?query] suffix stripped. *)
+  headers : (string * string) list;
+      (** Header fields in arrival order; names lowercased, values
+          trimmed. *)
+}
+
+type response = { status : int; content_type : string; body : string }
+
+exception Bad_request of string
+
+val max_head_bytes : int
+(** Upper bound on the request head (request line + headers + blank
+    line): 16 KiB. *)
+
+val max_target_bytes : int
+(** Upper bound on the request target: 2048 bytes. *)
+
+val max_headers : int
+(** Upper bound on the number of header fields: 64. *)
+
+val reason : int -> string
+(** Canonical reason phrase for the status codes this layer emits
+    (200, 400, 404, 405, 408, 431, 500); ["Status"] otherwise. *)
+
+val response : ?status:int -> ?content_type:string -> string -> response
+(** Build a response; defaults: status 200, [text/plain; charset=utf-8]. *)
+
+val text : ?status:int -> string -> response
+(** Plain-text response. *)
+
+val json : ?status:int -> string -> response
+(** [application/json] response. *)
+
+val not_found : string -> response
+(** 404 with a one-object JSON body [{"error": msg}]. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (first match). *)
+
+val parse_request : string -> request
+(** Parse a request head (everything up to and excluding the blank
+    line). Tolerates bare-[\n] line endings. Raises {!Bad_request} on
+    anything outside the accepted subset: malformed request line,
+    non-[HTTP/1.x] version, oversized target, too many or malformed
+    header fields. *)
+
+val render_response : response -> string
+(** Serialize a response as an [HTTP/1.1] message with
+    [Content-Length] and [Connection: close] headers. *)

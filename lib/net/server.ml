@@ -1,0 +1,215 @@
+(* Accept loop + worker-domain pool. Design notes:
+
+   - The listen socket is non-blocking and the accept domain waits in
+     select with a short timeout, checking a stop flag between waits:
+     closing an fd that another domain is blocked in accept(2) on is
+     not a reliable wakeup on Linux, polling a flag is.
+   - Workers block on a mutex/condition queue of accepted fds; stop
+     pushes one Quit per worker after the accept domain has been
+     joined, so no job can arrive after a Quit is consumed.
+   - SIGPIPE is ignored process-wide on first start: a scraper that
+     disconnects mid-response must surface as EPIPE, not kill the
+     process. *)
+
+type job = Conn of Unix.file_descr | Quit
+
+type t = {
+  s_sock : Unix.file_descr;
+  s_port : int;
+  s_stop : bool Atomic.t;
+  s_stopped : bool Atomic.t;
+  s_queue : job Queue.t;
+  s_mutex : Mutex.t;
+  s_cond : Condition.t;
+  mutable s_accept : unit Domain.t option;
+  mutable s_workers : unit Domain.t array;
+}
+
+let read_timeout_s = 5.0
+
+let sigpipe_ignored = Atomic.make false
+
+let ignore_sigpipe () =
+  if not (Atomic.exchange sigpipe_ignored true) then
+    try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> ()
+
+let push t job =
+  Mutex.lock t.s_mutex;
+  Queue.push job t.s_queue;
+  Condition.signal t.s_cond;
+  Mutex.unlock t.s_mutex
+
+let pop t =
+  Mutex.lock t.s_mutex;
+  while Queue.is_empty t.s_queue do
+    Condition.wait t.s_cond t.s_mutex
+  done;
+  let job = Queue.pop t.s_queue in
+  Mutex.unlock t.s_mutex;
+  job
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      if w > 0 then go (off + w)
+  in
+  go 0
+
+let send_response fd resp =
+  try write_all fd (Http.render_response resp)
+  with Unix.Unix_error _ -> ()
+
+(* Index of the '\n' that starts the blank-line head terminator
+   ("\n\n" or "\n\r\n"), if the buffer holds a complete head. *)
+let find_head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if s.[i] = '\n' then
+      if i + 1 < n && s.[i + 1] = '\n' then Some i
+      else if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then Some i
+      else go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+(* Read until the blank line that ends the request head, within the
+   global head bound. The returned head excludes the terminator. *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    match find_head_end (Buffer.contents buf) with
+    | Some i -> `Head (String.sub (Buffer.contents buf) 0 i)
+    | None ->
+        if Buffer.length buf > Http.max_head_bytes then `Too_large
+        else begin
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> if Buffer.length buf = 0 then `Closed else `Truncated
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+              `Timeout
+          | exception Unix.Unix_error (EINTR, _, _) -> go ()
+          | exception Unix.Unix_error _ -> `Closed
+        end
+  in
+  go ()
+
+let serve_conn handler fd =
+  (try
+     Unix.setsockopt_float fd SO_RCVTIMEO read_timeout_s;
+     Unix.setsockopt_float fd SO_SNDTIMEO read_timeout_s
+   with Unix.Unix_error _ -> ());
+  (match read_head fd with
+  | `Closed -> ()
+  | `Timeout -> send_response fd (Http.text ~status:408 "request timeout\n")
+  | `Too_large ->
+      send_response fd (Http.text ~status:431 "request head too large\n")
+  | `Truncated -> send_response fd (Http.text ~status:400 "truncated request\n")
+  | `Head head -> (
+      match Http.parse_request head with
+      | exception Http.Bad_request msg ->
+          send_response fd
+            (Http.text ~status:400 ("bad request: " ^ msg ^ "\n"))
+      | req -> (
+          match handler req with
+          | resp -> send_response fd resp
+          | exception _ ->
+              send_response fd
+                (Http.text ~status:500 "internal server error\n"))));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let worker handler t () =
+  let rec loop () =
+    match pop t with
+    | Quit -> ()
+    | Conn fd ->
+        serve_conn handler fd;
+        loop ()
+  in
+  loop ()
+
+let accept_loop t () =
+  let rec loop () =
+    if not (Atomic.get t.s_stop) then begin
+      (match Unix.select [ t.s_sock ] [] [] 0.05 with
+      | [ _ ], _, _ -> (
+          match Unix.accept ~cloexec:true t.s_sock with
+          | fd, _ ->
+              (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+              push t (Conn fd)
+          | exception
+              Unix.Unix_error
+                ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+              ())
+      | _ -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ?(backlog = 16) ?(workers = 2) ~port handler =
+  ignore_sigpipe ();
+  let workers = max 1 (min 8 workers) in
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ -> Error (Printf.sprintf "invalid host %s" host)
+  | addr -> (
+      let sock = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+      try
+        Unix.setsockopt sock SO_REUSEADDR true;
+        Unix.bind sock (ADDR_INET (addr, port));
+        Unix.listen sock backlog;
+        Unix.set_nonblock sock;
+        let bound =
+          match Unix.getsockname sock with
+          | ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        let t =
+          {
+            s_sock = sock;
+            s_port = bound;
+            s_stop = Atomic.make false;
+            s_stopped = Atomic.make false;
+            s_queue = Queue.create ();
+            s_mutex = Mutex.create ();
+            s_cond = Condition.create ();
+            s_accept = None;
+            s_workers = [||];
+          }
+        in
+        t.s_accept <- Some (Domain.spawn (accept_loop t));
+        t.s_workers <-
+          Array.init workers (fun _ -> Domain.spawn (worker handler t));
+        Ok t
+      with Unix.Unix_error (e, fn, _) ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "%s %s:%d: %s" fn host port (Unix.error_message e)))
+
+let port t = t.s_port
+
+let stop t =
+  if not (Atomic.exchange t.s_stopped true) then begin
+    Atomic.set t.s_stop true;
+    Option.iter Domain.join t.s_accept;
+    (try Unix.close t.s_sock with Unix.Unix_error _ -> ());
+    Array.iter (fun _ -> push t Quit) t.s_workers;
+    Array.iter Domain.join t.s_workers;
+    (* Anything still queued was accepted but never served: close it. *)
+    Mutex.lock t.s_mutex;
+    Queue.iter
+      (function
+        | Conn fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | Quit -> ())
+      t.s_queue;
+    Queue.clear t.s_queue;
+    Mutex.unlock t.s_mutex
+  end

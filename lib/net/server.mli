@@ -1,0 +1,41 @@
+(** Loopback HTTP/1.1 server on a small domain pool.
+
+    One accept domain multiplexes a non-blocking listen socket through
+    [select] (so {!stop} is always responsive), feeding accepted
+    connections to a fixed pool of worker domains over a
+    mutex/condition queue. Each connection carries exactly one request
+    ([Connection: close]); reads are bounded by {!Http.max_head_bytes}
+    and guarded by a socket receive timeout, so a stalled or hostile
+    peer ties up one worker for at most {!val-read_timeout_s} seconds.
+
+    The server binds to [127.0.0.1] only — it is a telemetry endpoint
+    for a local scraper, not an internet-facing listener. Port [0]
+    requests an ephemeral port; {!port} reports the bound port so tests
+    and CI never race over fixed port numbers. *)
+
+type t
+
+val read_timeout_s : float
+(** Receive/send timeout applied to accepted connections (5s). *)
+
+val start :
+  ?host:string ->
+  ?backlog:int ->
+  ?workers:int ->
+  port:int ->
+  (Http.request -> Http.response) ->
+  (t, string) result
+(** Bind [host] (default [127.0.0.1]) on [port] (0 = ephemeral) and
+    start serving [handler] on [?workers] (default 2, clamped to
+    [1,8]) worker domains. Handler exceptions become 500 responses;
+    malformed requests become 400; an oversized head becomes 431.
+    Returns [Error msg] (with the socket closed) when the address
+    cannot be bound — e.g. the port is busy — rather than raising. *)
+
+val port : t -> int
+(** The actually-bound TCP port (resolves port [0] requests). *)
+
+val stop : t -> unit
+(** Stop accepting, drain the queue (pending connections are closed
+    without a response), join all domains and close the listen socket.
+    Idempotent and safe to call from any domain. *)

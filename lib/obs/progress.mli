@@ -22,9 +22,34 @@ val stop : t -> unit
     exported file and the last heartbeat reflect the completed run.
     Idempotent. *)
 
-val heartbeat_line : Obs.snapshot -> string
+type stats = {
+  hb_done : int;
+  hb_total : int;
+  hb_exact : int;
+  hb_relaxed : int;
+  hb_fallback : int;
+  hb_cache_hits : int;
+  hb_retries : int;
+}
+(** The progress counters behind a heartbeat, decoupled from their
+    source so archived runs (ledger metric lists) render through the
+    same code path as live snapshots. *)
+
+val stats_of_snapshot : Obs.snapshot -> stats
+
+val rate_eta : ?elapsed_s:float -> stats -> float option * float option
+(** [(views_per_sec, eta_seconds)]. Only estimable mid-run: requires
+    positive [elapsed_s] and [0 < done < total]; [(None, None)]
+    otherwise — in particular on the final heartbeat of a completed
+    run, which therefore renders identically to pre-rate versions. *)
+
+val render : ?elapsed_s:float -> stats -> string
+
+val heartbeat_line : ?elapsed_s:float -> Obs.snapshot -> string
 (** The heartbeat rendering, exposed for tests:
-    [[hydra] views D/T exact E relaxed R fallback F | cache hits H | retries N]. *)
+    [[hydra] views D/T exact E relaxed R fallback F | cache hits H | retries N],
+    with [ | X.XX views/s | eta Y.Ys] appended when {!rate_eta} has an
+    estimate. *)
 
 val period_of_spec : string -> float option
 (** Parse a [progress=N] token (seconds, decimal fractions allowed) out

@@ -1,0 +1,85 @@
+(* Resource gauges: RSS from procfs, allocation/heap words from the GC.
+   Sampling is cheap (one small file read + Gc.quick_stat), so a 1s
+   period is far from the noise floor. *)
+
+type t = {
+  r_stop : bool Atomic.t;
+  r_stopped : bool Atomic.t;
+  r_dom : unit Domain.t;
+}
+
+(* registered on first sample, not at module load, so processes that
+   never sample (most bench targets) keep their metric snapshots
+   gauge-for-gauge identical to pre-sampler builds *)
+let g_rss = lazy (Obs.gauge "process.rss_bytes")
+let g_minor = lazy (Obs.gauge "gc.minor_words")
+let g_major = lazy (Obs.gauge "gc.major_words")
+let g_heap = lazy (Obs.gauge "gc.heap_words")
+
+(* "VmRSS:     1234 kB" *)
+let rss_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+              let fields =
+                String.split_on_char ' ' line
+                |> List.concat_map (String.split_on_char '\t')
+                |> List.filter (fun s -> s <> "")
+              in
+              match fields with
+              | _ :: kb :: _ -> (
+                  match float_of_string_opt kb with
+                  | Some v -> Some (v *. 1024.0)
+                  | None -> None)
+              | _ -> None
+            else scan ()
+      in
+      let r = scan () in
+      close_in_noerr ic;
+      r
+
+let sample () =
+  let st = Gc.quick_stat () in
+  (* quick_stat's counters only reflect completed collections of the
+     calling domain (they can be 0 on a lightly-allocating domain);
+     Gc.minor_words reads the live allocation pointer, so prefer it *)
+  Obs.gauge_max (Lazy.force g_minor)
+    (Float.max (Gc.minor_words ()) st.Gc.minor_words);
+  Obs.gauge_max (Lazy.force g_major) st.Gc.major_words;
+  Obs.gauge_max (Lazy.force g_heap) (float_of_int st.Gc.heap_words);
+  Obs.set_gauge (Lazy.force g_rss)
+    (match rss_bytes () with Some b -> b | None -> 0.0)
+
+let start ?(period_s = 1.0) () =
+  let period_s = Float.max 0.01 period_s in
+  sample ();
+  let stop_flag = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        let slice = Float.min 0.05 (Float.max 0.005 (period_s /. 4.0)) in
+        let rec loop elapsed =
+          if not (Atomic.get stop_flag) then begin
+            Unix.sleepf slice;
+            let elapsed = elapsed +. slice in
+            if elapsed >= period_s then begin
+              sample ();
+              loop 0.0
+            end
+            else loop elapsed
+          end
+        in
+        loop 0.0)
+  in
+  { r_stop = stop_flag; r_stopped = Atomic.make false; r_dom = dom }
+
+let stop t =
+  if not (Atomic.exchange t.r_stopped true) then begin
+    Atomic.set t.r_stop true;
+    Domain.join t.r_dom;
+    sample ()
+  end

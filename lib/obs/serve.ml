@@ -1,0 +1,226 @@
+(* Telemetry endpoint routes. The handler is a pure function of the
+   request plus read-only views of the registry/ledger: it never
+   writes a metric, which is what keeps a scraped run byte-identical
+   to an unserved one. *)
+
+module Http = Hydra_net.Http
+module Server = Hydra_net.Server
+module Client = Hydra_net.Client
+
+type t = { srv : Server.t }
+
+let prom_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let doc_str doc name =
+  match Json.member name doc with Some (Json.String s) -> s | _ -> ""
+
+let doc_int doc name =
+  match Json.member name doc with Some (Json.Int i) -> i | _ -> 0
+
+let doc_list doc name =
+  match Json.member name doc with Some (Json.List l) -> l | _ -> []
+
+let rung_tally doc =
+  List.fold_left
+    (fun (e, r, f) v ->
+      match doc_str v "status" with
+      | "exact" -> (e + 1, r, f)
+      | "relaxed" -> (e, r + 1, f)
+      | "fallback" -> (e, r, f + 1)
+      | _ -> (e, r, f))
+    (0, 0, 0) (doc_list doc "views")
+
+let json_doc ?status doc = Http.json ?status (Json.to_string_pretty doc ^ "\n")
+
+let latest_entry dir =
+  match (Ledger.runs ~dir).Ledger.l_entries with
+  | [] -> None
+  | entries -> Some (List.nth entries (List.length entries - 1))
+
+let listing_doc dir =
+  let l = Ledger.runs ~dir in
+  Json.Obj
+    [
+      ( "runs",
+        Json.List
+          (List.map
+             (fun e ->
+               let exact, relaxed, fallback = rung_tally e.Ledger.e_doc in
+               Json.Obj
+                 [
+                   ("id", Json.String e.Ledger.e_id);
+                   ("seq", Json.Int e.Ledger.e_seq);
+                   ("subcommand", Json.String (doc_str e.Ledger.e_doc "subcommand"));
+                   ("jobs", Json.Int (doc_int e.Ledger.e_doc "jobs"));
+                   ("exit", Json.Int (doc_int e.Ledger.e_doc "exit"));
+                   ( "views",
+                     Json.Obj
+                       [
+                         ("exact", Json.Int exact);
+                         ("relaxed", Json.Int relaxed);
+                         ("fallback", Json.Int fallback);
+                       ] );
+                 ])
+             l.Ledger.l_entries) );
+      ( "corrupt",
+        Json.List
+          (List.map
+             (fun (file, reason) ->
+               Json.Obj
+                 [ ("file", Json.String file); ("reason", Json.String reason) ])
+             l.Ledger.l_corrupt) );
+    ]
+
+(* Rebuild Progress.stats from an archived run's flat metric list. *)
+let stats_of_kvs kvs =
+  let get name =
+    match List.assoc_opt name kvs with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  {
+    Progress.hb_done = get "pipeline.progress.done_views";
+    hb_total = get "pipeline.progress.total_views";
+    hb_exact = get "pipeline.views.exact";
+    hb_relaxed = get "pipeline.views.relaxed";
+    hb_fallback = get "pipeline.views.fallback";
+    hb_cache_hits = get "cache.hit";
+    hb_retries = get "par.supervisor.retries";
+  }
+
+let progress_doc ?elapsed_s (st : Progress.stats) =
+  let views_per_sec, eta_seconds = Progress.rate_eta ?elapsed_s st in
+  let opt_float = function
+    | Some v -> Json.Float v
+    | None -> Json.Null
+  in
+  Json.Obj
+    [
+      ("line", Json.String (Progress.render ?elapsed_s st));
+      ("done_views", Json.Int st.Progress.hb_done);
+      ("total_views", Json.Int st.Progress.hb_total);
+      ("exact", Json.Int st.Progress.hb_exact);
+      ("relaxed", Json.Int st.Progress.hb_relaxed);
+      ("fallback", Json.Int st.Progress.hb_fallback);
+      ("cache_hits", Json.Int st.Progress.hb_cache_hits);
+      ("retries", Json.Int st.Progress.hb_retries);
+      ("views_per_sec", opt_float views_per_sec);
+      ("eta_seconds", opt_float eta_seconds);
+    ]
+
+let no_ledger = "no run ledger attached (start with --obs-dir)"
+
+let metrics_route ~live ~obs_dir () =
+  if live then
+    Http.response ~content_type:prom_content_type
+      (Prom.render (Obs.snapshot ()))
+  else
+    match obs_dir with
+    | None -> Http.not_found no_ledger
+    | Some dir -> (
+        match latest_entry dir with
+        | None -> Http.not_found "no runs archived"
+        | Some e ->
+            Http.response ~content_type:prom_content_type
+              (Prom.render_kvs (Ledger.metric_kvs e.Ledger.e_doc)))
+
+let progress_route ~live ~obs_dir ~started () =
+  if live then
+    let elapsed_s = Mclock.now () -. started in
+    json_doc
+      (progress_doc ~elapsed_s (Progress.stats_of_snapshot (Obs.snapshot ())))
+  else
+    match obs_dir with
+    | None -> Http.not_found no_ledger
+    | Some dir -> (
+        match latest_entry dir with
+        | None -> Http.not_found "no runs archived"
+        | Some e -> json_doc (progress_doc (stats_of_kvs (Ledger.metric_kvs e.Ledger.e_doc))))
+
+let current_doc () =
+  Json.Obj
+    [
+      ("id", Json.String "current");
+      ("live", Json.Bool true);
+      ("metrics", Obs.metrics_json ());
+    ]
+
+let run_route ~live ~obs_dir r =
+  if live && r = "current" then json_doc (current_doc ())
+  else
+    match obs_dir with
+    | None -> Http.not_found no_ledger
+    | Some dir -> (
+        match Ledger.find ~dir r with
+        | Ok e -> json_doc e.Ledger.e_doc
+        | Error msg -> Http.not_found msg)
+
+let trace_route ~live ~obs_dir ~spans r =
+  if live && r = "current" then
+    match spans with
+    | Some spans ->
+        Http.json (Trace_event.to_string (spans ()))
+    | None -> Http.not_found "trace collector not attached"
+  else
+    match obs_dir with
+    | None -> Http.not_found no_ledger
+    | Some dir -> (
+        match Ledger.find ~dir r with
+        | Ok e ->
+            Http.not_found
+              (Printf.sprintf
+                 "trace not archived for %s; traces are live-only \
+                  (/runs/current/trace)"
+                 e.Ledger.e_id)
+        | Error msg -> Http.not_found msg)
+
+let handler ?obs_dir ?(live = false) ?spans () =
+  let started = Mclock.now () in
+  fun (req : Http.request) ->
+    if req.Http.meth <> "GET" then
+      Http.text ~status:405 "method not allowed\n"
+    else
+      let segments =
+        String.split_on_char '/' req.Http.path
+        |> List.filter (fun s -> s <> "")
+      in
+      match segments with
+      | [ "healthz" ] -> Http.text "ok\n"
+      | [ "metrics" ] -> metrics_route ~live ~obs_dir ()
+      | [ "progress" ] -> progress_route ~live ~obs_dir ~started ()
+      | [ "runs" ] -> (
+          match obs_dir with
+          | Some dir -> json_doc (listing_doc dir)
+          | None when live ->
+              json_doc (Json.Obj [ ("runs", Json.List []); ("corrupt", Json.List []) ])
+          | None -> Http.not_found no_ledger)
+      | [ "runs"; r ] -> run_route ~live ~obs_dir r
+      | [ "runs"; r; "trace" ] -> trace_route ~live ~obs_dir ~spans r
+      | _ -> Http.not_found ("no route for " ^ req.Http.path)
+
+let start ?obs_dir ?live ?spans ~port () =
+  match Server.start ~port (handler ?obs_dir ?live ?spans ()) with
+  | Ok srv -> Ok { srv }
+  | Error msg -> Error msg
+
+let port t = Server.port t.srv
+let stop t = Server.stop t.srv
+
+let port_of_spec spec =
+  List.fold_left
+    (fun acc tok ->
+      let tok = String.trim tok in
+      match String.index_opt tok '=' with
+      | Some i when String.sub tok 0 i = "serve" -> (
+          let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          match int_of_string_opt v with
+          | Some p when p >= 0 && p <= 65535 -> Some p
+          | _ -> acc)
+      | _ -> acc)
+    None
+    (String.split_on_char ',' spec)
+
+let port_from_env () =
+  match Sys.getenv_opt "HYDRA_OBS" with
+  | None | Some "" -> None
+  | Some spec -> port_of_spec spec

@@ -1,0 +1,72 @@
+(** Live telemetry endpoint: the run ledger and the live metric
+    registry over HTTP ({!Hydra_net}).
+
+    Routes (GET only; everything else is 405):
+    - [/healthz] — liveness probe, ["ok\n"].
+    - [/metrics] — Prometheus text. Live mode renders the current
+      registry snapshot through {!Prom.render}; archive mode renders
+      the latest ledger record's flat metrics through
+      {!Prom.render_kvs} (404 when no runs are archived yet).
+    - [/progress] — heartbeat JSON: the {!Progress} counters, the
+      rendered heartbeat line, and views/sec + ETA when estimable.
+    - [/runs] — ledger listing JSON (id, seq, subcommand, jobs, exit,
+      view rungs; corrupt files listed separately). Wall-clock fields
+      are deliberately left to the per-run document so the listing is
+      byte-stable for tests.
+    - [/runs/<ref>] — one archived run document, resolved like
+      [hydra obs show] (sequence number, full id, or unique prefix);
+      live mode additionally serves [/runs/current] from the registry.
+    - [/runs/<ref>/trace] — Chrome [traceEvents] JSON via
+      {!Trace_event}. Spans are not archived in ledger records (only
+      folded stacks are), so traces are live-only: [/runs/current/trace]
+      with a span collector attached; archived refs get a clean 404
+      explaining that.
+
+    Unknown paths and unknown run references return JSON 404 bodies,
+    never a backtrace.
+
+    Purity: the handler only ever reads snapshots — it never writes a
+    metric — so a run scraped mid-flight produces byte-identical
+    summaries/tuples to an unserved run, at any [--jobs]. (The resource
+    sampler usually started alongside the server does write gauges, but
+    gauges are never consulted by the pipeline; the guarantee is gated
+    in [bench serve] and the qcheck purity battery.) *)
+
+type t
+
+val handler :
+  ?obs_dir:string ->
+  ?live:bool ->
+  ?spans:(unit -> Obs.span list) ->
+  unit ->
+  Hydra_net.Http.request ->
+  Hydra_net.Http.response
+(** The route table, exposed separately from the socket machinery so
+    tests can exercise it without a listener. [?live] (default false)
+    selects registry-backed [/metrics], [/progress] and
+    [/runs/current]; [?obs_dir] backs the [/runs*] family and the
+    idle [/metrics]/[/progress] fallbacks. *)
+
+val start :
+  ?obs_dir:string ->
+  ?live:bool ->
+  ?spans:(unit -> Obs.span list) ->
+  port:int ->
+  unit ->
+  (t, string) result
+(** Bind [127.0.0.1:port] (0 = ephemeral) and serve {!handler}.
+    [Error msg] when the port cannot be bound. *)
+
+val port : t -> int
+(** The bound port (resolves port [0] requests). *)
+
+val stop : t -> unit
+(** Stop the listener and join its domains. Idempotent. *)
+
+val port_of_spec : string -> int option
+(** Parse a [serve=PORT] token out of an [HYDRA_OBS]-style
+    comma-separated spec; [None] when absent or not a valid port
+    ([0..65535]; 0 = ephemeral). *)
+
+val port_from_env : unit -> int option
+(** {!port_of_spec} applied to [HYDRA_OBS]. *)

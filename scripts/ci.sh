@@ -10,7 +10,8 @@
 # CLI, resumed from the run journal).
 #
 # The gate re-runs the cheap bench targets (smoke, audit, cache,
-# robust, obs) and compares their fresh BENCH_<target>.json artifacts
+# robust, obs, synth, serve) and compares their fresh
+# BENCH_<target>.json artifacts
 # against bench/baselines/. robust asserts the crash-safety invariants
 # end to end: retried_tasks, replayed_views, retry_identical and
 # resume_identical must match the baseline exactly; obs bounds the
@@ -69,6 +70,37 @@ else
 fi
 
 echo "obs smoke: ledger, list and gated diff ok"
+
+# ---- live telemetry endpoint smoke ----
+# a --serve run scraped with the built-in client while it executes,
+# then shut down with SIGTERM; the scraped run's summary must stay
+# byte-identical to an unobserved one (observation is pure)
+
+"$hydra" summary "$obs_tmp/ci.hydra" -o "$obs_tmp/served.summary" \
+  --serve 0 > /dev/null 2> "$obs_tmp/serve.err" &
+serve_pid=$!
+for _ in $(seq 1 300); do
+  grep -q 'listening on' "$obs_tmp/serve.err" 2>/dev/null && break
+  sleep 0.1
+done
+port=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\)$|\1|p' "$obs_tmp/serve.err" | head -1)
+[ -n "$port" ] || { echo "serve smoke: no listening line" >&2; exit 1; }
+
+health=$("$hydra" obs get --port "$port" /healthz)
+[ "$health" = "ok" ] || { echo "serve smoke: /healthz said '$health'" >&2; exit 1; }
+"$hydra" obs get --port "$port" /metrics | grep -q '^# TYPE hydra_' \
+  || { echo "serve smoke: /metrics is not Prometheus text" >&2; exit 1; }
+"$hydra" obs get --port "$port" /progress | grep -q '"done_views"' \
+  || { echo "serve smoke: /progress missing counters" >&2; exit 1; }
+
+kill "$serve_pid"
+wait "$serve_pid" || { echo "serve smoke: server did not exit clean" >&2; exit 1; }
+
+"$hydra" summary "$obs_tmp/ci.hydra" -o "$obs_tmp/plain.summary" > /dev/null
+cmp "$obs_tmp/served.summary" "$obs_tmp/plain.summary" \
+  || { echo "serve smoke: scraping changed the summary" >&2; exit 1; }
+
+echo "serve smoke: live endpoint scraped, clean shutdown, summary pure"
 
 # ---- hydra fuzz fixed-seed smoke ----
 

@@ -43,7 +43,7 @@ nothing: every deterministic metric is unchanged (wall-clock seconds,
 sums and percentiles are exempt from the default gate).
 
   $ hydra obs diff --obs-dir ledger 1 2 --default-threshold 1.0
-  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 0 regression(s)
+  diff run-000001-26764c84 .. run-000002-26764c84: 84 metric(s) compared, 0 regression(s)
 
 An injected regression gate trips deterministically: requiring the
 simplex iteration count to shrink by half fails on identical runs, and
@@ -51,7 +51,7 @@ the non-zero exit makes the gate usable from CI.
 
   $ hydra obs diff --obs-dir ledger 1 2 --threshold simplex.iterations=0.5
   REGRESSION simplex.iterations                   11 -> 11 (threshold 0.5x)
-  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 1 regression(s)
+  diff run-000001-26764c84 .. run-000002-26764c84: 84 metric(s) compared, 1 regression(s)
   [5]
 
 Threshold parsing is strict. A zero, negative or non-finite ratio is a
@@ -78,10 +78,10 @@ the strict 0.5x gate is overridden by a permissive 10x one — and in
 the reversed order the strict gate trips.
 
   $ hydra obs diff --obs-dir ledger 1 2 --threshold simplex.iterations=0.5 --threshold simplex.iterations=10
-  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 0 regression(s)
+  diff run-000001-26764c84 .. run-000002-26764c84: 84 metric(s) compared, 0 regression(s)
   $ hydra obs diff --obs-dir ledger 1 2 --threshold simplex.iterations=10 --threshold simplex.iterations=0.5
   REGRESSION simplex.iterations                   11 -> 11 (threshold 0.5x)
-  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 1 regression(s)
+  diff run-000001-26764c84 .. run-000002-26764c84: 84 metric(s) compared, 1 regression(s)
   [5]
 
 Resource metrics (wall-clock seconds, sums, percentiles) are exempt
@@ -94,7 +94,7 @@ of real runs (timings vary, so the values are masked).
   exit=5
   $ sed -E 's/[0-9][0-9.e+-]* -> [0-9][0-9.e+-]*/_ -> _/' gated.out
   REGRESSION span.view.merge.seconds              _ -> _ (threshold 1e-07x)
-  diff run-000001-26764c84 .. run-000002-26764c84: 80 metric(s) compared, 1 regression(s)
+  diff run-000001-26764c84 .. run-000002-26764c84: 84 metric(s) compared, 1 regression(s)
 
 Observation is pure: the summary is byte-identical with the whole
 exporter stack on or off, and at any --jobs width. The parallel run's

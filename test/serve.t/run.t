@@ -1,0 +1,97 @@
+The live telemetry endpoint: `hydra obs serve` publishes an archived
+run ledger over HTTP, and `--serve` attaches the same routes to a run
+as it executes. `hydra obs get` is the matching scrape client, so the
+whole loop is curl-independent.
+
+  $ cat > toy.hydra <<'SPEC'
+  > table S (A int [0,100), B int [0,50));
+  > table R (S_fk -> S);
+  > cc |R| = 5000;
+  > cc |S| = 700;
+  > cc |sigma(S.A in [20,60))(S)| = 400;
+  > SPEC
+
+Archive two runs, then serve the ledger. --port 0 asks the kernel for
+an ephemeral port; the resolved one is printed on startup so scripts
+(like this one) can pick it up.
+
+  $ hydra summary toy.hydra -o a.summary --obs-dir ledger > /dev/null 2>&1
+  $ hydra summary toy.hydra -o b.summary --obs-dir ledger > /dev/null 2>&1
+  $ hydra obs serve --obs-dir ledger --port 0 > serve.out 2>&1 &
+  $ SPID=$!
+  $ for i in $(seq 1 150); do grep -q listening serve.out 2>/dev/null && break; sleep 0.1; done
+  $ PORT=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\).*|\1|p' serve.out)
+
+A 2xx scrape prints the body and exits 0.
+
+  $ hydra obs get --port "$PORT" /healthz
+  ok
+  $ hydra obs get --port "$PORT" /runs | grep -c '"id": "run-00000'
+  2
+
+Idle /metrics serves the latest archived run's metric list in
+Prometheus exposition format.
+
+  $ hydra obs get --port "$PORT" /metrics | grep -c '^hydra_pipeline_views_exact 2$'
+  1
+  $ hydra obs get --port "$PORT" /metrics | grep -c '^# TYPE hydra_pipeline_views_exact gauge$'
+  1
+
+An unknown run id is a clean 404: the JSON error body goes to stdout,
+the status to stderr, and the exit code (7) is distinct from every
+other hydra error family.
+
+  $ hydra obs get --port "$PORT" /runs/nope > /dev/null 2> get.err; echo "exit=$?"
+  exit=7
+  $ cat get.err
+  hydra: obs get /runs/nope: HTTP 404 Not Found
+
+A busy port is a one-line error and exit 1, not a backtrace.
+
+  $ hydra obs serve --obs-dir ledger --port "$PORT" > busy.out 2>&1; echo "exit=$?"
+  exit=1
+  $ sed 's/:[0-9][0-9]*:/:PORT:/' busy.out
+  hydra: obs serve: bind 127.0.0.1:PORT: Address already in use
+
+SIGTERM shuts the server down cleanly: `kill && wait` sees exit 0.
+
+  $ kill $SPID
+  $ wait $SPID; echo "wait=$?"
+  wait=0
+
+The in-run endpoint: --serve attaches the server to a summary run,
+serves live registry metrics while it executes, and lingers with the
+final state until SIGTERM (so a scraper always gets the last word).
+
+  $ hydra summary toy.hydra -o served.summary --serve 0 > /dev/null 2> run.err &
+  $ RPID=$!
+  $ for i in $(seq 1 300); do grep -q 'run complete' run.err 2>/dev/null && break; sleep 0.1; done
+  $ sed 's/:[0-9][0-9]*/:PORT/' run.err
+  obs serve: listening on http://127.0.0.1:PORT
+  obs serve: run complete; serving final state on http://127.0.0.1:PORT until SIGTERM
+  $ PORT2=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\)$|\1|p' run.err | head -1)
+  $ hydra obs get --port "$PORT2" /healthz
+  ok
+  $ hydra obs get --port "$PORT2" /runs/current | grep -c '"live": true'
+  1
+  $ hydra obs get --port "$PORT2" /runs/current/trace | grep -c '"traceEvents"'
+  1
+  $ hydra obs get --port "$PORT2" /progress | grep -c '"done_views": 2'
+  1
+
+The resource sampler feeds the live registry, so a scrape sees the
+run's memory profile.
+
+  $ hydra obs get --port "$PORT2" /metrics | grep -c '^hydra_process_rss_bytes'
+  1
+
+  $ kill $RPID
+  $ wait $RPID; echo "wait=$?"
+  wait=0
+
+Observation is pure: the summary written with a live server attached
+(and scraped) is byte-identical to a plain run's.
+
+  $ hydra summary toy.hydra -o plain.summary > /dev/null
+  $ cmp served.summary plain.summary
+
