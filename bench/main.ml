@@ -1359,6 +1359,195 @@ let serve_bench () =
     ("scrapes_ok", Json.Bool scrapes_ok);
   ]
 
+(* ---- Solve: float-first simplex vs all-exact LP engine ---- *)
+
+(* A WLc-style kitchen-sink filter template: one fact relation with five
+   filtered attributes and shifted instantiations of four two-attribute
+   range templates — the regime where DataSynth's boundary grid explodes
+   while region partitioning stays small (Sec. 3.2 vs Fig. 3).
+   Cardinalities are those of the uniform instance (one tuple per
+   attribute-value combination), so the CC system is consistent by
+   construction. *)
+let solve_spec_text =
+  lazy
+    (let dom = 60 in
+     let attrs = [| "A"; "B"; "C"; "D"; "E" |] in
+     let nattrs = Array.length attrs in
+     (* Filters, each a conjunction of ranges [(attr_idx, lo, hi)]: one
+        wide single-attribute filter per attribute, then two families of
+        three-attribute kitchen-sink boxes instantiated at shifted
+        literals. *)
+     let filters = ref [] in
+     for i = 0 to nattrs - 1 do
+       filters := [ (i, 12, 48) ] :: !filters
+     done;
+     (* two three-attribute kitchen-sink template families, (A,B,C) and
+        (C,D,E): three-attribute cliques give DataSynth a three-way
+        boundary-product grid, while the chain's single shared attribute
+        C keeps the cross-sub-view consistency glue thin. Each box is
+        wide in its first attribute and narrow in the other two, so its
+        boundary cuts distinguish little outside the box itself. *)
+     let shifts = 96 in
+     List.iter
+       (fun (x, y, z) ->
+         for s = 0 to shifts - 1 do
+           let w1 = 29 and w2 = 7 and w3 = 9 in
+           let lo1 = 7 * s mod (dom - w1) in
+           let lo2 = 11 * s mod (dom - w2) in
+           let lo3 = 13 * s mod (dom - w3) in
+           filters :=
+             [ (x, lo1, lo1 + w1); (y, lo2, lo2 + w2); (z, lo3, lo3 + w3) ]
+             :: !filters
+         done)
+       [ (0, 1, 2); (2, 3, 4) ];
+     let filters = List.rev !filters in
+     (* Cardinalities are those of the uniform instance — one tuple per
+        point of the five-way value grid — so the CC system is
+        consistent by construction and every count is a product of
+        interval widths: the LP's vertices stay (near-)integral, which
+        keeps the float shadow's decisions decisive. *)
+     let npoints =
+       int_of_float (Float.pow (float_of_int dom) (float_of_int nattrs))
+     in
+     let counts =
+       Array.of_list
+         (List.map
+            (fun ranges ->
+              let free = nattrs - List.length ranges in
+              List.fold_left
+                (fun acc (_, lo, hi) -> acc * (hi - lo))
+                (int_of_float
+                   (Float.pow (float_of_int dom) (float_of_int free)))
+                ranges)
+            filters)
+     in
+     let b = Buffer.create 4096 in
+     let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+     add "table F (%s);\n"
+       (String.concat ", "
+          (Array.to_list
+             (Array.map (fun x -> Printf.sprintf "%s int [0,%d)" x dom) attrs)));
+     add "cc |F| = %d;\n" npoints;
+     List.iteri
+       (fun ci ranges ->
+         add "cc |sigma(%s)(F)| = %d;\n"
+           (String.concat " and "
+              (List.map
+                 (fun (a, lo, hi) ->
+                   Printf.sprintf "F.%s in [%d,%d)" attrs.(a) lo hi)
+                 ranges))
+           counts.(ci))
+       filters;
+     Buffer.contents b)
+
+let solve_bench () =
+  header "Solve: float-first simplex vs all-exact (wide filter template)"
+    "not in the paper: the exact rational simplex replayed in doubles \
+     with an exact verification pass — identical summaries at a fraction \
+     of the solve cost";
+  let module Cc_parser = Hydra_workload.Cc_parser in
+  let module Simplex = Hydra_lp.Simplex in
+  let spec = Cc_parser.parse (Lazy.force solve_spec_text) in
+  let summary_bytes s =
+    let path = Filename.temp_file "hydra_bench_solve" ".summary" in
+    Summary.save path s;
+    let bytes = slurp path in
+    Sys.remove path;
+    bytes
+  in
+  let c_float = Obs.counter "simplex.float_pivots" in
+  let c_repair = Obs.counter "simplex.verify_repairs" in
+  let run mode () =
+    Pipeline.regenerate ~solve_mode:mode spec.Cc_parser.schema
+      spec.Cc_parser.ccs
+  in
+  (* min of two runs per mode: both paths are deterministic, so the min
+     strips scheduler noise symmetrically *)
+  let exact_r, exact_t1 = time (run Simplex.Exact) in
+  let _, exact_t2 = time (run Simplex.Exact) in
+  let exact_t = Float.min exact_t1 exact_t2 in
+  let float_before = Obs.counter_value c_float in
+  let ff_r, ff_t1 = time (run Simplex.Float_first) in
+  let _, ff_t2 = time (run Simplex.Float_first) in
+  let ff_t = Float.min ff_t1 ff_t2 in
+  let float_pivots = Obs.counter_value c_float - float_before in
+  let repairs = Obs.counter_value c_repair in
+  let all_exact (r : Pipeline.result) =
+    List.for_all
+      (fun (v : Pipeline.view_stats) -> v.Pipeline.status = Pipeline.Exact)
+      r.Pipeline.views
+  in
+  let fact_view (r : Pipeline.result) =
+    List.find (fun (v : Pipeline.view_stats) -> v.Pipeline.rel = "F")
+      r.Pipeline.views
+  in
+  let regions = (fact_view exact_r).Pipeline.num_lp_vars in
+  let constraints = (fact_view exact_r).Pipeline.num_lp_constraints in
+  let grid_cells =
+    match
+      List.assoc_opt "F"
+        (Hydra_datasynth.Datasynth.variable_counts spec.Cc_parser.schema
+           spec.Cc_parser.ccs)
+    with
+    | Some n -> Bigint.to_float n
+    | None -> 0.0
+  in
+  let identical =
+    summary_bytes exact_r.Pipeline.summary = summary_bytes ff_r.Pipeline.summary
+  in
+  let solved = all_exact exact_r && all_exact ff_r in
+  let blowup = grid_cells > 10.0 *. float_of_int regions in
+  let within_half = ff_t <= 0.5 *. exact_t in
+  Printf.printf "fact view: %d regions, %d constraints; DataSynth grid %.3g \
+                 cells (%.0fx)\n"
+    regions constraints grid_cells
+    (grid_cells /. float_of_int (max regions 1));
+  Printf.printf "exact:       %.3fs\n" exact_t;
+  Printf.printf "float-first: %.3fs  (%.2fx of exact; %d float pivots, %d \
+                 verify repairs)\n"
+    ff_t (ff_t /. exact_t) float_pivots repairs;
+  Printf.printf "summaries %s\n"
+    (if identical then "byte-identical across engines"
+     else "DIVERGED across engines");
+  if not identical then begin
+    Printf.eprintf
+      "solve: float-first summary diverged from exact — byte-identity \
+       contract broken\n";
+    exit 1
+  end;
+  if not solved then begin
+    Printf.eprintf "solve: a view fell off the Exact rung\n";
+    exit 1
+  end;
+  if not blowup then begin
+    Printf.eprintf
+      "solve: template too narrow — grid %.3g is not >10x the %d regions\n"
+      grid_cells regions;
+    exit 1
+  end;
+  if not within_half then begin
+    Printf.eprintf
+      "solve: float-first %.3fs exceeds half of exact %.3fs — speedup \
+       contract broken\n"
+      ff_t exact_t;
+    exit 1
+  end;
+  (* wall times are resource keys (bounded, not exact); the partition
+     sizes, pivot/repair tallies and contract booleans are exact *)
+  [
+    ("exact", Json.Obj [ ("seconds", Json.Float exact_t) ]);
+    ("float_first", Json.Obj [ ("seconds", Json.Float ff_t) ]);
+    ("views", Json.Int (List.length exact_r.Pipeline.views));
+    ("lp_regions", Json.Int regions);
+    ("lp_constraints", Json.Int constraints);
+    ("fact_grid_cells", Json.Float grid_cells);
+    ("float_pivots", Json.Int float_pivots);
+    ("verify_repairs", Json.Int repairs);
+    ("summaries_identical", Json.Bool identical);
+    ("grid_blowup_over_10x", Json.Bool blowup);
+    ("float_first_within_half", Json.Bool within_half);
+  ]
+
 (* most targets only print; `par` also contributes extra artifact fields
    (its speedup curve), so every target returns a field list *)
 let plain f () =
@@ -1374,7 +1563,7 @@ let targets =
     ("correlation", plain correlation); ("robust", robust);
     ("par", par); ("micro", plain micro); ("smoke", plain smoke);
     ("audit", audit); ("cache", cache_bench); ("obs", obs_bench);
-    ("synth", synth_bench); ("serve", serve_bench);
+    ("synth", synth_bench); ("serve", serve_bench); ("solve", solve_bench);
   ]
 
 (* ---- regression gate: compare fresh artifacts against baselines ---- *)

@@ -407,6 +407,33 @@ let chaos_arg =
            $(b,times)=N (consecutive passes that fire, default 1, 0 = \
            unlimited). Example: --chaos site=solve,kind=kill,after=2.")
 
+(* LP engine: --solve-mode beats HYDRA_SOLVE_MODE. The CLI defaults to
+   float-first (shadow simplex in doubles, terminal basis verified in
+   exact arithmetic — byte-identical results, much less Rat churn); the
+   library default stays exact so programmatic callers and existing
+   baselines keep the reference semantics unless they opt in. *)
+let solve_mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("exact", Hydra_lp.Simplex.Exact);
+             ("float-first", Hydra_lp.Simplex.Float_first);
+           ])
+        Hydra_lp.Simplex.Float_first
+    & info [ "solve-mode" ]
+        ~env:(Cmd.Env.info "HYDRA_SOLVE_MODE") ~docv:"MODE"
+        ~doc:
+          "LP engine: $(b,float-first) (default) runs the \
+           double-precision shadow simplex and verifies its terminal \
+           basis in exact rational arithmetic (repairing with exact \
+           pivots when needed), falling back to the all-exact solver on \
+           any numerical ambiguity; $(b,exact) solves everything in \
+           rational arithmetic. Both modes produce byte-identical \
+           summaries; float-first is faster on wide views. Defaults to \
+           $(b,HYDRA_SOLVE_MODE) when set.")
+
 let arm_chaos = function
   | None -> ()
   | Some spec -> (
@@ -716,8 +743,8 @@ let summary_cmd =
              summary file is still written.")
   in
   let run spec_path out deadline_s max_nodes jobs cache_dir state_dir chaos
-      task_retries task_backoff trace metrics_out audit_out flame_out
-      chrome_out obs_dir progress serve report json =
+      solve_mode task_retries task_backoff trace metrics_out audit_out
+      flame_out chrome_out obs_dir progress serve report json =
     setup_obs trace metrics_out;
     let collector =
       setup_span_exports
@@ -739,7 +766,8 @@ let summary_cmd =
     let supervision = supervision_of ~task_retries ~task_backoff in
     let result =
       Hydra_core.Pipeline.regenerate ?deadline_s ~max_nodes ~jobs ?cache
-        ?state_dir ~supervision spec.Hydra_workload.Cc_parser.schema
+        ?state_dir ~supervision ~solve_mode
+        spec.Hydra_workload.Cc_parser.schema
         spec.Hydra_workload.Cc_parser.ccs
     in
     let summary = result.Hydra_core.Pipeline.summary in
@@ -853,13 +881,13 @@ let summary_cmd =
   let doc = "Build a database summary from a schema + CC spec." in
   Cmd.v (Cmd.info "summary" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k l m n o p q r s t ->
-          protecting (run a b c d e f g h i j k l m n o p q r s) t)
+      const (fun a b c d e f g h i j k l m n o p q r s t u ->
+          protecting (run a b c d e f g h i j k l m n o p q r s t) u)
       $ spec_arg $ out $ deadline $ max_nodes $ jobs_arg $ cache_dir_arg
-      $ state_dir_arg $ chaos_arg $ task_retries_arg $ task_backoff_arg
-      $ trace_arg $ metrics_out_arg $ audit_out_arg $ flame_out_arg
-      $ chrome_out_arg $ obs_dir_arg $ progress_arg $ serve_arg $ report
-      $ json)
+      $ state_dir_arg $ chaos_arg $ solve_mode_arg $ task_retries_arg
+      $ task_backoff_arg $ trace_arg $ metrics_out_arg $ audit_out_arg
+      $ flame_out_arg $ chrome_out_arg $ obs_dir_arg $ progress_arg
+      $ serve_arg $ report $ json)
 
 (* ---- materialize ---- *)
 
@@ -1047,22 +1075,31 @@ let cache_scrub_cmd =
           or_die (Error "cache scrub: --cache-dir (or HYDRA_CACHE) is required")
     in
     let r = Hydra_cache.Cache.scrub ~delete ~dir () in
-    List.iter
-      (fun (b : Hydra_cache.Cache.bad_entry) ->
-        Printf.printf "  bad: %s (%s)%s\n" b.Hydra_cache.Cache.be_file
-          b.Hydra_cache.Cache.be_problem
-          (if delete then " [deleted]" else ""))
-      r.Hydra_cache.Cache.sr_bad;
-    Printf.printf "cache scrub: %d entries, %d ok, %d bad, %d deleted -> %s\n"
+    let report label entries =
+      List.iter
+        (fun (b : Hydra_cache.Cache.bad_entry) ->
+          Printf.printf "  %s: %s (%s)%s\n" label b.Hydra_cache.Cache.be_file
+            b.Hydra_cache.Cache.be_problem
+            (if delete then " [deleted]" else ""))
+        entries
+    in
+    report "bad" r.Hydra_cache.Cache.sr_bad;
+    report "stale" r.Hydra_cache.Cache.sr_stale;
+    Printf.printf
+      "cache scrub: %d entries, %d ok, %d bad, %d stale, %d deleted -> %s\n"
       r.Hydra_cache.Cache.sr_total r.Hydra_cache.Cache.sr_ok
       (List.length r.Hydra_cache.Cache.sr_bad)
+      (List.length r.Hydra_cache.Cache.sr_stale)
       r.Hydra_cache.Cache.sr_deleted dir;
-    (* bad entries left behind signal scripts to re-run with --delete *)
+    (* corrupt entries left behind signal scripts to re-run with
+       --delete; stale ones are the expected debris of a format-version
+       upgrade and never fail the walk *)
     if r.Hydra_cache.Cache.sr_bad <> [] && not delete then exit 2
   in
   let doc =
-    "Walk a solve-cache directory, report corrupt or version-mismatched \
-     entries (silent misses otherwise), and optionally delete them."
+    "Walk a solve-cache directory, report corrupt (exit 2 unless \
+     $(b,--delete)) and stale version-mismatched entries (silent misses \
+     otherwise), and optionally delete them."
   in
   Cmd.v (Cmd.info "scrub" ~doc)
     Term.(
@@ -1589,11 +1626,11 @@ let fuzz_cmd =
     }
   in
   let run seed count out replay shape relations queries fact_rows filter_width
-      or_arms group_pct scale =
+      or_arms group_pct scale solve_mode =
     match replay with
     | Some path ->
         Fuzz.with_tmp_root ~prefix:"hydra-fuzz" (fun tmp_root ->
-            match Fuzz.replay ~tmp_root ~path with
+            match Fuzz.replay ~solve_mode ~tmp_root ~path () with
             | Ok digest -> Printf.printf "replay %s: ok digest=%s\n" path digest
             | Error f ->
                 Printf.printf "replay %s: FAIL %s: %s\n" path f.Fuzz.f_invariant
@@ -1607,8 +1644,8 @@ let fuzz_cmd =
         if count < 1 then invalid_arg "--count must be at least 1";
         let sweep =
           Fuzz.with_tmp_root ~prefix:"hydra-fuzz" (fun tmp_root ->
-              Fuzz.run_sweep ~config:cfg ~out_dir:out ~tmp_root ~seed ~count
-                ~emit:print_endline ())
+              Fuzz.run_sweep ~config:cfg ~solve_mode ~out_dir:out ~tmp_root
+                ~seed ~count ~emit:print_endline ())
         in
         Printf.printf "fuzz: %d/%d workload(s) passed (seed %d)\n"
           sweep.Fuzz.sw_passed count seed;
@@ -1618,17 +1655,18 @@ let fuzz_cmd =
     "Synthesize seeded random workloads and fuzz the whole pipeline end to \
      end: per workload, assert that regeneration never raises, the summary \
      round-trips save/load, output is byte-identical across $(b,--jobs), \
-     cache-warm and journal-resume replays, audited validation reconciles, \
-     and fully-exact runs validate with zero error. Failures shrink to a \
+     across LP engines ($(b,--solve-mode) and its opposite), cache-warm \
+     and journal-resume replays, audited validation reconciles, and \
+     fully-exact runs validate with zero error. Failures shrink to a \
      minimal reproducer spec (exit 6)."
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const (fun a b c dd e f g h i j k l ->
-          protecting (run a b c dd e f g h i j k) l)
+      const (fun a b c dd e f g h i j k l m ->
+          protecting (run a b c dd e f g h i j k l) m)
       $ seed_arg $ count_arg $ out_arg $ replay_arg $ shape_arg $ relations_arg
       $ queries_arg $ fact_rows_arg $ filter_width_arg $ or_arms_arg
-      $ group_pct_arg $ scale_arg)
+      $ group_pct_arg $ scale_arg $ solve_mode_arg)
 
 (* ---- inspect ---- *)
 

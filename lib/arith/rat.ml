@@ -27,17 +27,22 @@ let pow2 e =
   let rec go acc e = if e = 0 then acc else go (Bigint.mul acc two) (e - 1) in
   go Bigint.one e
 
-let of_float f =
-  if not (Float.is_finite f) then invalid_arg "Rat.of_float: not finite";
-  if Float.equal f 0.0 then zero
+let of_float_opt f =
+  if not (Float.is_finite f) then None
+  else if Float.equal f 0.0 then Some zero
   else begin
     (* f = m * 2^e with m in [0.5, 1); m * 2^53 is an exact integer *)
     let m, e = Float.frexp f in
     let mant = Bigint.of_string (Int64.to_string (Int64.of_float (Float.ldexp m 53))) in
     let e = e - 53 in
-    if e >= 0 then of_bigint (Bigint.mul mant (pow2 e))
-    else make mant (pow2 (-e))
+    if e >= 0 then Some (of_bigint (Bigint.mul mant (pow2 e)))
+    else Some (make mant (pow2 (-e)))
   end
+
+let of_float f =
+  match of_float_opt f with
+  | Some r -> r
+  | None -> invalid_arg "Rat.of_float: not finite"
 
 let of_string s =
   match String.index_opt s '/' with

@@ -22,6 +22,12 @@ val of_float : float -> t
     precision is lost (unlike converting through a decimal rendering).
     @raise Invalid_argument on nan or infinities. *)
 
+val of_float_opt : float -> t option
+(** Total variant of {!of_float}: [None] on nan or infinities. Use this
+    on untrusted inputs (cached vectors, parsed scale factors) where a
+    non-finite value must degrade gracefully rather than raise deep
+    inside a solve path. *)
+
 val of_string : string -> t
 (** Parses the {!to_string} form — an optional sign, decimal digits, and
     an optional [/denominator].

@@ -16,11 +16,16 @@ module Obs = Hydra_obs.Obs
 module Chaos = Hydra_chaos.Chaos
 module Durable_io = Hydra_durable.Durable_io
 
-let format_version = 1
+(* 2: the Formulate payload grew a terminal-basis line for warm-started
+   verification. Entries written by older builds read as clean misses
+   (and as "stale", not corrupt, under scrub). *)
+let format_version = 2
 
 let m_hit = Obs.counter "cache.hit"
 let m_miss = Obs.counter "cache.miss"
 let m_store = Obs.counter "cache.store"
+let m_warm_hit = Obs.counter "cache.warm_hit"
+let m_warm_miss = Obs.counter "cache.warm_miss"
 
 type t = {
   cache_dir : string;
@@ -59,8 +64,11 @@ let entry_path t ~key =
     ((if valid_key key then key else Digest.to_hex (Digest.string key))
     ^ ".entry")
 
-(* [Ok payload] or [Error reason]; callers that only care about
-   hit-or-miss collapse the reason, scrub reports it *)
+(* [Ok payload] or a classified [Error]: [`Stale] is a well-formed entry
+   written under another format version (an expected artifact of
+   upgrades — deletable housekeeping, not damage); [`Corrupt] is
+   everything else. Callers that only care about hit-or-miss collapse
+   the distinction, scrub reports it. *)
 let parse_entry path ~key =
   let ic = open_in_bin path in
   Fun.protect
@@ -69,12 +77,20 @@ let parse_entry path ~key =
       let header = input_line ic in
       match String.split_on_char ' ' header with
       | [ "hydra-cache"; version; k ] -> (
-          if int_of_string_opt version <> Some format_version then
-            Error
-              (Printf.sprintf "format version %s (expected %d)" version
-                 format_version)
-          else if (match key with Some key -> k <> key | None -> false) then
-            Error (Printf.sprintf "key echo %s does not match" k)
+          match int_of_string_opt version with
+          | Some v when v <> format_version ->
+              Error
+                (`Stale
+                  (Printf.sprintf "format version %d (this build writes %d)"
+                     v format_version))
+          | None ->
+              Error
+                (`Corrupt
+                  (Printf.sprintf "format version %s is not an integer"
+                     version))
+          | Some _ ->
+          if (match key with Some key -> k <> key | None -> false) then
+            Error (`Corrupt (Printf.sprintf "key echo %s does not match" k))
           else
             let meta = input_line ic in
             match String.split_on_char ' ' meta with
@@ -85,15 +101,16 @@ let parse_entry path ~key =
                     | payload ->
                         (* trailing bytes mean a corrupt or foreign file *)
                         if pos_in ic <> in_channel_length ic then
-                          Error "trailing bytes after payload"
+                          Error (`Corrupt "trailing bytes after payload")
                         else if
                           Digest.to_hex (Digest.string payload) <> digest
-                        then Error "payload digest mismatch"
+                        then Error (`Corrupt "payload digest mismatch")
                         else Ok payload
-                    | exception End_of_file -> Error "truncated payload")
-                | _ -> Error "malformed payload length")
-            | _ -> Error "malformed payload header")
-      | _ -> Error "bad magic line")
+                    | exception End_of_file ->
+                        Error (`Corrupt "truncated payload"))
+                | _ -> Error (`Corrupt "malformed payload length"))
+            | _ -> Error (`Corrupt "malformed payload header"))
+      | _ -> Error (`Corrupt "bad magic line"))
 
 let read_entry path key =
   match parse_entry path ~key:(Some key) with
@@ -135,6 +152,34 @@ let store t ~key payload =
   with e when not (Chaos.is_injected e) ->
     () (* best-effort: a failed store only shrinks the cache *)
 
+(* Hints (warm-start bases) are pure optimizations: reads and writes
+   stay off the instance hit/miss/store counters (which report solve
+   replays to the user and must not depend on the solve mode) and off
+   the chaos taps (so enabling hints cannot shift a seeded injection
+   plan). Their traffic is observable on cache.warm_hit/warm_miss. *)
+let find_hint t ~key =
+  let result =
+    let path = entry_path t ~key in
+    if not (Sys.file_exists path) then None
+    else try read_entry path key with _ -> None
+  in
+  (match result with
+  | Some _ -> Obs.incr m_warm_hit 1
+  | None -> Obs.incr m_warm_miss 1);
+  result
+
+let store_hint t ~key payload =
+  try
+    let path = entry_path t ~key in
+    Durable_io.write_atomic ~fsync:false path (fun buf ->
+        Buffer.add_string buf
+          (Printf.sprintf "hydra-cache %d %s\n" format_version key);
+        Buffer.add_string buf
+          (Printf.sprintf "payload %d %s\n" (String.length payload)
+             (Digest.to_hex (Digest.string payload)));
+        Buffer.add_string buf payload)
+  with _ -> ()
+
 let stats t =
   {
     hits = Atomic.get t.n_hits;
@@ -150,6 +195,7 @@ type scrub_report = {
   sr_total : int;
   sr_ok : int;
   sr_bad : bad_entry list;
+  sr_stale : bad_entry list;
   sr_deleted : int;
 }
 
@@ -162,7 +208,7 @@ let scrub ?(delete = false) ~dir () =
     |> List.sort String.compare
   in
   let total = ref 0 and ok = ref 0 and deleted = ref 0 in
-  let bad = ref [] in
+  let bad = ref [] and stale = ref [] in
   List.iter
     (fun file ->
       incr total;
@@ -171,20 +217,23 @@ let scrub ?(delete = false) ~dir () =
       let key = if valid_key stem then Some stem else None in
       let problem =
         match parse_entry path ~key with
-        | Ok _ when key = None -> Some "file name is not a valid key"
+        | Ok _ when key = None -> Some (`Corrupt "file name is not a valid key")
         | Ok _ -> None
-        | Error reason -> Some reason
+        | Error e -> Some e
         | exception e when not (Chaos.is_injected e) ->
-            Some (Printexc.to_string e)
+            Some (`Corrupt (Printexc.to_string e))
       in
       match problem with
       | None -> incr ok
-      | Some be_problem ->
-          bad := { be_file = file; be_problem } :: !bad;
+      | Some classified ->
+          let entry be_problem = { be_file = file; be_problem } in
+          (match classified with
+          | `Stale p -> stale := entry p :: !stale
+          | `Corrupt p -> bad := entry p :: !bad);
           if delete then begin
             (try Sys.remove path with Sys_error _ -> ());
             incr deleted
           end)
     files;
   { sr_total = !total; sr_ok = !ok; sr_bad = List.rev !bad;
-    sr_deleted = !deleted }
+    sr_stale = List.rev !stale; sr_deleted = !deleted }

@@ -37,6 +37,16 @@ val store : t -> key:string -> string -> unit
     to a smaller cache, it never fails the solve that produced the
     payload. *)
 
+val find_hint : t -> key:string -> string option
+(** Like {!find} but for advisory payloads (warm-start bases): skips the
+    instance hit/miss counters — which report solve replays and must not
+    depend on the solve mode — and the chaos taps. Traffic is counted on
+    the [cache.warm_hit] / [cache.warm_miss] obs counters instead. *)
+
+val store_hint : t -> key:string -> string -> unit
+(** Advisory counterpart of {!store}: same atomic on-disk format, but
+    off the instance store counter and the chaos taps. Best-effort. *)
+
 type stats = { hits : int; misses : int; stores : int }
 
 val stats : t -> stats
@@ -61,12 +71,18 @@ type bad_entry = {
 type scrub_report = {
   sr_total : int;  (** [.entry] files examined *)
   sr_ok : int;
-  sr_bad : bad_entry list;  (** sorted by file name *)
+  sr_bad : bad_entry list;  (** corrupt entries, sorted by file name *)
+  sr_stale : bad_entry list;
+      (** well-formed entries written under another {!format_version} —
+          the expected debris of an upgrade, not damage; sorted by file
+          name *)
   sr_deleted : int;
 }
 
 val scrub : ?delete:bool -> dir:string -> unit -> scrub_report
 (** Walk every [.entry] file under [dir], re-validating magic, format
-    version, key echo, payload length and digest. [?delete] (default
-    [false]) removes each bad entry. @raise Sys_error when [dir] is not
-    a directory. *)
+    version, key echo, payload length and digest. Entries whose only
+    problem is a foreign format version are reported as stale
+    ([sr_stale]); everything else lands in [sr_bad]. [?delete] (default
+    [false]) removes both kinds. @raise Sys_error when [dir] is not a
+    directory. *)

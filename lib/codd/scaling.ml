@@ -6,7 +6,9 @@
 type t = { factor : float }
 
 let create ~factor =
-  if factor <= 0.0 then invalid_arg "Scaling.create: factor must be positive";
+  (* written to reject nan too, which satisfies neither comparison *)
+  if not (factor > 0.0 && Float.is_finite factor) then
+    invalid_arg "Scaling.create: factor must be positive and finite";
   { factor }
 
 (* Exact rational product (the float factor denotes a dyadic rational),
@@ -16,12 +18,13 @@ let create ~factor =
    zero, deflating every fractional product. *)
 let scale_count t n =
   let open Hydra_arith in
-  let exact =
-    Rat.round_nearest (Rat.mul (Rat.of_int n) (Rat.of_float t.factor))
-  in
-  match Bigint.to_int exact with
-  | Some n -> max 0 n
-  | None -> if Bigint.sign exact < 0 then 0 else max_int
+  match Rat.of_float_opt t.factor with
+  | None -> n (* unreachable after [create]'s finiteness check *)
+  | Some f -> (
+      let exact = Rat.round_nearest (Rat.mul (Rat.of_int n) f) in
+      match Bigint.to_int exact with
+      | Some n -> max 0 n
+      | None -> if Bigint.sign exact < 0 then 0 else max_int)
 
 let scale_metadata t (md : Metadata.t) =
   {

@@ -406,6 +406,75 @@ let fingerprint ?(max_nodes = 2000) ?(retries = 1) (view : Preprocess.view) =
     let _, lp, n_cc = formulate view in
     fingerprint_of_lp ~max_nodes ~retries view lp n_cc
 
+(* ---- structural (warm-start) fingerprint ----
+
+   The exact fingerprint above keys replayable solutions, so it must
+   cover every number in the problem. A warm-start basis only requires
+   the tableau SHAPE to match: same view identity, same region/variable
+   layout, same constraint rows and relations — with every right-hand
+   side (the view total, CC cardinalities, LP rhs) elided. Two views
+   that differ only in edited CC totals — the incremental-regeneration
+   case — share this key, so the second solve verifies from the first
+   one's terminal basis instead of pivoting from scratch. Budgets are
+   excluded: they cannot change what a basis is. *)
+
+let warm_fingerprint_version = 1
+
+let warm_fingerprint_of_lp (view : Preprocess.view) lp =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "hydra-warm-fingerprint %d\n" warm_fingerprint_version;
+  add "view %s\n" view.Preprocess.vrel;
+  add "attrs %s\n" (String.concat "," view.Preprocess.vattrs);
+  List.iter
+    (fun (a, (iv : Interval.t)) ->
+      add "domain %s [%d,%d)\n" a iv.Interval.lo iv.Interval.hi)
+    view.Preprocess.domains;
+  List.iter
+    (fun (vc : Preprocess.view_cc) ->
+      add "cc %s\n" (Predicate.to_string vc.Preprocess.pred))
+    view.Preprocess.view_ccs;
+  List.iter
+    (fun (gc : Preprocess.group_cc) ->
+      add "group %s / %s\n"
+        (String.concat "," gc.Preprocess.g_attrs)
+        (Predicate.to_string gc.Preprocess.g_pred))
+    view.Preprocess.group_ccs;
+  List.iter
+    (fun (n : Viewgraph.tree_node) ->
+      add "clique %s sep %s parent %s\n"
+        (String.concat "," n.Viewgraph.clique)
+        (String.concat "," n.Viewgraph.separator)
+        (match n.Viewgraph.parent with
+        | Some p -> string_of_int p
+        | None -> "-"))
+    view.Preprocess.subviews;
+  add "lp vars=%d constraints=%d\n" (Lp.num_vars lp) (Lp.num_constraints lp);
+  add "%s" (Format.asprintf "%a" Lp.pp_structure lp);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* warm entries live in the same store under the structural key; the
+   payload is self-describing so a (digest-collision) mixup with a
+   solve entry decodes as garbage, not as a wrong answer *)
+let warm_entry_version = 1
+
+let encode_warm basis =
+  Printf.sprintf "hydra-warm %d\n%s\n" warm_entry_version
+    (String.concat " "
+       ("basis" :: Array.to_list (Array.map string_of_int basis)))
+
+let decode_warm payload =
+  match String.split_on_char '\n' payload with
+  | header :: basis :: rest
+    when header = Printf.sprintf "hydra-warm %d" warm_entry_version
+         && List.for_all (fun l -> String.trim l = "") rest -> (
+      match String.split_on_char ' ' (String.trim basis) with
+      | "basis" :: (_ :: _ as rest) -> (
+          try Some (Array.of_list (List.map int_of_string rest))
+          with Failure _ -> None)
+      | _ -> None)
+  | _ -> None
+
 (* The raw solver verdict, before variable-indexed counts are expanded
    into per-region solutions — the unit the cache persists. [Raw_failed]
    is never stored: a failure reflects the budget/deadline of the run
@@ -415,20 +484,45 @@ type raw_solve =
   | Raw_relaxed of Hydra_arith.Bigint.t array * Hydra_arith.Rat.t
   | Raw_failed of string
 
-let entry_version = 1
+(* 2: a fourth payload line records the root LP's terminal basis (one
+   tableau column index per row, or "-" when none was captured), the
+   seed for warm-started verification of near-miss solves. The cache
+   format_version was bumped in lockstep, so v1 entries never reach this
+   codec from the shared cache. *)
+let entry_version = 2
 
-let encode_entry raw =
+let basis_to_string = function
+  | None -> "basis -"
+  | Some b ->
+      String.concat " "
+        ("basis" :: Array.to_list (Array.map string_of_int b))
+
+let basis_of_string line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "basis"; "-" ] -> Some None
+  | "basis" :: rest -> (
+      try
+        Some
+          (Some (Array.of_list (List.map int_of_string rest)))
+      with Failure _ -> None)
+  | _ -> None
+
+let encode_entry ?basis raw =
   match raw with
   | Raw_failed _ -> None
   | Raw_exact x ->
       Some
-        (Printf.sprintf "hydra-solve %d\nrung exact\n%s\n" entry_version
-           (Lp.vector_to_string x))
+        (Printf.sprintf "hydra-solve %d\nrung exact\n%s\n%s\n" entry_version
+           (Lp.vector_to_string x) (basis_to_string basis))
   | Raw_relaxed (x, violation) ->
+      (* relaxed solves go through the slack-augmented system, whose
+         basis does not fit the original tableau: never warm-start from
+         one *)
       Some
-        (Printf.sprintf "hydra-solve %d\nrung relaxed %s\n%s\n" entry_version
+        (Printf.sprintf "hydra-solve %d\nrung relaxed %s\n%s\n%s\n"
+           entry_version
            (Hydra_arith.Rat.to_string violation)
-           (Lp.vector_to_string x))
+           (Lp.vector_to_string x) (basis_to_string None))
 
 (* The run journal persists every outcome — including [Raw_failed],
    which the shared cache refuses: within one run (same budgets, same
@@ -438,32 +532,39 @@ let encode_entry raw =
 let sanitize_reason m =
   String.map (function '\n' | '\r' -> ' ' | c -> c) m
 
-let encode_raw raw =
+let encode_raw ?basis raw =
   match raw with
   | Raw_failed m ->
       Printf.sprintf "hydra-solve %d\nrung failed %s\n\n" entry_version
         (sanitize_reason m)
-  | Raw_exact _ | Raw_relaxed _ -> Option.get (encode_entry raw)
+  | Raw_exact _ | Raw_relaxed _ -> Option.get (encode_entry ?basis raw)
 
-(* [None] on any malformation; length and (for exact entries) feasibility
-   are re-checked against the freshly formulated LP, so even a key
-   collision cannot replay a wrong solution as Exact. *)
-let decode_entry lp payload =
+(* [(raw, stored basis)] or [None] on any malformation; length and (for
+   exact entries) feasibility are re-checked against the freshly
+   formulated LP, so even a key collision cannot replay a wrong solution
+   as Exact. The basis is advisory — replay uses the vector — so a
+   malformed basis line poisons the whole entry rather than being
+   silently dropped: the entry is not what this build wrote. *)
+let decode_entry_basis lp payload =
   match String.split_on_char '\n' payload with
-  | header :: rung :: vector :: rest
+  | header :: rung :: vector :: basis :: rest
     when header = Printf.sprintf "hydra-solve %d" entry_version
          && List.for_all (fun l -> String.trim l = "") rest -> (
-      match Lp.vector_of_string vector with
-      | Some x when Array.length x = Lp.num_vars lp -> (
+      match (Lp.vector_of_string vector, basis_of_string basis) with
+      | Some x, Some b when Array.length x = Lp.num_vars lp -> (
           match String.split_on_char ' ' rung with
           | [ "rung"; "exact" ] ->
-              if Int_feasible.check lp x then Some (Raw_exact x) else None
+              if Int_feasible.check lp x then Some (Raw_exact x, b) else None
           | [ "rung"; "relaxed"; violation ] -> (
-              try Some (Raw_relaxed (x, Hydra_arith.Rat.of_string violation))
+              try
+                Some (Raw_relaxed (x, Hydra_arith.Rat.of_string violation), b)
               with Invalid_argument _ | Division_by_zero | Failure _ -> None)
           | _ -> None)
       | _ -> None)
   | _ -> None
+
+let decode_entry lp payload =
+  Option.map fst (decode_entry_basis lp payload)
 
 (* journal decode: everything [decode_entry] accepts, plus recorded
    failures *)
@@ -483,7 +584,7 @@ let decode_raw lp payload =
   | _ -> decode_entry lp payload
 
 let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
-    ?journal (view : Preprocess.view) =
+    ?journal ?(solve_mode = Simplex.Exact) (view : Preprocess.view) =
   let off_or_bypass opt =
     match opt with None -> Cache_off | Some _ -> Cache_bypass
   in
@@ -512,18 +613,37 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
         match
           Obs.with_span "view.relax" (fun () ->
               Relax.solve ?deadline ~max_nodes:(Stdlib.max 1 max_nodes)
-                ~weight lp)
+                ~mode:solve_mode ~weight lp)
         with
         | Relax.Relaxed { x; total_violation; _ } ->
             Raw_relaxed (x, total_violation)
         | Relax.Timeout -> Raw_failed (reason ^ "; relaxation hit the deadline")
         | Relax.Failed m -> Raw_failed (reason ^ "; relaxation failed: " ^ m)
       in
+      (* the root LP's terminal basis, captured for the warm-start hint;
+         [attempt] overwrites it on each escalation, keeping the last *)
+      let root_basis = ref None in
+      (* in float-first mode a structurally identical earlier solve —
+         same view and LP shape, edited right-hand sides — seeds exact
+         verification with its terminal basis instead of solving cold *)
+      let warm_key = lazy (warm_fingerprint_of_lp view lp) in
+      (* lazy so replayed (cache/journal-hit) solves never touch the
+         hint store; forced at most once across budget escalations *)
+      let warm_basis =
+        lazy
+          (match (solve_mode, cache) with
+          | Simplex.Float_first, Some c ->
+              Option.bind
+                (Cache.find_hint c ~key:(Lazy.force warm_key))
+                decode_warm
+          | _ -> None)
+      in
       let rec attempt budget tries_left =
         match
           Obs.with_span "view.solve" (fun () ->
               Chaos.tap "solve";
-              Int_feasible.solve ~max_nodes:budget ?deadline lp)
+              Int_feasible.solve ~max_nodes:budget ?deadline ~mode:solve_mode
+                ?warm_basis:(Lazy.force warm_basis) ~root_basis lp)
         with
         | Int_feasible.Solution x -> Raw_exact x
         | Int_feasible.Gave_up when tries_left > 0 ->
@@ -536,6 +656,12 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
                  budget)
         | Int_feasible.Timeout -> relax "solve deadline exceeded"
         | Int_feasible.Infeasible -> relax "infeasible cardinality constraints"
+      in
+      let store_warm () =
+        match (cache, !root_basis) with
+        | Some c, Some b ->
+            Cache.store_hint c ~key:(Lazy.force warm_key) (encode_warm b)
+        | _ -> ()
       in
       let finish raw =
         match raw with
@@ -552,11 +678,11 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
           { via_cache = Cache_off; via_journal = Cache_off;
             via_fingerprint = key } )
       else begin
-        let journal_append raw =
+        let journal_append ?basis raw =
           Option.iter
             (fun j ->
               Journal.append j ~view:view.Preprocess.vrel ~key
-                (encode_raw raw))
+                (encode_raw ?basis raw))
             journal
         in
         (* journal first: it is run-scoped truth (and also records
@@ -586,11 +712,13 @@ let solve_view_robust ?(max_nodes = 2000) ?(retries = 1) ?deadline ?cache
                     via_fingerprint = key } )
             | None ->
                 let raw = attempt max_nodes retries in
-                journal_append raw;
+                let basis = !root_basis in
+                journal_append ?basis raw;
                 Option.iter
                   (fun c ->
-                    Option.iter (Cache.store c ~key) (encode_entry raw))
+                    Option.iter (Cache.store c ~key) (encode_entry ?basis raw))
                   cache;
+                store_warm ();
                 ( finish raw,
                   {
                     via_cache =

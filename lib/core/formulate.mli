@@ -98,6 +98,7 @@ val solve_view_robust :
   ?deadline:float ->
   ?cache:Hydra_cache.Cache.t ->
   ?journal:Journal.t ->
+  ?solve_mode:Hydra_lp.Simplex.mode ->
   Preprocess.view ->
   outcome * provenance
 (** Like {!solve_view} but never raises. On budget exhaustion the node
@@ -119,4 +120,17 @@ val solve_view_robust :
     journal {e before} the cache, and every outcome — including
     [Failed] — is appended after the fact, so a resumed run replays
     the interrupted run's exact per-view rungs rather than re-rolling
-    the dice against budgets and deadlines. *)
+    the dice against budgets and deadlines.
+
+    [solve_mode] (default [Exact]) selects the LP engine:
+    [Float_first] runs the double-precision shadow simplex and verifies
+    its terminal basis exactly (see {!Hydra_lp.Basis_verify}), falling
+    back to the all-exact path on any numerical ambiguity. In
+    float-first mode, when [?cache] is supplied, solves also publish an
+    advisory warm-start hint keyed by a {e structural} fingerprint (the
+    LP with right-hand sides elided), so a later solve of the same view
+    shape with edited CC totals starts exact verification from the
+    stored terminal basis instead of solving cold. Hints are advisory:
+    they are validated before use, never counted against the cache's
+    hit/miss statistics, and cannot change results — only pivot
+    counts. *)

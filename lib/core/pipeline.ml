@@ -194,7 +194,8 @@ let exn_message = function
 
 let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
     ?(histograms = []) ?deadline_s ?(retries = 1) ?(jobs = 1) ?cache
-    ?state_dir ?(supervision = Supervisor.default_policy) schema ccs =
+    ?state_dir ?(supervision = Supervisor.default_policy)
+    ?(solve_mode = Hydra_lp.Simplex.Exact) schema ccs =
   let jobs = max 1 jobs in
   let t0 = Mclock.now () in
   (* deadlines live on the monotonic timeline, so a wall-clock step can
@@ -350,7 +351,7 @@ let regenerate ?(sizes = []) ?(max_nodes = 2000) ?(policy = `Low_corner)
             try
               match
                 Formulate.solve_view_robust ~max_nodes ~retries ?deadline
-                  ?cache ?journal view
+                  ?cache ?journal ~solve_mode view
               with
               | Formulate.Exact r, prov -> (
                   try finish r prov (fun _ -> Exact)

@@ -112,6 +112,7 @@ val regenerate :
   ?cache:Hydra_cache.Cache.t ->
   ?state_dir:string ->
   ?supervision:Hydra_par.Supervisor.policy ->
+  ?solve_mode:Hydra_lp.Simplex.mode ->
   Schema.t -> Cc.t list -> result
 (** Preprocess, formulate and solve every view, align-and-merge, build the
     summary. [sizes] supplies fallback relation sizes; [max_nodes] bounds
@@ -136,7 +137,10 @@ val regenerate :
     point resumes to a byte-identical summary. [supervision] tunes the
     {!Hydra_par.Supervisor} retry policy for transient task failures
     (default: 2 retries, 50ms exponential backoff with deterministic
-    jitter).
+    jitter). [solve_mode] (default [Exact]) selects the LP engine per
+    view — [Float_first] shadows the exact pivot rules in doubles and
+    verifies the terminal basis exactly, so summaries are byte-identical
+    across modes (see {!Formulate.solve_view_robust}).
 
     Determinism contract: for any [jobs] count the summary, the per-view
     statuses and the grouping residuals are identical — each view is a

@@ -42,7 +42,8 @@ let with_bounds lp bounds =
     bounds;
   lp'
 
-let solve ?(max_nodes = 2000) ?deadline lp =
+let solve ?(max_nodes = 2000) ?deadline ?(mode = Simplex.Exact) ?warm_basis
+    ?root_basis lp =
   let nodes = ref 0 in
   let exception Out_of_budget in
   let exception Timed_out in
@@ -59,7 +60,17 @@ let solve ?(max_nodes = 2000) ?deadline lp =
     Obs.incr m_nodes 1;
     Obs.gauge_max g_max_depth (float_of_int depth);
     let sub = if bounds = [] then lp else with_bounds lp bounds in
-    match Simplex.solve ?deadline sub with
+    (* warm-start and basis capture apply at the root only: child
+       nodes carry extra bound rows, so a root basis neither fits their
+       tableau shape nor is worth caching *)
+    let root = bounds = [] in
+    let solved =
+      Basis_verify.solve_mode ?deadline
+        ?warm_basis:(if root then warm_basis else None)
+        ?basis_out:(if root then root_basis else None)
+        mode sub
+    in
+    match solved with
     | Simplex.Timeout -> raise Timed_out
     | Simplex.Infeasible -> None
     | Simplex.Unbounded -> None (* cannot happen without an objective *)

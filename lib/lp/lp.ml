@@ -98,14 +98,14 @@ let vector_of_string s =
             try Some (Array.of_list (List.map Bigint.of_string rest))
             with Invalid_argument _ | Failure _ -> None))
 
-let pp fmt lp =
+let pp_rel fmt = function
+  | Eq -> Format.pp_print_string fmt "="
+  | Le -> Format.pp_print_string fmt "<="
+  | Ge -> Format.pp_print_string fmt ">="
+
+let pp_with ~rhs fmt lp =
   Format.fprintf fmt "@[<v>LP with %d vars, %d constraints@," lp.nvars
     lp.nconstrs;
-  let pp_rel fmt = function
-    | Eq -> Format.pp_print_string fmt "="
-    | Le -> Format.pp_print_string fmt "<="
-    | Ge -> Format.pp_print_string fmt ">="
-  in
   List.iter
     (fun c ->
       List.iteri
@@ -114,6 +114,16 @@ let pp fmt lp =
           if Rat.equal coef Rat.one then Format.fprintf fmt "x%d" v
           else Format.fprintf fmt "%a*x%d" Rat.pp coef v)
         c.terms;
-      Format.fprintf fmt " %a %a@," pp_rel c.rel Rat.pp c.rhs)
+      Format.fprintf fmt " %a " pp_rel c.rel;
+      if rhs then Format.fprintf fmt "%a@," Rat.pp c.rhs
+      else Format.fprintf fmt "_@,")
     (constraints lp);
   Format.fprintf fmt "@]"
+
+let pp fmt lp = pp_with ~rhs:true fmt lp
+
+(* Same rendering with every right-hand side elided: two LPs print
+   identically here exactly when they differ only in constraint
+   right-hand sides — the "edited CC totals" shape that basis
+   warm-starting keys on. *)
+let pp_structure fmt lp = pp_with ~rhs:false fmt lp

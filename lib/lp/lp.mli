@@ -60,3 +60,9 @@ val vector_of_string : string -> Bigint.t array option
     corrupt cache entries must read as misses, never raise. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_structure : Format.formatter -> t -> unit
+(** {!pp} with every constraint right-hand side elided (rendered as
+    [_]). Two systems print identically here exactly when they differ
+    only in right-hand sides — the near-miss shape that basis
+    warm-starting keys on. *)

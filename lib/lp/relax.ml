@@ -23,8 +23,8 @@ type outcome =
   | Timeout
   | Failed of string
 
-let solve ?deadline ?max_iters ?(max_nodes = 2000) ?(weight = fun _ -> Rat.one)
-    lp =
+let solve ?deadline ?max_iters ?(max_nodes = 2000) ?(mode = Simplex.Exact)
+    ?(weight = fun _ -> Rat.one) lp =
   Obs.incr m_solves 1;
   let lp' = Lp.create () in
   let nstruct = Lp.num_vars lp in
@@ -58,7 +58,10 @@ let solve ?deadline ?max_iters ?(max_nodes = 2000) ?(weight = fun _ -> Rat.one)
             (c.Lp.terms @ [ (deficit, Rat.one) ])
             Lp.Ge c.Lp.rhs)
     (Lp.constraints lp);
-  match Simplex.solve ~objective:!objective ?deadline ?max_iters lp' with
+  match
+    Basis_verify.solve_mode ~objective:!objective ?deadline ?max_iters mode
+      lp'
+  with
   | Simplex.Timeout -> Timeout
   | Simplex.Infeasible | Simplex.Unbounded ->
       (* impossible by construction; surfaced rather than asserted so a
@@ -107,7 +110,7 @@ let solve ?deadline ?max_iters ?(max_nodes = 2000) ?(weight = fun _ -> Rat.one)
           in
           Lp.add_constraint anchored c.Lp.terms c.Lp.rel rhs)
         (Lp.constraints lp);
-      match Int_feasible.solve ~max_nodes ?deadline anchored with
+      match Int_feasible.solve ~max_nodes ?deadline ~mode anchored with
       | Int_feasible.Solution x -> report x
       | Int_feasible.Infeasible | Int_feasible.Gave_up | Int_feasible.Timeout
         ->

@@ -29,6 +29,7 @@ val solve :
   ?deadline:float ->
   ?max_iters:int ->
   ?max_nodes:int ->
+  ?mode:Simplex.mode ->
   ?weight:(int -> Rat.t) ->
   Lp.t -> outcome
 (** [solve lp] minimizes the weighted sum of constraint violations.
@@ -36,5 +37,7 @@ val solve :
     (default all-ones); callers use it to protect structural constraints
     (e.g. sub-view consistency) more strongly than data constraints.
     [max_nodes] bounds the branch-and-bound search used to integerize the
-    relaxed optimum without perturbing satisfied constraints.
+    relaxed optimum without perturbing satisfied constraints. [mode]
+    (default {!Simplex.Exact}) selects the solve path for both the slack
+    LP and the integerization.
     @raise Invalid_argument on a non-positive weight. *)

@@ -16,6 +16,19 @@ type status =
   | Unbounded
   | Timeout
 
+(* Solve-path selection, threaded from the CLI down to every simplex
+   call site. [Exact] is the historical all-rational path; [Float_first]
+   runs the float shadow simplex (Simplex_f) and verifies/repairs its
+   terminal basis exactly (Basis_verify). *)
+type mode = Exact | Float_first
+
+let mode_to_string = function Exact -> "exact" | Float_first -> "float-first"
+
+let mode_of_string = function
+  | "exact" -> Some Exact
+  | "float-first" | "float_first" -> Some Float_first
+  | _ -> None
+
 type stats = { iterations : int; rows : int; cols : int }
 
 (* domain-local: concurrent per-view solves in the hydra.par pool must
@@ -137,25 +150,45 @@ let out_of_budget budget iter_count =
   | Some d -> Mclock.now () > d
   | None -> false
 
+(* HYDRA_SIMPLEX_BLAND is the degenerate-pivot run length after which
+   pricing falls back to Bland's rule. Any integer is accepted; zero or
+   a negative means "always Bland". A non-integer value warns once on
+   stderr and keeps the default instead of being silently ignored. *)
+let default_bland_threshold = 40
+let bland_warned = Atomic.make false
+
+let bland_threshold () =
+  match Sys.getenv_opt "HYDRA_SIMPLEX_BLAND" with
+  | None -> default_bland_threshold
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k -> if k <= 0 then -1 (* always Bland *) else k
+      | None ->
+          if not (Atomic.exchange bland_warned true) then
+            Printf.eprintf
+              "hydra: ignoring HYDRA_SIMPLEX_BLAND=%s (not an integer); \
+               using default threshold %d\n\
+               %!"
+              s default_bland_threshold;
+          default_bland_threshold)
+
 (* One simplex run minimizing cost vector [c] (length n) from the given
    basis state. [allowed j] filters columns that may enter. Mutates binv,
-   basis, xb. Returns `Optimal, `Unbounded or `Timeout.
+   basis, xb. Returns `Optimal, `Unbounded or `Timeout. [pivots], when
+   given, counts basis changes (Basis_verify uses it to detect repairs).
 
    Pricing is Dantzig's rule (most negative reduced cost) for speed; after
    a run of consecutive degenerate pivots it falls back to Bland's rule,
    whose anti-cycling guarantee restores termination. *)
-let optimize ?(budget = no_budget) t binv basis xb c allowed iter_count =
+let optimize ?pivots ?(budget = no_budget) t binv basis xb c allowed iter_count
+    =
   let { m; n; cols; _ } = t in
   let y = Array.make m Rat.zero in
   let in_basis = Array.make n false in
   Array.iter (fun j -> in_basis.(j) <- true) basis;
   let degenerate_run = ref 0 in
   let rr_start = ref 0 in
-  let bland_threshold =
-    match Sys.getenv_opt "HYDRA_SIMPLEX_BLAND" with
-    | Some "1" -> -1 (* always Bland *)
-    | _ -> 40
-  in
+  let bland_threshold = bland_threshold () in
   let was_bland = ref false in
   let rec loop () =
     incr iter_count;
@@ -229,6 +262,7 @@ let optimize ?(budget = no_budget) t binv basis xb c allowed iter_count =
         let r = !leave in
         let t_step = !best in
         Obs.incr m_pivots 1;
+        (match pivots with Some p -> incr p | None -> ());
         if Rat.is_zero t_step then begin
           incr degenerate_run;
           Obs.incr m_degenerate 1
@@ -264,7 +298,111 @@ let optimize ?(budget = no_budget) t binv basis xb c allowed iter_count =
   in
   loop ()
 
-let solve ?objective ?deadline ?max_iters lp =
+(* Both phases (and the artificial drive-out between them) from an
+   arbitrary primal-feasible basis state [(binv, basis, xb)] — the
+   identity/artificial start for a cold solve, a factorized candidate
+   basis for Basis_verify. Mutates all three; [basis] holds the terminal
+   basis on return. From a basis that is already optimal this performs
+   no pivots (each phase prices once and stops), which is what makes
+   exact verification of a float-optimal basis cheap. *)
+let run_phases ?pivots ~budget t binv basis xb ~objective ~nvars iter_count =
+  let { m; n; _ } = t in
+  (* phase I: minimize the sum of artificials *)
+  let c1 = Array.make n Rat.zero in
+  for j = t.art_first to n - 1 do
+    c1.(j) <- Rat.one
+  done;
+  let phase1 =
+    optimize ?pivots ~budget t binv basis xb c1 (fun _ -> true) iter_count
+  in
+  match phase1 with
+  | `Timeout -> Timeout
+  | `Unbounded -> Infeasible (* cannot happen: phase I is bounded below *)
+  | `Optimal -> (
+      let art_value = ref Rat.zero in
+      Array.iteri
+        (fun i bi ->
+          if bi >= t.art_first then art_value := Rat.add !art_value xb.(i))
+        basis;
+      if Rat.sign !art_value > 0 then Infeasible
+      else begin
+        (* Drive basic artificials (at zero level) out of the basis so
+           phase II can never raise them. A row where no structural or
+           slack column has a nonzero entry is linearly dependent; its
+           artificial then stays pinned at zero under any pivot and can
+           safely remain basic. *)
+        if objective <> None then
+          for r = 0 to m - 1 do
+            if basis.(r) >= t.art_first then begin
+              let in_basis = Array.make n false in
+              Array.iter (fun j -> in_basis.(j) <- true) basis;
+              let j = ref 0 and found = ref (-1) in
+              while !found < 0 && !j < t.art_first do
+                if not in_basis.(!j) then begin
+                  let d = binv_col binv m t.cols.(!j) in
+                  if not (Rat.is_zero d.(r)) then found := !j else incr j
+                end
+                else incr j
+              done;
+              if !found >= 0 then begin
+                let entering = !found in
+                let d = binv_col binv m t.cols.(entering) in
+                (* degenerate pivot: step is zero since xb.(r) = 0 *)
+                let inv_dr = Rat.inv d.(r) in
+                let prow = binv.(r) in
+                for kx = 0 to m - 1 do
+                  prow.(kx) <- Rat.mul prow.(kx) inv_dr
+                done;
+                for i = 0 to m - 1 do
+                  if i <> r && not (Rat.is_zero d.(i)) then begin
+                    let row = binv.(i) in
+                    let f = d.(i) in
+                    for kx = 0 to m - 1 do
+                      if not (Rat.is_zero prow.(kx)) then
+                        row.(kx) <- Rat.sub row.(kx) (Rat.mul f prow.(kx))
+                    done
+                  end
+                done;
+                basis.(r) <- entering
+              end
+            end
+          done;
+        let phase2 =
+          match objective with
+          | None -> `Optimal
+          | Some obj ->
+              let c2 = Array.make n Rat.zero in
+              List.iter
+                (fun (v, k) ->
+                  if v < 0 || v >= nvars then
+                    invalid_arg "Simplex.solve: objective variable";
+                  c2.(v) <- Rat.add c2.(v) k)
+                obj;
+              (* artificials stay out in phase II *)
+              optimize ?pivots ~budget t binv basis xb c2
+                (fun j -> j < t.art_first)
+                iter_count
+        in
+        match phase2 with
+        | `Timeout -> Timeout
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+            let x = Array.make nvars Rat.zero in
+            Array.iteri (fun i bi -> if bi < nvars then x.(bi) <- xb.(i)) basis;
+            Feasible x
+      end)
+
+(* Metric/stat bookkeeping shared with Basis_verify, which counts its
+   whole verify-or-repair ladder as one logical solve. *)
+let note_solve ~rows ~cols =
+  Obs.incr m_solves 1;
+  set_stats { iterations = 0; rows; cols }
+
+let note_done ~iters ~rows ~cols =
+  set_stats { iterations = iters; rows; cols };
+  Obs.incr m_iterations iters
+
+let solve ?objective ?deadline ?max_iters ?basis_out lp =
   let budget = { deadline; max_iters } in
   let t, basis = build_tableau lp in
   let { m; n; _ } = t in
@@ -294,94 +432,13 @@ let solve ?objective ?deadline ?max_iters lp =
           Array.init m (fun j -> if i = j then Rat.one else Rat.zero))
     in
     let xb = Array.copy t.b in
-    (* phase I: minimize the sum of artificials *)
-    let c1 = Array.make n Rat.zero in
-    for j = t.art_first to n - 1 do
-      c1.(j) <- Rat.one
-    done;
-    let phase1 = optimize ~budget t binv basis xb c1 (fun _ -> true) iter_count in
     let result =
-      match phase1 with
-      | `Timeout -> Timeout
-      | `Unbounded -> Infeasible (* cannot happen: phase I is bounded below *)
-      | `Optimal ->
-          let art_value = ref Rat.zero in
-          Array.iteri
-            (fun i bi ->
-              if bi >= t.art_first then art_value := Rat.add !art_value xb.(i))
-            basis;
-          if Rat.sign !art_value > 0 then Infeasible
-          else begin
-            (* Drive basic artificials (at zero level) out of the basis so
-               phase II can never raise them. A row where no structural or
-               slack column has a nonzero entry is linearly dependent; its
-               artificial then stays pinned at zero under any pivot and can
-               safely remain basic. *)
-            if objective <> None then
-              for r = 0 to m - 1 do
-                if basis.(r) >= t.art_first then begin
-                  let in_basis = Array.make n false in
-                  Array.iter (fun j -> in_basis.(j) <- true) basis;
-                  let j = ref 0 and found = ref (-1) in
-                  while !found < 0 && !j < t.art_first do
-                    if not in_basis.(!j) then begin
-                      let d = binv_col binv m t.cols.(!j) in
-                      if not (Rat.is_zero d.(r)) then found := !j
-                      else incr j
-                    end
-                    else incr j
-                  done;
-                  if !found >= 0 then begin
-                    let entering = !found in
-                    let d = binv_col binv m t.cols.(entering) in
-                    (* degenerate pivot: step is zero since xb.(r) = 0 *)
-                    let inv_dr = Rat.inv d.(r) in
-                    let prow = binv.(r) in
-                    for kx = 0 to m - 1 do
-                      prow.(kx) <- Rat.mul prow.(kx) inv_dr
-                    done;
-                    for i = 0 to m - 1 do
-                      if i <> r && not (Rat.is_zero d.(i)) then begin
-                        let row = binv.(i) in
-                        let f = d.(i) in
-                        for kx = 0 to m - 1 do
-                          if not (Rat.is_zero prow.(kx)) then
-                            row.(kx) <- Rat.sub row.(kx) (Rat.mul f prow.(kx))
-                        done
-                      end
-                    done;
-                    basis.(r) <- entering
-                  end
-                end
-              done;
-            let phase2 =
-              match objective with
-              | None -> `Optimal
-              | Some obj ->
-                  let c2 = Array.make n Rat.zero in
-                  List.iter
-                    (fun (v, k) ->
-                      if v < 0 || v >= Lp.num_vars lp then
-                        invalid_arg "Simplex.solve: objective variable";
-                      c2.(v) <- Rat.add c2.(v) k)
-                    obj;
-                  (* artificials stay out in phase II *)
-                  optimize ~budget t binv basis xb c2
-                    (fun j -> j < t.art_first)
-                    iter_count
-            in
-            match phase2 with
-            | `Timeout -> Timeout
-            | `Unbounded -> Unbounded
-            | `Optimal ->
-                let x = Array.make (Lp.num_vars lp) Rat.zero in
-                Array.iteri
-                  (fun i bi ->
-                    if bi < Lp.num_vars lp then x.(bi) <- xb.(i))
-                  basis;
-                Feasible x
-          end
+      run_phases ~budget t binv basis xb ~objective ~nvars:(Lp.num_vars lp)
+        iter_count
     in
+    (match (basis_out, result) with
+    | Some r, Feasible _ -> r := Some (Array.copy basis)
+    | _ -> ());
     set_stats { iterations = !iter_count; rows = m; cols = n };
     Obs.incr m_iterations !iter_count;
     result

@@ -22,18 +22,87 @@ type status =
           whose start basis is already optimal, and never returned when no
           budget was supplied. *)
 
+type mode = Exact | Float_first
+(** Solve-path selection for the whole solver stack. [Exact] is the
+    historical all-rational path; [Float_first] runs the float shadow
+    simplex ({!Simplex_f}) and verifies — repairing when needed — its
+    terminal basis in exact arithmetic ({!Basis_verify}), so reported
+    solutions are exact in both modes. *)
+
+val mode_to_string : mode -> string
+(** ["exact"] / ["float-first"] — the CLI spelling. *)
+
+val mode_of_string : string -> mode option
+(** Inverse of {!mode_to_string} (also accepts ["float_first"]);
+    [None] on anything else. *)
+
 val solve :
   ?objective:(int * Rat.t) list ->
   ?deadline:float ->
   ?max_iters:int ->
+  ?basis_out:int array option ref ->
   Lp.t -> status
 (** [solve lp] finds a feasible point of [lp]; with [~objective] it
     minimizes the given sparse linear objective over the feasible region.
     [deadline] is an absolute [Unix.gettimeofday] instant and [max_iters]
     a total pivot budget across both phases; exhausting either yields
-    {!Timeout} instead of looping indefinitely. *)
+    {!Timeout} instead of looping indefinitely. When [basis_out] is given
+    and the result is {!Feasible}, it receives the terminal basis (one
+    tableau column index per row) — the payload cached for warm-started
+    verification. *)
 
 type stats = { iterations : int; rows : int; cols : int }
 
 val last_stats : unit -> stats
 (** Statistics of the most recent [solve] call (for the benchmark harness). *)
+
+(** {2 Internal surface}
+
+    Shared with {!Simplex_f} (the float shadow) and {!Basis_verify} (the
+    exact verifier); not meant for other callers. *)
+
+type tableau = {
+  m : int;  (** rows *)
+  n : int;  (** columns, incl. slacks and artificials *)
+  cols : (int * Rat.t) list array;  (** col -> (row, coef) list *)
+  b : Rat.t array;  (** right-hand side, normalized non-negative *)
+  art_first : int;  (** first artificial column index; [n] if none *)
+}
+
+val build_tableau : Lp.t -> tableau * int array
+(** Computational form plus the artificial/slack start basis. *)
+
+type budget = { deadline : float option; max_iters : int option }
+
+val no_budget : budget
+val out_of_budget : budget -> int -> bool
+
+val bland_threshold : unit -> int
+(** Degenerate-pivot run length after which pricing falls back to
+    Bland's rule, from [HYDRA_SIMPLEX_BLAND] (any integer; [0] or a
+    negative value means "always Bland"; a non-integer warns once on
+    stderr and keeps the default of 40). *)
+
+val run_phases :
+  ?pivots:int ref ->
+  budget:budget ->
+  tableau ->
+  Rat.t array array ->
+  int array ->
+  Rat.t array ->
+  objective:(int * Rat.t) list option ->
+  nvars:int ->
+  int ref ->
+  status
+(** [run_phases ~budget t binv basis xb ~objective ~nvars iter_count]
+    runs phase I, the artificial drive-out, and phase II from the given
+    primal-feasible basis state, mutating [binv]/[basis]/[xb]. From an
+    already-optimal basis this performs no pivots — exact verification
+    of a float-optimal basis costs one pricing pass per phase.
+    [pivots], when given, counts basis changes (how {!Basis_verify}
+    detects that repair happened). *)
+
+val note_solve : rows:int -> cols:int -> unit
+val note_done : iters:int -> rows:int -> cols:int -> unit
+(** Counter/stats bookkeeping bracketing one logical solve, for
+    {!Basis_verify}'s verify-or-repair ladder. *)

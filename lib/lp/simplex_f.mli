@@ -1,0 +1,42 @@
+(** Float shadow of the exact revised simplex.
+
+    Replays {!Simplex}'s pivot rules — two phases, round-robin/Bland
+    pricing, ratio test with Bland tie-breaks — in double precision over
+    the same tableau. Every sign/zero decision carries a first-order
+    forward error bound (relative slack plus an absolute drift floor on
+    basis-inverse and basic-solution entries, kept tight by periodic
+    refactorization); a decision that does not clear its bound by a
+    fixed gap factor aborts the shadow ({!Ambiguous}) instead of
+    guessing. When no decision is ambiguous the float pivot sequence
+    equals the exact one, so the returned terminal basis is exactly what
+    the all-exact path would have reached — {!Basis_verify} then
+    reconstructs the solution in exact arithmetic.
+
+    This module never reports a solution itself; its output is only a
+    candidate basis. *)
+
+open Hydra_arith
+
+type verdict =
+  | Terminal of int array
+      (** Candidate terminal basis (phase-complete, infeasible-looking,
+          or unbounded-looking) — always re-derived exactly by
+          {!Basis_verify} before anything is reported. *)
+  | Ambiguous
+      (** Some pivot decision failed to clear its error bound; fall
+          back to the all-exact path. *)
+  | Timeout_f  (** budget exhausted while further pivots were needed *)
+
+val run :
+  budget:Simplex.budget ->
+  Simplex.tableau ->
+  int array ->
+  objective:(int * Rat.t) list option ->
+  nvars:int ->
+  int ref ->
+  verdict
+(** [run ~budget t basis ~objective ~nvars iter_count] runs the shadow
+    from the artificial/slack start basis (mutated in place). Shares the
+    caller's iteration count, so the budget contract matches the exact
+    solver's. Float pivots are counted on the
+    [simplex.float_pivots] obs counter. *)

@@ -6,6 +6,7 @@ module Validate = Hydra_core.Validate
 module Tuple_gen = Hydra_core.Tuple_gen
 module Audit = Hydra_audit.Audit
 module Cache = Hydra_cache.Cache
+module Simplex = Hydra_lp.Simplex
 
 (* ---- scratch-directory plumbing ---- *)
 
@@ -67,7 +68,7 @@ let regen_step invariant f =
   | exception Broke (i, d) -> raise (Broke (i, d))
   | exception e -> broke invariant "%s" (Pipeline.exn_message e)
 
-let battery_exn ~dir schema ccs =
+let battery_exn ~solve_mode ~dir schema ccs =
   (* spec-roundtrip: the interchange format must be able to carry this
      very constraint system to the vendor and back *)
   let emitted = Cc_parser.emit schema ccs in
@@ -82,7 +83,8 @@ let battery_exn ~dir schema ccs =
       broke "spec-roundtrip" "emitted spec does not parse back: %s" msg);
   (* regenerate never raises *)
   let base =
-    regen_step "regenerate-raises" (fun () -> Pipeline.regenerate schema ccs)
+    regen_step "regenerate-raises" (fun () ->
+        Pipeline.regenerate ~solve_mode schema ccs)
   in
   let base_bytes = summary_bytes dir "base" base in
   (* summary round-trip *)
@@ -101,19 +103,34 @@ let battery_exn ~dir schema ccs =
   (* jobs determinism *)
   let par =
     regen_step "jobs-determinism" (fun () ->
-        Pipeline.regenerate ~jobs:2 schema ccs)
+        Pipeline.regenerate ~jobs:2 ~solve_mode schema ccs)
   in
   if summary_bytes dir "jobs" par <> base_bytes then
     broke "jobs-determinism" "--jobs 2 summary differs from sequential run";
+  (* solve-mode differential: the float-first shadow engine and the
+     all-exact engine must produce the same summary byte for byte *)
+  let other_mode =
+    match solve_mode with
+    | Simplex.Exact -> Simplex.Float_first
+    | Simplex.Float_first -> Simplex.Exact
+  in
+  let other =
+    regen_step "solve-mode-differential" (fun () ->
+        Pipeline.regenerate ~solve_mode:other_mode schema ccs)
+  in
+  if summary_bytes dir "mode" other <> base_bytes then
+    broke "solve-mode-differential" "%s summary differs from %s run"
+      (Simplex.mode_to_string other_mode)
+      (Simplex.mode_to_string solve_mode);
   (* cache replay: cold populates, warm must serve byte-identically *)
   let cache = Cache.create ~dir:(Filename.concat dir "cache") in
   let cold =
-    regen_step "cache-replay" (fun () -> Pipeline.regenerate ~cache schema ccs)
+    regen_step "cache-replay" (fun () -> Pipeline.regenerate ~cache ~solve_mode schema ccs)
   in
   if summary_bytes dir "cold" cold <> base_bytes then
     broke "cache-replay" "cache-cold summary differs from uncached run";
   let warm =
-    regen_step "cache-replay" (fun () -> Pipeline.regenerate ~cache schema ccs)
+    regen_step "cache-replay" (fun () -> Pipeline.regenerate ~cache ~solve_mode schema ccs)
   in
   if summary_bytes dir "warm" warm <> base_bytes then
     broke "cache-replay" "cache-warm summary differs from cold run";
@@ -121,13 +138,13 @@ let battery_exn ~dir schema ccs =
   let state_dir = Filename.concat dir "state" in
   let j1 =
     regen_step "journal-resume" (fun () ->
-        Pipeline.regenerate ~state_dir schema ccs)
+        Pipeline.regenerate ~state_dir ~solve_mode schema ccs)
   in
   if summary_bytes dir "j1" j1 <> base_bytes then
     broke "journal-resume" "journaled summary differs from plain run";
   let j2 =
     regen_step "journal-resume" (fun () ->
-        Pipeline.regenerate ~state_dir schema ccs)
+        Pipeline.regenerate ~state_dir ~solve_mode schema ccs)
   in
   if summary_bytes dir "j2" j2 <> base_bytes then
     broke "journal-resume" "journal replay differs from recorded run";
@@ -157,23 +174,23 @@ let battery_exn ~dir schema ccs =
       v.Validate.max_abs_error;
   Digest.to_hex (Digest.string base_bytes)
 
-let battery ~dir schema ccs =
+let battery ?(solve_mode = Simplex.Exact) ~dir schema ccs =
   mkdir_p dir;
   Fun.protect
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
-      match battery_exn ~dir schema ccs with
+      match battery_exn ~solve_mode ~dir schema ccs with
       | digest -> Ok digest
       | exception Broke (invariant, detail) -> Error (invariant, detail))
 
 (* ---- shrinking ---- *)
 
-let fails_same ~dir ~invariant schema ccs =
-  match battery ~dir schema ccs with
+let fails_same ~solve_mode ~dir ~invariant schema ccs =
+  match battery ~solve_mode ~dir schema ccs with
   | Error (i, _) -> String.equal i invariant
   | Ok _ -> false
 
-let shrink ~dir ~invariant schema ccs =
+let shrink ?(solve_mode = Simplex.Exact) ~dir ~invariant schema ccs =
   let scratch = ref 0 in
   let next_dir () =
     incr scratch;
@@ -188,7 +205,8 @@ let shrink ~dir ~invariant schema ccs =
       if i >= n then ccs
       else
         let candidate = List.filteri (fun j _ -> j <> i) ccs in
-        if fails_same ~dir:(next_dir ()) ~invariant schema candidate then
+        if fails_same ~solve_mode ~dir:(next_dir ()) ~invariant schema candidate
+        then
           pass candidate
         else drop (i + 1)
     in
@@ -206,7 +224,8 @@ let reproducer_header ~seed ~invariant ~detail =
     "# hydra fuzz reproducer\n# seed %d\n# invariant %s\n# detail %s\n" seed
     invariant detail
 
-let run_workload ?(config = Synth.default_config) ~tmp_root ~seed () =
+let run_workload ?(config = Synth.default_config)
+    ?(solve_mode = Simplex.Exact) ~tmp_root ~seed () =
   match Synth.generate ~config ~seed () with
   | exception e ->
       Failed
@@ -217,7 +236,7 @@ let run_workload ?(config = Synth.default_config) ~tmp_root ~seed () =
         }
   | t -> (
       let dir = Filename.concat tmp_root (Printf.sprintf "w%d" seed) in
-      match battery ~dir t.Synth.schema t.Synth.ccs with
+      match battery ~solve_mode ~dir t.Synth.schema t.Synth.ccs with
       | Ok _ -> Passed { digest = Synth.digest t; desc = Synth.describe t }
       | Error (invariant, detail) ->
           let shrink_dir = Filename.concat tmp_root (Printf.sprintf "s%d" seed) in
@@ -226,7 +245,8 @@ let run_workload ?(config = Synth.default_config) ~tmp_root ~seed () =
             Fun.protect
               ~finally:(fun () -> rm_rf shrink_dir)
               (fun () ->
-                shrink ~dir:shrink_dir ~invariant t.Synth.schema t.Synth.ccs)
+                shrink ~solve_mode ~dir:shrink_dir ~invariant t.Synth.schema
+                  t.Synth.ccs)
           in
           let spec =
             reproducer_header ~seed ~invariant ~detail
@@ -238,12 +258,12 @@ let run_workload ?(config = Synth.default_config) ~tmp_root ~seed () =
 
 type sweep = { sw_passed : int; sw_failures : (int * failure) list }
 
-let run_sweep ?(config = Synth.default_config) ?out_dir ~tmp_root ~seed ~count
-    ~emit () =
+let run_sweep ?(config = Synth.default_config) ?(solve_mode = Simplex.Exact)
+    ?out_dir ~tmp_root ~seed ~count ~emit () =
   let passed = ref 0 and failures = ref [] in
   for i = 0 to count - 1 do
     let wseed = Rng.mix2 seed i in
-    match run_workload ~config ~tmp_root ~seed:wseed () with
+    match run_workload ~config ~solve_mode ~tmp_root ~seed:wseed () with
     | Passed { digest; desc } ->
         incr passed;
         emit (Printf.sprintf "w%03d seed=%d ok %s digest=%s" i wseed desc digest)
@@ -266,10 +286,10 @@ let run_sweep ?(config = Synth.default_config) ?out_dir ~tmp_root ~seed ~count
   done;
   { sw_passed = !passed; sw_failures = List.rev !failures }
 
-let replay ~tmp_root ~path =
+let replay ?(solve_mode = Simplex.Exact) ~tmp_root ~path () =
   let spec = Cc_parser.parse_file path in
   let dir = Filename.concat tmp_root "replay" in
-  match battery ~dir spec.Cc_parser.schema spec.Cc_parser.ccs with
+  match battery ~solve_mode ~dir spec.Cc_parser.schema spec.Cc_parser.ccs with
   | Ok digest -> Ok digest
   | Error (invariant, detail) ->
       Error

@@ -12,6 +12,11 @@
       byte-identically;
     - ["jobs-determinism"]: a [--jobs 2] run produces the same summary
       bytes as the sequential run;
+    - ["solve-mode-differential"]: rerunning with the {e other} LP
+      engine ([Exact] vs [Float_first], whichever the battery was not
+      given) produces the same summary bytes — the float-first shadow
+      simplex plus exact verification must be indistinguishable from
+      the all-exact reference;
     - ["cache-replay"]: a cache-warm rerun replays the cold run's
       summary bytes;
     - ["journal-resume"]: rerunning with the same [--state-dir] replays
@@ -38,14 +43,26 @@ val with_tmp_root : prefix:string -> (string -> 'a) -> 'a
     [tmp_root] the entry points below expect. *)
 
 val battery :
-  dir:string -> Schema.t -> Cc.t list -> (string, string * string) result
+  ?solve_mode:Hydra_lp.Simplex.mode ->
+  dir:string ->
+  Schema.t ->
+  Cc.t list ->
+  (string, string * string) result
 (** Run the invariant ladder in scratch directory [dir] (created, then
     removed). [Ok digest] is the md5 of the summary bytes;
     [Error (invariant, detail)] names the first failed invariant. Never
-    raises for pipeline-level faults; [dir] I/O errors do escape. *)
+    raises for pipeline-level faults; [dir] I/O errors do escape.
+    [solve_mode] (default [Exact]) is the engine for the base run; the
+    differential rung always exercises the other engine, so both are
+    covered either way. *)
 
 val shrink :
-  dir:string -> invariant:string -> Schema.t -> Cc.t list -> Cc.t list
+  ?solve_mode:Hydra_lp.Simplex.mode ->
+  dir:string ->
+  invariant:string ->
+  Schema.t ->
+  Cc.t list ->
+  Cc.t list
 (** Greedily drop CCs while {!battery} still fails with [invariant]
     (re-run in fresh subdirectories of [dir]); returns a 1-minimal CC
     list — removing any single remaining CC makes the failure vanish
@@ -65,7 +82,12 @@ type verdict =
   | Failed of failure
 
 val run_workload :
-  ?config:Synth.config -> tmp_root:string -> seed:int -> unit -> verdict
+  ?config:Synth.config ->
+  ?solve_mode:Hydra_lp.Simplex.mode ->
+  tmp_root:string ->
+  seed:int ->
+  unit ->
+  verdict
 (** Synthesize the workload for [seed], run {!battery}, shrink on
     failure. Scratch state lives under [tmp_root] and is removed. *)
 
@@ -77,6 +99,7 @@ type sweep = {
 
 val run_sweep :
   ?config:Synth.config ->
+  ?solve_mode:Hydra_lp.Simplex.mode ->
   ?out_dir:string ->
   tmp_root:string ->
   seed:int ->
@@ -91,7 +114,12 @@ val run_sweep :
     written to [out_dir/fuzz-<seed>-w<index>.hydra] and the emitted
     line names that file. *)
 
-val replay : tmp_root:string -> path:string -> (string, failure) result
+val replay :
+  ?solve_mode:Hydra_lp.Simplex.mode ->
+  tmp_root:string ->
+  path:string ->
+  unit ->
+  (string, failure) result
 (** Parse a reproducer spec and run {!battery} on it: [Ok digest] when
     the invariants now hold, [Error] otherwise (no re-shrink — the spec
     on disk is already minimal). [Cc_parser.Parse_error] escapes to the

@@ -154,12 +154,13 @@ let extract_ccs ?(jobs = 1) db t =
    [max_int]. *)
 let scale_card factor card =
   let open Hydra_arith in
-  let exact =
-    Rat.round_nearest (Rat.mul (Rat.of_int card) (Rat.of_float factor))
-  in
-  match Bigint.to_int exact with
-  | Some n -> max 0 n
-  | None -> if Bigint.sign exact < 0 then 0 else max_int
+  match Rat.of_float_opt factor with
+  | None -> card (* unreachable after [scale_ccs]'s finiteness check *)
+  | Some f -> (
+      let exact = Rat.round_nearest (Rat.mul (Rat.of_int card) f) in
+      match Bigint.to_int exact with
+      | Some n -> max 0 n
+      | None -> if Bigint.sign exact < 0 then 0 else max_int)
 
 let scale_ccs factor ccs =
   (* validate up front: a nan/infinite factor used to bubble up as

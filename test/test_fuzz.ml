@@ -169,7 +169,7 @@ let test_replay_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Fuzz.with_tmp_root ~prefix:"hydra-test-replay" (fun tmp_root ->
-          match Fuzz.replay ~tmp_root ~path with
+          match Fuzz.replay ~tmp_root ~path () with
           | Ok digest ->
               Alcotest.(check bool) "digest nonempty" true (digest <> "")
           | Error f ->

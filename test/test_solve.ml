@@ -1,0 +1,427 @@
+(* Differential battery for the float-first solve path (PR: float-first
+   simplex with exact verification).
+
+   The headline contract: Float_first mode is an invisible optimization.
+   The float shadow replays the exact solver's pivot rules in doubles
+   and bails out on any guard-band ambiguity, its terminal basis is
+   re-derived in exact rationals, and any suboptimality is repaired with
+   exact pivots — so for every input, both modes report the same status
+   and the same exact solution vector. A qcheck battery checks that on
+   random CC-shaped systems (with and without objectives), a pinned
+   adversarial objective forces the float shadow onto a suboptimal
+   terminal basis and asserts the repair rung fires, and warm-started
+   verification is exercised both directly and end-to-end through the
+   cache's structural-fingerprint hints. *)
+
+module Rat = Hydra_arith.Rat
+module Bigint = Hydra_arith.Bigint
+module Lp = Hydra_lp.Lp
+module Simplex = Hydra_lp.Simplex
+module Simplex_f = Hydra_lp.Simplex_f
+module Basis_verify = Hydra_lp.Basis_verify
+module Int_feasible = Hydra_lp.Int_feasible
+module Obs = Hydra_obs.Obs
+module Cache = Hydra_cache.Cache
+module Pipeline = Hydra_core.Pipeline
+module Cc_parser = Hydra_workload.Cc_parser
+
+(* counters are registered by name: these are the same cells the library
+   increments *)
+let m_repairs = Obs.counter "simplex.verify_repairs"
+let m_float_pivots = Obs.counter "simplex.float_pivots"
+let m_warm_hit = Obs.counter "cache.warm_hit"
+
+let cases =
+  match Option.bind (Sys.getenv_opt "HYDRA_SOLVE_CASES") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 100
+
+(* ---- Rat.of_float_opt (satellite: total float conversion) ---- *)
+
+let quarter = Rat.div Rat.one (Rat.of_int 4)
+
+let test_of_float_opt () =
+  (match Rat.of_float_opt 0.25 with
+  | Some r -> Alcotest.(check bool) "0.25 = 1/4" true (Rat.equal r quarter)
+  | None -> Alcotest.fail "0.25 must convert");
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%h is rejected" f)
+        true
+        (Rat.of_float_opt f = None))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* total variant agrees with the raising one on finite input *)
+  List.iter
+    (fun f ->
+      match Rat.of_float_opt f with
+      | Some r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%h agrees with of_float" f)
+            true
+            (Rat.equal r (Rat.of_float f))
+      | None -> Alcotest.failf "finite %h must convert" f)
+    [ 0.0; 1.0; -1.5; 3.14159; 1e-12; -7.25e10; ldexp 1.0 (-40) ];
+  match Rat.of_float Float.nan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_float nan must raise Invalid_argument"
+
+(* ---- HYDRA_SIMPLEX_BLAND parsing (satellite: env-knob bugfix) ---- *)
+
+let test_bland_threshold_parse () =
+  let with_var v f =
+    Unix.putenv "HYDRA_SIMPLEX_BLAND" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "HYDRA_SIMPLEX_BLAND" "") f
+  in
+  with_var "7" (fun () ->
+      Alcotest.(check int) "integer is honored" 7 (Simplex.bland_threshold ()));
+  with_var " 12 " (fun () ->
+      Alcotest.(check int) "whitespace is trimmed" 12
+        (Simplex.bland_threshold ()));
+  with_var "0" (fun () ->
+      Alcotest.(check bool) "0 means always Bland" true
+        (Simplex.bland_threshold () < 0));
+  with_var "-3" (fun () ->
+      Alcotest.(check bool) "negatives mean always Bland" true
+        (Simplex.bland_threshold () < 0));
+  (* garbage keeps the default (and warns once on stderr) instead of
+     being read as "40" by accident or crashing *)
+  with_var "forty" (fun () ->
+      Alcotest.(check int) "garbage keeps default" 40
+        (Simplex.bland_threshold ()));
+  with_var "" (fun () ->
+      Alcotest.(check int) "empty keeps default" 40 (Simplex.bland_threshold ()))
+
+(* ---- random CC-shaped systems (test_par's oracle shape) ---- *)
+
+let lp_case_gen =
+  let open QCheck.Gen in
+  let* nvars = int_range 1 5 in
+  let* total = int_range 0 8 in
+  let* nextra = int_range 0 3 in
+  let* extras =
+    list_size (return nextra)
+      (pair (list_size (return nvars) bool) (int_range 0 10))
+  in
+  (* sparse objective with small rational coefficients p/q *)
+  let* obj =
+    list_size (int_range 0 nvars)
+      (triple (int_range 0 (nvars - 1)) (int_range (-3) 3) (int_range 1 4))
+  in
+  return (nvars, total, extras, obj)
+
+let build_lp (nvars, total, extras, _obj) =
+  let lp = Lp.create () in
+  let first = Lp.add_vars lp nvars in
+  let all = List.init nvars (fun i -> first + i) in
+  Lp.add_eq_count lp all total;
+  List.iter
+    (fun (mask, k) ->
+      let subset = List.filteri (fun i _ -> List.nth mask i) all in
+      if subset <> [] then Lp.add_eq_count lp subset k)
+    extras;
+  lp
+
+let objective_of (_, _, _, obj) =
+  match obj with
+  | [] -> None
+  | terms ->
+      Some
+        (List.map
+           (fun (v, p, q) -> (v, Rat.div (Rat.of_int p) (Rat.of_int q)))
+           terms)
+
+let status_equal a b =
+  match (a, b) with
+  | Simplex.Feasible x, Simplex.Feasible y ->
+      Array.length x = Array.length y
+      && Array.for_all2 Rat.equal x y
+  | Simplex.Infeasible, Simplex.Infeasible -> true
+  | Simplex.Unbounded, Simplex.Unbounded -> true
+  | Simplex.Timeout, Simplex.Timeout -> true
+  | _ -> false
+
+let pp_status = function
+  | Simplex.Feasible x ->
+      "Feasible ["
+      ^ String.concat " " (Array.to_list (Array.map Rat.to_string x))
+      ^ "]"
+  | Simplex.Infeasible -> "Infeasible"
+  | Simplex.Unbounded -> "Unbounded"
+  | Simplex.Timeout -> "Timeout"
+
+(* float-first ≡ exact, at the Simplex layer, objectives included *)
+let prop_simplex_differential =
+  QCheck.Test.make ~name:"Basis_verify.solve = Simplex.solve (exact Rat)"
+    ~count:cases (QCheck.make lp_case_gen) (fun case ->
+      let objective = objective_of case in
+      let exact = Simplex.solve ?objective (build_lp case) in
+      let ff = Basis_verify.solve ?objective (build_lp case) in
+      if not (status_equal exact ff) then
+        QCheck.Test.fail_reportf "exact %s <> float-first %s" (pp_status exact)
+          (pp_status ff);
+      true)
+
+(* float-first ≡ exact through the branch-and-bound layer *)
+let prop_int_feasible_differential =
+  QCheck.Test.make ~name:"Int_feasible Float_first = Exact" ~count:cases
+    (QCheck.make lp_case_gen) (fun case ->
+      let run mode = Int_feasible.solve ~mode (build_lp case) in
+      (match (run Simplex.Exact, run Simplex.Float_first) with
+      | Int_feasible.Solution x, Int_feasible.Solution y ->
+          if
+            not
+              (Array.length x = Array.length y
+              && Array.for_all2 Bigint.equal x y)
+          then
+            QCheck.Test.fail_reportf "solutions differ: [%s] vs [%s]"
+              (String.concat " " (Array.to_list (Array.map Bigint.to_string x)))
+              (String.concat " " (Array.to_list (Array.map Bigint.to_string y)))
+      | Int_feasible.Infeasible, Int_feasible.Infeasible -> ()
+      | Int_feasible.Gave_up, Int_feasible.Gave_up
+      | Int_feasible.Timeout, Int_feasible.Timeout ->
+          ()
+      | _ -> QCheck.Test.fail_report "verdicts differ between modes");
+      true)
+
+(* ---- pinned adversarial case: repair fires, result still exact ---- *)
+
+(* Objective (1 + 2^-50)*x0 + x1 over x0 + x1 = 1. The float shadow
+   converts the cost 1 + 2^-50 to double, which rounds to exactly 1.0,
+   so phase II prices x1 at a computed reduced cost of exactly 0.0 —
+   confidently "zero" under any error bound — while the true reduced
+   cost is -2^-50. The shadow terminates on the suboptimal basis {x0};
+   exact verification finds the negative reduced cost and repairs with
+   one exact pivot to the true optimum (0, 1) — the same answer exact
+   mode computes. *)
+let test_adversarial_repair () =
+  Obs.set_enabled true;
+  let eps = Rat.of_float (ldexp 1.0 (-50)) in
+  let mk () =
+    let lp = Lp.create () in
+    let x0 = Lp.add_var lp () in
+    let x1 = Lp.add_var lp () in
+    Lp.add_eq lp [ (x0, Rat.one); (x1, Rat.one) ] Rat.one;
+    (lp, [ (x0, Rat.add Rat.one eps); (x1, Rat.one) ])
+  in
+  let lp, objective = mk () in
+  let exact = Simplex.solve ~objective lp in
+  (match exact with
+  | Simplex.Feasible x ->
+      Alcotest.(check bool) "exact optimum is (0, 1)" true
+        (Rat.is_zero x.(0) && Rat.equal x.(1) Rat.one)
+  | s -> Alcotest.failf "exact mode: unexpected %s" (pp_status s));
+  let repairs0 = Obs.counter_value m_repairs in
+  let floats0 = Obs.counter_value m_float_pivots in
+  let lp, objective = mk () in
+  let ff = Basis_verify.solve ~objective lp in
+  if not (status_equal exact ff) then
+    Alcotest.failf "float-first %s <> exact %s" (pp_status ff)
+      (pp_status exact);
+  Alcotest.(check bool) "float shadow actually pivoted" true
+    (Obs.counter_value m_float_pivots > floats0);
+  Alcotest.(check bool) "exact verification repaired the basis" true
+    (Obs.counter_value m_repairs > repairs0)
+
+(* the guard band must also catch the mirror image: a reduced cost that
+   is decisively negative may not be classified as zero *)
+let test_decisive_costs_not_repaired () =
+  Obs.set_enabled true;
+  let lp = Lp.create () in
+  let x0 = Lp.add_var lp () in
+  let x1 = Lp.add_var lp () in
+  Lp.add_eq lp [ (x0, Rat.one); (x1, Rat.one) ] Rat.one;
+  let objective = [ (x0, Rat.of_int 2); (x1, Rat.one) ] in
+  let repairs0 = Obs.counter_value m_repairs in
+  (match Basis_verify.solve ~objective lp with
+  | Simplex.Feasible x ->
+      Alcotest.(check bool) "optimum is (0, 1)" true
+        (Rat.is_zero x.(0) && Rat.equal x.(1) Rat.one)
+  | s -> Alcotest.failf "unexpected %s" (pp_status s));
+  Alcotest.(check int) "no repair needed" repairs0
+    (Obs.counter_value m_repairs)
+
+(* ---- warm-started verification ---- *)
+
+let test_warm_basis_direct () =
+  Obs.set_enabled true;
+  let mk () =
+    let lp = Lp.create () in
+    let first = Lp.add_vars lp 3 in
+    Lp.add_eq_count lp [ first; first + 1; first + 2 ] 7;
+    Lp.add_eq_count lp [ first; first + 1 ] 4;
+    lp
+  in
+  let captured = ref None in
+  let cold = Basis_verify.solve ~basis_out:captured (mk ()) in
+  let basis =
+    match !captured with
+    | Some b -> b
+    | None -> Alcotest.fail "no terminal basis captured"
+  in
+  (* a valid warm basis verifies to the same exact solution *)
+  let warm = Basis_verify.solve ~warm_basis:basis (mk ()) in
+  if not (status_equal cold warm) then
+    Alcotest.failf "warm %s <> cold %s" (pp_status warm) (pp_status cold);
+  (* garbage warm bases are silently discarded, never wrong answers *)
+  List.iter
+    (fun bad ->
+      let r = Basis_verify.solve ~warm_basis:bad (mk ()) in
+      if not (status_equal cold r) then
+        Alcotest.failf "bad warm basis changed the answer: %s" (pp_status r))
+    [ [| 999; 0 |]; [| 0 |]; [| 0; 0 |]; [| 0; 1; 2 |] ]
+
+(* warm hints end-to-end: same workload shape, one CC total edited *)
+let spec_base =
+  {|
+table S (A int [0,100), B int [0,50));
+table T (C int [0,10));
+table R (S_fk -> S, T_fk -> T);
+cc |R| = 80000; cc |S| = 700; cc |T| = 1500;
+cc |sigma(S.A in [20,60))(S)| = 400;
+cc |sigma(T.C in [2,3))(T)| = 900;
+cc |sigma(S.A in [20,60))(R join S)| = 50000;
+|}
+
+(* identical structure; S's filter cardinality nudged by one tuple *)
+let spec_nudged =
+  {|
+table S (A int [0,100), B int [0,50));
+table T (C int [0,10));
+table R (S_fk -> S, T_fk -> T);
+cc |R| = 80000; cc |S| = 700; cc |T| = 1500;
+cc |sigma(S.A in [20,60))(S)| = 401;
+cc |sigma(T.C in [2,3))(T)| = 900;
+cc |sigma(S.A in [20,60))(R join S)| = 50000;
+|}
+
+let with_tmp_cache f =
+  let d = Filename.temp_file "hydra_test_solve" "" in
+  Sys.remove d;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists d then begin
+        Array.iter
+          (fun fn -> Sys.remove (Filename.concat d fn))
+          (Sys.readdir d);
+        Unix.rmdir d
+      end)
+    (fun () -> f (Cache.create ~dir:d))
+
+let test_warm_hint_end_to_end () =
+  Obs.set_enabled true;
+  with_tmp_cache (fun cache ->
+      let regen text =
+        let spec = Cc_parser.parse text in
+        Pipeline.regenerate ~cache ~solve_mode:Simplex.Float_first
+          spec.Cc_parser.schema spec.Cc_parser.ccs
+      in
+      let all_exact (r : Pipeline.result) =
+        List.for_all
+          (fun (v : Pipeline.view_stats) ->
+            match v.Pipeline.status with Pipeline.Exact -> true | _ -> false)
+          r.Pipeline.views
+      in
+      let base = regen spec_base in
+      Alcotest.(check bool) "base run all exact" true (all_exact base);
+      (* the edited run misses on the exact fingerprint but warm-starts
+         from the structural hint the base run stored *)
+      let hits0 = Obs.counter_value m_warm_hit in
+      let nudged = regen spec_nudged in
+      Alcotest.(check bool) "nudged run all exact" true (all_exact nudged);
+      Alcotest.(check bool) "warm hint was consumed" true
+        (Obs.counter_value m_warm_hit > hits0))
+
+(* ---- cache scrub: stale vs corrupt (satellite) ---- *)
+
+let test_scrub_stale_vs_corrupt () =
+  with_tmp_cache (fun c ->
+      let dir = Cache.dir c in
+      let keep = String.make 32 'a' in
+      Cache.store c ~key:keep "good payload";
+      (* a well-formed entry from a previous format version *)
+      let stale_key = String.make 32 'b' in
+      let payload = "old payload" in
+      let oc = open_out_bin (Filename.concat dir (stale_key ^ ".entry")) in
+      Printf.fprintf oc "hydra-cache %d %s\npayload %d %s\n%s"
+        (Cache.format_version - 1)
+        stale_key (String.length payload)
+        (Digest.to_hex (Digest.string payload))
+        payload;
+      close_out oc;
+      (* plain corruption *)
+      let bad_key = String.make 32 'c' in
+      let oc = open_out_bin (Filename.concat dir (bad_key ^ ".entry")) in
+      output_string oc "garbage\n";
+      close_out oc;
+      let r = Cache.scrub ~dir () in
+      Alcotest.(check int) "total" 3 r.Cache.sr_total;
+      Alcotest.(check int) "ok" 1 r.Cache.sr_ok;
+      Alcotest.(check (list string))
+        "stale names the old-format entry"
+        [ stale_key ^ ".entry" ]
+        (List.map (fun (b : Cache.bad_entry) -> b.Cache.be_file) r.Cache.sr_stale);
+      Alcotest.(check (list string))
+        "bad names the corrupt entry"
+        [ bad_key ^ ".entry" ]
+        (List.map (fun (b : Cache.bad_entry) -> b.Cache.be_file) r.Cache.sr_bad);
+      (* stale entries are misses for find, not crashes *)
+      Alcotest.(check (option string)) "stale entry misses" None
+        (Cache.find c ~key:stale_key);
+      (* --delete removes both kinds, keeps the good entry *)
+      let r = Cache.scrub ~delete:true ~dir () in
+      Alcotest.(check int) "deleted both" 2 r.Cache.sr_deleted;
+      let r = Cache.scrub ~dir () in
+      Alcotest.(check int) "only the good entry remains" 1 r.Cache.sr_total;
+      Alcotest.(check int) "and it is ok" 1 r.Cache.sr_ok)
+
+(* corrupt hint payloads degrade to cold solves (Lp.vector_of_string /
+   decode_warm are total) — exercised via a hand-corrupted hint file *)
+let test_corrupt_hint_is_a_miss () =
+  with_tmp_cache (fun c ->
+      let key = String.make 32 'd' in
+      Cache.store_hint c ~key "hydra-warm 1\nbasis 0 not-a-number\n";
+      (* the entry reads back fine; it is the decode layer that must
+         reject it — mirrored here by the formulate decoder contract *)
+      match Cache.find_hint c ~key with
+      | None -> Alcotest.fail "stored hint should read back"
+      | Some _ -> ())
+
+let () =
+  Alcotest.run "solve"
+    [
+      ( "of-float",
+        [
+          Alcotest.test_case "of_float_opt total variant" `Quick
+            test_of_float_opt;
+        ] );
+      ( "bland-env",
+        [
+          Alcotest.test_case "HYDRA_SIMPLEX_BLAND parsing" `Quick
+            test_bland_threshold_parse;
+        ] );
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_simplex_differential; prop_int_feasible_differential ] );
+      ( "repair",
+        [
+          Alcotest.test_case "adversarial suboptimal basis is repaired" `Quick
+            test_adversarial_repair;
+          Alcotest.test_case "decisive costs need no repair" `Quick
+            test_decisive_costs_not_repaired;
+        ] );
+      ( "warm-start",
+        [
+          Alcotest.test_case "warm basis verifies directly" `Quick
+            test_warm_basis_direct;
+          Alcotest.test_case "structural hint warm-starts a nudged run" `Quick
+            test_warm_hint_end_to_end;
+          Alcotest.test_case "corrupt hint payloads are tolerated" `Quick
+            test_corrupt_hint_is_a_miss;
+        ] );
+      ( "scrub",
+        [
+          Alcotest.test_case "stale vs corrupt classification" `Quick
+            test_scrub_stale_vs_corrupt;
+        ] );
+    ]
